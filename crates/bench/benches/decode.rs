@@ -1,0 +1,71 @@
+//! B2 — decoder latency per scheme (random query pairs).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pl_labeling::baseline::{AdjListDecoder, AdjListScheme};
+use pl_labeling::scheme::{AdjacencyDecoder, AdjacencyScheme};
+use pl_labeling::threshold::ThresholdDecoder;
+use pl_labeling::{OneQueryDecoder, OneQueryScheme, PowerLawScheme};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_decode(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0xDEC0);
+    let n = 20_000usize;
+    let g = pl_gen::chung_lu_power_law(n, 2.5, 5.0, &mut rng);
+
+    let pl = PowerLawScheme::new(2.5).encode(&g);
+    let adj = AdjListScheme.encode(&g);
+    let oq = OneQueryScheme.encode(&g, &mut rng);
+
+    let mut pair_rng = StdRng::seed_from_u64(1);
+    let mut pair = move || {
+        (
+            pair_rng.gen_range(0..n as u32),
+            pair_rng.gen_range(0..n as u32),
+        )
+    };
+
+    let mut group = c.benchmark_group("decode");
+    group.bench_function("powerlaw_thm4", |b| {
+        let dec = ThresholdDecoder;
+        b.iter_batched(
+            &mut pair,
+            |(u, v)| dec.adjacent(pl.label(u), pl.label(v)),
+            BatchSize::SmallInput,
+        );
+    });
+    let mut pair_rng2 = StdRng::seed_from_u64(2);
+    let mut pair2 = move || {
+        (
+            pair_rng2.gen_range(0..n as u32),
+            pair_rng2.gen_range(0..n as u32),
+        )
+    };
+    group.bench_function("adjlist", |b| {
+        let dec = AdjListDecoder;
+        b.iter_batched(
+            &mut pair2,
+            |(u, v)| dec.adjacent(adj.label(u), adj.label(v)),
+            BatchSize::SmallInput,
+        );
+    });
+    let mut pair_rng3 = StdRng::seed_from_u64(3);
+    let mut pair3 = move || {
+        (
+            pair_rng3.gen_range(0..n as u32),
+            pair_rng3.gen_range(0..n as u32),
+        )
+    };
+    group.bench_function("one_query_protocol", |b| {
+        let dec = OneQueryDecoder;
+        b.iter_batched(
+            &mut pair3,
+            |(u, v)| dec.adjacent_with(oq.label(u), oq.label(v), |t| oq.label(t as u32)),
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_decode);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! B1 — encoder throughput per scheme on a power-law graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pl_labeling::baseline::AdjListScheme;
+use pl_labeling::forest::OrientationScheme;
+use pl_labeling::scheme::AdjacencyScheme;
+use pl_labeling::{PowerLawScheme, SparseScheme};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_encode(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0xE1C0);
+    let n = 20_000;
+    let g = pl_gen::chung_lu_power_law(n, 2.5, 5.0, &mut rng);
+
+    let mut group = c.benchmark_group("encode");
+    group.sample_size(20);
+    group.bench_function(BenchmarkId::new("powerlaw_thm4", n), |b| {
+        let s = PowerLawScheme::new(2.5);
+        b.iter(|| s.encode(&g));
+    });
+    group.bench_function(BenchmarkId::new("sparse_thm3", n), |b| {
+        let s = SparseScheme::for_graph(&g);
+        b.iter(|| s.encode(&g));
+    });
+    group.bench_function(BenchmarkId::new("adjlist", n), |b| {
+        b.iter(|| AdjListScheme.encode(&g));
+    });
+    group.bench_function(BenchmarkId::new("orientation", n), |b| {
+        b.iter(|| OrientationScheme.encode(&g));
+    });
+    group.bench_function(BenchmarkId::new("one_query", n), |b| {
+        let mut r = StdRng::seed_from_u64(7);
+        b.iter(|| pl_labeling::OneQueryScheme.encode(&g, &mut r));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode);
+criterion_main!(benches);

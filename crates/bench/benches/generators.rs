@@ -1,0 +1,46 @@
+//! B5 — generator throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_generators(c: &mut Criterion) {
+    let n = 20_000usize;
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(15);
+    group.bench_function(BenchmarkId::new("chung_lu", n), |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            pl_gen::chung_lu_power_law(n, 2.5, 5.0, &mut rng)
+        });
+    });
+    group.bench_function(BenchmarkId::new("barabasi_albert_m3", n), |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            pl_gen::barabasi_albert(n, 3, &mut rng)
+        });
+    });
+    group.bench_function(BenchmarkId::new("configuration", n), |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            let d = pl_gen::degree_sequence::power_law_degrees(n, 2.5, 1, 200, &mut rng);
+            pl_gen::configuration_model(&d, &mut rng)
+        });
+    });
+    group.bench_function(BenchmarkId::new("p_l_construction", n), |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(4);
+            pl_gen::pl_family::p_l_random(n, 2.5, &mut rng)
+        });
+    });
+    group.bench_function(BenchmarkId::new("gnm", n), |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(5);
+            pl_gen::er::gnm(n, 3 * n, &mut rng)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

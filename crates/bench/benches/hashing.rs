@@ -1,0 +1,42 @@
+//! B3 — perfect-hash construction and query throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pl_hash::{BoundedLoadHash, PerfectHash};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_hashing(c: &mut Criterion) {
+    let keys: Vec<u64> = (0..50_000u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect();
+
+    let mut group = c.benchmark_group("hashing");
+    group.sample_size(20);
+    group.bench_function(BenchmarkId::new("fks_build", keys.len()), |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            PerfectHash::build(&keys, &mut rng).unwrap()
+        });
+    });
+    {
+        let mut rng = StdRng::seed_from_u64(3);
+        let ph = PerfectHash::build(&keys, &mut rng).unwrap();
+        let mut i = 0usize;
+        group.bench_function("fks_query", |b| {
+            b.iter(|| {
+                i = (i + 1) % keys.len();
+                ph.contains(keys[i])
+            });
+        });
+    }
+    group.bench_function(BenchmarkId::new("bounded_load_build", keys.len()), |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(5);
+            BoundedLoadHash::build_adaptive(&keys, keys.len(), &mut rng)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hashing);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! B6 — routing: build time and forwarding-decision latency.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pl_routing::RoutedNetwork;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_routing(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0x2077);
+    let n = 20_000usize;
+    let g0 = pl_gen::chung_lu_power_law(n, 2.5, 6.0, &mut rng);
+    let giant = pl_graph::view::largest_component(&g0);
+    let g = giant.graph;
+
+    let mut group = c.benchmark_group("routing");
+    group.sample_size(15);
+    group.bench_function("build_16_landmarks", |b| {
+        b.iter(|| RoutedNetwork::build(&g, 16));
+    });
+
+    let net = RoutedNetwork::build(&g, 16);
+    let nn = g.vertex_count() as u32;
+    let mut pair_rng = StdRng::seed_from_u64(9);
+    let mut pair = move || (pair_rng.gen_range(0..nn), pair_rng.gen_range(0..nn));
+    group.bench_function("next_hop", |b| {
+        let net = net.clone();
+        b.iter_batched(
+            &mut pair,
+            |(u, v)| net.next_hop(u, &net.address(v)),
+            BatchSize::SmallInput,
+        );
+    });
+    let mut pair_rng2 = StdRng::seed_from_u64(10);
+    let mut pair2 = move || (pair_rng2.gen_range(0..nn), pair_rng2.gen_range(0..nn));
+    group.bench_function("route_full_path", |b| {
+        let net = net.clone();
+        b.iter_batched(&mut pair2, |(u, v)| net.route(u, v), BatchSize::SmallInput);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! B7 — encode throughput of the extension schemes: compressed fat
+//! payloads, dynamic insertion, and the f-bounded distance encoder.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pl_labeling::compressed::CompressedThresholdScheme;
+use pl_labeling::dynamic::DynamicScheme;
+use pl_labeling::scheme::AdjacencyScheme;
+use pl_labeling::DistanceScheme;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_extras(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0xE57A);
+    let n = 20_000usize;
+    let g = pl_gen::chung_lu_power_law(n, 2.5, 5.0, &mut rng);
+    let edges: Vec<(u32, u32)> = g.edges().collect();
+
+    let mut group = c.benchmark_group("schemes_extra");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("compressed_encode", n), |b| {
+        let s = CompressedThresholdScheme::with_tau(30);
+        b.iter(|| s.encode(&g));
+    });
+    group.bench_function(
+        BenchmarkId::new("dynamic_insert_stream", edges.len()),
+        |b| {
+            b.iter(|| {
+                let mut d = DynamicScheme::new(n, 30);
+                for &(u, v) in &edges {
+                    d.insert_edge(u, v);
+                }
+                d.relabel_count()
+            });
+        },
+    );
+    let small = pl_gen::chung_lu_power_law(4_000, 2.5, 5.0, &mut rng);
+    group.bench_function(BenchmarkId::new("distance_encode_f2", 4_000), |b| {
+        let s = DistanceScheme::new(2.5, 2);
+        b.iter(|| s.encode(&small));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_extras);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! B4 — graph-substrate primitives: BFS, degeneracy, adjacency queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_traversal(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0x7A5);
+    let n = 50_000usize;
+    let g = pl_gen::chung_lu_power_law(n, 2.5, 5.0, &mut rng);
+
+    let mut group = c.benchmark_group("traversal");
+    group.sample_size(20);
+    group.bench_function("bfs_full", |b| {
+        b.iter(|| pl_graph::traversal::bfs_distances(&g, 0));
+    });
+    group.bench_function("bfs_bounded_3", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % n as u32;
+            pl_graph::traversal::bfs_bounded(&g, i, 3)
+        });
+    });
+    group.bench_function("degeneracy_ordering", |b| {
+        b.iter(|| pl_graph::degeneracy::degeneracy_ordering(&g));
+    });
+    group.bench_function("has_edge", |b| {
+        let mut r = StdRng::seed_from_u64(11);
+        b.iter(|| {
+            let u = r.gen_range(0..n as u32);
+            let v = r.gen_range(0..n as u32);
+            g.has_edge(u, v)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_traversal);
+criterion_main!(benches);

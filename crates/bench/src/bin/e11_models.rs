@@ -1,0 +1,109 @@
+//! E11 — generative models and label sizes (Section 6's comparison).
+//!
+//! "In contrast, other generative models such as Waxman's, N-level
+//! Hierarchical, and Chung and Liu's do not seem to have an obvious
+//! smaller label size than the one in Proposition 4."
+//!
+//! Labels the same-order graphs from five generators with (a) the
+//! degeneracy-orientation scheme (small exactly when the model has low
+//! arboricity, i.e. BA) and (b) the best applicable threshold scheme.
+//! Expected shape: BA admits tiny orientation labels; Waxman/hierarchical/
+//! ER orientation labels grow with density (no bounded arboricity
+//! structure), leaving the √(n)-type threshold labels as their best
+//! option — the paper's contrast.
+
+use pl_bench::{banner, f1, quick_mode, rng, Table};
+use pl_gen::hierarchical::HierarchicalParams;
+use pl_labeling::forest::OrientationScheme;
+use pl_labeling::scheme::AdjacencyScheme;
+use pl_labeling::{PowerLawScheme, SparseScheme};
+
+fn main() {
+    banner("E11", "which generative models admit small labels");
+    let n = if quick_mode() { 3_000 } else { 12_000 };
+    let mut table = Table::new(&[
+        "model",
+        "n",
+        "m",
+        "degeneracy",
+        "orientation max",
+        "threshold max",
+        "threshold scheme",
+    ]);
+
+    let mut cases: Vec<(String, pl_graph::Graph)> = Vec::new();
+    {
+        let mut r = rng(1_100);
+        cases.push((
+            "barabasi-albert m=3".into(),
+            pl_gen::barabasi_albert(n, 3, &mut r).graph,
+        ));
+    }
+    {
+        let mut r = rng(1_101);
+        cases.push((
+            "chung-lu a=2.5".into(),
+            pl_gen::chung_lu_power_law(n, 2.5, 6.0, &mut r),
+        ));
+    }
+    {
+        let mut r = rng(1_102);
+        cases.push((
+            "waxman".into(),
+            pl_gen::waxman::waxman(n, 0.9, 0.03, &mut r),
+        ));
+    }
+    {
+        let mut r = rng(1_103);
+        let domains = (n as f64).sqrt() as usize;
+        cases.push((
+            "hierarchical".into(),
+            pl_gen::hierarchical::hierarchical(
+                HierarchicalParams {
+                    domains,
+                    domain_size: n / domains,
+                    p_intra: 6.0 / (n / domains) as f64,
+                    p_inter: 0.5,
+                },
+                &mut r,
+            ),
+        ));
+    }
+    {
+        let mut r = rng(1_104);
+        cases.push(("erdos-renyi".into(), pl_gen::er::gnm(n, 3 * n, &mut r)));
+    }
+
+    for (name, g) in &cases {
+        let n = g.vertex_count();
+        let degeneracy = pl_graph::degeneracy::degeneracy_ordering(g).degeneracy;
+        let orient = OrientationScheme.encode(g);
+
+        // Threshold side: power-law scheme when a power law fits, else the
+        // sparse scheme.
+        let (tmax, tname) = match PowerLawScheme::fitted(g) {
+            Some(s) if s.alpha() < 4.0 => (s.encode(g).max_bits(), "powerlaw (fitted)"),
+            _ => (
+                SparseScheme::for_graph(g).encode(g).max_bits(),
+                "sparse (Thm 3)",
+            ),
+        };
+
+        table.row(vec![
+            name.clone(),
+            n.to_string(),
+            g.edge_count().to_string(),
+            degeneracy.to_string(),
+            orient.max_bits().to_string(),
+            tmax.to_string(),
+            tname.to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nexpected: BA has constant degeneracy -> orientation wins by 10x+; the other\n\
+         models' degeneracy grows with density, so the threshold schemes are the best\n\
+         available — matching Section 6's observation. avg degree ≈ {}.",
+        f1(2.0 * cases[0].1.edge_count() as f64 / cases[0].1.vertex_count() as f64)
+    );
+}

@@ -1,0 +1,68 @@
+//! E2 — theoretical threshold vs the empirical optimum.
+//!
+//! Reproduces the full version's threshold-validation figure: sweep the
+//! fat/thin threshold τ on a fixed graph and record the maximum label size;
+//! compare the sweep's argmin against the predictions
+//! `τ* = ⌈(C'n/log n)^{1/α}⌉` (paper constant) and the same formula with
+//! `C' = 1` (practical constant). Expected shape: a U-curve whose minimum
+//! sits between the two predictions, within a small factor of both.
+
+use pl_bench::{banner, f1, quick_mode, rng, Table};
+use pl_labeling::theory::powerlaw_tau;
+use pl_labeling::threshold::encode_with_stats;
+use pl_stats::paper::PaperConstants;
+
+fn main() {
+    banner("E2", "threshold sweep: max label bits vs tau");
+    let n = if quick_mode() { 4_000 } else { 30_000 };
+    let alphas = [2.2, 2.5, 3.0];
+
+    for (i, &alpha) in alphas.iter().enumerate() {
+        let mut r = rng(200 + i as u64);
+        let g = pl_gen::chung_lu_power_law(n, alpha, 5.0, &mut r);
+        let k = PaperConstants::new(n, alpha);
+        let tau_paper = powerlaw_tau(n, alpha, k.c_prime);
+        let tau_practical = powerlaw_tau(n, alpha, 1.0);
+
+        // Geometric sweep covering both predictions generously.
+        let mut taus: Vec<usize> = Vec::new();
+        let mut t = 2usize;
+        while t <= 4 * tau_paper.max(tau_practical) {
+            taus.push(t);
+            t = (t as f64 * 1.4).ceil() as usize;
+        }
+
+        let mut table = Table::new(&[
+            "tau",
+            "fat count",
+            "max bits",
+            "max fat bits",
+            "max thin bits",
+        ]);
+        let mut best = (usize::MAX, 0usize);
+        for &tau in &taus {
+            let (labeling, stats) = encode_with_stats(&g, tau);
+            let mb = labeling.max_bits();
+            if mb < best.0 {
+                best = (mb, tau);
+            }
+            table.row(vec![
+                tau.to_string(),
+                stats.fat_count.to_string(),
+                mb.to_string(),
+                stats.max_fat_bits.to_string(),
+                stats.max_thin_bits.to_string(),
+            ]);
+        }
+        println!("### alpha = {alpha}, n = {n}, m = {}", g.edge_count());
+        table.print();
+        println!(
+            "argmin tau = {} ({} bits); predicted tau* = {} (paper C' = {}), {} (C' = 1)\n",
+            best.1,
+            best.0,
+            tau_paper,
+            f1(k.c_prime),
+            tau_practical,
+        );
+    }
+}

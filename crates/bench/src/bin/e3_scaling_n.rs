@@ -1,0 +1,57 @@
+//! E3 — label-size scaling with n (Theorem 4's exponent).
+//!
+//! Fixes α = 2.5 and sweeps n over powers of two; measures the maximum
+//! label of the power-law scheme and fits the growth exponent of the
+//! label's dominant term on a log–log scale. Expected shape: measured
+//! exponent ≈ 1/α = 0.4 (slightly above due to the (log n)^{1−1/α} factor),
+//! far below the sparse scheme's 0.5 + and the baseline's ~1.
+
+use pl_bench::{banner, f1, f3, quick_mode, rng, Table};
+use pl_labeling::baseline::AdjListScheme;
+use pl_labeling::scheme::AdjacencyScheme;
+use pl_labeling::{PowerLawScheme, SparseScheme};
+use pl_stats::ccdf::loglog_fit;
+
+fn main() {
+    banner("E3", "scaling with n at alpha = 2.5");
+    let alpha = 2.5;
+    let exps = if quick_mode() { 10..=14 } else { 10..=18 };
+    let mut table = Table::new(&[
+        "n",
+        "m",
+        "powerlaw max",
+        "Thm4 bound",
+        "sparse max",
+        "adjlist max",
+    ]);
+    let mut pl_points = Vec::new();
+    let mut sp_points = Vec::new();
+    for (i, e) in exps.enumerate() {
+        let n = 1usize << e;
+        let mut r = rng(300 + i as u64);
+        let g = pl_gen::chung_lu_power_law(n, alpha, 5.0, &mut r);
+        let scheme = PowerLawScheme::new(alpha);
+        let pl = scheme.encode(&g);
+        let sp = SparseScheme::for_graph(&g).encode(&g);
+        let adj = AdjListScheme.encode(&g);
+        pl_points.push((n as f64, pl.max_bits() as f64));
+        sp_points.push((n as f64, sp.max_bits() as f64));
+        table.row(vec![
+            n.to_string(),
+            g.edge_count().to_string(),
+            pl.max_bits().to_string(),
+            f1(scheme.guaranteed_bits(n)),
+            sp.max_bits().to_string(),
+            adj.max_bits().to_string(),
+        ]);
+    }
+    table.print();
+    let pl_fit = loglog_fit(&pl_points).expect("enough points");
+    let sp_fit = loglog_fit(&sp_points).expect("enough points");
+    println!(
+        "\nfitted exponents: powerlaw {} (theory 1/alpha + log factor ≈ {}), sparse {} (theory ≈ 0.5)",
+        f3(pl_fit.slope),
+        f3(1.0 / alpha),
+        f3(sp_fit.slope),
+    );
+}

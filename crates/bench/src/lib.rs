@@ -1,0 +1,170 @@
+//! Experiment harness shared by the `e1`–`e9` binaries.
+//!
+//! Each binary regenerates one table or figure of the evaluation suite
+//! described in DESIGN.md §5 and prints it as GitHub-flavoured markdown so
+//! the output can be pasted into EXPERIMENTS.md verbatim. Pass `--quick`
+//! to any binary for a smaller, CI-friendly parameter grid.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A simple right-padded markdown table accumulator.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String> + Clone>(headers: &[S]) -> Self {
+        Self {
+            headers: headers.iter().cloned().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; the cell count must match the header count.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` iff no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as a GitHub-flavoured markdown table.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            let body: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:<width$}", width = widths[i]))
+                .collect();
+            format!("| {} |", body.join(" | "))
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        let sep: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+        out.push_str(&format!("|-{}-|\n", sep.join("-|-")));
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the markdown rendering to stdout.
+    pub fn print(&self) {
+        print!("{}", self.to_markdown());
+    }
+}
+
+/// Whether `--quick` was passed (smaller grids, for smoke tests and CI).
+#[must_use]
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// The fixed experiment RNG; pass a distinct stream id per use site so
+/// adding a generator call never perturbs downstream draws.
+#[must_use]
+pub fn rng(stream: u64) -> StdRng {
+    StdRng::seed_from_u64(0x9E37_79B9_7F4A_7C15 ^ stream)
+}
+
+/// Formats a float with 1 decimal.
+#[must_use]
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Formats a float with 2 decimals.
+#[must_use]
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float with 3 decimals.
+#[must_use]
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Prints the standard experiment header line.
+pub fn banner(id: &str, title: &str) {
+    println!("\n## {id} — {title}");
+    if quick_mode() {
+        println!("(--quick mode: reduced parameter grid)");
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_markdown() {
+        let mut t = Table::new(&["a", "bb"]);
+        t.row(vec!["1", "2"]);
+        t.row(vec!["333", "4"]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("| a   | bb |\n"));
+        assert!(md.contains("| 333 | 4  |"));
+        assert_eq!(md.lines().count(), 4);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(&["a"]);
+        t.row(vec!["1", "2"]);
+    }
+
+    #[test]
+    fn rng_streams_differ() {
+        use rand::Rng;
+        let a: u64 = rng(1).gen();
+        let b: u64 = rng(2).gen();
+        assert_ne!(a, b);
+        let a2: u64 = rng(1).gen();
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f1(1.25), "1.2");
+        assert_eq!(f2(1.257), "1.26");
+        assert_eq!(f3(std::f64::consts::PI), "3.142");
+    }
+}

@@ -1,0 +1,176 @@
+//! The Barabási–Albert preferential-attachment model.
+//!
+//! Section 6 of the paper singles out the BA model: its graphs have bounded
+//! arboricity, so they admit an `O(m log n)` labeling, and an encoder that
+//! "operates at the same time as the creation of the graph" achieves
+//! `m·log n` by storing, at each new vertex, the identifiers of the `m`
+//! vertices it attached to. [`BaGraph::history`] records exactly that
+//! information for the online scheme.
+
+use pl_graph::{Graph, GraphBuilder, VertexId};
+use rand::Rng;
+
+/// A Barabási–Albert graph together with its attachment history.
+#[derive(Debug, Clone)]
+pub struct BaGraph {
+    /// The generated graph.
+    pub graph: Graph,
+    /// `history[v]` lists the vertices `v` attached to when it was inserted;
+    /// empty for the `m₀` seed vertices.
+    pub history: Vec<Vec<VertexId>>,
+    /// The attachment parameter `m`.
+    pub m: usize,
+    /// Number of seed vertices the growth started from.
+    pub seed_size: usize,
+}
+
+/// Generates an `n`-vertex BA graph with attachment parameter `m`.
+///
+/// Growth starts from a seed clique of `m` vertices (ids `0..m`); each
+/// subsequent vertex attaches to `m` distinct existing vertices chosen by
+/// preferential attachment (probability proportional to current degree),
+/// implemented with the standard repeated-endpoints trick in `O(n·m)`.
+///
+/// # Panics
+///
+/// Panics unless `1 <= m < n`.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+/// let ba = pl_gen::barabasi_albert(500, 3, &mut rng);
+/// assert_eq!(ba.graph.vertex_count(), 500);
+/// // Every non-seed vertex attached to exactly m = 3 distinct targets.
+/// for v in 3..500u32 {
+///     assert_eq!(ba.history[v as usize].len(), 3);
+/// }
+/// ```
+#[must_use]
+pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> BaGraph {
+    assert!(m >= 1 && m < n, "need 1 <= m < n (m = {m}, n = {n})");
+    let mut b = GraphBuilder::with_edge_capacity(n, m * n);
+    let mut history: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+
+    // Seed: a clique on vertices 0..m so every seed vertex has positive
+    // degree (required for preferential attachment to be well-defined).
+    // For m = 1 the seed is the single vertex 0, attached to by vertex 1.
+    let seed_size = m.max(2).min(n);
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * m * n);
+    for u in 0..seed_size as VertexId {
+        for v in (u + 1)..seed_size as VertexId {
+            b.add_edge(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+
+    let mut targets: Vec<VertexId> = Vec::with_capacity(m);
+    #[allow(clippy::needless_range_loop)] // v is a vertex id, not just an index
+    for v in seed_size..n {
+        targets.clear();
+        // Draw m distinct targets; each draw is degree-proportional.
+        while targets.len() < m {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            b.add_edge(v as VertexId, t);
+            endpoints.push(v as VertexId);
+            endpoints.push(t);
+        }
+        history[v] = targets.clone();
+        history[v].sort_unstable();
+    }
+
+    BaGraph {
+        graph: b.build(),
+        history,
+        m,
+        seed_size,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(31)
+    }
+
+    #[test]
+    fn edge_count_formula() {
+        let ba = barabasi_albert(200, 3, &mut rng());
+        // Seed clique C(3,2) = 3 edges + 197 * 3 attachments, all distinct.
+        assert_eq!(ba.graph.edge_count(), 3 + 197 * 3);
+    }
+
+    #[test]
+    fn m_equals_one_gives_tree() {
+        let ba = barabasi_albert(100, 1, &mut rng());
+        // Seed is an edge (2 vertices), then 98 single attachments: a tree.
+        assert_eq!(ba.graph.edge_count(), 99);
+        assert!(pl_graph::components::is_connected(&ba.graph));
+    }
+
+    #[test]
+    fn history_matches_graph_edges() {
+        let ba = barabasi_albert(300, 4, &mut rng());
+        for v in ba.seed_size..300 {
+            for &t in &ba.history[v] {
+                assert!(ba.graph.has_edge(v as u32, t));
+                assert!((t as usize) < v, "target {t} not older than {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn history_targets_distinct() {
+        let ba = barabasi_albert(300, 5, &mut rng());
+        for v in ba.seed_size..300 {
+            let h = &ba.history[v];
+            let mut sorted = h.clone();
+            sorted.dedup();
+            assert_eq!(sorted.len(), h.len());
+        }
+    }
+
+    #[test]
+    fn rich_get_richer() {
+        let ba = barabasi_albert(5000, 2, &mut rng());
+        // Early vertices should dominate the top of the degree ranking.
+        let hubs = pl_graph::degree::vertices_by_degree_desc(&ba.graph);
+        let top10: Vec<u32> = hubs[..10].to_vec();
+        let early = top10.iter().filter(|&&v| v < 100).count();
+        assert!(
+            early >= 5,
+            "only {early} of the top-10 hubs are early vertices"
+        );
+    }
+
+    #[test]
+    fn min_degree_is_m() {
+        let ba = barabasi_albert(1000, 3, &mut rng());
+        for v in ba.graph.vertices() {
+            assert!(ba.graph.degree(v) >= 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= m < n")]
+    fn rejects_m_zero() {
+        let _ = barabasi_albert(10, 0, &mut rng());
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= m < n")]
+    fn rejects_m_ge_n() {
+        let _ = barabasi_albert(5, 5, &mut rng());
+    }
+}

@@ -1,0 +1,240 @@
+//! The Chung–Lu expected-degree random graph model.
+//!
+//! Reference \[23\] of the paper (Chung & Lu, *Complex Graphs and Networks*).
+//! Each pair `{u, v}` is an edge independently with probability
+//! `min(1, w_u · w_v / W)` where `W = Σ w`. With power-law weights the
+//! resulting degree distribution is power-law with the same exponent, which
+//! makes this the workhorse generator for the upper-bound experiments.
+//!
+//! Sampling uses the Miller–Hagberg skipping technique over
+//! weight-sorted vertices: expected time `O(n + m)` instead of `Θ(n²)`.
+
+use pl_graph::{Graph, GraphBuilder, VertexId};
+use rand::Rng;
+
+/// Samples a Chung–Lu graph with the given expected-degree weights.
+///
+/// Weights must be non-negative. Runs in expected `O(n log n + m)`.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// // Two hubs and many low-weight vertices.
+/// let mut w = vec![50.0, 50.0];
+/// w.extend(std::iter::repeat(1.0).take(998));
+/// let g = pl_gen::chung_lu(&w, &mut rng);
+/// assert_eq!(g.vertex_count(), 1000);
+/// assert!(g.degree(0) > 10); // hub
+/// ```
+#[must_use]
+pub fn chung_lu<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> Graph {
+    let n = weights.len();
+    assert!(
+        weights.iter().all(|&w| w >= 0.0 && w.is_finite()),
+        "weights must be finite and non-negative"
+    );
+    let total: f64 = weights.iter().sum();
+    let mut b = GraphBuilder::new(n);
+    if n < 2 || total <= 0.0 {
+        return b.build();
+    }
+
+    // Sort vertex ids by weight descending; `order[i]` is the original id.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| weights[b].total_cmp(&weights[a]));
+    let w: Vec<f64> = order.iter().map(|&v| weights[v]).collect();
+
+    for i in 0..n - 1 {
+        if w[i] <= 0.0 {
+            break; // all remaining weights are zero
+        }
+        let mut j = i + 1;
+        let mut p = (w[i] * w[j] / total).min(1.0);
+        while j < n && p > 0.0 {
+            if p < 1.0 {
+                // Geometric skip: number of consecutive misses at success
+                // probability p.
+                let r: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                let skip = (r.ln() / (1.0 - p).ln()).floor();
+                if skip >= (n - j) as f64 {
+                    break;
+                }
+                j += skip as usize;
+            }
+            let q = (w[i] * w[j] / total).min(1.0);
+            if rng.gen::<f64>() < q / p {
+                b.add_edge(order[i] as VertexId, order[j] as VertexId);
+            }
+            p = q;
+            j += 1;
+        }
+    }
+    b.build()
+}
+
+/// Power-law weights for [`chung_lu`]: `w_i = (ζ-normalized) · (i + i₀)^{-1/(α-1)}`,
+/// scaled so the average weight (expected average degree) is `avg_degree`.
+///
+/// The offset `i₀` caps the largest expected degree at roughly
+/// `avg_degree · (n / i₀)^{1/(α-1)} / normalizer`; `i₀ = 0` gives the pure
+/// Zipf weight profile.
+#[must_use]
+pub fn power_law_weights(n: usize, alpha: f64, avg_degree: f64) -> Vec<f64> {
+    assert!(alpha > 2.0, "power-law weights need alpha > 2, got {alpha}");
+    assert!(avg_degree > 0.0);
+    let gamma = 1.0 / (alpha - 1.0);
+    let mut w: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-gamma)).collect();
+    let mean = w.iter().sum::<f64>() / n as f64;
+    let scale = avg_degree / mean;
+    for x in &mut w {
+        *x *= scale;
+    }
+    w
+}
+
+/// Convenience: a Chung–Lu graph whose degree distribution follows a power
+/// law with exponent `α > 2` and the given expected average degree.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let g = pl_gen::chung_lu_power_law(5000, 2.5, 4.0, &mut rng);
+/// let avg = 2.0 * g.edge_count() as f64 / g.vertex_count() as f64;
+/// assert!((avg - 4.0).abs() < 1.0, "avg degree {avg}");
+/// ```
+#[must_use]
+pub fn chung_lu_power_law<R: Rng + ?Sized>(
+    n: usize,
+    alpha: f64,
+    avg_degree: f64,
+    rng: &mut R,
+) -> Graph {
+    chung_lu(&power_law_weights(n, alpha, avg_degree), rng)
+}
+
+/// A Chung–Lu graph whose weights are an explicit target degree sequence:
+/// `E[deg(v)] ≈ degrees[v]` (exactly, when no pair probability saturates).
+/// This is how the dataset profiles can mimic a measured degree sequence
+/// rather than a fitted exponent.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+/// let mut target = vec![2usize; 2000];
+/// target[0] = 100; // one hub
+/// let g = pl_gen::chung_lu::chung_lu_from_degrees(&target, &mut rng);
+/// let hub = g.degree(0) as f64;
+/// assert!((hub - 100.0).abs() < 40.0, "hub degree {hub}");
+/// ```
+#[must_use]
+pub fn chung_lu_from_degrees<R: Rng + ?Sized>(degrees: &[usize], rng: &mut R) -> Graph {
+    let w: Vec<f64> = degrees.iter().map(|&d| d as f64).collect();
+    chung_lu(&w, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(2024)
+    }
+
+    #[test]
+    fn from_degrees_matches_expected_total() {
+        let mut r = rng();
+        let degrees = vec![4usize; 3000];
+        let g = chung_lu_from_degrees(&degrees, &mut r);
+        let m = g.edge_count() as f64;
+        let expect = 3000.0 * 4.0 / 2.0;
+        assert!((m - expect).abs() < 0.15 * expect, "m {m} vs {expect}");
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert_eq!(chung_lu(&[], &mut rng()).vertex_count(), 0);
+        assert_eq!(chung_lu(&[5.0], &mut rng()).edge_count(), 0);
+        assert_eq!(chung_lu(&[0.0, 0.0], &mut rng()).edge_count(), 0);
+    }
+
+    #[test]
+    fn saturated_weights_give_near_clique() {
+        // Weights so large that every pair probability is 1.
+        let w = vec![1e6; 8];
+        let g = chung_lu(&w, &mut rng());
+        assert_eq!(g.edge_count(), 8 * 7 / 2);
+    }
+
+    #[test]
+    fn expected_edge_count_matches() {
+        let n = 3000usize;
+        let w = vec![3.0; n];
+        // Homogeneous weights: E[m] ≈ C(n,2) · w²/W = (n-1) * w / 2.
+        let g = chung_lu(&w, &mut rng());
+        let expect = (n as f64 - 1.0) * 3.0 / 2.0;
+        let got = g.edge_count() as f64;
+        assert!(
+            (got - expect).abs() < 0.15 * expect,
+            "edges {got} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn degrees_track_weights() {
+        let mut w = vec![1.0; 4000];
+        w[0] = 200.0;
+        w[1] = 100.0;
+        let g = chung_lu(&w, &mut rng());
+        let d0 = g.degree(0) as f64;
+        let d1 = g.degree(1) as f64;
+        assert!((d0 - 200.0).abs() < 60.0, "hub0 degree {d0}");
+        assert!((d1 - 100.0).abs() < 40.0, "hub1 degree {d1}");
+    }
+
+    #[test]
+    fn power_law_weights_scaled_to_average() {
+        let w = power_law_weights(1000, 2.5, 6.0);
+        let mean = w.iter().sum::<f64>() / w.len() as f64;
+        assert!((mean - 6.0).abs() < 1e-9);
+        // Monotone non-increasing.
+        for pair in w.windows(2) {
+            assert!(pair[0] >= pair[1]);
+        }
+    }
+
+    #[test]
+    fn power_law_graph_fits_exponent() {
+        let mut r = rng();
+        let g = chung_lu_power_law(30_000, 2.5, 5.0, &mut r);
+        let degrees: Vec<u64> = g.vertices().map(|v| g.degree(v) as u64).collect();
+        let fit = pl_stats::fit_power_law(&degrees, 30, 50).unwrap();
+        assert!(
+            (fit.alpha - 2.5).abs() < 0.35,
+            "fitted alpha {} (x_min {})",
+            fit.alpha,
+            fit.x_min
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_rejected() {
+        let _ = chung_lu(&[1.0, -2.0], &mut rng());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let w = power_law_weights(500, 2.3, 4.0);
+        let g1 = chung_lu(&w, &mut StdRng::seed_from_u64(8));
+        let g2 = chung_lu(&w, &mut StdRng::seed_from_u64(8));
+        assert_eq!(g1, g2);
+    }
+}

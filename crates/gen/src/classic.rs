@@ -1,0 +1,127 @@
+//! Deterministic classic graphs for tests and calibration.
+
+use pl_graph::{builder::from_edges, Graph, GraphBuilder, VertexId};
+
+/// The path `P_n` on `n` vertices (`n − 1` edges).
+#[must_use]
+pub fn path(n: usize) -> Graph {
+    if n == 0 {
+        return GraphBuilder::new(0).build();
+    }
+    from_edges(n, (0..n as VertexId - 1).map(|i| (i, i + 1)))
+}
+
+/// The cycle `C_n` on `n ≥ 3` vertices.
+///
+/// # Panics
+///
+/// Panics for `n < 3`.
+#[must_use]
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 vertices");
+    from_edges(n, (0..n as VertexId).map(|i| (i, (i + 1) % n as VertexId)))
+}
+
+/// The complete graph `K_n`.
+#[must_use]
+pub fn complete(n: usize) -> Graph {
+    let n32 = n as VertexId;
+    from_edges(n, (0..n32).flat_map(|u| (u + 1..n32).map(move |v| (u, v))))
+}
+
+/// The star `S_n`: vertex 0 joined to vertices `1..n`.
+#[must_use]
+pub fn star(n: usize) -> Graph {
+    if n == 0 {
+        return GraphBuilder::new(0).build();
+    }
+    from_edges(n, (1..n as VertexId).map(|i| (0, i)))
+}
+
+/// A balanced binary tree on `n` vertices (vertex `i`'s parent is
+/// `(i − 1) / 2`).
+#[must_use]
+pub fn binary_tree(n: usize) -> Graph {
+    if n == 0 {
+        return GraphBuilder::new(0).build();
+    }
+    from_edges(n, (1..n as VertexId).map(|i| (i, (i - 1) / 2)))
+}
+
+/// The `r × c` grid graph.
+#[must_use]
+pub fn grid(r: usize, c: usize) -> Graph {
+    let n = r * c;
+    let mut b = GraphBuilder::new(n);
+    for i in 0..r {
+        for j in 0..c {
+            let v = (i * c + j) as VertexId;
+            if j + 1 < c {
+                b.add_edge(v, v + 1);
+            }
+            if i + 1 < r {
+                b.add_edge(v, v + c as VertexId);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_counts() {
+        assert_eq!(path(0).vertex_count(), 0);
+        assert_eq!(path(1).edge_count(), 0);
+        let p = path(10);
+        assert_eq!(p.edge_count(), 9);
+        assert_eq!(p.max_degree(), 2);
+    }
+
+    #[test]
+    fn cycle_counts() {
+        let c = cycle(8);
+        assert_eq!(c.edge_count(), 8);
+        for v in c.vertices() {
+            assert_eq!(c.degree(v), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn cycle_too_small() {
+        let _ = cycle(2);
+    }
+
+    #[test]
+    fn complete_counts() {
+        let k = complete(7);
+        assert_eq!(k.edge_count(), 21);
+        assert_eq!(k.max_degree(), 6);
+    }
+
+    #[test]
+    fn star_counts() {
+        let s = star(9);
+        assert_eq!(s.degree(0), 8);
+        assert_eq!(s.edge_count(), 8);
+    }
+
+    #[test]
+    fn binary_tree_is_tree() {
+        let t = binary_tree(15);
+        assert_eq!(t.edge_count(), 14);
+        assert!(pl_graph::components::is_connected(&t));
+        assert_eq!(pl_graph::degeneracy::degeneracy_ordering(&t).degeneracy, 1);
+    }
+
+    #[test]
+    fn grid_counts() {
+        let g = grid(3, 4);
+        assert_eq!(g.vertex_count(), 12);
+        assert_eq!(g.edge_count(), 3 * 3 + 2 * 4); // horizontal + vertical
+        assert_eq!(g.max_degree(), 4);
+    }
+}

@@ -1,0 +1,100 @@
+//! The erased configuration model.
+
+use pl_graph::{Graph, GraphBuilder, VertexId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Realizes a degree sequence with the *erased* configuration model:
+/// create `deg(v)` stubs per vertex, shuffle, pair consecutive stubs, and
+/// drop the self-loops and parallel edges that arise.
+///
+/// The realized degrees are therefore at most the requested ones; for
+/// power-law sequences with `α > 2` the expected erasure is a vanishing
+/// fraction of edges, preserving the degree-distribution shape (which is
+/// all the labeling experiments need).
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let g = pl_gen::configuration_model(&[3, 3, 2, 2, 1, 1], &mut rng);
+/// assert_eq!(g.vertex_count(), 6);
+/// assert!(g.edge_count() <= 6);
+/// ```
+#[must_use]
+pub fn configuration_model<R: Rng + ?Sized>(degrees: &[usize], rng: &mut R) -> Graph {
+    let n = degrees.len();
+    let total: usize = degrees.iter().sum();
+    assert!(
+        total.is_multiple_of(2),
+        "degree sum must be even, got {total}"
+    );
+    let mut stubs: Vec<VertexId> = Vec::with_capacity(total);
+    for (v, &d) in degrees.iter().enumerate() {
+        stubs.extend(std::iter::repeat_n(v as VertexId, d));
+    }
+    stubs.shuffle(rng);
+    let mut b = GraphBuilder::with_edge_capacity(n, total / 2);
+    for pair in stubs.chunks_exact(2) {
+        // Self-loops rejected by the builder; parallels deduplicated at build.
+        b.add_edge(pair[0], pair[1]);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn zero_degrees_gives_empty_graph() {
+        let g = configuration_model(&[0, 0, 0], &mut rng());
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_sum_rejected() {
+        let _ = configuration_model(&[1, 1, 1], &mut rng());
+    }
+
+    #[test]
+    fn degrees_never_exceed_requested() {
+        let degrees = [5usize, 4, 3, 3, 2, 2, 2, 1, 1, 1];
+        let mut r = rng();
+        for _ in 0..20 {
+            let g = configuration_model(&degrees, &mut r);
+            for (v, &d) in degrees.iter().enumerate() {
+                assert!(g.degree(v as u32) <= d);
+            }
+        }
+    }
+
+    #[test]
+    fn large_sequence_loses_few_edges() {
+        let mut r = rng();
+        let degrees = crate::degree_sequence::power_law_degrees(20_000, 2.5, 1, 100, &mut r);
+        let g = configuration_model(&degrees, &mut r);
+        let requested: usize = degrees.iter().sum::<usize>() / 2;
+        let lost = requested - g.edge_count();
+        assert!(
+            (lost as f64) < 0.02 * requested as f64,
+            "lost {lost} of {requested} edges"
+        );
+    }
+
+    #[test]
+    fn matching_realizes_exactly_for_two_vertices() {
+        let g = configuration_model(&[1, 1], &mut rng());
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(0, 1));
+    }
+}

@@ -1,0 +1,256 @@
+//! Power-law degree sequences.
+
+use pl_stats::zeta::paper_c;
+use rand::Rng;
+
+/// Samples one value from the discrete bounded power law
+/// `P(X = k) ∝ k^{-α}` for `k ∈ [k_min, k_max]`, by inversion over a
+/// precomputed cumulative table. Use [`ZipfSampler`] to amortize the table.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    k_min: u64,
+    /// `cum[i] = P(X <= k_min + i)`, last entry 1.0.
+    cum: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the inversion table for `P(X = k) ∝ k^{-α}`, `k_min ≤ k ≤ k_max`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k_min` is 0 or exceeds `k_max`, or `α <= 0`.
+    #[must_use]
+    pub fn new(alpha: f64, k_min: u64, k_max: u64) -> Self {
+        assert!(k_min >= 1 && k_min <= k_max, "need 1 <= k_min <= k_max");
+        assert!(alpha > 0.0, "alpha must be positive");
+        let mut cum = Vec::with_capacity((k_max - k_min + 1) as usize);
+        let mut acc = 0.0f64;
+        for k in k_min..=k_max {
+            acc += (k as f64).powf(-alpha);
+            cum.push(acc);
+        }
+        let total = acc;
+        for c in &mut cum {
+            *c /= total;
+        }
+        Self { k_min, cum }
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let idx = self.cum.partition_point(|&c| c < u);
+        self.k_min + idx.min(self.cum.len() - 1) as u64
+    }
+}
+
+/// Samples an `n`-term power-law degree sequence with exponent `α`,
+/// degrees in `[d_min, d_max]`, adjusted to an even sum (one entry may be
+/// bumped by 1) so it can feed the configuration model.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let seq = pl_gen::degree_sequence::power_law_degrees(1000, 2.5, 1, 100, &mut rng);
+/// assert_eq!(seq.len(), 1000);
+/// assert_eq!(seq.iter().sum::<usize>() % 2, 0);
+/// assert!(seq.iter().all(|&d| (1..=101).contains(&d)));
+/// ```
+#[must_use]
+pub fn power_law_degrees<R: Rng + ?Sized>(
+    n: usize,
+    alpha: f64,
+    d_min: u64,
+    d_max: u64,
+    rng: &mut R,
+) -> Vec<usize> {
+    let sampler = ZipfSampler::new(alpha, d_min, d_max);
+    let mut seq: Vec<usize> = (0..n).map(|_| sampler.sample(rng) as usize).collect();
+    if seq.iter().sum::<usize>() % 2 == 1 {
+        if let Some(first) = seq.first_mut() {
+            *first += 1;
+        }
+    }
+    seq
+}
+
+/// The deterministic "ideal" power-law counts of the paper's Section 3:
+/// `count[k] = ⌊C·n / k^α⌋` with `C = 1/ζ(α)`, reported as `(k, count)`
+/// pairs for every `k ≥ 1` with a positive count.
+///
+/// These are the per-degree-class targets around which Definition 2 allows
+/// ±1 rounding noise.
+#[must_use]
+pub fn ideal_power_law_counts(n: usize, alpha: f64) -> Vec<(usize, usize)> {
+    let c = paper_c(alpha);
+    let mut out = Vec::new();
+    let mut k = 1usize;
+    loop {
+        let cnt = (c * n as f64 / (k as f64).powf(alpha)).floor() as usize;
+        if cnt == 0 {
+            break;
+        }
+        out.push((k, cnt));
+        k += 1;
+    }
+    out
+}
+
+/// Expands `(degree, count)` pairs into a flat degree sequence with an even
+/// sum (bumping one degree-1 entry if needed).
+#[must_use]
+pub fn expand_counts(counts: &[(usize, usize)]) -> Vec<usize> {
+    let mut seq = Vec::new();
+    for &(k, c) in counts {
+        seq.extend(std::iter::repeat_n(k, c));
+    }
+    if seq.iter().sum::<usize>() % 2 == 1 {
+        if let Some(first) = seq.first_mut() {
+            *first += 1;
+        }
+    }
+    seq
+}
+
+/// Erdős–Gallai test: is the degree sequence realizable by a simple graph?
+///
+/// # Example
+///
+/// ```
+/// assert!(pl_gen::degree_sequence::is_graphical(&[2, 2, 2]));      // triangle
+/// assert!(!pl_gen::degree_sequence::is_graphical(&[3, 1]));         // too big
+/// assert!(!pl_gen::degree_sequence::is_graphical(&[1, 1, 1]));      // odd sum
+/// ```
+#[must_use]
+pub fn is_graphical(degrees: &[usize]) -> bool {
+    let n = degrees.len();
+    let mut d = degrees.to_vec();
+    d.sort_unstable_by(|a, b| b.cmp(a));
+    if d.first().is_some_and(|&x| x >= n) {
+        return false;
+    }
+    let total: usize = d.iter().sum();
+    if total % 2 == 1 {
+        return false;
+    }
+    // Erdős–Gallai with prefix sums.
+    let mut prefix = vec![0usize; n + 1];
+    for (i, &x) in d.iter().enumerate() {
+        prefix[i + 1] = prefix[i] + x;
+    }
+    for k in 1..=n {
+        let lhs = prefix[k];
+        // Σ_{i>k} min(d_i, k)
+        let mut rhs = k * (k - 1);
+        for &x in &d[k..] {
+            rhs += x.min(k);
+        }
+        if lhs > rhs {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn zipf_respects_bounds() {
+        let s = ZipfSampler::new(2.5, 2, 50);
+        let mut r = rng();
+        for _ in 0..1000 {
+            let x = s.sample(&mut r);
+            assert!((2..=50).contains(&x));
+        }
+    }
+
+    #[test]
+    fn zipf_mass_concentrates_at_low_degrees() {
+        let s = ZipfSampler::new(2.5, 1, 1000);
+        let mut r = rng();
+        let n = 20_000;
+        let ones = (0..n).filter(|_| s.sample(&mut r) == 1).count();
+        // P(X = 1) = 1/ζ-ish over the truncated support ≈ 0.745 for α=2.5.
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.745).abs() < 0.03, "frac {frac}");
+    }
+
+    #[test]
+    fn zipf_alpha_one_is_allowed() {
+        // α need not exceed 1 for a *bounded* zipf.
+        let s = ZipfSampler::new(1.0, 1, 10);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!((1..=10).contains(&s.sample(&mut r)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k_min")]
+    fn zipf_rejects_zero_kmin() {
+        let _ = ZipfSampler::new(2.0, 0, 5);
+    }
+
+    #[test]
+    fn power_law_degrees_even_sum() {
+        let mut r = rng();
+        for _ in 0..5 {
+            let seq = power_law_degrees(501, 2.2, 1, 60, &mut r);
+            assert_eq!(seq.iter().sum::<usize>() % 2, 0);
+        }
+    }
+
+    #[test]
+    fn ideal_counts_match_formula() {
+        let n = 10_000;
+        let alpha = 2.5;
+        let counts = ideal_power_law_counts(n, alpha);
+        let c = pl_stats::zeta::paper_c(alpha);
+        assert_eq!(counts[0].0, 1);
+        assert_eq!(counts[0].1, (c * n as f64).floor() as usize);
+        // Counts non-increasing in k.
+        for w in counts.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+            assert_eq!(w[0].0 + 1, w[1].0);
+        }
+        // Last degree class is where the floor first hits zero.
+        let last_k = counts.last().unwrap().0;
+        assert!((c * n as f64 / ((last_k + 1) as f64).powf(alpha)).floor() as usize == 0);
+    }
+
+    #[test]
+    fn expand_counts_flattens() {
+        let seq = expand_counts(&[(1, 3), (2, 1)]);
+        // Sum 3*1 + 2 = 5 is odd: first entry bumped to 2.
+        assert_eq!(seq, vec![2, 1, 1, 2]);
+    }
+
+    #[test]
+    fn graphical_known_cases() {
+        assert!(is_graphical(&[]));
+        assert!(is_graphical(&[0, 0]));
+        assert!(is_graphical(&[1, 1]));
+        assert!(is_graphical(&[3, 3, 3, 3])); // K4
+        assert!(!is_graphical(&[4, 1, 1, 1])); // star needs deg-4 center with 4 leaves
+        assert!(is_graphical(&[4, 1, 1, 1, 1]));
+        assert!(!is_graphical(&[2, 0, 0]));
+        assert!(!is_graphical(&[5, 5, 4, 3, 2, 1])); // classic EG failure
+    }
+
+    #[test]
+    fn sampled_power_law_usually_graphical() {
+        let mut r = rng();
+        let seq = power_law_degrees(2000, 2.5, 1, 80, &mut r);
+        assert!(is_graphical(&seq));
+    }
+}

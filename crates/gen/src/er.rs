@@ -1,0 +1,152 @@
+//! Erdős–Rényi random graphs.
+
+use pl_graph::{Graph, GraphBuilder, VertexId};
+use rand::Rng;
+
+/// Uniform `G(n, m)`: exactly `m` distinct edges chosen uniformly among all
+/// pairs, by rejection sampling (fine for the sparse regime used here).
+///
+/// # Panics
+///
+/// Panics if `m` exceeds `n·(n−1)/2`.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+/// let g = pl_gen::er::gnm(100, 250, &mut rng);
+/// assert_eq!(g.vertex_count(), 100);
+/// assert_eq!(g.edge_count(), 250);
+/// ```
+#[must_use]
+pub fn gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Graph {
+    let max = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(
+        m <= max,
+        "G(n,m) with n={n} admits at most {max} edges, asked {m}"
+    );
+    let mut set = std::collections::HashSet::with_capacity(m * 2);
+    let mut b = GraphBuilder::with_edge_capacity(n, m);
+    while set.len() < m {
+        let u = rng.gen_range(0..n) as VertexId;
+        let v = rng.gen_range(0..n) as VertexId;
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if set.insert(key) {
+            b.add_edge(key.0, key.1);
+        }
+    }
+    b.build()
+}
+
+/// `G(n, p)`: each pair independently an edge with probability `p`, sampled
+/// in expected `O(n + m)` by geometric skipping over the pair ordering.
+#[must_use]
+pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+    let mut b = GraphBuilder::new(n);
+    if p == 0.0 || n < 2 {
+        return b.build();
+    }
+    if p == 1.0 {
+        for u in 0..n as VertexId {
+            for v in u + 1..n as VertexId {
+                b.add_edge(u, v);
+            }
+        }
+        return b.build();
+    }
+    // Enumerate pairs (u, v), u < v, as a flat index and skip geometrically.
+    let log1p = (1.0 - p).ln();
+    let mut u = 0usize;
+    let mut v = 0usize; // interpreted as "current column", advanced before use
+    loop {
+        let r: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let skip = (r.ln() / log1p).floor() as usize + 1;
+        v += skip;
+        while v >= n {
+            u += 1;
+            if u >= n - 1 {
+                return b.build();
+            }
+            v = u + 1 + (v - n);
+        }
+        if v > u {
+            b.add_edge(u as VertexId, v as VertexId);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(77)
+    }
+
+    #[test]
+    fn gnm_exact_edges() {
+        let g = gnm(50, 100, &mut rng());
+        assert_eq!(g.edge_count(), 100);
+    }
+
+    #[test]
+    fn gnm_zero_edges() {
+        let g = gnm(10, 0, &mut rng());
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn gnm_complete() {
+        let g = gnm(6, 15, &mut rng());
+        assert_eq!(g.edge_count(), 15);
+        assert_eq!(g.max_degree(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn gnm_too_many_edges() {
+        let _ = gnm(4, 7, &mut rng());
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(20, 0.0, &mut rng()).edge_count(), 0);
+        assert_eq!(gnp(7, 1.0, &mut rng()).edge_count(), 21);
+    }
+
+    #[test]
+    fn gnp_edge_count_concentrates() {
+        let n = 400usize;
+        let p = 0.05;
+        let g = gnp(n, p, &mut rng());
+        let expect = p * (n * (n - 1) / 2) as f64;
+        let got = g.edge_count() as f64;
+        assert!(
+            (got - expect).abs() < 0.12 * expect,
+            "edges {got} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn gnp_no_self_loops_or_out_of_range() {
+        let g = gnp(50, 0.3, &mut rng());
+        for (u, v) in g.edges() {
+            assert!(u < v && (v as usize) < 50);
+        }
+    }
+
+    #[test]
+    fn gnp_degrees_roughly_homogeneous() {
+        let g = gnp(2000, 0.01, &mut rng());
+        let max = g.max_degree() as f64;
+        let avg = g.degree_sum() as f64 / 2000.0;
+        assert!(max < avg * 3.0, "max {max} vs avg {avg}");
+    }
+}

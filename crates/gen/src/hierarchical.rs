@@ -1,0 +1,168 @@
+//! Two-level hierarchical (transit–stub style) topologies.
+//!
+//! Section 6 of the paper lists Calvert–Doar–Zegura's N-level hierarchical
+//! model among the generators that "do not seem to have an obvious smaller
+//! label size" than the general sparse bound. This module implements the
+//! classic two-level instance: a *transit* core of domains wired as an
+//! Erdős–Rényi graph, each domain expanded into a *stub* Erdős–Rényi
+//! subgraph, with one gateway vertex per inter-domain edge endpoint. The
+//! result is sparse but neither power-law (degrees are homogeneous) nor of
+//! bounded degeneracy in any structured way — the experiment E11 uses it
+//! as a contrast class.
+
+use pl_graph::{Graph, GraphBuilder, VertexId};
+use rand::Rng;
+
+/// Parameters for [`hierarchical`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HierarchicalParams {
+    /// Number of top-level domains.
+    pub domains: usize,
+    /// Vertices per domain.
+    pub domain_size: usize,
+    /// Edge probability inside a domain.
+    pub p_intra: f64,
+    /// Edge probability between a pair of domains (realized as a single
+    /// gateway–gateway edge).
+    pub p_inter: f64,
+}
+
+impl Default for HierarchicalParams {
+    fn default() -> Self {
+        Self {
+            domains: 20,
+            domain_size: 50,
+            p_intra: 0.1,
+            p_inter: 0.3,
+        }
+    }
+}
+
+/// Generates a two-level hierarchical graph with `domains × domain_size`
+/// vertices (domain `d` owns ids `d·domain_size .. (d+1)·domain_size`).
+///
+/// # Panics
+///
+/// Panics if either probability is outside `[0, 1]` or a level is empty.
+#[must_use]
+pub fn hierarchical<R: Rng + ?Sized>(params: HierarchicalParams, rng: &mut R) -> Graph {
+    let HierarchicalParams {
+        domains,
+        domain_size,
+        p_intra,
+        p_inter,
+    } = params;
+    assert!(domains > 0 && domain_size > 0, "levels must be non-empty");
+    assert!((0.0..=1.0).contains(&p_intra), "p_intra out of range");
+    assert!((0.0..=1.0).contains(&p_inter), "p_inter out of range");
+
+    let n = domains * domain_size;
+    let mut b = GraphBuilder::new(n);
+    // Stub level: ER inside each domain.
+    for d in 0..domains {
+        let base = (d * domain_size) as VertexId;
+        for i in 0..domain_size as VertexId {
+            for j in i + 1..domain_size as VertexId {
+                if rng.gen::<f64>() < p_intra {
+                    b.add_edge(base + i, base + j);
+                }
+            }
+        }
+    }
+    // Transit level: one gateway pair per selected domain pair.
+    for d1 in 0..domains {
+        for d2 in d1 + 1..domains {
+            if rng.gen::<f64>() < p_inter {
+                let g1 = (d1 * domain_size) as VertexId + rng.gen_range(0..domain_size) as VertexId;
+                let g2 = (d2 * domain_size) as VertexId + rng.gen_range(0..domain_size) as VertexId;
+                b.add_edge(g1, g2);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x41E7)
+    }
+
+    #[test]
+    fn vertex_count_and_id_layout() {
+        let g = hierarchical(
+            HierarchicalParams {
+                domains: 4,
+                domain_size: 10,
+                p_intra: 1.0,
+                p_inter: 0.0,
+            },
+            &mut rng(),
+        );
+        assert_eq!(g.vertex_count(), 40);
+        // p_inter = 0: four disjoint 10-cliques.
+        let comps = pl_graph::components::connected_components(&g);
+        assert_eq!(comps.count(), 4);
+        assert_eq!(g.edge_count(), 4 * 45);
+    }
+
+    #[test]
+    fn inter_domain_edges_connect_everything() {
+        let g = hierarchical(
+            HierarchicalParams {
+                domains: 6,
+                domain_size: 20,
+                p_intra: 0.4,
+                p_inter: 1.0,
+            },
+            &mut rng(),
+        );
+        // With p_inter = 1 every domain pair gets a gateway edge; domains
+        // themselves are a.a.s. connected at p_intra = 0.4, n = 20.
+        assert!(pl_graph::components::is_connected(&g));
+    }
+
+    #[test]
+    fn degrees_are_homogeneous_not_power_law() {
+        let g = hierarchical(
+            HierarchicalParams {
+                domains: 10,
+                domain_size: 60,
+                p_intra: 0.15,
+                p_inter: 0.5,
+            },
+            &mut rng(),
+        );
+        let avg = g.degree_sum() as f64 / g.vertex_count() as f64;
+        assert!(
+            (g.max_degree() as f64) < 4.0 * avg,
+            "max {} avg {avg}",
+            g.max_degree()
+        );
+    }
+
+    #[test]
+    fn default_params_sane() {
+        let g = hierarchical(HierarchicalParams::default(), &mut rng());
+        assert_eq!(g.vertex_count(), 1000);
+        assert!(g.edge_count() > 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_levels() {
+        let _ = hierarchical(
+            HierarchicalParams {
+                domains: 0,
+                domain_size: 5,
+                p_intra: 0.5,
+                p_inter: 0.5,
+            },
+            &mut rng(),
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Graph generators for the power-law labeling reproduction.
+//!
+//! The paper's upper bounds are evaluated on graphs whose degree
+//! distribution approximately follows a power law; its lower bound is a
+//! constructive embedding into the rigid family `P_l` of Definition 2. This
+//! crate builds all of the required graph sources from scratch:
+//!
+//! * [`degree_sequence`] — power-law (zipf) degree-sequence samplers and the
+//!   deterministic "ideal" counts `⌊C·n/k^α⌋`.
+//! * [`configuration`] — the erased configuration model realizing a given
+//!   degree sequence.
+//! * [`mod@chung_lu`] — the Chung–Lu expected-degree model (reference \[23\] of
+//!   the paper), with the near-linear skipping sampler.
+//! * [`ba`] — the Barabási–Albert preferential-attachment model, recording
+//!   the attachment history that the paper's online `m·log n` scheme
+//!   (Proposition 5) consumes.
+//! * [`er`] — Erdős–Rényi `G(n,m)` and `G(n,p)` baselines.
+//! * [`waxman`] — Waxman's geometric random graphs (Section 6 mentions them
+//!   as a model *without* an obvious small labeling).
+//! * [`pl_family`] — the paper's own machinery: the constants `C`, `i₁`,
+//!   `C'` of Section 3, membership checkers for Definitions 1 and 2, and
+//!   the three-phase Section-5 construction embedding an arbitrary graph
+//!   `H` into a member of `P_l`.
+//! * [`profiles`] — synthetic stand-ins for the real-world datasets of the
+//!   paper's full-version evaluation (see DESIGN.md §4 for the
+//!   substitution rationale).
+//! * [`classic`] — paths, cycles, cliques, stars for tests and calibration.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ba;
+pub mod chung_lu;
+pub mod classic;
+pub mod configuration;
+pub mod degree_sequence;
+pub mod er;
+pub mod hierarchical;
+pub mod pl_family;
+pub mod profiles;
+pub mod waxman;
+
+pub use ba::{barabasi_albert, BaGraph};
+pub use chung_lu::{chung_lu, chung_lu_power_law};
+pub use configuration::configuration_model;
+pub use pl_family::{embed_in_p_l, is_in_p_h, is_in_p_l, PaperConstants};

@@ -1,0 +1,638 @@
+//! The paper's power-law graph families `P_h` and `P_l`.
+//!
+//! Implements, verbatim from Sections 3 and 5 of the paper:
+//!
+//! * [`PaperConstants`] — `C = 1/ζ(α)`, the index `i₁` (smallest integer
+//!   with `⌊C·n/i₁^α⌋ ≤ 1`, which is `Θ(n^{1/α})`), and the constant `C'`.
+//! * [`is_in_p_h`] — membership in `P_{h,χ,α}` (Definition 1): for every
+//!   degree `k` between `χ(n)` and `n−1`, the tail count
+//!   `Σ_{i≥k} |V_i| ≤ C'·n/k^{α−1}`.
+//! * [`is_in_p_l`] — membership in `P_{l,α}` (Definition 2): per-degree
+//!   class sizes within rounding of `C·n/i^α`, monotone from degree 2 on.
+//! * [`embed_in_p_l`] — the three-phase Section-5 construction that, given
+//!   an arbitrary graph `H` on `i₁` vertices, produces an `n`-vertex member
+//!   of `P_l` containing `H` as an *induced* subgraph. This is the
+//!   constructive engine behind the paper's `Ω(n^{1/α})` lower bound
+//!   (Theorem 6): a labeling of the produced graph induces a labeling of
+//!   the arbitrary graph `H`.
+
+use pl_graph::degree::DegreeHistogram;
+use pl_graph::{Graph, GraphBuilder, VertexId};
+use rand::Rng;
+use std::collections::BinaryHeap;
+
+// The constants C, i₁, C' live in the numeric substrate; re-exported here
+// because the `P_l`/`P_h` machinery is their main consumer.
+pub use pl_stats::paper::PaperConstants;
+
+/// A clause of Definition 2 that a graph failed, with context.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlViolation {
+    /// The graph has isolated vertices, which no degree class of
+    /// Definition 2 accounts for.
+    IsolatedVertices {
+        /// Number of degree-0 vertices found.
+        count: usize,
+    },
+    /// `|V_1|` outside `[⌊Cn⌋ − i₁ − 1, ⌈Cn⌉]` (clause 1).
+    DegreeOneClass {
+        /// Actual `|V_1|`.
+        actual: usize,
+        /// Permitted inclusive range.
+        range: (usize, usize),
+    },
+    /// `|V_2|` outside `[⌊Cn/2^α⌋, ⌈Cn/2^α⌉ + 1]` (clause 2).
+    DegreeTwoClass {
+        /// Actual `|V_2|`.
+        actual: usize,
+        /// Permitted inclusive range.
+        range: (usize, usize),
+    },
+    /// Some `|V_i|`, `3 ≤ i ≤ n`, not in `{⌊Cn/i^α⌋, ⌈Cn/i^α⌉}` (clause 3).
+    ClassSize {
+        /// The degree class `i`.
+        degree: usize,
+        /// Actual `|V_i|`.
+        actual: usize,
+        /// The two permitted values.
+        allowed: (usize, usize),
+    },
+    /// `|V_i| < |V_{i+1}|` for some `2 ≤ i ≤ n−1` (clause 4).
+    NotMonotone {
+        /// The degree `i` where monotonicity breaks.
+        degree: usize,
+    },
+}
+
+impl std::fmt::Display for PlViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::IsolatedVertices { count } => {
+                write!(
+                    f,
+                    "{count} isolated vertices (P_l classes start at degree 1)"
+                )
+            }
+            Self::DegreeOneClass { actual, range } => {
+                write!(f, "|V_1| = {actual} outside [{}, {}]", range.0, range.1)
+            }
+            Self::DegreeTwoClass { actual, range } => {
+                write!(f, "|V_2| = {actual} outside [{}, {}]", range.0, range.1)
+            }
+            Self::ClassSize {
+                degree,
+                actual,
+                allowed,
+            } => write!(
+                f,
+                "|V_{degree}| = {actual} not in {{{}, {}}}",
+                allowed.0, allowed.1
+            ),
+            Self::NotMonotone { degree } => {
+                write!(f, "|V_{degree}| < |V_{}|", degree + 1)
+            }
+        }
+    }
+}
+
+/// Checks membership in `P_{l,α}` (Definition 2), returning the first
+/// violated clause if any.
+///
+/// Definition 2 partitions the vertices into degree classes `V_1 … V_n`;
+/// a degree-0 vertex belongs to no class, so isolated vertices are reported
+/// as a violation.
+pub fn is_in_p_l(g: &Graph, alpha: f64) -> Result<PaperConstants, PlViolation> {
+    let n = g.vertex_count();
+    let k = PaperConstants::new(n, alpha);
+    let h = DegreeHistogram::of(g);
+    if h.count(0) > 0 {
+        return Err(PlViolation::IsolatedVertices { count: h.count(0) });
+    }
+    let cn = k.c * n as f64;
+
+    // Clause 1.
+    let v1 = h.count(1);
+    let lo1 = (cn.floor() as usize).saturating_sub(k.i1 + 1);
+    let hi1 = cn.ceil() as usize;
+    if v1 < lo1 || v1 > hi1 {
+        return Err(PlViolation::DegreeOneClass {
+            actual: v1,
+            range: (lo1, hi1),
+        });
+    }
+
+    // Clause 2.
+    let ideal2 = cn / 2f64.powf(alpha);
+    let v2 = h.count(2);
+    let lo2 = ideal2.floor() as usize;
+    let hi2 = ideal2.ceil() as usize + 1;
+    if v2 < lo2 || v2 > hi2 {
+        return Err(PlViolation::DegreeTwoClass {
+            actual: v2,
+            range: (lo2, hi2),
+        });
+    }
+
+    // Clause 3.
+    for i in 3..=n {
+        let ideal = cn / (i as f64).powf(alpha);
+        let lo = ideal.floor() as usize;
+        let hi = ideal.ceil() as usize;
+        let actual = h.count(i);
+        if actual != lo && actual != hi {
+            return Err(PlViolation::ClassSize {
+                degree: i,
+                actual,
+                allowed: (lo, hi),
+            });
+        }
+    }
+
+    // Clause 4.
+    for i in 2..n {
+        if h.count(i) < h.count(i + 1) {
+            return Err(PlViolation::NotMonotone { degree: i });
+        }
+    }
+
+    Ok(k)
+}
+
+/// Checks membership in `P_{h,χ,α}` (Definition 1) with cutoff value
+/// `chi_n = χ(n)` and constant `c_prime`: for every `k` with
+/// `χ(n) ≤ k ≤ n−1`, requires `Σ_{i=k}^{n−1} |V_i| ≤ C'·n/k^{α−1}`.
+///
+/// Pass `consts.c_prime` from [`PaperConstants`] for the paper's minimal
+/// constant. Runs in `O(n + max_degree)`.
+#[must_use]
+pub fn is_in_p_h(g: &Graph, alpha: f64, chi_n: usize, c_prime: f64) -> bool {
+    let n = g.vertex_count();
+    if n == 0 {
+        return true;
+    }
+    let h = DegreeHistogram::of(g);
+    let nf = n as f64;
+    // Tail counts via one reverse sweep up to max degree.
+    let maxd = h.max_degree().min(n.saturating_sub(1));
+    let mut tail = 0usize;
+    let mut tails = vec![0usize; maxd + 2];
+    for k in (0..=maxd).rev() {
+        tail += h.count(k);
+        tails[k] = tail;
+    }
+    #[allow(clippy::needless_range_loop)] // k is a degree value, not just an index
+    for k in chi_n.max(1)..n {
+        let t = if k <= maxd { tails[k] } else { 0 };
+        // Definition 1 sums |V_i| for i in [k, n-1]; degrees above n-1 are
+        // impossible in a simple graph, so the tail count suffices.
+        if (t as f64) > c_prime * nf / (k as f64).powf(alpha - 1.0) {
+            return false;
+        }
+    }
+    true
+}
+
+/// The result of the Section-5 construction.
+#[derive(Debug, Clone)]
+pub struct PlEmbedding {
+    /// The produced `n`-vertex member of `P_l`.
+    pub graph: Graph,
+    /// `host[i]` is the vertex of `graph` playing the role of `H`'s vertex
+    /// `i`; `H` is induced on these.
+    pub host: Vec<VertexId>,
+    /// Constants used for the construction.
+    pub constants: PaperConstants,
+}
+
+/// Minimum `n` for which the construction's class arithmetic is safely
+/// non-degenerate.
+const MIN_EMBED_N: usize = 64;
+
+/// The three-phase construction of Section 5: embeds an arbitrary graph `H`
+/// with `i₁(n, α)` vertices into an `n`-vertex graph of `P_{l,α}` as an
+/// induced subgraph.
+///
+/// The construction is deterministic given the iteration order; the `rng`
+/// is used only to pick which concrete vertices host `H` (any choice is
+/// valid per the paper, which says "arbitrary").
+///
+/// # Panics
+///
+/// Panics if `h.vertex_count() != i₁(n, α)` (compute `i₁` first via
+/// [`PaperConstants::new`]), if `α <= 2` (the paper's lower bound assumes
+/// `α > 2`), or if `n < 64`.
+#[must_use]
+pub fn embed_in_p_l<R: Rng + ?Sized>(h: &Graph, n: usize, alpha: f64, rng: &mut R) -> PlEmbedding {
+    assert!(alpha > 2.0, "the Section-5 construction assumes alpha > 2");
+    assert!(n >= MIN_EMBED_N, "n = {n} too small for the construction");
+    let k = PaperConstants::new(n, alpha);
+    assert_eq!(
+        h.vertex_count(),
+        k.i1,
+        "H must have exactly i1 = {} vertices, got {}",
+        k.i1,
+        h.vertex_count()
+    );
+    let cn = k.c * n as f64;
+    let i1 = k.i1;
+
+    // ---- Degree-class layout -------------------------------------------
+    // target[v] is the degree vertex v must reach. Classes are laid out in
+    // ascending degree over the id range.
+    let mut class_sizes: Vec<(usize, usize)> = Vec::new(); // (degree, size)
+    let v1_size = (cn.floor() as usize).saturating_sub(i1);
+    class_sizes.push((1, v1_size));
+    for i in 2..i1 {
+        class_sizes.push((i, k.ideal_class_size(i)));
+    }
+    let n_prime: usize = class_sizes.iter().map(|&(_, s)| s).sum();
+    assert!(
+        n_prime + i1 <= n,
+        "construction invariant n - n' >= i1 failed (n' = {n_prime}, i1 = {i1})"
+    );
+    for i in i1..i1 + (n - n_prime) {
+        class_sizes.push((i, 1));
+    }
+    let total: usize = class_sizes.iter().map(|&(_, s)| s).sum();
+    debug_assert_eq!(total, n);
+
+    let mut target = vec![0usize; n];
+    let mut next_id = 0usize;
+    let mut v1_range = 0..0;
+    let mut singleton_ids = Vec::new(); // the size-1 classes, in degree order
+    for &(deg, size) in &class_sizes {
+        if size == 0 {
+            continue;
+        }
+        let range = next_id..next_id + size;
+        if deg == 1 {
+            v1_range = range.clone();
+        }
+        if deg >= i1 {
+            singleton_ids.extend(range.clone().map(|v| v as VertexId));
+        }
+        for v in range {
+            target[v] = deg;
+        }
+        next_id += size;
+    }
+    debug_assert_eq!(next_id, n);
+
+    // ---- Pick V_H and install H ----------------------------------------
+    // "form a set V_H of i1 arbitrary vertices from the singleton classes".
+    // We sample without replacement for variety; any choice is valid.
+    let mut pool = singleton_ids.clone();
+    let mut host = Vec::with_capacity(i1);
+    for _ in 0..i1 {
+        let idx = rng.gen_range(0..pool.len());
+        host.push(pool.swap_remove(idx));
+    }
+
+    let mut adj: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+    let mut deg = vec![0usize; n];
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let add_edge = |adj: &mut Vec<Vec<VertexId>>,
+                    deg: &mut Vec<usize>,
+                    edges: &mut Vec<(VertexId, VertexId)>,
+                    u: VertexId,
+                    v: VertexId| {
+        debug_assert_ne!(u, v);
+        debug_assert!(!adj[u as usize].contains(&v), "duplicate edge {u}-{v}");
+        adj[u as usize].push(v);
+        adj[v as usize].push(u);
+        deg[u as usize] += 1;
+        deg[v as usize] += 1;
+        edges.push((u, v));
+    };
+
+    for (a, b) in h.edges() {
+        add_edge(
+            &mut adj,
+            &mut deg,
+            &mut edges,
+            host[a as usize],
+            host[b as usize],
+        );
+    }
+
+    // ---- Phase 1: saturate V_H from V' ----------------------------------
+    // V' = V \ (V_1 ∪ V_H): every vertex with target >= 2 not hosting H.
+    let host_set: std::collections::HashSet<VertexId> = host.iter().copied().collect();
+    let v_prime: Vec<VertexId> = (0..n as VertexId)
+        .filter(|&v| target[v as usize] >= 2 && !host_set.contains(&v))
+        .collect();
+
+    let mut cursor = 0usize;
+    for &hv in &host {
+        let mut scan = cursor;
+        while deg[hv as usize] < target[hv as usize] {
+            assert!(
+                scan < v_prime.len(),
+                "phase 1 ran out of V' vertices (n too small)"
+            );
+            let u = v_prime[scan];
+            scan += 1;
+            if deg[u as usize] < target[u as usize] && !adj[hv as usize].contains(&u) {
+                add_edge(&mut adj, &mut deg, &mut edges, hv, u);
+            }
+        }
+        // Advance the shared cursor past fully processed vertices.
+        while cursor < v_prime.len()
+            && deg[v_prime[cursor] as usize] >= target[v_prime[cursor] as usize]
+        {
+            cursor += 1;
+        }
+    }
+
+    // ---- Phase 2: pair up V' deficits (Havel–Hakimi greedy) -------------
+    let mut heap: BinaryHeap<(usize, VertexId)> = v_prime
+        .iter()
+        .filter(|&&v| deg[v as usize] < target[v as usize])
+        .map(|&v| (target[v as usize] - deg[v as usize], v))
+        .collect();
+    let mut leftovers: Vec<VertexId> = Vec::new();
+    while let Some((d, u)) = heap.pop() {
+        if target[u as usize] - deg[u as usize] != d {
+            continue; // stale entry
+        }
+        if d == 0 {
+            continue;
+        }
+        let mut partners = Vec::with_capacity(d);
+        let mut skipped = Vec::new();
+        while partners.len() < d {
+            match heap.pop() {
+                Some((pd, v)) => {
+                    if target[v as usize] - deg[v as usize] != pd || pd == 0 {
+                        continue; // stale
+                    }
+                    if adj[u as usize].contains(&v) {
+                        skipped.push((pd, v));
+                    } else {
+                        partners.push(v);
+                    }
+                }
+                None => break,
+            }
+        }
+        for v in &partners {
+            add_edge(&mut adj, &mut deg, &mut edges, u, *v);
+        }
+        for (_, v) in skipped {
+            let rd = target[v as usize] - deg[v as usize];
+            if rd > 0 {
+                heap.push((rd, v));
+            }
+        }
+        for v in partners {
+            let rd = target[v as usize] - deg[v as usize];
+            if rd > 0 {
+                heap.push((rd, v));
+            }
+        }
+        if deg[u as usize] < target[u as usize] {
+            // Could not finish u inside V' (the paper's "at most one
+            // unprocessed vertex" case).
+            leftovers.push(u);
+        }
+    }
+
+    // Process leftovers against degree-0 vertices of V_1 (allowed: they
+    // become degree 1, exactly their class target).
+    let mut v1_zero: Vec<VertexId> = v1_range
+        .clone()
+        .map(|v| v as VertexId)
+        .filter(|&v| deg[v as usize] == 0)
+        .collect();
+    for u in leftovers {
+        while deg[u as usize] < target[u as usize] {
+            let v = v1_zero
+                .pop()
+                .expect("phase 2 fallback exhausted V_1 (n too small)");
+            debug_assert!(!adj[u as usize].contains(&v));
+            add_edge(&mut adj, &mut deg, &mut edges, u, v);
+        }
+    }
+
+    // ---- Phase 3: pair the remaining degree-0 V_1 vertices --------------
+    v1_zero.retain(|&v| deg[v as usize] == 0);
+    let mut it = v1_zero.chunks_exact(2);
+    for pair in &mut it {
+        add_edge(&mut adj, &mut deg, &mut edges, pair[0], pair[1]);
+    }
+    if let [w] = it.remainder() {
+        // One odd vertex: connect it to a degree-1 vertex of V_1, moving
+        // that vertex into V_2 (Definition 2's slack absorbs this).
+        let w = *w;
+        let partner = v1_range
+            .clone()
+            .map(|v| v as VertexId)
+            .find(|&v| v != w && deg[v as usize] == 1 && !adj[w as usize].contains(&v))
+            .expect("phase 3 found no degree-1 partner in V_1");
+        add_edge(&mut adj, &mut deg, &mut edges, w, partner);
+    }
+
+    let mut b = GraphBuilder::with_edge_capacity(n, edges.len());
+    b.extend_edges(edges);
+    PlEmbedding {
+        graph: b.build(),
+        host,
+        constants: k,
+    }
+}
+
+/// Convenience: a "random member of `P_l`" obtained by embedding an
+/// Erdős–Rényi `G(i₁, ½)` graph via [`embed_in_p_l`] — the paper's own
+/// hard-instance distribution for the lower bound.
+#[must_use]
+pub fn p_l_random<R: Rng + ?Sized>(n: usize, alpha: f64, rng: &mut R) -> PlEmbedding {
+    let k = PaperConstants::new(n, alpha);
+    let h = crate::er::gnp(k.i1, 0.5, rng);
+    embed_in_p_l(&h, n, alpha, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pl_graph::view::induced_subgraph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x51EC)
+    }
+
+    #[test]
+    fn constants_scale_like_root_n() {
+        for &alpha in &[2.2, 2.5, 3.0] {
+            for &n in &[1_000usize, 10_000, 100_000] {
+                let k = PaperConstants::new(n, alpha);
+                let root = (n as f64).powf(1.0 / alpha);
+                let ratio = k.i1 as f64 / root;
+                assert!(
+                    ratio > 0.3 && ratio < 3.0,
+                    "alpha={alpha} n={n}: i1={} vs n^(1/a)={root}",
+                    k.i1
+                );
+                assert!(k.c_prime > 0.0 && k.c_prime.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn i1_is_minimal() {
+        let k = PaperConstants::new(50_000, 2.5);
+        let check = |i: usize| (k.c * k.n as f64 / (i as f64).powf(k.alpha)).floor() <= 1.0;
+        assert!(check(k.i1));
+        assert!(k.i1 == 1 || !check(k.i1 - 1));
+    }
+
+    #[test]
+    fn embedding_is_in_p_l() {
+        let mut r = rng();
+        for &n in &[500usize, 5_000, 20_000] {
+            let emb = p_l_random(n, 2.5, &mut r);
+            assert_eq!(emb.graph.vertex_count(), n);
+            is_in_p_l(&emb.graph, 2.5).unwrap_or_else(|v| panic!("n = {n}: {v}"));
+        }
+    }
+
+    #[test]
+    fn embedding_alpha_three() {
+        let mut r = rng();
+        let emb = p_l_random(10_000, 3.0, &mut r);
+        is_in_p_l(&emb.graph, 3.0).unwrap_or_else(|v| panic!("{v}"));
+    }
+
+    #[test]
+    fn embedded_h_is_induced() {
+        let mut r = rng();
+        let n = 5_000;
+        let k = PaperConstants::new(n, 2.5);
+        let h = crate::er::gnp(k.i1, 0.5, &mut r);
+        let emb = embed_in_p_l(&h, n, 2.5, &mut r);
+        let sub = induced_subgraph(&emb.graph, &emb.host);
+        // Same vertex order, so graphs must be identical.
+        assert_eq!(sub.graph, h, "H is not induced in G");
+    }
+
+    #[test]
+    fn embedded_clique_is_induced() {
+        let mut r = rng();
+        let n = 3_000;
+        let k = PaperConstants::new(n, 2.5);
+        let h = crate::classic::complete(k.i1);
+        let emb = embed_in_p_l(&h, n, 2.5, &mut r);
+        let sub = induced_subgraph(&emb.graph, &emb.host);
+        assert_eq!(sub.graph, h);
+        is_in_p_l(&emb.graph, 2.5).unwrap_or_else(|v| panic!("{v}"));
+    }
+
+    #[test]
+    fn embedded_empty_h_is_induced() {
+        let mut r = rng();
+        let n = 3_000;
+        let k = PaperConstants::new(n, 2.5);
+        let h = pl_graph::GraphBuilder::new(k.i1).build();
+        let emb = embed_in_p_l(&h, n, 2.5, &mut r);
+        let sub = induced_subgraph(&emb.graph, &emb.host);
+        assert_eq!(sub.graph.edge_count(), 0);
+        is_in_p_l(&emb.graph, 2.5).unwrap_or_else(|v| panic!("{v}"));
+    }
+
+    #[test]
+    fn p_l_member_is_in_p_h() {
+        let mut r = rng();
+        let emb = p_l_random(8_000, 2.5, &mut r);
+        let k = emb.constants;
+        // Proposition 3: P_l ⊆ P_h for any χ; use χ(n) = 1.
+        assert!(is_in_p_h(&emb.graph, 2.5, 1, k.c_prime));
+    }
+
+    #[test]
+    fn p_l_member_is_sparse() {
+        // Proposition 2: alpha > 2 implies sparsity.
+        let mut r = rng();
+        let emb = p_l_random(20_000, 2.5, &mut r);
+        let k = emb.constants;
+        // m <= O(n^{2/alpha}) + C·ζ(α−1)·n; just check a generous linear bound.
+        let bound = 2.0 * k.c * pl_stats::zeta(1.5) * 20_000.0;
+        assert!(
+            (emb.graph.edge_count() as f64) < bound,
+            "m = {} vs bound {bound}",
+            emb.graph.edge_count()
+        );
+    }
+
+    #[test]
+    fn max_degree_bound_proposition_1() {
+        let mut r = rng();
+        let emb = p_l_random(10_000, 2.5, &mut r);
+        let k = emb.constants;
+        let bound =
+            (k.c / (k.alpha - 1.0) + 2.0) * (k.n as f64).powf(1.0 / k.alpha) + k.i1 as f64 + 3.0;
+        assert!(
+            (emb.graph.max_degree() as f64) <= bound,
+            "max degree {} vs Proposition 1 bound {bound}",
+            emb.graph.max_degree()
+        );
+    }
+
+    #[test]
+    fn checker_rejects_wrong_graphs() {
+        // A clique is about as far from P_l as it gets.
+        let g = crate::classic::complete(64);
+        assert!(is_in_p_l(&g, 2.5).is_err());
+        // A star: one giant hub, everything else degree 1 — fails class
+        // size constraints too (|V_1| too big relative to floor/ceil, or
+        // monotonicity at the hub's degree).
+        let s = crate::classic::star(256);
+        assert!(is_in_p_l(&s, 2.5).is_err());
+    }
+
+    #[test]
+    fn checker_rejects_isolated_vertices() {
+        let g = pl_graph::GraphBuilder::new(100).build();
+        assert!(matches!(
+            is_in_p_l(&g, 2.5),
+            Err(PlViolation::IsolatedVertices { count: 100 })
+        ));
+    }
+
+    #[test]
+    fn p_h_check_monotone_in_c_prime() {
+        let mut r = rng();
+        let g = crate::chung_lu_power_law(5_000, 2.5, 4.0, &mut r);
+        // Huge constant: always a member. Zero constant: never (n >= 1 tail).
+        assert!(is_in_p_h(&g, 2.5, 1, 1e12));
+        assert!(!is_in_p_h(&g, 2.5, 1, 0.0));
+    }
+
+    #[test]
+    fn violation_display_messages() {
+        let v = PlViolation::ClassSize {
+            degree: 5,
+            actual: 9,
+            allowed: (3, 4),
+        };
+        assert!(v.to_string().contains("V_5"));
+        let v = PlViolation::NotMonotone { degree: 7 };
+        assert!(v.to_string().contains("V_7"));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha > 2")]
+    fn embed_rejects_small_alpha() {
+        let mut r = rng();
+        let h = pl_graph::GraphBuilder::new(10).build();
+        let _ = embed_in_p_l(&h, 1_000, 1.5, &mut r);
+    }
+
+    #[test]
+    #[should_panic(expected = "i1")]
+    fn embed_rejects_wrong_h_size() {
+        let mut r = rng();
+        let h = pl_graph::GraphBuilder::new(3).build();
+        let _ = embed_in_p_l(&h, 10_000, 2.5, &mut r);
+    }
+}

@@ -1,0 +1,108 @@
+//! Waxman geometric random graphs.
+//!
+//! Section 6 of the paper contrasts the BA model with "other generative
+//! models such as Waxman's \[53\]" that "do not seem to have an obvious
+//! smaller label size". This generator lets the experiments exhibit that
+//! contrast: vertices are random points in the unit square and each pair is
+//! an edge with probability `β · exp(−dist / (α_w · L))` where `L = √2` is
+//! the diameter of the square.
+//!
+//! Pair enumeration is `Θ(n²)`; intended for the `n ≤ ~20k` sizes the
+//! comparison experiments use.
+
+use pl_graph::{Graph, GraphBuilder, VertexId};
+use rand::Rng;
+
+/// Samples a Waxman graph with edge probability
+/// `β · exp(−d(u,v) / (α_w · √2))` over uniform points in the unit square.
+///
+/// # Panics
+///
+/// Panics unless `0 < β ≤ 1` and `α_w > 0`.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+/// let g = pl_gen::waxman::waxman(300, 0.4, 0.1, &mut rng);
+/// assert_eq!(g.vertex_count(), 300);
+/// assert!(g.edge_count() > 0);
+/// ```
+#[must_use]
+pub fn waxman<R: Rng + ?Sized>(n: usize, beta: f64, alpha_w: f64, rng: &mut R) -> Graph {
+    assert!(
+        beta > 0.0 && beta <= 1.0,
+        "beta must be in (0, 1], got {beta}"
+    );
+    assert!(alpha_w > 0.0, "alpha_w must be positive, got {alpha_w}");
+    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
+    let scale = alpha_w * std::f64::consts::SQRT_2;
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in u + 1..n {
+            let dx = pts[u].0 - pts[v].0;
+            let dy = pts[u].1 - pts[v].1;
+            let d = (dx * dx + dy * dy).sqrt();
+            let p = beta * (-d / scale).exp();
+            if rng.gen::<f64>() < p {
+                b.add_edge(u as VertexId, v as VertexId);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(123)
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        assert_eq!(waxman(0, 0.5, 0.2, &mut rng()).vertex_count(), 0);
+        assert_eq!(waxman(1, 0.5, 0.2, &mut rng()).edge_count(), 0);
+    }
+
+    #[test]
+    fn edge_probability_scales_with_beta() {
+        let lo = waxman(400, 0.05, 0.3, &mut rng()).edge_count();
+        let hi = waxman(400, 0.8, 0.3, &mut rng()).edge_count();
+        assert!(hi > 4 * lo, "hi {hi} lo {lo}");
+    }
+
+    #[test]
+    fn short_range_parameter_limits_long_edges() {
+        // With small alpha_w, nearly all edges connect nearby points, which
+        // a crude proxy sees as a lower edge count at fixed beta.
+        let local = waxman(500, 0.9, 0.02, &mut rng()).edge_count();
+        let global = waxman(500, 0.9, 10.0, &mut rng()).edge_count();
+        assert!(global > 5 * local, "global {global} local {local}");
+    }
+
+    #[test]
+    fn degree_distribution_is_homogeneous_not_power_law() {
+        let g = waxman(2000, 0.3, 0.08, &mut rng());
+        let avg = g.degree_sum() as f64 / 2000.0;
+        let max = g.max_degree() as f64;
+        // A power-law graph of this size would have a hub way above 4× avg.
+        assert!(max < 4.0 * avg.max(1.0), "max {max} avg {avg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "beta")]
+    fn rejects_bad_beta() {
+        let _ = waxman(10, 0.0, 0.1, &mut rng());
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha_w")]
+    fn rejects_bad_alpha() {
+        let _ = waxman(10, 0.5, 0.0, &mut rng());
+    }
+}

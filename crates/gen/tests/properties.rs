@@ -1,0 +1,107 @@
+//! Property-based tests for the generators, most importantly that the
+//! Section-5 construction always lands in `P_l` with `H` induced.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn p_l_embedding_always_valid(
+        n in 500usize..6_000,
+        alpha_ticks in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let alpha = [2.1, 2.5, 2.8, 3.2][alpha_ticks];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k = pl_gen::PaperConstants::new(n, alpha);
+        let h = pl_gen::er::gnp(k.i1, 0.5, &mut rng);
+        let emb = pl_gen::embed_in_p_l(&h, n, alpha, &mut rng);
+
+        // Membership in P_l (Definition 2, all four clauses).
+        if let Err(v) = pl_gen::is_in_p_l(&emb.graph, alpha) {
+            prop_assert!(false, "n={} alpha={}: {}", n, alpha, v);
+        }
+        // H appears induced on the host vertices.
+        let sub = pl_graph::view::induced_subgraph(&emb.graph, &emb.host);
+        prop_assert_eq!(sub.graph, h);
+        // Proposition 3: also in P_h with the paper constant.
+        prop_assert!(pl_gen::is_in_p_h(&emb.graph, alpha, 1, k.c_prime));
+    }
+
+    #[test]
+    fn configuration_model_respects_degrees(
+        n in 4usize..200,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let degrees = pl_gen::degree_sequence::power_law_degrees(n, 2.5, 1, 20, &mut rng);
+        let g = pl_gen::configuration_model(&degrees, &mut rng);
+        prop_assert_eq!(g.vertex_count(), n);
+        for (v, &d) in degrees.iter().enumerate() {
+            prop_assert!(g.degree(v as u32) <= d);
+        }
+    }
+
+    #[test]
+    fn ba_history_is_exactly_the_edge_set(
+        n in 10usize..300,
+        m in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(m < n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ba = pl_gen::barabasi_albert(n, m, &mut rng);
+        // Every history entry is an edge to an older vertex…
+        let mut from_history = 0usize;
+        for v in ba.seed_size..n {
+            prop_assert_eq!(ba.history[v].len(), m);
+            for &t in &ba.history[v] {
+                prop_assert!((t as usize) < v);
+                prop_assert!(ba.graph.has_edge(v as u32, t));
+            }
+            from_history += m;
+        }
+        // …and together with the seed clique they cover every edge.
+        let seed_edges = ba.seed_size * (ba.seed_size - 1) / 2;
+        prop_assert_eq!(ba.graph.edge_count(), seed_edges + from_history);
+    }
+
+    #[test]
+    fn gnm_has_exact_count(n in 5usize..100, seed in any::<u64>()) {
+        let max = n * (n - 1) / 2;
+        let m = max / 3;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = pl_gen::er::gnm(n, m, &mut rng);
+        prop_assert_eq!(g.edge_count(), m);
+    }
+
+    #[test]
+    fn zipf_sampler_in_range(
+        alpha_ticks in 0usize..3,
+        lo in 1u64..5,
+        span in 1u64..50,
+        seed in any::<u64>(),
+    ) {
+        let alpha = [1.5, 2.5, 3.5][alpha_ticks];
+        let s = pl_gen::degree_sequence::ZipfSampler::new(alpha, lo, lo + span);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let x = s.sample(&mut rng);
+            prop_assert!(x >= lo && x <= lo + span);
+        }
+    }
+
+    #[test]
+    fn chung_lu_graph_is_simple(n in 10usize..300, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = pl_gen::chung_lu_power_law(n, 2.5, 3.0, &mut rng);
+        // No self-loops by construction; check edge list sanity.
+        for (u, v) in g.edges() {
+            prop_assert!(u < v);
+            prop_assert!((v as usize) < n);
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Incremental construction of [`Graph`] values.
+
+use crate::csr::Graph;
+use crate::VertexId;
+
+/// Incremental builder for a simple undirected [`Graph`].
+///
+/// Edges may be added in any order; self-loops are rejected at insertion
+/// time and parallel (duplicate) edges are removed when [`build`] finalizes
+/// the CSR arrays. The builder records each endpoint pair once and expands
+/// it into the two directed arcs of the CSR representation at build time.
+///
+/// [`build`]: GraphBuilder::build
+///
+/// # Example
+///
+/// ```
+/// use pl_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// assert!(b.add_edge(0, 1));
+/// assert!(!b.add_edge(1, 1)); // self-loop rejected
+/// assert!(b.add_edge(1, 0)); // duplicate recorded, deduplicated at build
+/// let g = b.build();
+/// assert_eq!(g.edge_count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    /// Normalized (min, max) endpoint pairs, possibly with duplicates.
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `n` vertices and no edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds `u32::MAX` (vertex ids are `u32`).
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(
+            u32::try_from(n).is_ok(),
+            "vertex count {n} exceeds u32 id space"
+        );
+        Self {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Creates a builder with capacity for roughly `m` edges.
+    #[must_use]
+    pub fn with_edge_capacity(n: usize, m: usize) -> Self {
+        let mut b = Self::new(n);
+        b.edges.reserve(m);
+        b
+    }
+
+    /// Number of vertices of the graph under construction.
+    #[must_use]
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edge insertions recorded so far (duplicates included).
+    #[must_use]
+    pub fn recorded_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Records the undirected edge `{u, v}`.
+    ///
+    /// Returns `false` (and records nothing) for self-loops. Duplicate
+    /// insertions are accepted here and collapsed by [`build`].
+    ///
+    /// [`build`]: GraphBuilder::build
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is not a valid vertex id (`>= n`).
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge ({u}, {v}) out of range for {} vertices",
+            self.n
+        );
+        if u == v {
+            return false;
+        }
+        self.edges.push((u.min(v), u.max(v)));
+        true
+    }
+
+    /// Records every edge from an iterator, skipping self-loops.
+    pub fn extend_edges<I: IntoIterator<Item = (VertexId, VertexId)>>(&mut self, iter: I) {
+        for (u, v) in iter {
+            self.add_edge(u, v);
+        }
+    }
+
+    /// Finalizes the builder into an immutable CSR [`Graph`].
+    ///
+    /// Runs in `O(n + m log m)` time: duplicate edges are removed by sorting
+    /// the normalized endpoint list, then both CSR directions are emitted
+    /// with counting sort so each neighbour list ends up sorted.
+    #[must_use]
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        Graph::from_dedup_sorted_edges(self.n, &self.edges)
+    }
+}
+
+/// Convenience free function: builds a graph directly from an edge list.
+///
+/// Self-loops are dropped and duplicates collapsed.
+///
+/// # Example
+///
+/// ```
+/// let g = pl_graph::builder::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+/// assert_eq!(g.edge_count(), 4);
+/// assert_eq!(g.degree(0), 2);
+/// ```
+#[must_use]
+pub fn from_edges<I: IntoIterator<Item = (VertexId, VertexId)>>(n: usize, edges: I) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    b.extend_edges(edges);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.vertex_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn isolated_vertices() {
+        let g = GraphBuilder::new(5).build();
+        assert_eq!(g.vertex_count(), 5);
+        assert_eq!(g.edge_count(), 0);
+        for v in 0..5 {
+            assert_eq!(g.degree(v), 0);
+        }
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = GraphBuilder::new(2);
+        assert!(!b.add_edge(1, 1));
+        let g = b.build();
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn dedups_parallel_edges_both_orientations() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 2);
+        b.add_edge(2, 0);
+        b.add_edge(0, 2);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 1);
+        assert_eq!(g.degree(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_vertex() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 2);
+    }
+
+    #[test]
+    fn from_edges_matches_builder() {
+        let edges = [(0, 1), (1, 2), (0, 2)];
+        let g = from_edges(3, edges);
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 2) && g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn recorded_edges_counts_duplicates() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        assert_eq!(b.recorded_edges(), 2);
+        assert_eq!(b.build().edge_count(), 1);
+    }
+}

@@ -1,0 +1,148 @@
+//! Connected components.
+
+use crate::{Graph, VertexId};
+
+/// The partition of a graph's vertices into connected components.
+#[derive(Debug, Clone)]
+pub struct Components {
+    /// `component[v]` is the 0-based id of `v`'s component.
+    component: Vec<u32>,
+    /// `sizes[c]` is the number of vertices in component `c`.
+    sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Number of connected components.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Component id of vertex `v`.
+    #[must_use]
+    pub fn component_of(&self, v: VertexId) -> u32 {
+        self.component[v as usize]
+    }
+
+    /// Sizes of all components, indexed by component id.
+    #[must_use]
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Id of a largest component (`None` for the empty graph).
+    #[must_use]
+    pub fn largest(&self) -> Option<u32> {
+        self.sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &s)| s)
+            .map(|(c, _)| c as u32)
+    }
+
+    /// Whether two vertices lie in the same component.
+    #[must_use]
+    pub fn connected(&self, u: VertexId, v: VertexId) -> bool {
+        self.component_of(u) == self.component_of(v)
+    }
+
+    /// The vertices of component `c`, in increasing id order.
+    #[must_use]
+    pub fn members(&self, c: u32) -> Vec<VertexId> {
+        self.component
+            .iter()
+            .enumerate()
+            .filter(|&(_, &cc)| cc == c)
+            .map(|(v, _)| v as VertexId)
+            .collect()
+    }
+}
+
+/// Computes the connected components of `g` with iterative DFS in `O(n + m)`.
+///
+/// # Example
+///
+/// ```
+/// let g = pl_graph::builder::from_edges(5, [(0, 1), (1, 2), (3, 4)]);
+/// let comps = pl_graph::components::connected_components(&g);
+/// assert_eq!(comps.count(), 2);
+/// assert!(comps.connected(0, 2));
+/// assert!(!comps.connected(0, 3));
+/// ```
+#[must_use]
+pub fn connected_components(g: &Graph) -> Components {
+    let n = g.vertex_count();
+    let mut component = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    let mut stack = Vec::new();
+    for start in 0..n as VertexId {
+        if component[start as usize] != u32::MAX {
+            continue;
+        }
+        let c = sizes.len() as u32;
+        let mut size = 0usize;
+        component[start as usize] = c;
+        stack.push(start);
+        while let Some(u) = stack.pop() {
+            size += 1;
+            for &v in g.neighbors(u) {
+                if component[v as usize] == u32::MAX {
+                    component[v as usize] = c;
+                    stack.push(v);
+                }
+            }
+        }
+        sizes.push(size);
+    }
+    Components { component, sizes }
+}
+
+/// `true` iff `g` is connected (the empty graph counts as connected).
+#[must_use]
+pub fn is_connected(g: &Graph) -> bool {
+    g.is_empty() || connected_components(g).count() == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn empty_graph_is_connected() {
+        assert!(is_connected(&GraphBuilder::new(0).build()));
+    }
+
+    #[test]
+    fn single_vertex_connected() {
+        assert!(is_connected(&GraphBuilder::new(1).build()));
+    }
+
+    #[test]
+    fn isolated_vertices_are_singleton_components() {
+        let g = GraphBuilder::new(3).build();
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 3);
+        assert_eq!(c.sizes(), &[1, 1, 1]);
+    }
+
+    #[test]
+    fn two_components_sizes_and_membership() {
+        let g = from_edges(6, [(0, 1), (1, 2), (3, 4)]);
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 3);
+        let largest = c.largest().unwrap();
+        assert_eq!(c.sizes()[largest as usize], 3);
+        assert_eq!(c.members(largest), vec![0, 1, 2]);
+        assert!(c.connected(3, 4));
+        assert!(!c.connected(2, 5));
+    }
+
+    #[test]
+    fn cycle_is_connected() {
+        let n = 10u32;
+        let g = from_edges(10, (0..n).map(|i| (i, (i + 1) % n)));
+        assert!(is_connected(&g));
+    }
+}

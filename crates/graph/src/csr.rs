@@ -1,0 +1,290 @@
+//! The immutable CSR graph representation.
+
+use crate::VertexId;
+
+/// An immutable simple undirected graph in CSR (compressed sparse row) form.
+///
+/// Vertices are the dense range `0..n`; each vertex's neighbour list is
+/// stored sorted, so adjacency queries cost `O(log deg)` via binary search
+/// and neighbour iteration is a contiguous slice scan.
+///
+/// Construct with [`GraphBuilder`](crate::GraphBuilder) or
+/// [`builder::from_edges`](crate::builder::from_edges).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// `offsets[v]..offsets[v + 1]` indexes `neighbors` for vertex `v`.
+    offsets: Vec<usize>,
+    /// Concatenated sorted neighbour lists; length `2m`.
+    neighbors: Vec<VertexId>,
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Graph")
+            .field("n", &self.vertex_count())
+            .field("m", &self.edge_count())
+            .finish()
+    }
+}
+
+impl Graph {
+    /// Builds from a deduplicated, sorted list of normalized `(min, max)`
+    /// edges. Internal constructor used by the builder.
+    pub(crate) fn from_dedup_sorted_edges(n: usize, edges: &[(VertexId, VertexId)]) -> Self {
+        let mut deg = vec![0usize; n];
+        for &(u, v) in edges {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &deg {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets[..n].to_vec();
+        let mut neighbors = vec![0 as VertexId; acc];
+        // `edges` is sorted by (min, max); writing u->v in this order fills
+        // each min-endpoint list in sorted order already, while max-endpoint
+        // lists need a final per-vertex sort. Simpler and still O(m log Δ):
+        // fill both directions then sort each list.
+        for &(u, v) in edges {
+            neighbors[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        for v in 0..n {
+            neighbors[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        Self { offsets, neighbors }
+    }
+
+    /// Number of vertices `n`.
+    #[must_use]
+    pub fn vertex_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `m`.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// `true` iff the graph has no vertices.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.vertex_count() == 0
+    }
+
+    /// Degree of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    #[must_use]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// The sorted neighbour list of `v` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    #[must_use]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Whether the undirected edge `{u, v}` is present.
+    ///
+    /// Runs in `O(log min(deg(u), deg(v)))`.
+    #[must_use]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if u == v {
+            return false;
+        }
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Iterator over all vertex ids `0..n`.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        0..self.vertex_count() as VertexId
+    }
+
+    /// Iterator over each undirected edge exactly once, as `(u, v)` with
+    /// `u < v`, in lexicographic order.
+    #[must_use]
+    pub fn edges(&self) -> EdgeIter<'_> {
+        EdgeIter {
+            graph: self,
+            u: 0,
+            idx: 0,
+        }
+    }
+
+    /// Maximum degree over all vertices (0 for the empty graph).
+    #[must_use]
+    pub fn max_degree(&self) -> usize {
+        (0..self.vertex_count())
+            .map(|v| self.degree(v as VertexId))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Sum of `deg(v)` over all vertices; always `2m`.
+    #[must_use]
+    pub fn degree_sum(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// `true` iff the graph is `c`-sparse in the paper's sense, i.e. has at
+    /// most `c * n` edges.
+    #[must_use]
+    pub fn is_c_sparse(&self, c: f64) -> bool {
+        (self.edge_count() as f64) <= c * self.vertex_count() as f64
+    }
+
+    /// The smallest `c` such that this graph is `c`-sparse (`m / n`), or
+    /// `0.0` for the empty graph.
+    #[must_use]
+    pub fn sparsity(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.edge_count() as f64 / self.vertex_count() as f64
+        }
+    }
+
+    /// Iterator over `v`'s neighbours (by value). Equivalent to
+    /// `self.neighbors(v).iter().copied()` but keeps call sites tidy.
+    #[must_use]
+    pub fn neighbor_iter(&self, v: VertexId) -> NeighborIter<'_> {
+        NeighborIter {
+            slice: self.neighbors(v).iter(),
+        }
+    }
+}
+
+/// Iterator over all undirected edges of a [`Graph`], each reported once.
+#[derive(Debug, Clone)]
+pub struct EdgeIter<'g> {
+    graph: &'g Graph,
+    u: VertexId,
+    idx: usize,
+}
+
+impl Iterator for EdgeIter<'_> {
+    type Item = (VertexId, VertexId);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let n = self.graph.vertex_count() as VertexId;
+        while self.u < n {
+            let nbrs = self.graph.neighbors(self.u);
+            while self.idx < nbrs.len() {
+                let v = nbrs[self.idx];
+                self.idx += 1;
+                if self.u < v {
+                    return Some((self.u, v));
+                }
+            }
+            self.u += 1;
+            self.idx = 0;
+        }
+        None
+    }
+}
+
+/// By-value neighbour iterator returned by [`Graph::neighbor_iter`].
+#[derive(Debug, Clone)]
+pub struct NeighborIter<'g> {
+    slice: std::slice::Iter<'g, VertexId>,
+}
+
+impl Iterator for NeighborIter<'_> {
+    type Item = VertexId;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.slice.next().copied()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.slice.size_hint()
+    }
+}
+
+impl ExactSizeIterator for NeighborIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::from_edges;
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let g = from_edges(5, [(3, 1), (3, 4), (3, 0), (3, 2)]);
+        assert_eq!(g.neighbors(3), &[0, 1, 2, 4]);
+    }
+
+    #[test]
+    fn has_edge_symmetric() {
+        let g = from_edges(4, [(0, 1), (2, 3)]);
+        for (u, v) in [(0u32, 1u32), (2, 3)] {
+            assert!(g.has_edge(u, v));
+            assert!(g.has_edge(v, u));
+        }
+        assert!(!g.has_edge(0, 2));
+        assert!(!g.has_edge(1, 1));
+    }
+
+    #[test]
+    fn edges_iterator_reports_each_edge_once_sorted() {
+        let g = from_edges(4, [(2, 3), (0, 1), (1, 2)]);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn degree_sum_is_twice_edges() {
+        let g = from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4)]);
+        assert_eq!(g.degree_sum(), 2 * g.edge_count());
+    }
+
+    #[test]
+    fn sparsity_and_c_sparse() {
+        let g = from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        assert!((g.sparsity() - 0.75).abs() < 1e-12);
+        assert!(g.is_c_sparse(1.0));
+        assert!(!g.is_c_sparse(0.5));
+    }
+
+    #[test]
+    fn max_degree_star() {
+        let g = from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn neighbor_iter_is_exact_size() {
+        let g = from_edges(4, [(1, 0), (1, 2), (1, 3)]);
+        let it = g.neighbor_iter(1);
+        assert_eq!(it.len(), 3);
+        assert_eq!(it.collect::<Vec<_>>(), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn debug_is_compact() {
+        let g = from_edges(3, [(0, 1)]);
+        let s = format!("{g:?}");
+        assert!(s.contains("n: 3") && s.contains("m: 1"));
+    }
+}

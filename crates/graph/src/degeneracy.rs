@@ -1,0 +1,346 @@
+//! Degeneracy (core) ordering and the induced low-outdegree orientation.
+//!
+//! The paper's Proposition 5 labels graphs of bounded arboricity by
+//! decomposing them into few forests. Computing the arboricity exactly is
+//! expensive; the paper itself points to near-linear approximations. We use
+//! the classic *degeneracy ordering* (Matula–Beck): repeatedly remove a
+//! minimum-degree vertex. Orienting every edge from the earlier-removed
+//! endpoint to the later one yields an acyclic orientation whose maximum
+//! outdegree equals the degeneracy `d`, and `d <= 2 * arboricity - 1`, so
+//! the outdegree is within a factor 2 of the optimum the paper's
+//! Proposition 5 assumes.
+
+use crate::{Graph, VertexId};
+
+/// Result of [`degeneracy_ordering`]: the removal order and the degeneracy.
+#[derive(Debug, Clone)]
+pub struct Degeneracy {
+    /// Vertices in removal order (first removed first).
+    pub order: Vec<VertexId>,
+    /// `position[v]` is the index of `v` in `order`.
+    pub position: Vec<u32>,
+    /// The graph's degeneracy: the maximum, over the removal process, of the
+    /// removed vertex's residual degree.
+    pub degeneracy: usize,
+}
+
+/// Computes a degeneracy ordering in `O(n + m)` with a bucket queue.
+///
+/// # Example
+///
+/// ```
+/// // A triangle has degeneracy 2; a tree has degeneracy 1.
+/// let tri = pl_graph::builder::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+/// assert_eq!(pl_graph::degeneracy::degeneracy_ordering(&tri).degeneracy, 2);
+/// let tree = pl_graph::builder::from_edges(4, [(0, 1), (1, 2), (1, 3)]);
+/// assert_eq!(pl_graph::degeneracy::degeneracy_ordering(&tree).degeneracy, 1);
+/// ```
+#[must_use]
+pub fn degeneracy_ordering(g: &Graph) -> Degeneracy {
+    let n = g.vertex_count();
+    let mut deg: Vec<usize> = (0..n).map(|v| g.degree(v as VertexId)).collect();
+    let max_deg = deg.iter().copied().max().unwrap_or(0);
+
+    // Bucket queue: buckets[d] holds vertices of current residual degree d.
+    let mut buckets: Vec<Vec<VertexId>> = vec![Vec::new(); max_deg + 1];
+    for (v, &d) in deg.iter().enumerate() {
+        buckets[d].push(v as VertexId);
+    }
+    let mut removed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut position = vec![0u32; n];
+    let mut degeneracy = 0usize;
+    let mut cur = 0usize;
+    for _ in 0..n {
+        // Find the lowest non-empty bucket holding a live vertex. `cur` can
+        // decrease by at most 1 per removal, so the total scan is O(n + m).
+        cur = cur.saturating_sub(1);
+        let v = loop {
+            match buckets.get_mut(cur).and_then(Vec::pop) {
+                Some(v) if !removed[v as usize] && deg[v as usize] == cur => break v,
+                Some(_) => continue, // stale entry
+                None => cur += 1,
+            }
+        };
+        removed[v as usize] = true;
+        degeneracy = degeneracy.max(cur);
+        position[v as usize] = order.len() as u32;
+        order.push(v);
+        for &w in g.neighbors(v) {
+            if !removed[w as usize] {
+                let dw = deg[w as usize];
+                deg[w as usize] = dw - 1;
+                buckets[dw - 1].push(w);
+            }
+        }
+    }
+    Degeneracy {
+        order,
+        position,
+        degeneracy,
+    }
+}
+
+/// Per-vertex core numbers: `core[v]` is the largest `k` such that `v`
+/// belongs to the `k`-core (the maximal subgraph of minimum degree `k`).
+///
+/// Computed from the same bucket-queue peeling as
+/// [`degeneracy_ordering`]; the maximum core number equals the
+/// degeneracy. The experiment harness uses core numbers to relate the
+/// fat/thin threshold to the graph's core structure.
+///
+/// # Example
+///
+/// ```
+/// // A triangle with a pendant vertex: triangle is the 2-core.
+/// let g = pl_graph::builder::from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)]);
+/// let core = pl_graph::degeneracy::core_numbers(&g);
+/// assert_eq!(core, vec![2, 2, 2, 1]);
+/// ```
+#[must_use]
+pub fn core_numbers(g: &Graph) -> Vec<usize> {
+    let n = g.vertex_count();
+    let mut deg: Vec<usize> = (0..n).map(|v| g.degree(v as VertexId)).collect();
+    let max_deg = deg.iter().copied().max().unwrap_or(0);
+    let mut buckets: Vec<Vec<VertexId>> = vec![Vec::new(); max_deg + 1];
+    for (v, &d) in deg.iter().enumerate() {
+        buckets[d].push(v as VertexId);
+    }
+    let mut removed = vec![false; n];
+    let mut core = vec![0usize; n];
+    let mut level = 0usize;
+    let mut cur = 0usize;
+    for _ in 0..n {
+        cur = cur.saturating_sub(1);
+        let v = loop {
+            match buckets.get_mut(cur).and_then(Vec::pop) {
+                Some(v) if !removed[v as usize] && deg[v as usize] == cur => break v,
+                Some(_) => continue,
+                None => cur += 1,
+            }
+        };
+        removed[v as usize] = true;
+        level = level.max(cur);
+        core[v as usize] = level;
+        for &w in g.neighbors(v) {
+            if !removed[w as usize] {
+                let dw = deg[w as usize];
+                deg[w as usize] = dw - 1;
+                buckets[dw - 1].push(w);
+            }
+        }
+    }
+    core
+}
+
+/// An orientation of a graph's edges: each undirected edge `{u, v}` appears
+/// exactly once, as an out-arc of exactly one endpoint.
+#[derive(Debug, Clone)]
+pub struct Orientation {
+    out: Vec<Vec<VertexId>>,
+}
+
+impl Orientation {
+    /// Out-neighbours of `v`.
+    #[must_use]
+    pub fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.out[v as usize]
+    }
+
+    /// Maximum outdegree over all vertices.
+    #[must_use]
+    pub fn max_outdegree(&self) -> usize {
+        self.out.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Total number of arcs (equals the graph's edge count).
+    #[must_use]
+    pub fn arc_count(&self) -> usize {
+        self.out.iter().map(Vec::len).sum()
+    }
+
+    /// Number of vertices.
+    #[must_use]
+    pub fn vertex_count(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Whether the arc `u -> v` is present.
+    #[must_use]
+    pub fn has_arc(&self, u: VertexId, v: VertexId) -> bool {
+        self.out[u as usize].contains(&v)
+    }
+}
+
+/// Orients every edge from its earlier endpoint to its later endpoint in the
+/// degeneracy removal order, giving maximum outdegree exactly the degeneracy.
+///
+/// # Example
+///
+/// ```
+/// let tri = pl_graph::builder::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+/// let o = pl_graph::degeneracy::orient_by_degeneracy(&tri);
+/// assert_eq!(o.max_outdegree(), 2);
+/// assert_eq!(o.arc_count(), 3);
+/// ```
+#[must_use]
+pub fn orient_by_degeneracy(g: &Graph) -> Orientation {
+    let d = degeneracy_ordering(g);
+    let n = g.vertex_count();
+    let mut out = vec![Vec::new(); n];
+    for (u, v) in g.edges() {
+        if d.position[u as usize] < d.position[v as usize] {
+            out[u as usize].push(v);
+        } else {
+            out[v as usize].push(u);
+        }
+    }
+    Orientation { out }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn empty_graph_degeneracy_zero() {
+        let g = GraphBuilder::new(0).build();
+        let d = degeneracy_ordering(&g);
+        assert_eq!(d.degeneracy, 0);
+        assert!(d.order.is_empty());
+    }
+
+    #[test]
+    fn isolated_vertices_degeneracy_zero() {
+        let g = GraphBuilder::new(4).build();
+        assert_eq!(degeneracy_ordering(&g).degeneracy, 0);
+    }
+
+    #[test]
+    fn path_degeneracy_one() {
+        let g = from_edges(5, (0..4u32).map(|i| (i, i + 1)));
+        assert_eq!(degeneracy_ordering(&g).degeneracy, 1);
+    }
+
+    #[test]
+    fn clique_degeneracy_n_minus_one() {
+        let n = 6u32;
+        let edges = (0..n).flat_map(|u| (u + 1..n).map(move |v| (u, v)));
+        let g = from_edges(n as usize, edges);
+        assert_eq!(degeneracy_ordering(&g).degeneracy, 5);
+    }
+
+    #[test]
+    fn order_is_a_permutation() {
+        let g = from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)]);
+        let d = degeneracy_ordering(&g);
+        let mut seen = [false; 6];
+        for &v in &d.order {
+            assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for (i, &v) in d.order.iter().enumerate() {
+            assert_eq!(d.position[v as usize] as usize, i);
+        }
+    }
+
+    #[test]
+    fn orientation_covers_each_edge_once() {
+        let g = from_edges(
+            7,
+            [
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 0),
+            ],
+        );
+        let o = orient_by_degeneracy(&g);
+        assert_eq!(o.arc_count(), g.edge_count());
+        for (u, v) in g.edges() {
+            assert!(o.has_arc(u, v) ^ o.has_arc(v, u));
+        }
+    }
+
+    #[test]
+    fn orientation_outdegree_equals_degeneracy_on_clique() {
+        let n = 5u32;
+        let edges = (0..n).flat_map(|u| (u + 1..n).map(move |v| (u, v)));
+        let g = from_edges(n as usize, edges);
+        let o = orient_by_degeneracy(&g);
+        assert_eq!(o.max_outdegree(), 4);
+    }
+
+    #[test]
+    fn tree_orientation_outdegree_one() {
+        let g = from_edges(7, [(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6)]);
+        let o = orient_by_degeneracy(&g);
+        assert_eq!(o.max_outdegree(), 1);
+    }
+
+    #[test]
+    fn core_numbers_on_clique_plus_tail() {
+        // K4 on {0..3} with a path 3-4-5 hanging off.
+        let mut edges = vec![(0u32, 1u32), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+        edges.extend([(3, 4), (4, 5)]);
+        let g = from_edges(6, edges);
+        let core = core_numbers(&g);
+        assert_eq!(core, vec![3, 3, 3, 3, 1, 1]);
+    }
+
+    #[test]
+    fn max_core_equals_degeneracy() {
+        let g = from_edges(
+            9,
+            [
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (6, 7),
+                (0, 3),
+                (1, 3),
+            ],
+        );
+        let d = degeneracy_ordering(&g).degeneracy;
+        let core = core_numbers(&g);
+        assert_eq!(core.iter().copied().max().unwrap(), d);
+    }
+
+    #[test]
+    fn core_numbers_of_edgeless_graph() {
+        let g = GraphBuilder::new(4).build();
+        assert_eq!(core_numbers(&g), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn core_number_at_most_degree() {
+        let g = from_edges(
+            8,
+            [
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (4, 5),
+                (5, 6),
+                (6, 4),
+                (6, 7),
+            ],
+        );
+        let core = core_numbers(&g);
+        for v in g.vertices() {
+            assert!(core[v as usize] <= g.degree(v));
+        }
+    }
+}

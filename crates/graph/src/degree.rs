@@ -1,0 +1,193 @@
+//! Degree histograms and the paper's degree distribution `ddist_G`.
+
+use crate::{Graph, VertexId};
+
+/// The degree histogram of a graph: `count(k)` = number of vertices of
+/// degree exactly `k` (the paper's `|V_k|`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegreeHistogram {
+    counts: Vec<usize>,
+    n: usize,
+}
+
+impl DegreeHistogram {
+    /// Builds the histogram of `g` in `O(n)`.
+    #[must_use]
+    pub fn of(g: &Graph) -> Self {
+        let mut counts = vec![0usize; g.max_degree() + 1];
+        for v in g.vertices() {
+            counts[g.degree(v)] += 1;
+        }
+        Self {
+            counts,
+            n: g.vertex_count(),
+        }
+    }
+
+    /// Builds a histogram directly from a degree sequence.
+    #[must_use]
+    pub fn from_degrees(degrees: &[usize]) -> Self {
+        let max = degrees.iter().copied().max().unwrap_or(0);
+        let mut counts = vec![0usize; max + 1];
+        for &d in degrees {
+            counts[d] += 1;
+        }
+        Self {
+            counts,
+            n: degrees.len(),
+        }
+    }
+
+    /// `|V_k|`: the number of vertices of degree exactly `k` (0 beyond the
+    /// maximum degree).
+    #[must_use]
+    pub fn count(&self, k: usize) -> usize {
+        self.counts.get(k).copied().unwrap_or(0)
+    }
+
+    /// The number of vertices `n`.
+    #[must_use]
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Maximum degree with a non-zero count (0 for an edgeless histogram).
+    #[must_use]
+    pub fn max_degree(&self) -> usize {
+        self.counts.iter().rposition(|&c| c > 0).unwrap_or(0)
+    }
+
+    /// The paper's `ddist_G(k) = |V_k| / n`; 0 when `n == 0`.
+    #[must_use]
+    pub fn ddist(&self, k: usize) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.count(k) as f64 / self.n as f64
+        }
+    }
+
+    /// The tail count `sum_{i >= k} |V_i|`: the number of vertices of degree
+    /// at least `k`. This is the quantity Definition 1 of the paper bounds.
+    #[must_use]
+    pub fn tail_count(&self, k: usize) -> usize {
+        self.counts.iter().skip(k).sum()
+    }
+
+    /// Iterator over `(degree, count)` pairs with non-zero count.
+    pub fn nonzero(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(k, &c)| (k, c))
+    }
+
+    /// The degree sequence in non-increasing order.
+    #[must_use]
+    pub fn sorted_degrees_desc(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.n);
+        for (k, c) in self.nonzero() {
+            out.extend(std::iter::repeat_n(k, c));
+        }
+        out.reverse();
+        out
+    }
+}
+
+/// The degree sequence of `g` indexed by vertex id.
+#[must_use]
+pub fn degree_sequence(g: &Graph) -> Vec<usize> {
+    g.vertices().map(|v| g.degree(v)).collect()
+}
+
+/// Vertices sorted by degree descending (ties broken by ascending id).
+/// The labeling schemes use this to identify the "fat" vertices.
+#[must_use]
+pub fn vertices_by_degree_desc(g: &Graph) -> Vec<VertexId> {
+    let mut vs: Vec<VertexId> = g.vertices().collect();
+    vs.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+    vs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+    use crate::GraphBuilder;
+
+    fn star(n: usize) -> Graph {
+        from_edges(n, (1..n as u32).map(|i| (0, i)))
+    }
+
+    #[test]
+    fn histogram_of_star() {
+        let g = star(5);
+        let h = DegreeHistogram::of(&g);
+        assert_eq!(h.count(1), 4);
+        assert_eq!(h.count(4), 1);
+        assert_eq!(h.count(0), 0);
+        assert_eq!(h.count(100), 0);
+        assert_eq!(h.max_degree(), 4);
+        assert_eq!(h.vertex_count(), 5);
+    }
+
+    #[test]
+    fn ddist_sums_to_one() {
+        let g = from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)]);
+        let h = DegreeHistogram::of(&g);
+        let total: f64 = (0..=h.max_degree()).map(|k| h.ddist(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_count_monotone_and_correct() {
+        let g = star(5);
+        let h = DegreeHistogram::of(&g);
+        assert_eq!(h.tail_count(0), 5);
+        assert_eq!(h.tail_count(1), 5);
+        assert_eq!(h.tail_count(2), 1);
+        assert_eq!(h.tail_count(5), 0);
+        for k in 0..6 {
+            assert!(h.tail_count(k) >= h.tail_count(k + 1));
+        }
+    }
+
+    #[test]
+    fn from_degrees_agrees_with_graph() {
+        let g = from_edges(5, [(0, 1), (1, 2), (2, 3)]);
+        let a = DegreeHistogram::of(&g);
+        let b = DegreeHistogram::from_degrees(&degree_sequence(&g));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = DegreeHistogram::of(&GraphBuilder::new(0).build());
+        assert_eq!(h.vertex_count(), 0);
+        assert_eq!(h.ddist(0), 0.0);
+        assert_eq!(h.max_degree(), 0);
+    }
+
+    #[test]
+    fn sorted_degrees_desc_roundtrip() {
+        let g = star(4);
+        let h = DegreeHistogram::of(&g);
+        assert_eq!(h.sorted_degrees_desc(), vec![3, 1, 1, 1]);
+    }
+
+    #[test]
+    fn vertices_by_degree_desc_star() {
+        let g = star(4);
+        let order = vertices_by_degree_desc(&g);
+        assert_eq!(order[0], 0);
+        assert_eq!(&order[1..], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn nonzero_skips_gaps() {
+        let g = star(5);
+        let nz: Vec<_> = DegreeHistogram::of(&g).nonzero().collect();
+        assert_eq!(nz, vec![(1, 4), (4, 1)]);
+    }
+}

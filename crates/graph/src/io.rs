@@ -1,0 +1,163 @@
+//! Plain-text edge-list serialization.
+//!
+//! The experiment harness occasionally round-trips graphs through files; the
+//! format is the one every graph toolkit speaks: a header line `n m`, then
+//! one `u v` pair per line. Lines starting with `#` are comments.
+
+use std::fmt::Write as _;
+
+use crate::{Graph, GraphBuilder, VertexId};
+
+/// Error parsing an edge-list document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The header line `n m` is missing or malformed.
+    BadHeader(String),
+    /// An edge line did not contain two integers.
+    BadEdge {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// The raw line content.
+        content: String,
+    },
+    /// An endpoint was `>= n`.
+    VertexOutOfRange {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// The out-of-range endpoint.
+        vertex: u64,
+        /// The declared vertex count.
+        n: usize,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadHeader(h) => write!(f, "bad edge-list header: {h:?}"),
+            Self::BadEdge { line, content } => {
+                write!(f, "line {line}: expected `u v`, got {content:?}")
+            }
+            Self::VertexOutOfRange { line, vertex, n } => {
+                write!(f, "line {line}: vertex {vertex} out of range for n = {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serializes `g` as an edge-list document.
+#[must_use]
+pub fn to_edge_list(g: &Graph) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{} {}", g.vertex_count(), g.edge_count());
+    for (u, v) in g.edges() {
+        let _ = writeln!(s, "{u} {v}");
+    }
+    s
+}
+
+/// Parses an edge-list document produced by [`to_edge_list`] (or any
+/// whitespace-separated `n m` header plus `u v` lines; `#` comments allowed).
+///
+/// The declared `m` is advisory; the actual edges present win. Self-loops
+/// and duplicates are cleaned up as usual by the builder.
+pub fn from_edge_list(text: &str) -> Result<Graph, ParseError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| ParseError::BadHeader(String::new()))?;
+    let mut parts = header.split_whitespace();
+    let n: usize = parts
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| ParseError::BadHeader(header.to_string()))?;
+    let _m: Option<usize> = parts.next().and_then(|t| t.parse().ok());
+
+    let mut b = GraphBuilder::new(n);
+    for (line, l) in lines {
+        let mut it = l.split_whitespace();
+        let (u, v) = match (
+            it.next().and_then(|t| t.parse::<u64>().ok()),
+            it.next().and_then(|t| t.parse::<u64>().ok()),
+        ) {
+            (Some(u), Some(v)) => (u, v),
+            _ => {
+                return Err(ParseError::BadEdge {
+                    line,
+                    content: l.to_string(),
+                })
+            }
+        };
+        for x in [u, v] {
+            if x >= n as u64 {
+                return Err(ParseError::VertexOutOfRange { line, vertex: x, n });
+            }
+        }
+        b.add_edge(u as VertexId, v as VertexId);
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+
+    #[test]
+    fn round_trip() {
+        let g = from_edges(5, [(0, 1), (1, 2), (3, 4), (0, 4)]);
+        let text = to_edge_list(&g);
+        let h = from_edge_list(&text).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let text = "# a comment\n\n3 2\n0 1\n# interior\n1 2\n";
+        let g = from_edge_list(text).unwrap();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert!(matches!(from_edge_list(""), Err(ParseError::BadHeader(_))));
+        assert!(matches!(
+            from_edge_list("# only comments\n"),
+            Err(ParseError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_edge_line() {
+        let err = from_edge_list("2 1\n0\n").unwrap_err();
+        assert!(matches!(err, ParseError::BadEdge { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_out_of_range_vertex() {
+        let err = from_edge_list("2 1\n0 5\n").unwrap_err();
+        assert!(matches!(
+            err,
+            ParseError::VertexOutOfRange {
+                vertex: 5,
+                n: 2,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = from_edge_list("2 1\nx y\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"));
+    }
+}

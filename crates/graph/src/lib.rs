@@ -1,0 +1,71 @@
+//! Compact undirected-graph substrate for the power-law labeling schemes.
+//!
+//! This crate provides the graph representation and graph algorithms that the
+//! labeling schemes of Petersen, Rotbart, Simonsen and Wulff-Nilsen
+//! (*Near Optimal Adjacency Labeling Schemes for Power-Law Graphs*,
+//! ICALP 2016) are built on:
+//!
+//! * [`Graph`] — an immutable, cache-friendly CSR (compressed sparse row)
+//!   representation of a simple undirected graph, with sorted neighbour
+//!   lists and O(log Δ) adjacency queries.
+//! * [`GraphBuilder`] — incremental construction with de-duplication of
+//!   parallel edges and removal of self-loops.
+//! * [`traversal`] — breadth-first search, bounded BFS, and BFS restricted to
+//!   paths through a vertex subset (needed by the distance labeling scheme of
+//!   the paper's Lemma 7).
+//! * [`components`] — connected components and largest-component extraction.
+//! * [`degeneracy`] — core (degeneracy) ordering and the induced
+//!   low-outdegree orientation, the substrate for the arboricity-based
+//!   scheme of the paper's Proposition 5.
+//! * [`forest`] — decomposition of a low-outdegree orientation into
+//!   pseudoforests with explicit parent pointers.
+//! * [`degree`] — degree histograms, the paper's `ddist_G` degree
+//!   distribution, and CCDF utilities.
+//!
+//! The representation is deliberately minimal: vertices are dense `u32`
+//! indices `0..n`, which is what a labeling scheme ultimately assigns
+//! identifiers to anyway.
+//!
+//! # Example
+//!
+//! ```
+//! use pl_graph::{Graph, GraphBuilder};
+//!
+//! let mut b = GraphBuilder::new(4);
+//! b.add_edge(0, 1);
+//! b.add_edge(1, 2);
+//! b.add_edge(2, 3);
+//! b.add_edge(1, 2); // duplicate, ignored
+//! let g: Graph = b.build();
+//!
+//! assert_eq!(g.vertex_count(), 4);
+//! assert_eq!(g.edge_count(), 3);
+//! assert!(g.has_edge(1, 2));
+//! assert!(!g.has_edge(0, 3));
+//! assert_eq!(g.degree(1), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+mod csr;
+
+pub mod components;
+pub mod degeneracy;
+pub mod degree;
+pub mod forest;
+pub mod io;
+pub mod traversal;
+pub mod triangles;
+pub mod view;
+
+pub use builder::GraphBuilder;
+pub use csr::{EdgeIter, Graph, NeighborIter};
+
+/// Dense vertex identifier: vertices of an `n`-vertex [`Graph`] are
+/// exactly `0..n as VertexId`.
+pub type VertexId = u32;
+
+/// Sentinel distance returned by BFS for unreachable vertices.
+pub const UNREACHABLE: u32 = u32::MAX;

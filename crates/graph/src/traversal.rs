@@ -1,0 +1,269 @@
+//! Breadth-first search, bounded and filtered variants.
+//!
+//! The distance labeling scheme of the paper's Lemma 7 needs, besides plain
+//! BFS, a BFS that only relaxes paths whose *interior* vertices belong to a
+//! permitted set (there: the thin vertices). [`bfs_bounded_through`]
+//! implements exactly that semantics: the source and the reported targets may
+//! be arbitrary, but no path is extended through a forbidden vertex.
+
+use std::collections::VecDeque;
+
+use crate::{Graph, VertexId, UNREACHABLE};
+
+/// Single-source BFS distances to every vertex.
+///
+/// Returns a vector of length `n` with hop distances from `src`;
+/// unreachable vertices get [`UNREACHABLE`].
+///
+/// # Example
+///
+/// ```
+/// let g = pl_graph::builder::from_edges(4, [(0, 1), (1, 2)]);
+/// let d = pl_graph::traversal::bfs_distances(&g, 0);
+/// assert_eq!(d, vec![0, 1, 2, pl_graph::UNREACHABLE]);
+/// ```
+#[must_use]
+pub fn bfs_distances(g: &Graph, src: VertexId) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.vertex_count()];
+    let mut queue = VecDeque::new();
+    dist[src as usize] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == UNREACHABLE {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Bounded single-source BFS: every vertex within `limit` hops of `src`,
+/// reported as `(vertex, distance)` pairs in non-decreasing distance order
+/// (the source itself included with distance 0).
+///
+/// Cost is proportional to the explored ball, not to `n`, except for an
+/// `O(n)` visited bitmap.
+#[must_use]
+pub fn bfs_bounded(g: &Graph, src: VertexId, limit: u32) -> Vec<(VertexId, u32)> {
+    bfs_bounded_through(g, src, limit, |_| true)
+}
+
+/// Bounded BFS that may only *pass through* permitted vertices.
+///
+/// Explores paths `src = v0, v1, …, vk` with `k <= limit` where every
+/// interior vertex `v1 … v_{k-1}` satisfies `allow_interior`; endpoints are
+/// unrestricted. Returns `(vertex, distance)` pairs for every vertex
+/// reachable under this restriction, source included, in non-decreasing
+/// distance order. The reported distance is the shortest *restricted* path
+/// length, which can exceed the true graph distance.
+///
+/// This is the exact notion needed by part (ii) of the labels in the
+/// paper's Lemma 7: "thin nodes w at distance at most f(n) where the
+/// shortest path between v and w does not pass through any fat node".
+///
+/// # Example
+///
+/// ```
+/// // Path 0 - 1 - 2; forbid passing through 1: vertex 2 still reported?
+/// // No: 1 may be an endpoint but not interior, so 2 is unreachable.
+/// let g = pl_graph::builder::from_edges(3, [(0, 1), (1, 2)]);
+/// let ball = pl_graph::traversal::bfs_bounded_through(&g, 0, 5, |v| v != 1);
+/// let verts: Vec<u32> = ball.iter().map(|&(v, _)| v).collect();
+/// assert_eq!(verts, vec![0, 1]); // 1 reachable as endpoint, 2 is not
+/// ```
+#[must_use]
+pub fn bfs_bounded_through(
+    g: &Graph,
+    src: VertexId,
+    limit: u32,
+    mut allow_interior: impl FnMut(VertexId) -> bool,
+) -> Vec<(VertexId, u32)> {
+    let mut dist = vec![UNREACHABLE; g.vertex_count()];
+    let mut out = Vec::new();
+    let mut queue = VecDeque::new();
+    dist[src as usize] = 0;
+    queue.push_back(src);
+    out.push((src, 0));
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        if du == limit {
+            continue;
+        }
+        // `u` is about to act as an interior vertex for any continuation,
+        // unless it is the source.
+        if u != src && !allow_interior(u) {
+            continue;
+        }
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == UNREACHABLE {
+                dist[v as usize] = du + 1;
+                out.push((v, du + 1));
+                queue.push_back(v);
+            }
+        }
+    }
+    out
+}
+
+/// Eccentricity of `src` within its connected component (maximum BFS
+/// distance to a reachable vertex).
+#[must_use]
+pub fn eccentricity(g: &Graph, src: VertexId) -> u32 {
+    bfs_distances(g, src)
+        .into_iter()
+        .filter(|&d| d != UNREACHABLE)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Lower bound on the diameter via the standard double-sweep heuristic:
+/// BFS from `start`, then BFS from the farthest vertex found.
+///
+/// For trees this is exact; for general graphs it is a lower bound that is
+/// tight in practice, which is all the experiments need (the paper only uses
+/// the Chung–Lu `Θ(log n)` diameter estimate qualitatively).
+#[must_use]
+pub fn double_sweep_diameter(g: &Graph, start: VertexId) -> u32 {
+    if g.is_empty() {
+        return 0;
+    }
+    let d1 = bfs_distances(g, start);
+    let far = d1
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d != UNREACHABLE)
+        .max_by_key(|&(_, &d)| d)
+        .map_or(start, |(v, _)| v as VertexId);
+    eccentricity(g, far)
+}
+
+/// Mean hop distance from the given source vertices to every vertex they
+/// reach (self-distances excluded), plus the number of (source, target)
+/// pairs averaged. Used to check the Chung–Lu small-world claim the
+/// paper's distance scheme leans on; pick a handful of random sources for
+/// an unbiased estimate.
+#[must_use]
+pub fn mean_distance_from(g: &Graph, sources: &[VertexId]) -> (f64, usize) {
+    let mut total = 0u64;
+    let mut pairs = 0usize;
+    for &s in sources {
+        for (v, d) in bfs_distances(g, s).into_iter().enumerate() {
+            if d != UNREACHABLE && v as VertexId != s {
+                total += u64::from(d);
+                pairs += 1;
+            }
+        }
+    }
+    if pairs == 0 {
+        (0.0, 0)
+    } else {
+        (total as f64 / pairs as f64, pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+
+    fn path(n: usize) -> Graph {
+        from_edges(n, (0..n as u32 - 1).map(|i| (i, i + 1)))
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let g = path(5);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let g = from_edges(4, [(0, 1)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[2], UNREACHABLE);
+        assert_eq!(d[3], UNREACHABLE);
+    }
+
+    #[test]
+    fn bounded_bfs_limits_radius() {
+        let g = path(10);
+        let ball = bfs_bounded(&g, 0, 3);
+        assert_eq!(ball.len(), 4);
+        assert_eq!(ball.last().copied(), Some((3, 3)));
+    }
+
+    #[test]
+    fn bounded_bfs_distances_non_decreasing() {
+        let g = from_edges(6, [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5)]);
+        let ball = bfs_bounded(&g, 0, 10);
+        for w in ball.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn through_filter_blocks_interior_only() {
+        // Triangle 0-1-2 plus pendant 3 on 2. Forbid interior 2.
+        let g = from_edges(4, [(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let ball = bfs_bounded_through(&g, 0, 5, |v| v != 2);
+        let mut verts: Vec<_> = ball.iter().map(|&(v, _)| v).collect();
+        verts.sort_unstable();
+        // 2 reachable as an endpoint; 3 requires passing through 2.
+        assert_eq!(verts, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn through_filter_source_exempt() {
+        // Star centered at 0; even if 0 is "forbidden", it is the source.
+        let g = from_edges(4, [(0, 1), (0, 2), (0, 3)]);
+        let ball = bfs_bounded_through(&g, 0, 2, |v| v != 0);
+        assert_eq!(ball.len(), 4);
+    }
+
+    #[test]
+    fn restricted_distance_can_exceed_true_distance() {
+        // 0-1-3 (short, via 1) and 0-2-4-3 (long, via 2 and 4).
+        let g = from_edges(5, [(0, 1), (1, 3), (0, 2), (2, 4), (4, 3)]);
+        let ball = bfs_bounded_through(&g, 0, 5, |v| v != 1);
+        let d3 = ball.iter().find(|&&(v, _)| v == 3).map(|&(_, d)| d);
+        assert_eq!(d3, Some(3)); // forced around the long way
+        assert_eq!(bfs_distances(&g, 0)[3], 2);
+    }
+
+    #[test]
+    fn eccentricity_and_diameter_of_path() {
+        let g = path(7);
+        assert_eq!(eccentricity(&g, 3), 3);
+        assert_eq!(eccentricity(&g, 0), 6);
+        assert_eq!(double_sweep_diameter(&g, 3), 6);
+    }
+
+    #[test]
+    fn diameter_of_disconnected_uses_component() {
+        let g = from_edges(6, [(0, 1), (1, 2), (3, 4)]);
+        assert_eq!(double_sweep_diameter(&g, 3), 1);
+        assert_eq!(double_sweep_diameter(&g, 0), 2);
+    }
+
+    #[test]
+    fn mean_distance_on_path() {
+        let g = path(4); // distances from 0: 1, 2, 3
+        let (mean, pairs) = mean_distance_from(&g, &[0]);
+        assert_eq!(pairs, 3);
+        assert!((mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_distance_skips_unreachable_and_self() {
+        let g = from_edges(4, [(0, 1)]);
+        let (mean, pairs) = mean_distance_from(&g, &[0, 2]);
+        assert_eq!(pairs, 1); // only 0 -> 1
+        assert_eq!(mean, 1.0);
+        let isolated = crate::GraphBuilder::new(3).build();
+        assert_eq!(mean_distance_from(&isolated, &[0]), (0.0, 0));
+    }
+}

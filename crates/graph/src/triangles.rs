@@ -1,0 +1,139 @@
+//! Triangle counting and clustering coefficients.
+//!
+//! Used to validate that the generators reproduce the *local* structure
+//! real networks are known for (BA and Chung–Lu differ sharply in
+//! clustering even at identical degree distributions), complementing the
+//! degree-distribution checks of experiment E9.
+
+use crate::degeneracy::orient_by_degeneracy;
+use crate::{Graph, VertexId};
+
+/// Exact triangle count via the degeneracy orientation: every triangle is
+/// counted exactly once at its "earliest" vertex. Runs in
+/// `O(m · degeneracy)`.
+///
+/// # Example
+///
+/// ```
+/// // K4 contains 4 triangles.
+/// let g = pl_graph::builder::from_edges(4, [(0,1),(0,2),(0,3),(1,2),(1,3),(2,3)]);
+/// assert_eq!(pl_graph::triangles::triangle_count(&g), 4);
+/// ```
+#[must_use]
+pub fn triangle_count(g: &Graph) -> u64 {
+    let o = orient_by_degeneracy(g);
+    let mut count = 0u64;
+    for v in 0..g.vertex_count() as VertexId {
+        let out = o.out_neighbors(v);
+        for (i, &a) in out.iter().enumerate() {
+            for &b in &out[i + 1..] {
+                if g.has_edge(a, b) {
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Number of wedges (paths of length 2): `Σ_v deg(v)·(deg(v)−1)/2`.
+#[must_use]
+pub fn wedge_count(g: &Graph) -> u64 {
+    g.vertices()
+        .map(|v| {
+            let d = g.degree(v) as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum()
+}
+
+/// The global clustering coefficient (transitivity): `3·triangles / wedges`;
+/// 0 for wedge-free graphs.
+#[must_use]
+pub fn global_clustering(g: &Graph) -> f64 {
+    let w = wedge_count(g);
+    if w == 0 {
+        0.0
+    } else {
+        3.0 * triangle_count(g) as f64 / w as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn triangle_free_graphs() {
+        assert_eq!(triangle_count(&GraphBuilder::new(5).build()), 0);
+        let path = from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(triangle_count(&path), 0);
+        let c4 = from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(triangle_count(&c4), 0);
+        assert_eq!(global_clustering(&c4), 0.0);
+    }
+
+    #[test]
+    fn single_triangle() {
+        let g = from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(triangle_count(&g), 1);
+        assert_eq!(wedge_count(&g), 3);
+        assert!((global_clustering(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complete_graph_count() {
+        // K_n has C(n,3) triangles.
+        for n in [4usize, 5, 7] {
+            let edges = (0..n as u32).flat_map(|u| (u + 1..n as u32).map(move |v| (u, v)));
+            let g = from_edges(n, edges);
+            let expect = (n * (n - 1) * (n - 2) / 6) as u64;
+            assert_eq!(triangle_count(&g), expect, "K{n}");
+            assert!((global_clustering(&g) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn two_triangles_sharing_an_edge() {
+        let g = from_edges(4, [(0, 1), (1, 2), (2, 0), (0, 3), (1, 3)]);
+        assert_eq!(triangle_count(&g), 2);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graph() {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(66);
+        let n = 60usize;
+        let mut b = GraphBuilder::new(n);
+        for _ in 0..400 {
+            let u = rng.gen_range(0..n as u32);
+            let v = rng.gen_range(0..n as u32);
+            if u != v {
+                b.add_edge(u, v);
+            }
+        }
+        let g = b.build();
+        let mut brute = 0u64;
+        for a in 0..n as u32 {
+            for b2 in a + 1..n as u32 {
+                for c in b2 + 1..n as u32 {
+                    if g.has_edge(a, b2) && g.has_edge(b2, c) && g.has_edge(a, c) {
+                        brute += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(triangle_count(&g), brute);
+    }
+
+    #[test]
+    fn star_has_wedges_but_no_triangles() {
+        let g = from_edges(6, (1..6u32).map(|i| (0, i)));
+        assert_eq!(wedge_count(&g), 10);
+        assert_eq!(triangle_count(&g), 0);
+        assert_eq!(global_clustering(&g), 0.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Induced subgraphs.
+
+use crate::{Graph, GraphBuilder, VertexId};
+
+/// An induced subgraph together with the mapping back to the host graph.
+#[derive(Debug, Clone)]
+pub struct InducedSubgraph {
+    /// The subgraph over dense ids `0..k`.
+    pub graph: Graph,
+    /// `original[i]` is the host-graph id of subgraph vertex `i`.
+    pub original: Vec<VertexId>,
+}
+
+impl InducedSubgraph {
+    /// Host-graph id of subgraph vertex `i`.
+    #[must_use]
+    pub fn to_original(&self, i: VertexId) -> VertexId {
+        self.original[i as usize]
+    }
+}
+
+/// Extracts the subgraph of `g` induced by `vertices` (duplicates ignored,
+/// order preserved for the id mapping).
+///
+/// Runs in `O(n + sum of degrees of selected vertices)`.
+///
+/// # Example
+///
+/// ```
+/// let g = pl_graph::builder::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+/// let sub = pl_graph::view::induced_subgraph(&g, &[1, 2, 4]);
+/// assert_eq!(sub.graph.vertex_count(), 3);
+/// assert_eq!(sub.graph.edge_count(), 1); // only {1,2} survives
+/// assert!(sub.graph.has_edge(0, 1));
+/// assert_eq!(sub.to_original(2), 4);
+/// ```
+#[must_use]
+pub fn induced_subgraph(g: &Graph, vertices: &[VertexId]) -> InducedSubgraph {
+    let mut map = vec![u32::MAX; g.vertex_count()];
+    let mut original = Vec::with_capacity(vertices.len());
+    for &v in vertices {
+        if map[v as usize] == u32::MAX {
+            map[v as usize] = original.len() as u32;
+            original.push(v);
+        }
+    }
+    let mut b = GraphBuilder::new(original.len());
+    for (i, &v) in original.iter().enumerate() {
+        for &w in g.neighbors(v) {
+            let j = map[w as usize];
+            if j != u32::MAX && (i as u32) < j {
+                b.add_edge(i as u32, j);
+            }
+        }
+    }
+    InducedSubgraph {
+        graph: b.build(),
+        original,
+    }
+}
+
+/// Extracts the largest connected component of `g` as an induced subgraph.
+#[must_use]
+pub fn largest_component(g: &Graph) -> InducedSubgraph {
+    let comps = crate::components::connected_components(g);
+    match comps.largest() {
+        Some(c) => induced_subgraph(g, &comps.members(c)),
+        None => InducedSubgraph {
+            graph: GraphBuilder::new(0).build(),
+            original: Vec::new(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = from_edges(6, [(0, 1), (1, 2), (2, 0), (2, 3), (4, 5)]);
+        let sub = induced_subgraph(&g, &[0, 1, 2]);
+        assert_eq!(sub.graph.vertex_count(), 3);
+        assert_eq!(sub.graph.edge_count(), 3);
+    }
+
+    #[test]
+    fn induced_subgraph_dedups_selection() {
+        let g = from_edges(3, [(0, 1)]);
+        let sub = induced_subgraph(&g, &[1, 1, 0]);
+        assert_eq!(sub.graph.vertex_count(), 2);
+        assert_eq!(sub.to_original(0), 1);
+        assert_eq!(sub.to_original(1), 0);
+        assert!(sub.graph.has_edge(0, 1));
+    }
+
+    #[test]
+    fn empty_selection() {
+        let g = from_edges(3, [(0, 1)]);
+        let sub = induced_subgraph(&g, &[]);
+        assert_eq!(sub.graph.vertex_count(), 0);
+    }
+
+    #[test]
+    fn largest_component_extraction() {
+        let g = from_edges(7, [(0, 1), (1, 2), (2, 3), (5, 6)]);
+        let lc = largest_component(&g);
+        assert_eq!(lc.graph.vertex_count(), 4);
+        assert_eq!(lc.graph.edge_count(), 3);
+        let mut orig = lc.original.clone();
+        orig.sort_unstable();
+        assert_eq!(orig, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn largest_component_of_empty() {
+        let g = crate::GraphBuilder::new(0).build();
+        assert_eq!(largest_component(&g).graph.vertex_count(), 0);
+    }
+}

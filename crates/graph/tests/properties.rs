@@ -1,0 +1,150 @@
+//! Property-based tests for the graph substrate.
+
+use pl_graph::{builder::from_edges, GraphBuilder};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Strategy: vertex count and raw edge insertions (self-loops included, to
+/// exercise the builder's cleaning).
+fn arb_edges() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..40).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec((0..n as u32, 0..n as u32), 0..120),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn builder_matches_reference_set((n, edges) in arb_edges()) {
+        let mut reference: HashSet<(u32, u32)> = HashSet::new();
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in edges {
+            if u != v {
+                b.add_edge(u, v);
+                reference.insert((u.min(v), u.max(v)));
+            }
+        }
+        let g = b.build();
+        prop_assert_eq!(g.edge_count(), reference.len());
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                prop_assert_eq!(
+                    g.has_edge(u, v),
+                    u != v && reference.contains(&(u.min(v), u.max(v)))
+                );
+            }
+        }
+        // Edge iterator emits exactly the reference set.
+        let listed: HashSet<(u32, u32)> = g.edges().collect();
+        prop_assert_eq!(listed, reference);
+    }
+
+    #[test]
+    fn degree_sum_equals_twice_edges((n, edges) in arb_edges()) {
+        let g = from_edges(n, edges.into_iter().filter(|(u, v)| u != v));
+        prop_assert_eq!(g.degree_sum(), 2 * g.edge_count());
+        let total: usize = g.vertices().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(total, g.degree_sum());
+    }
+
+    #[test]
+    fn bfs_is_lipschitz_on_edges((n, edges) in arb_edges()) {
+        let g = from_edges(n, edges.into_iter().filter(|(u, v)| u != v));
+        let d = pl_graph::traversal::bfs_distances(&g, 0);
+        for (u, v) in g.edges() {
+            let (du, dv) = (d[u as usize], d[v as usize]);
+            if du != pl_graph::UNREACHABLE {
+                prop_assert!(dv != pl_graph::UNREACHABLE);
+                prop_assert!(du.abs_diff(dv) <= 1, "edge ({}, {}): {} vs {}", u, v, du, dv);
+            }
+        }
+    }
+
+    #[test]
+    fn components_agree_with_bfs((n, edges) in arb_edges()) {
+        let g = from_edges(n, edges.into_iter().filter(|(u, v)| u != v));
+        let comps = pl_graph::components::connected_components(&g);
+        let d = pl_graph::traversal::bfs_distances(&g, 0);
+        for v in g.vertices() {
+            prop_assert_eq!(
+                comps.connected(0, v),
+                d[v as usize] != pl_graph::UNREACHABLE
+            );
+        }
+        let total: usize = comps.sizes().iter().sum();
+        prop_assert_eq!(total, n);
+    }
+
+    #[test]
+    fn orientation_partitions_edges((n, edges) in arb_edges()) {
+        let g = from_edges(n, edges.into_iter().filter(|(u, v)| u != v));
+        let o = pl_graph::degeneracy::orient_by_degeneracy(&g);
+        prop_assert_eq!(o.arc_count(), g.edge_count());
+        for (u, v) in g.edges() {
+            prop_assert!(o.has_arc(u, v) ^ o.has_arc(v, u));
+        }
+        let d = pl_graph::degeneracy::degeneracy_ordering(&g);
+        prop_assert_eq!(o.max_outdegree(), d.degeneracy);
+    }
+
+    #[test]
+    fn degeneracy_bounds((n, edges) in arb_edges()) {
+        let g = from_edges(n, edges.into_iter().filter(|(u, v)| u != v));
+        let d = pl_graph::degeneracy::degeneracy_ordering(&g).degeneracy;
+        prop_assert!(d <= g.max_degree());
+        // Any graph with m edges has a vertex of degree <= 2m/n, and
+        // degeneracy <= max over subgraphs of that: crude bound m >= d(d+1)/2.
+        prop_assert!(g.edge_count() * 2 >= d * (d + 1));
+    }
+
+    #[test]
+    fn pseudoforest_decomposition_is_partition((n, edges) in arb_edges()) {
+        let g = from_edges(n, edges.into_iter().filter(|(u, v)| u != v));
+        let dec = pl_graph::forest::decompose(&g);
+        prop_assert_eq!(dec.edge_count(), g.edge_count());
+        for u in g.vertices() {
+            for v in g.vertices() {
+                if u < v {
+                    prop_assert_eq!(dec.has_edge(u, v), g.has_edge(u, v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_adjacency((n, edges) in arb_edges(), pick in any::<u64>()) {
+        let g = from_edges(n, edges.into_iter().filter(|(u, v)| u != v));
+        // Deterministic pseudo-random subset from `pick`.
+        let sel: Vec<u32> = (0..n as u32).filter(|&v| (pick >> (v % 64)) & 1 == 1).collect();
+        let sub = pl_graph::view::induced_subgraph(&g, &sel);
+        for i in 0..sub.graph.vertex_count() as u32 {
+            for j in 0..sub.graph.vertex_count() as u32 {
+                prop_assert_eq!(
+                    sub.graph.has_edge(i, j),
+                    g.has_edge(sub.to_original(i), sub.to_original(j))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn edge_list_io_round_trip((n, edges) in arb_edges()) {
+        let g = from_edges(n, edges.into_iter().filter(|(u, v)| u != v));
+        let text = pl_graph::io::to_edge_list(&g);
+        let h = pl_graph::io::from_edge_list(&text).unwrap();
+        prop_assert_eq!(g, h);
+    }
+
+    #[test]
+    fn histogram_counts_sum_to_n((n, edges) in arb_edges()) {
+        let g = from_edges(n, edges.into_iter().filter(|(u, v)| u != v));
+        let h = pl_graph::degree::DegreeHistogram::of(&g);
+        let total: usize = (0..=h.max_degree()).map(|k| h.count(k)).sum();
+        prop_assert_eq!(total, n);
+        prop_assert_eq!(h.tail_count(0), n);
+    }
+}

@@ -1,0 +1,187 @@
+//! Bounded-load chaining hash: the paper's "chaining perfect hash".
+//!
+//! Section 6 of the paper stores each edge's id pair at the vertex the edge
+//! hashes to, and requires "the guarantee that the worst case number of
+//! collisions is constant". With a universal family, the expected maximum
+//! bucket load over `m = cn` keys and `n` buckets is `O(log n / log log n)`,
+//! but a load within a small constant factor of the average is obtained with
+//! good probability by re-drawing the function a few times (the paper's own
+//! suggestion of pre-partitioning the domain into `c` parts is an instance
+//! of the same load-balancing idea). [`BoundedLoadHash::build`] performs
+//! that re-drawing and records the achieved maximum load, so the caller can
+//! see exactly what bound the labels inherit.
+
+use rand::Rng;
+
+use crate::universal::UniversalHash;
+
+/// A universal hash function re-drawn until its maximum bucket load over a
+/// given key set does not exceed a target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundedLoadHash {
+    hash: UniversalHash,
+    buckets: usize,
+    max_load: usize,
+}
+
+impl BoundedLoadHash {
+    /// Draws functions until one distributes `keys` over `buckets` buckets
+    /// with maximum load at most `target_load`, giving up after `attempts`
+    /// draws (returns `None` then).
+    ///
+    /// A sensible target for `m` keys and `n` buckets is
+    /// `max(2, ⌈m/n⌉ · 2 + 2)`; see [`build_adaptive`](Self::build_adaptive)
+    /// which figures a target out by doubling.
+    pub fn build<R: Rng + ?Sized>(
+        keys: &[u64],
+        buckets: usize,
+        target_load: usize,
+        attempts: usize,
+        rng: &mut R,
+    ) -> Option<Self> {
+        assert!(buckets > 0, "bucket count must be positive");
+        let mut counts = vec![0u32; buckets];
+        for _ in 0..attempts {
+            let h = UniversalHash::random(rng);
+            counts.iter_mut().for_each(|c| *c = 0);
+            let mut max = 0u32;
+            for &k in keys {
+                let b = h.hash(k, buckets);
+                counts[b] += 1;
+                max = max.max(counts[b]);
+            }
+            if (max as usize) <= target_load {
+                return Some(Self {
+                    hash: h,
+                    buckets,
+                    max_load: max as usize,
+                });
+            }
+        }
+        None
+    }
+
+    /// Builds with the smallest power-of-two-ish target that succeeds:
+    /// starts from `⌈m/n⌉ + 1` and doubles until [`build`](Self::build)
+    /// succeeds. Always returns a function (the final attempt uses an
+    /// unbounded target).
+    pub fn build_adaptive<R: Rng + ?Sized>(keys: &[u64], buckets: usize, rng: &mut R) -> Self {
+        let avg = keys.len().div_ceil(buckets.max(1));
+        let mut target = avg + 1;
+        loop {
+            if let Some(h) = Self::build(keys, buckets, target, 8, rng) {
+                return h;
+            }
+            if target > keys.len() {
+                // Cannot fail with target >= m; defensive.
+                let h = Self::build(keys, buckets, keys.len().max(1), 1, rng);
+                if let Some(h) = h {
+                    return h;
+                }
+            }
+            target *= 2;
+        }
+    }
+
+    /// The bucket `key` maps to.
+    #[must_use]
+    pub fn bucket_of(&self, key: u64) -> usize {
+        self.hash.hash(key, self.buckets)
+    }
+
+    /// Number of buckets.
+    #[must_use]
+    pub fn bucket_count(&self) -> usize {
+        self.buckets
+    }
+
+    /// The maximum load actually achieved on the build key set.
+    #[must_use]
+    pub fn achieved_max_load(&self) -> usize {
+        self.max_load
+    }
+
+    /// The underlying function's `(a, b)` parameters, for serialization
+    /// into labels.
+    #[must_use]
+    pub fn params(&self) -> (u64, u64) {
+        self.hash.params()
+    }
+
+    /// Reconstructs from serialized parameters. The achieved load is not
+    /// carried in labels; it is only meaningful at build time and is set to
+    /// 0 here.
+    #[must_use]
+    pub fn from_params(a: u64, b: u64, buckets: usize) -> Self {
+        Self {
+            hash: UniversalHash::from_params(a, b),
+            buckets,
+            max_load: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC4A1)
+    }
+
+    #[test]
+    fn build_respects_target() {
+        let keys: Vec<u64> = (0..1000).map(|i| i * 97 + 13).collect();
+        let h = BoundedLoadHash::build(&keys, 1000, 6, 64, &mut rng()).unwrap();
+        assert!(h.achieved_max_load() <= 6);
+        let mut counts = vec![0usize; 1000];
+        for &k in &keys {
+            counts[h.bucket_of(k)] += 1;
+        }
+        assert_eq!(counts.iter().copied().max().unwrap(), h.achieved_max_load());
+    }
+
+    #[test]
+    fn impossible_target_fails() {
+        // 10 keys into 1 bucket cannot have load < 10.
+        let keys: Vec<u64> = (0..10).collect();
+        assert!(BoundedLoadHash::build(&keys, 1, 5, 16, &mut rng()).is_none());
+    }
+
+    #[test]
+    fn adaptive_always_succeeds() {
+        let keys: Vec<u64> = (0..5000).map(|i| i * 3 + 5).collect();
+        let h = BoundedLoadHash::build_adaptive(&keys, 1000, &mut rng());
+        // m/n = 5; adaptive should land within a small factor.
+        assert!(
+            h.achieved_max_load() <= 24,
+            "load {}",
+            h.achieved_max_load()
+        );
+    }
+
+    #[test]
+    fn adaptive_on_empty_keys() {
+        let h = BoundedLoadHash::build_adaptive(&[], 10, &mut rng());
+        assert_eq!(h.achieved_max_load(), 0);
+    }
+
+    #[test]
+    fn params_round_trip_same_buckets() {
+        let keys: Vec<u64> = (0..100).collect();
+        let h = BoundedLoadHash::build_adaptive(&keys, 50, &mut rng());
+        let (a, b) = h.params();
+        let h2 = BoundedLoadHash::from_params(a, b, 50);
+        for &k in &keys {
+            assert_eq!(h.bucket_of(k), h2.bucket_of(k));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_buckets_panics() {
+        let _ = BoundedLoadHash::build(&[1], 0, 1, 1, &mut rng());
+    }
+}

@@ -1,0 +1,284 @@
+//! Fredman–Komlós–Szemerédi two-level static perfect hashing.
+//!
+//! Given a static set `S` of `n` distinct `u64` keys, builds in expected
+//! `O(n)` time a structure answering `contains` and `index` queries in
+//! worst-case O(1) probes with zero collisions:
+//!
+//! 1. A first-level universal hash maps keys into `n` buckets; it is
+//!    re-drawn until `Σ s_i² ≤ 4n` (Markov gives success probability ≥ ½
+//!    per draw).
+//! 2. Each bucket of size `s_i` gets a private table of size `s_i²` and a
+//!    second-level universal hash re-drawn until it is injective on the
+//!    bucket (probability ≥ ½ per draw).
+//!
+//! Total space is `O(n)` words. [`PerfectHash::index`] additionally assigns
+//! each key a distinct slot, so the structure doubles as a minimal-ish
+//! perfect map for satellite data.
+
+use rand::Rng;
+
+use crate::universal::UniversalHash;
+
+/// Empty-slot marker inside second-level tables.
+const EMPTY: u64 = u64::MAX;
+
+/// A built FKS perfect hash over a static key set.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// let keys: Vec<u64> = (0..1000).map(|i| i * i + 7).collect();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+/// let ph = pl_hash::PerfectHash::build(&keys, &mut rng).unwrap();
+/// assert!(ph.contains(7));
+/// assert!(!ph.contains(6)); // every key is at least 7
+/// // Every key gets a distinct slot index.
+/// let mut slots: Vec<usize> = keys.iter().map(|&k| ph.index(k).unwrap()).collect();
+/// slots.sort_unstable();
+/// slots.dedup();
+/// assert_eq!(slots.len(), keys.len());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PerfectHash {
+    level1: UniversalHash,
+    /// Per bucket: second-level hash, and offset/size of its table slice.
+    buckets: Vec<Bucket>,
+    /// Concatenated second-level tables; `EMPTY` marks free slots.
+    slots: Vec<u64>,
+    key_count: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    hash: UniversalHash,
+    offset: usize,
+    /// Table size (`s²` for a bucket holding `s` keys; 0 for empty buckets).
+    size: usize,
+}
+
+/// Error returned by [`PerfectHash::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The input contained the same key twice; a perfect hash of a multiset
+    /// is not well-defined.
+    DuplicateKey(u64),
+    /// The reserved sentinel key `u64::MAX` was present in the input.
+    ReservedKey,
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::DuplicateKey(k) => write!(f, "duplicate key {k} in perfect-hash input"),
+            Self::ReservedKey => write!(f, "key u64::MAX is reserved as the empty marker"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl PerfectHash {
+    /// Builds a perfect hash over `keys` in expected linear time.
+    ///
+    /// Duplicate keys and the reserved key `u64::MAX` are rejected.
+    pub fn build<R: Rng + ?Sized>(keys: &[u64], rng: &mut R) -> Result<Self, BuildError> {
+        if keys.contains(&EMPTY) {
+            return Err(BuildError::ReservedKey);
+        }
+        let n = keys.len();
+        if n == 0 {
+            return Ok(Self {
+                level1: UniversalHash::from_params(1, 0),
+                buckets: Vec::new(),
+                slots: Vec::new(),
+                key_count: 0,
+            });
+        }
+
+        // Level 1: re-draw until the squared bucket sizes are linear.
+        let (level1, groups) = loop {
+            let h = UniversalHash::random(rng);
+            let mut groups: Vec<Vec<u64>> = vec![Vec::new(); n];
+            for &k in keys {
+                groups[h.hash(k, n)].push(k);
+            }
+            let cost: usize = groups.iter().map(|g| g.len() * g.len()).sum();
+            if cost <= 4 * n {
+                break (h, groups);
+            }
+        };
+
+        // Detect duplicates bucket-locally (cheap: buckets are tiny).
+        for g in &groups {
+            let mut sorted = g.clone();
+            sorted.sort_unstable();
+            if let Some(w) = sorted.windows(2).find(|w| w[0] == w[1]) {
+                return Err(BuildError::DuplicateKey(w[0]));
+            }
+        }
+
+        // Level 2: per-bucket injective hash into s² slots.
+        let mut buckets = Vec::with_capacity(n);
+        let mut slots = Vec::new();
+        for g in &groups {
+            let s = g.len();
+            if s == 0 {
+                buckets.push(Bucket {
+                    hash: UniversalHash::from_params(1, 0),
+                    offset: slots.len(),
+                    size: 0,
+                });
+                continue;
+            }
+            let size = s * s;
+            let offset = slots.len();
+            'draw: loop {
+                let h2 = UniversalHash::random(rng);
+                let mut table = vec![EMPTY; size];
+                for &k in g {
+                    let pos = h2.hash(k, size);
+                    if table[pos] != EMPTY {
+                        continue 'draw;
+                    }
+                    table[pos] = k;
+                }
+                slots.extend_from_slice(&table);
+                buckets.push(Bucket {
+                    hash: h2,
+                    offset,
+                    size,
+                });
+                break;
+            }
+        }
+
+        Ok(Self {
+            level1,
+            buckets,
+            slots,
+            key_count: n,
+        })
+    }
+
+    /// Number of keys in the set.
+    #[must_use]
+    pub fn key_count(&self) -> usize {
+        self.key_count
+    }
+
+    /// Total table slots (space consumption in words); `O(key_count)`.
+    #[must_use]
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether `key` belongs to the hashed set. Worst-case two probes.
+    #[must_use]
+    pub fn contains(&self, key: u64) -> bool {
+        self.index(key).is_some()
+    }
+
+    /// The distinct slot index of `key`, or `None` if absent.
+    #[must_use]
+    pub fn index(&self, key: u64) -> Option<usize> {
+        if self.key_count == 0 || key == EMPTY {
+            return None;
+        }
+        let b = &self.buckets[self.level1.hash(key, self.buckets.len())];
+        if b.size == 0 {
+            return None;
+        }
+        let pos = b.offset + b.hash.hash(key, b.size);
+        (self.slots[pos] == key).then_some(pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xF0CA)
+    }
+
+    #[test]
+    fn empty_set() {
+        let ph = PerfectHash::build(&[], &mut rng()).unwrap();
+        assert_eq!(ph.key_count(), 0);
+        assert!(!ph.contains(0));
+        assert!(ph.index(123).is_none());
+    }
+
+    #[test]
+    fn singleton() {
+        let ph = PerfectHash::build(&[99], &mut rng()).unwrap();
+        assert!(ph.contains(99));
+        assert!(!ph.contains(98));
+    }
+
+    #[test]
+    fn all_members_found_no_false_positives() {
+        let keys: Vec<u64> = (0..5000u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
+        let ph = PerfectHash::build(&keys, &mut rng()).unwrap();
+        for &k in &keys {
+            assert!(ph.contains(k));
+        }
+        for i in 0..5000u64 {
+            let probe = i.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+            assert!(!ph.contains(probe));
+        }
+    }
+
+    #[test]
+    fn indices_are_distinct() {
+        let keys: Vec<u64> = (0..3000).map(|i| i * 3 + 1).collect();
+        let ph = PerfectHash::build(&keys, &mut rng()).unwrap();
+        let mut idx: Vec<usize> = keys.iter().map(|&k| ph.index(k).unwrap()).collect();
+        idx.sort_unstable();
+        idx.dedup();
+        assert_eq!(idx.len(), keys.len());
+    }
+
+    #[test]
+    fn space_is_linear() {
+        let keys: Vec<u64> = (0..10_000).map(|i| i * 7 + 3).collect();
+        let ph = PerfectHash::build(&keys, &mut rng()).unwrap();
+        assert!(
+            ph.slot_count() <= 4 * keys.len() + keys.len(),
+            "slots {} for {} keys",
+            ph.slot_count(),
+            keys.len()
+        );
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let err = PerfectHash::build(&[5, 6, 5], &mut rng()).unwrap_err();
+        assert_eq!(err, BuildError::DuplicateKey(5));
+    }
+
+    #[test]
+    fn rejects_reserved_key() {
+        let err = PerfectHash::build(&[1, u64::MAX], &mut rng()).unwrap_err();
+        assert_eq!(err, BuildError::ReservedKey);
+        assert!(err.to_string().contains("reserved"));
+    }
+
+    #[test]
+    fn adversarial_clustered_keys() {
+        // Dense consecutive range plus a far cluster — stresses level 1.
+        let mut keys: Vec<u64> = (0..2000).collect();
+        keys.extend((0..2000u64).map(|i| (1 << 60) + i));
+        let ph = PerfectHash::build(&keys, &mut rng()).unwrap();
+        for &k in &keys {
+            assert!(ph.contains(k));
+        }
+        assert!(!ph.contains(5000));
+        assert!(!ph.contains((1 << 60) + 5000));
+    }
+}

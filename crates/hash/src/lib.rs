@@ -1,0 +1,27 @@
+//! Static perfect hashing, built from scratch for the 1-query labeling
+//! scheme of Section 6 of *Near Optimal Adjacency Labeling Schemes for
+//! Power-Law Graphs* (ICALP 2016).
+//!
+//! The scheme hashes the graph's edge set with a "classic chaining perfect
+//! hash function" so that every edge's id pair can be stored at a
+//! predictable third vertex. This crate provides the required machinery:
+//!
+//! * [`universal`] — a seeded multiply–shift universal family over `u64`
+//!   keys, with unbiased range reduction.
+//! * [`fks`] — the Fredman–Komlós–Szemerédi two-level static perfect hash:
+//!   expected linear construction, worst-case O(1) lookups, no collisions.
+//! * [`chain`] — a bounded-load chaining dictionary: a universal hash
+//!   re-drawn until no bucket exceeds a target load, which is the form the
+//!   paper's 1-query decoder consumes (it must know *which* bucket to ask
+//!   for, and the bucket's label must stay short).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod fks;
+pub mod universal;
+
+pub use chain::BoundedLoadHash;
+pub use fks::PerfectHash;
+pub use universal::UniversalHash;

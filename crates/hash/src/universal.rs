@@ -1,0 +1,155 @@
+//! Seeded multiply–shift universal hashing over `u64` keys.
+
+use rand::Rng;
+
+/// A function drawn from a 2-universal multiply–shift family over `u64`.
+///
+/// `h(x) = hi64((a·x + b) · m)` maps into `0..m` with the "fastrange"
+/// reduction, which is unbiased for the family and avoids the modulo bias
+/// of `% m`. The multiplier `a` is always odd (Dietzfelbinger et al.).
+///
+/// The function is fully described by the two `u64` parameters, so a
+/// labeling scheme can serialize it into a label in 128 bits — the
+/// "description thereof amounts to a logarithmic number of bits" ingredient
+/// of the paper's 1-query scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniversalHash {
+    /// Odd multiplier.
+    a: u64,
+    /// Additive offset.
+    b: u64,
+}
+
+impl UniversalHash {
+    /// Draws a random function from the family.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self {
+            a: rng.gen::<u64>() | 1,
+            b: rng.gen::<u64>(),
+        }
+    }
+
+    /// Reconstructs a function from its parameters (e.g. parsed from a
+    /// label). The multiplier is forced odd to stay inside the family.
+    #[must_use]
+    pub fn from_params(a: u64, b: u64) -> Self {
+        Self { a: a | 1, b }
+    }
+
+    /// The `(a, b)` parameters, for serialization.
+    #[must_use]
+    pub fn params(&self) -> (u64, u64) {
+        (self.a, self.b)
+    }
+
+    /// Hashes `key` into `0..m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    #[must_use]
+    pub fn hash(&self, key: u64, m: usize) -> usize {
+        assert!(m > 0, "hash range must be non-empty");
+        let mixed = self.a.wrapping_mul(key).wrapping_add(self.b);
+        // Fastrange: multiply the 64-bit mixed value by m and keep the high
+        // 64 bits; equivalent to floor(mixed / 2^64 * m).
+        ((u128::from(mixed) * m as u128) >> 64) as usize
+    }
+}
+
+/// Packs an undirected vertex pair into a canonical `u64` key
+/// (`min << 32 | max`), the key form used when hashing edges.
+///
+/// # Example
+///
+/// ```
+/// use pl_hash::universal::edge_key;
+/// assert_eq!(edge_key(7, 3), edge_key(3, 7));
+/// assert_ne!(edge_key(1, 2), edge_key(1, 3));
+/// ```
+#[must_use]
+pub fn edge_key(u: u32, v: u32) -> u64 {
+    let (a, b) = if u <= v { (u, v) } else { (v, u) };
+    (u64::from(a) << 32) | u64::from(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_for_fixed_params() {
+        let h = UniversalHash::from_params(12345, 678);
+        assert_eq!(h.hash(42, 100), h.hash(42, 100));
+    }
+
+    #[test]
+    fn range_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let h = UniversalHash::random(&mut rng);
+            for m in [1usize, 2, 3, 17, 1000] {
+                for key in 0..200u64 {
+                    assert!(h.hash(key, m) < m);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn params_round_trip() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let h = UniversalHash::random(&mut rng);
+        let (a, b) = h.params();
+        let h2 = UniversalHash::from_params(a, b);
+        assert_eq!(h, h2);
+        for key in [0u64, 1, u64::MAX, 999_999_937] {
+            assert_eq!(h.hash(key, 12345), h2.hash(key, 12345));
+        }
+    }
+
+    #[test]
+    fn multiplier_forced_odd() {
+        let h = UniversalHash::from_params(4, 0);
+        assert_eq!(h.params().0 % 2, 1);
+    }
+
+    #[test]
+    fn distribution_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let h = UniversalHash::random(&mut rng);
+        let m = 16usize;
+        let mut counts = vec![0usize; m];
+        let trials = 16_000u64;
+        for key in 0..trials {
+            counts[h.hash(key * 2_654_435_761 + 12345, m)] += 1;
+        }
+        let expected = trials as f64 / m as f64;
+        for &c in &counts {
+            assert!(
+                (c as f64) > expected * 0.5 && (c as f64) < expected * 1.5,
+                "bucket count {c} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn edge_key_canonical_and_injective() {
+        assert_eq!(edge_key(0, 0), 0);
+        assert_eq!(edge_key(1, 2), edge_key(2, 1));
+        let mut keys = std::collections::HashSet::new();
+        for u in 0..20u32 {
+            for v in u + 1..20 {
+                assert!(keys.insert(edge_key(u, v)));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_range_panics() {
+        let _ = UniversalHash::from_params(1, 1).hash(1, 0);
+    }
+}

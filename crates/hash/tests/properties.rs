@@ -1,0 +1,70 @@
+//! Property-based tests for the hashing substrate.
+
+use pl_hash::{BoundedLoadHash, PerfectHash, UniversalHash};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fks_membership_is_exact(
+        keys in proptest::collection::hash_set(0u64..u64::MAX - 1, 0..400),
+        probes in proptest::collection::vec(0u64..u64::MAX - 1, 0..200),
+        seed in any::<u64>(),
+    ) {
+        let key_vec: Vec<u64> = keys.iter().copied().collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ph = PerfectHash::build(&key_vec, &mut rng).unwrap();
+        for &k in &key_vec {
+            prop_assert!(ph.contains(k));
+        }
+        for &p in &probes {
+            prop_assert_eq!(ph.contains(p), keys.contains(&p));
+        }
+    }
+
+    #[test]
+    fn fks_indices_distinct(
+        keys in proptest::collection::hash_set(0u64..u64::MAX - 1, 1..300),
+        seed in any::<u64>(),
+    ) {
+        let key_vec: Vec<u64> = keys.iter().copied().collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ph = PerfectHash::build(&key_vec, &mut rng).unwrap();
+        let idx: HashSet<usize> = key_vec.iter().map(|&k| ph.index(k).unwrap()).collect();
+        prop_assert_eq!(idx.len(), key_vec.len());
+        prop_assert!(ph.slot_count() <= 5 * key_vec.len().max(1));
+    }
+
+    #[test]
+    fn universal_hash_stays_in_range(
+        a in any::<u64>(),
+        b in any::<u64>(),
+        m in 1usize..10_000,
+        keys in proptest::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let h = UniversalHash::from_params(a, b);
+        for k in keys {
+            prop_assert!(h.hash(k, m) < m);
+        }
+    }
+
+    #[test]
+    fn bounded_load_is_honest(
+        keys in proptest::collection::hash_set(any::<u64>(), 1..500),
+        seed in any::<u64>(),
+    ) {
+        let key_vec: Vec<u64> = keys.iter().copied().collect();
+        let buckets = key_vec.len().max(1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let h = BoundedLoadHash::build_adaptive(&key_vec, buckets, &mut rng);
+        let mut counts = vec![0usize; buckets];
+        for &k in &key_vec {
+            counts[h.bucket_of(k)] += 1;
+        }
+        prop_assert_eq!(counts.into_iter().max().unwrap_or(0), h.achieved_max_load());
+    }
+}

@@ -1,0 +1,160 @@
+//! The online `m·log n` scheme for BA-model graphs (Proposition 5,
+//! tightened form).
+//!
+//! "If the encoder operates at the same time as the creation of the graph,
+//! Proposition 5 can be tightened to yield a `m·log n` labeling scheme, by
+//! storing the identifiers of the vertices to the node introduced."
+//!
+//! [`BaOnlineScheme::encode_history`] consumes the attachment history
+//! recorded by [`pl_gen::barabasi_albert`]: each vertex's label is its own
+//! id plus the ids of the `m` vertices it attached to (for seed vertices,
+//! their smaller-id seed neighbours). The label format — and therefore the
+//! decoder — is identical to the orientation scheme's out-list format: the
+//! attachment lists *are* an orientation of the BA graph (every edge is
+//! stored exactly at its younger endpoint).
+
+use pl_gen::BaGraph;
+use pl_graph::VertexId;
+
+use crate::bits::BitWriter;
+use crate::forest::OrientationDecoder;
+use crate::label::{Label, Labeling};
+use crate::scheme::{id_width, write_prelude};
+
+/// The online BA labeler. Unlike the general
+/// [`AdjacencyScheme`](crate::scheme::AdjacencyScheme) implementations,
+/// its encoder needs the growth history, not just the final graph, so it
+/// exposes [`encode_history`](Self::encode_history) instead of
+/// implementing the trait.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BaOnlineScheme;
+
+impl BaOnlineScheme {
+    /// Scheme name for experiment tables.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        "BA online (m log n)"
+    }
+
+    /// Labels every vertex from the BA attachment history.
+    ///
+    /// Labels decode with [`OrientationDecoder`].
+    #[must_use]
+    pub fn encode_history(&self, ba: &BaGraph) -> Labeling {
+        let n = ba.graph.vertex_count();
+        let w = id_width(n);
+        let labels = (0..n as VertexId)
+            .map(|v| {
+                let mut bw = BitWriter::new();
+                write_prelude(&mut bw, w, u64::from(v));
+                if (v as usize) < ba.seed_size {
+                    // Seed vertices store their smaller-id seed-clique
+                    // neighbours — the edges present before growth began.
+                    let own: Vec<VertexId> = ba
+                        .graph
+                        .neighbors(v)
+                        .iter()
+                        .copied()
+                        .filter(|&u| u < v && (u as usize) < ba.seed_size)
+                        .collect();
+                    bw.write_gamma(own.len() as u64 + 1);
+                    for u in own {
+                        bw.write_bits(u64::from(u), w);
+                    }
+                } else {
+                    let h = &ba.history[v as usize];
+                    bw.write_gamma(h.len() as u64 + 1);
+                    for &u in h {
+                        bw.write_bits(u64::from(u), w);
+                    }
+                }
+                Label::from(bw)
+            })
+            .collect();
+        Labeling::new(labels)
+    }
+
+    /// The matching (stateless) decoder.
+    #[must_use]
+    pub fn decoder(&self) -> OrientationDecoder {
+        OrientationDecoder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::AdjacencyDecoder;
+    use crate::theory::ba_online_bound;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xBAAB)
+    }
+
+    #[test]
+    fn exhaustive_on_small_ba() {
+        let mut r = rng();
+        for m in [1usize, 2, 4] {
+            let ba = pl_gen::barabasi_albert(60, m, &mut r);
+            let labeling = BaOnlineScheme.encode_history(&ba);
+            let dec = BaOnlineScheme.decoder();
+            for u in ba.graph.vertices() {
+                for v in ba.graph.vertices() {
+                    assert_eq!(
+                        dec.adjacent(labeling.label(u), labeling.label(v)),
+                        ba.graph.has_edge(u, v),
+                        "m={m} pair ({u}, {v})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_on_large_ba() {
+        let mut r = rng();
+        let ba = pl_gen::barabasi_albert(5_000, 3, &mut r);
+        let labeling = BaOnlineScheme.encode_history(&ba);
+        let dec = BaOnlineScheme.decoder();
+        for _ in 0..5_000 {
+            let u = r.gen_range(0..5_000u32);
+            let v = r.gen_range(0..5_000u32);
+            assert_eq!(
+                dec.adjacent(labeling.label(u), labeling.label(v)),
+                ba.graph.has_edge(u, v)
+            );
+        }
+    }
+
+    #[test]
+    fn label_size_matches_m_log_n() {
+        let mut r = rng();
+        let n = 1 << 14;
+        for m in [2usize, 5, 8] {
+            let ba = pl_gen::barabasi_albert(n, m, &mut r);
+            let labeling = BaOnlineScheme.encode_history(&ba);
+            let bound = ba_online_bound(n, m);
+            assert!(
+                (labeling.max_bits() as f64) <= bound,
+                "m={m}: max {} > bound {bound}",
+                labeling.max_bits()
+            );
+            // And the bound is tight within a factor ~2: hub degree does
+            // not matter, only m does.
+            assert!((labeling.max_bits() as f64) >= 0.4 * bound);
+        }
+    }
+
+    #[test]
+    fn hub_labels_stay_small() {
+        let mut r = rng();
+        let ba = pl_gen::barabasi_albert(3_000, 2, &mut r);
+        let hub = pl_graph::degree::vertices_by_degree_desc(&ba.graph)[0];
+        let labeling = BaOnlineScheme.encode_history(&ba);
+        // The hub has huge degree but stores at most max(m, seed) ids.
+        assert!(ba.graph.degree(hub) > 50);
+        assert!(labeling.label(hub).bit_len() < 60);
+    }
+}

@@ -1,0 +1,330 @@
+//! Bit-exact strings: the raw material labels are made of.
+//!
+//! A labeling scheme's size is measured in *bits*, so labels are stored as
+//! packed bit strings with explicit bit lengths, written MSB-first within
+//! each field. [`BitWriter`] appends fields; [`BitReader`] consumes them in
+//! order. Variable-length non-negative integers use the Elias gamma code
+//! (via [`BitWriter::write_gamma`] / [`BitReader::read_gamma`]) so labels
+//! are self-delimiting without fixed-width length fields.
+
+/// A packed, growable string of bits.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BitString {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitString {
+    /// An empty bit string.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Length in bits.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff no bits have been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bit at position `i` (0-based from the start).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[must_use]
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let word = self.words[i / 64];
+        (word >> (63 - (i % 64))) & 1 == 1
+    }
+
+    fn push_bit(&mut self, b: bool) {
+        if self.len.is_multiple_of(64) {
+            self.words.push(0);
+        }
+        if b {
+            let w = self.words.last_mut().expect("just ensured capacity");
+            *w |= 1u64 << (63 - (self.len % 64));
+        }
+        self.len += 1;
+    }
+}
+
+/// Appends fields to a [`BitString`].
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    bits: BitString,
+}
+
+impl BitWriter {
+    /// A writer over a fresh empty string.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bits written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// `true` iff nothing has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Appends one bit.
+    pub fn write_bit(&mut self, b: bool) {
+        self.bits.push_bit(b);
+    }
+
+    /// Appends the low `width` bits of `value`, MSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64` or `value` does not fit in `width` bits.
+    pub fn write_bits(&mut self, value: u64, width: usize) {
+        assert!(width <= 64, "width {width} exceeds 64");
+        assert!(
+            width == 64 || value < (1u64 << width),
+            "value {value} does not fit in {width} bits"
+        );
+        for i in (0..width).rev() {
+            self.bits.push_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Appends `x ≥ 1` in Elias gamma: `⌊log₂ x⌋` zeros, then `x` in binary.
+    ///
+    /// To encode an arbitrary `v ≥ 0`, call `write_gamma(v + 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x == 0`.
+    pub fn write_gamma(&mut self, x: u64) {
+        assert!(x >= 1, "gamma code is defined for x >= 1");
+        let bits = 64 - x.leading_zeros() as usize; // ⌊log₂ x⌋ + 1
+        for _ in 0..bits - 1 {
+            self.bits.push_bit(false);
+        }
+        self.write_bits(x, bits);
+    }
+
+    /// Finishes writing, yielding the bit string.
+    #[must_use]
+    pub fn finish(self) -> BitString {
+        self.bits
+    }
+}
+
+/// Sequentially consumes fields from a [`BitString`].
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bits: &'a BitString,
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// A reader positioned at the start of `bits`.
+    #[must_use]
+    pub fn new(bits: &'a BitString) -> Self {
+        Self { bits, pos: 0 }
+    }
+
+    /// Current position in bits.
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bits remaining.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.bits.len() - self.pos
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics on reading past the end.
+    pub fn read_bit(&mut self) -> bool {
+        let b = self.bits.bit(self.pos);
+        self.pos += 1;
+        b
+    }
+
+    /// Reads `width` bits as an MSB-first unsigned integer.
+    pub fn read_bits(&mut self, width: usize) -> u64 {
+        assert!(width <= 64, "width {width} exceeds 64");
+        let mut v = 0u64;
+        for _ in 0..width {
+            v = (v << 1) | u64::from(self.read_bit());
+        }
+        v
+    }
+
+    /// Reads an Elias-gamma integer (`>= 1`).
+    pub fn read_gamma(&mut self) -> u64 {
+        let mut zeros = 0usize;
+        while !self.read_bit() {
+            zeros += 1;
+        }
+        let mut v = 1u64;
+        for _ in 0..zeros {
+            v = (v << 1) | u64::from(self.read_bit());
+        }
+        v
+    }
+
+    /// Skips `count` bits.
+    pub fn skip(&mut self, count: usize) {
+        assert!(
+            self.pos + count <= self.bits.len(),
+            "skip past end of bit string"
+        );
+        self.pos += count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_string() {
+        let b = BitString::new();
+        assert_eq!(b.len(), 0);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn single_bits_round_trip() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, true, true, false, false, true];
+        for &b in &pattern {
+            w.write_bit(b);
+        }
+        let s = w.finish();
+        assert_eq!(s.len(), 7);
+        let mut r = BitReader::new(&s);
+        for &b in &pattern {
+            assert_eq!(r.read_bit(), b);
+        }
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn fixed_width_round_trip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1011, 4);
+        w.write_bits(0, 1);
+        w.write_bits(u64::MAX, 64);
+        w.write_bits(12345, 17);
+        let s = w.finish();
+        let mut r = BitReader::new(&s);
+        assert_eq!(r.read_bits(4), 0b1011);
+        assert_eq!(r.read_bits(1), 0);
+        assert_eq!(r.read_bits(64), u64::MAX);
+        assert_eq!(r.read_bits(17), 12345);
+    }
+
+    #[test]
+    fn cross_word_boundary() {
+        let mut w = BitWriter::new();
+        w.write_bits(0x5555, 16);
+        w.write_bits(0xDEAD_BEEF_CAFE_F00D, 64); // spans words
+        w.write_bits(0x3, 2);
+        let s = w.finish();
+        assert_eq!(s.len(), 82);
+        let mut r = BitReader::new(&s);
+        assert_eq!(r.read_bits(16), 0x5555);
+        assert_eq!(r.read_bits(64), 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(r.read_bits(2), 0x3);
+    }
+
+    #[test]
+    fn gamma_round_trip() {
+        let mut w = BitWriter::new();
+        let values = [1u64, 2, 3, 4, 7, 8, 100, 1_000_000, u64::MAX >> 1];
+        for &v in &values {
+            w.write_gamma(v);
+        }
+        let s = w.finish();
+        let mut r = BitReader::new(&s);
+        for &v in &values {
+            assert_eq!(r.read_gamma(), v);
+        }
+    }
+
+    #[test]
+    fn gamma_lengths() {
+        // gamma(1) = "1" (1 bit); gamma(2) = "010" (3); gamma(5) = "00101" (5).
+        for (v, len) in [(1u64, 1usize), (2, 3), (5, 5), (8, 7)] {
+            let mut w = BitWriter::new();
+            w.write_gamma(v);
+            assert_eq!(w.finish().len(), len, "gamma({v})");
+        }
+    }
+
+    #[test]
+    fn skip_and_position() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xFF, 8);
+        w.write_bits(0b101, 3);
+        let s = w.finish();
+        let mut r = BitReader::new(&s);
+        r.skip(8);
+        assert_eq!(r.position(), 8);
+        assert_eq!(r.read_bits(3), 0b101);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn overflow_value_rejected() {
+        let mut w = BitWriter::new();
+        w.write_bits(16, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "x >= 1")]
+    fn gamma_zero_rejected() {
+        let mut w = BitWriter::new();
+        w.write_gamma(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn read_past_end_panics() {
+        let s = BitString::new();
+        let mut r = BitReader::new(&s);
+        let _ = r.read_bit();
+    }
+
+    #[test]
+    fn interleaved_formats() {
+        let mut w = BitWriter::new();
+        w.write_gamma(42);
+        w.write_bit(true);
+        w.write_bits(7, 3);
+        w.write_gamma(1);
+        w.write_bits(0, 13);
+        let s = w.finish();
+        let mut r = BitReader::new(&s);
+        assert_eq!(r.read_gamma(), 42);
+        assert!(r.read_bit());
+        assert_eq!(r.read_bits(3), 7);
+        assert_eq!(r.read_gamma(), 1);
+        assert_eq!(r.read_bits(13), 0);
+        assert_eq!(r.remaining(), 0);
+    }
+}

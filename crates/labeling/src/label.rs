@@ -1,0 +1,319 @@
+//! Labels and labelings, with bit-exact size accounting and a compact
+//! binary wire format (labels exist to be shipped to peers).
+
+use crate::bits::{BitReader, BitString, BitWriter};
+
+/// Magic prefix of the [`Labeling`] wire format.
+const LABELING_MAGIC: &[u8; 4] = b"PLL1";
+
+/// Error deserializing a label or labeling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the declared content.
+    Truncated,
+    /// The labeling magic/version prefix did not match.
+    BadMagic,
+    /// Unused trailing bits of the final byte were not zero.
+    DirtyPadding,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "buffer too short for declared label data"),
+            Self::BadMagic => write!(f, "not a labeling blob (bad magic)"),
+            Self::DirtyPadding => write!(f, "non-zero padding bits in final byte"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A single vertex label: an opaque bit string produced by an encoder and
+/// consumed by the matching decoder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Label(BitString);
+
+impl Label {
+    /// Wraps a finished bit string as a label.
+    #[must_use]
+    pub fn from_bits(bits: BitString) -> Self {
+        Self(bits)
+    }
+
+    /// Label size in bits — the quantity every bound in the paper is about.
+    #[must_use]
+    pub fn bit_len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// A reader over the label's bits.
+    #[must_use]
+    pub fn reader(&self) -> BitReader<'_> {
+        BitReader::new(&self.0)
+    }
+
+    /// Serializes as `u64-LE bit length` followed by the packed bits,
+    /// MSB-first within each byte, zero-padded to a byte boundary.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.bit_len().div_ceil(8));
+        out.extend_from_slice(&(self.bit_len() as u64).to_le_bytes());
+        let mut r = self.reader();
+        let mut acc = 0u8;
+        let mut filled = 0u8;
+        for _ in 0..self.bit_len() {
+            acc = (acc << 1) | u8::from(r.read_bit());
+            filled += 1;
+            if filled == 8 {
+                out.push(acc);
+                acc = 0;
+                filled = 0;
+            }
+        }
+        if filled > 0 {
+            out.push(acc << (8 - filled));
+        }
+        out
+    }
+
+    /// Parses a label written by [`to_bytes`](Self::to_bytes), returning
+    /// the label and the number of bytes consumed.
+    pub fn from_bytes(buf: &[u8]) -> Result<(Self, usize), WireError> {
+        if buf.len() < 8 {
+            return Err(WireError::Truncated);
+        }
+        let bit_len = u64::from_le_bytes(buf[..8].try_into().expect("8 bytes")) as usize;
+        let nbytes = bit_len.div_ceil(8);
+        let body = buf.get(8..8 + nbytes).ok_or(WireError::Truncated)?;
+        let mut w = BitWriter::new();
+        for i in 0..bit_len {
+            let byte = body[i / 8];
+            w.write_bit((byte >> (7 - i % 8)) & 1 == 1);
+        }
+        // Reject dirty padding so the encoding is canonical.
+        if !bit_len.is_multiple_of(8) {
+            let pad = body[nbytes - 1] & ((1u8 << (8 - bit_len % 8)) - 1);
+            if pad != 0 {
+                return Err(WireError::DirtyPadding);
+            }
+        }
+        Ok((Self(w.finish()), 8 + nbytes))
+    }
+}
+
+impl From<BitWriter> for Label {
+    fn from(w: BitWriter) -> Self {
+        Self(w.finish())
+    }
+}
+
+/// The output of an encoder: one label per vertex, indexed by the original
+/// vertex id of the input graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Labeling {
+    labels: Vec<Label>,
+}
+
+impl Labeling {
+    /// Wraps per-vertex labels (index = original vertex id).
+    #[must_use]
+    pub fn new(labels: Vec<Label>) -> Self {
+        Self { labels }
+    }
+
+    /// Number of labeled vertices.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` iff the labeling covers no vertices.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The label of vertex `v`.
+    #[must_use]
+    pub fn label(&self, v: u32) -> &Label {
+        &self.labels[v as usize]
+    }
+
+    /// Iterator over `(vertex, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &Label)> + '_ {
+        self.labels.iter().enumerate().map(|(v, l)| (v as u32, l))
+    }
+
+    /// The scheme's `size(n)`: the maximum label length in bits.
+    #[must_use]
+    pub fn max_bits(&self) -> usize {
+        self.labels.iter().map(Label::bit_len).max().unwrap_or(0)
+    }
+
+    /// Average label length in bits.
+    #[must_use]
+    pub fn avg_bits(&self) -> f64 {
+        if self.labels.is_empty() {
+            0.0
+        } else {
+            self.total_bits() as f64 / self.labels.len() as f64
+        }
+    }
+
+    /// Total bits across all labels (the distributed structure's footprint).
+    #[must_use]
+    pub fn total_bits(&self) -> usize {
+        self.labels.iter().map(Label::bit_len).sum()
+    }
+
+    /// Serializes the whole labeling: magic, `u64-LE` label count, then
+    /// each label in the [`Label::to_bytes`] format.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + self.total_bits() / 8 + 9 * self.len());
+        out.extend_from_slice(LABELING_MAGIC);
+        out.extend_from_slice(&(self.len() as u64).to_le_bytes());
+        for l in &self.labels {
+            out.extend_from_slice(&l.to_bytes());
+        }
+        out
+    }
+
+    /// Parses a labeling written by [`to_bytes`](Self::to_bytes).
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, WireError> {
+        if buf.len() < 12 {
+            return Err(WireError::Truncated);
+        }
+        if &buf[..4] != LABELING_MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let count = u64::from_le_bytes(buf[4..12].try_into().expect("8 bytes")) as usize;
+        let mut labels = Vec::with_capacity(count);
+        let mut pos = 12usize;
+        for _ in 0..count {
+            let (l, used) = Label::from_bytes(&buf[pos..])?;
+            labels.push(l);
+            pos += used;
+        }
+        Ok(Self::new(labels))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn label_of_bits(n: usize) -> Label {
+        let mut w = BitWriter::new();
+        for i in 0..n {
+            w.write_bit(i % 2 == 0);
+        }
+        w.into()
+    }
+
+    #[test]
+    fn label_len() {
+        assert_eq!(label_of_bits(17).bit_len(), 17);
+        assert_eq!(label_of_bits(0).bit_len(), 0);
+    }
+
+    #[test]
+    fn labeling_stats() {
+        let lab = Labeling::new(vec![label_of_bits(8), label_of_bits(4), label_of_bits(12)]);
+        assert_eq!(lab.len(), 3);
+        assert_eq!(lab.max_bits(), 12);
+        assert_eq!(lab.total_bits(), 24);
+        assert!((lab.avg_bits() - 8.0).abs() < 1e-12);
+        assert_eq!(lab.label(1).bit_len(), 4);
+    }
+
+    #[test]
+    fn empty_labeling() {
+        let lab = Labeling::new(vec![]);
+        assert!(lab.is_empty());
+        assert_eq!(lab.max_bits(), 0);
+        assert_eq!(lab.avg_bits(), 0.0);
+    }
+
+    #[test]
+    fn iter_gives_ids_in_order() {
+        let lab = Labeling::new(vec![label_of_bits(1), label_of_bits(2)]);
+        let ids: Vec<u32> = lab.iter().map(|(v, _)| v).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn reader_reads_label_content() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1010, 4);
+        let l: Label = w.into();
+        assert_eq!(l.reader().read_bits(4), 0b1010);
+    }
+
+    #[test]
+    fn label_wire_round_trip() {
+        for bits in [0usize, 1, 7, 8, 9, 63, 64, 65, 130] {
+            let l = label_of_bits(bits);
+            let bytes = l.to_bytes();
+            assert_eq!(bytes.len(), 8 + bits.div_ceil(8));
+            let (back, used) = Label::from_bytes(&bytes).unwrap();
+            assert_eq!(used, bytes.len());
+            assert_eq!(back, l, "bits = {bits}");
+        }
+    }
+
+    #[test]
+    fn label_wire_rejects_truncation() {
+        let l = label_of_bits(20);
+        let bytes = l.to_bytes();
+        assert_eq!(
+            Label::from_bytes(&bytes[..bytes.len() - 1]),
+            Err(WireError::Truncated)
+        );
+        assert_eq!(Label::from_bytes(&bytes[..4]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn label_wire_rejects_dirty_padding() {
+        let l = label_of_bits(9);
+        let mut bytes = l.to_bytes();
+        *bytes.last_mut().unwrap() |= 1; // flip an unused padding bit
+        assert_eq!(Label::from_bytes(&bytes), Err(WireError::DirtyPadding));
+    }
+
+    #[test]
+    fn labeling_wire_round_trip() {
+        let lab = Labeling::new(vec![label_of_bits(3), label_of_bits(0), label_of_bits(77)]);
+        let bytes = lab.to_bytes();
+        let back = Labeling::from_bytes(&bytes).unwrap();
+        assert_eq!(back.len(), 3);
+        for v in 0..3u32 {
+            assert_eq!(back.label(v), lab.label(v));
+        }
+    }
+
+    #[test]
+    fn labeling_wire_rejects_bad_magic() {
+        let lab = Labeling::new(vec![label_of_bits(5)]);
+        let mut bytes = lab.to_bytes();
+        bytes[0] = b'X';
+        assert_eq!(Labeling::from_bytes(&bytes), Err(WireError::BadMagic));
+        assert!(WireError::BadMagic.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn serialized_labeling_still_decodes() {
+        use crate::scheme::{AdjacencyDecoder, AdjacencyScheme};
+        let g = pl_gen::classic::cycle(12);
+        let scheme = crate::threshold::ThresholdScheme::with_tau(2);
+        let lab = scheme.encode(&g);
+        let back = Labeling::from_bytes(&lab.to_bytes()).unwrap();
+        let dec = scheme.decoder();
+        for u in g.vertices() {
+            for v in g.vertices() {
+                assert_eq!(dec.adjacent(back.label(u), back.label(v)), g.has_edge(u, v));
+            }
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Scheme and decoder traits, plus the shared label prelude.
+//!
+//! The paper's model (Section 2): an *encoder* sees the graph and emits one
+//! bit string per vertex; a *decoder* sees exactly two labels — never the
+//! graph — and decides adjacency. To make graph-independence structural,
+//! decoders here are [`Default`]-constructible value types: they cannot
+//! smuggle per-graph state. Anything the decoder needs (id width, fat/thin
+//! flags, list lengths) is written into the labels themselves.
+
+use pl_graph::Graph;
+
+use crate::bits::{BitReader, BitWriter};
+use crate::label::{Label, Labeling};
+
+/// An adjacency labeling scheme: the encoder half.
+pub trait AdjacencyScheme {
+    /// The matching decoder type.
+    type Decoder: AdjacencyDecoder;
+
+    /// Human-readable scheme name for experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Labels every vertex of `g`; `labeling.label(v)` is `v`'s label.
+    fn encode(&self, g: &Graph) -> Labeling;
+
+    /// The decoder. Decoders are stateless values; this is a convenience
+    /// equivalent to `Self::Decoder::default()`.
+    fn decoder(&self) -> Self::Decoder
+    where
+        Self::Decoder: Default,
+    {
+        Self::Decoder::default()
+    }
+}
+
+/// The decoder half: answers adjacency from two labels alone.
+pub trait AdjacencyDecoder {
+    /// `true` iff the two labeled vertices are adjacent.
+    ///
+    /// Both labels must come from the same [`AdjacencyScheme::encode`] run;
+    /// mixing labelings or schemes is a logic error (the decoder may panic
+    /// or answer arbitrarily).
+    fn adjacent(&self, a: &Label, b: &Label) -> bool;
+}
+
+/// Width in bits of identifiers for an `n`-vertex graph: `⌈log₂ n⌉`,
+/// minimum 1 so the prelude stays well-formed for trivial graphs.
+#[must_use]
+pub fn id_width(n: usize) -> usize {
+    if n <= 2 {
+        1
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as usize
+    }
+}
+
+/// Writes the shared label prelude: a 6-bit id width `w`, then the `w`-bit
+/// identifier. 6 bits suffice for any `w ≤ 63`, i.e. graphs up to `2^63`
+/// vertices.
+pub fn write_prelude(w: &mut BitWriter, width: usize, id: u64) {
+    debug_assert!((1..=63).contains(&width));
+    w.write_bits(width as u64, 6);
+    w.write_bits(id, width);
+}
+
+/// Reads the prelude written by [`write_prelude`]; returns `(width, id)`.
+#[must_use]
+pub fn read_prelude(r: &mut BitReader<'_>) -> (usize, u64) {
+    let width = r.read_bits(6) as usize;
+    let id = r.read_bits(width);
+    (width, id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_width_values() {
+        assert_eq!(id_width(0), 1);
+        assert_eq!(id_width(1), 1);
+        assert_eq!(id_width(2), 1);
+        assert_eq!(id_width(3), 2);
+        assert_eq!(id_width(4), 2);
+        assert_eq!(id_width(5), 3);
+        assert_eq!(id_width(1 << 20), 20);
+        assert_eq!(id_width((1 << 20) + 1), 21);
+    }
+
+    #[test]
+    fn prelude_round_trip() {
+        for (n, id) in [(2usize, 1u64), (100, 99), (1 << 30, 12345)] {
+            let width = id_width(n);
+            let mut w = BitWriter::new();
+            write_prelude(&mut w, width, id);
+            let label: Label = w.into();
+            let mut r = label.reader();
+            assert_eq!(read_prelude(&mut r), (width, id));
+        }
+    }
+
+    #[test]
+    fn prelude_size_is_logarithmic() {
+        let mut w = BitWriter::new();
+        write_prelude(&mut w, id_width(1_000_000), 999_999);
+        assert_eq!(w.len(), 6 + 20);
+    }
+}

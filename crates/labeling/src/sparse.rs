@@ -1,0 +1,185 @@
+//! Theorem 3: the labeling scheme for `c`-sparse graphs.
+
+use pl_graph::Graph;
+
+use crate::label::Labeling;
+use crate::scheme::AdjacencyScheme;
+use crate::theory::{sparse_tau, sparse_upper_bound};
+use crate::threshold::{encode_with_stats, ThresholdDecoder, ThresholdStats};
+
+/// The `√(2cn·log n) + 2·log n + 1` scheme of Theorem 3.
+///
+/// A thin wrapper over the [`threshold`](crate::threshold) engine with the
+/// threshold `τ(n) = ⌈√(2cn / log n)⌉` that balances thin labels
+/// (`≈ τ·log n` bits) against fat labels (`≈ 2cn/τ` bits).
+///
+/// # Example
+///
+/// ```
+/// use pl_labeling::sparse::SparseScheme;
+/// use pl_labeling::scheme::{AdjacencyScheme, AdjacencyDecoder};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let g = pl_gen::er::gnm(500, 1000, &mut rng); // 2-sparse
+/// let scheme = SparseScheme::new(2.0);
+/// let labeling = scheme.encode(&g);
+/// let dec = scheme.decoder();
+/// for (u, v) in g.edges().take(50) {
+///     assert!(dec.adjacent(labeling.label(u), labeling.label(v)));
+/// }
+/// // Theorem 3 bound holds.
+/// assert!((labeling.max_bits() as f64) <=
+///         pl_labeling::theory::sparse_upper_bound(500, 2.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparseScheme {
+    c: f64,
+}
+
+impl SparseScheme {
+    /// A scheme for `c`-sparse graphs (graphs with at most `c·n` edges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c <= 0`.
+    #[must_use]
+    pub fn new(c: f64) -> Self {
+        assert!(c > 0.0, "sparsity constant must be positive, got {c}");
+        Self { c }
+    }
+
+    /// A scheme calibrated to a specific graph's own sparsity `c = m/n`.
+    #[must_use]
+    pub fn for_graph(g: &Graph) -> Self {
+        Self::new(g.sparsity().max(f64::MIN_POSITIVE))
+    }
+
+    /// The sparsity constant `c`.
+    #[must_use]
+    pub fn c(&self) -> f64 {
+        self.c
+    }
+
+    /// The threshold this scheme uses for an `n`-vertex graph.
+    #[must_use]
+    pub fn tau(&self, n: usize) -> usize {
+        sparse_tau(n, self.c)
+    }
+
+    /// Theorem 3's guaranteed maximum label size for `n` vertices, in bits
+    /// (valid when the input really is `c`-sparse; the self-delimiting
+    /// header adds a small constant on top).
+    #[must_use]
+    pub fn guaranteed_bits(&self, n: usize) -> f64 {
+        sparse_upper_bound(n, self.c)
+    }
+
+    /// Encodes and also returns the engine statistics.
+    #[must_use]
+    pub fn encode_with_stats(&self, g: &Graph) -> (Labeling, ThresholdStats) {
+        encode_with_stats(g, self.tau(g.vertex_count()))
+    }
+}
+
+impl AdjacencyScheme for SparseScheme {
+    type Decoder = ThresholdDecoder;
+
+    fn name(&self) -> &'static str {
+        "sparse (Thm 3)"
+    }
+
+    fn encode(&self, g: &Graph) -> Labeling {
+        self.encode_with_stats(g).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::AdjacencyDecoder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x5AA5)
+    }
+
+    fn check_sampled(g: &Graph, labeling: &Labeling, rng: &mut StdRng, pairs: usize) {
+        use rand::Rng;
+        let dec = ThresholdDecoder;
+        let n = g.vertex_count() as u32;
+        for _ in 0..pairs {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            assert_eq!(
+                dec.adjacent(labeling.label(u), labeling.label(v)),
+                g.has_edge(u, v),
+                "pair ({u}, {v})"
+            );
+        }
+        for (u, v) in g.edges().take(pairs) {
+            assert!(dec.adjacent(labeling.label(u), labeling.label(v)));
+        }
+    }
+
+    #[test]
+    fn correct_on_er_graph() {
+        let mut r = rng();
+        let g = pl_gen::er::gnm(2_000, 6_000, &mut r);
+        let s = SparseScheme::for_graph(&g);
+        let labeling = s.encode(&g);
+        check_sampled(&g, &labeling, &mut r, 4_000);
+    }
+
+    #[test]
+    fn respects_theorem_3_bound() {
+        let mut r = rng();
+        for &(n, m) in &[(1_000usize, 2_000usize), (10_000, 30_000), (20_000, 20_000)] {
+            let g = pl_gen::er::gnm(n, m, &mut r);
+            let c = g.sparsity();
+            let s = SparseScheme::new(c);
+            let labeling = s.encode(&g);
+            // +64 slack for the self-delimiting header fields.
+            let bound = s.guaranteed_bits(n) + 64.0;
+            assert!(
+                (labeling.max_bits() as f64) <= bound,
+                "n={n} m={m}: {} > {bound}",
+                labeling.max_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn bound_holds_on_power_law_graph_too() {
+        // Power-law graphs are sparse, so Theorem 3 applies (just weaker
+        // than Theorem 4).
+        let mut r = rng();
+        let g = pl_gen::chung_lu_power_law(10_000, 2.5, 5.0, &mut r);
+        let s = SparseScheme::for_graph(&g);
+        let labeling = s.encode(&g);
+        assert!((labeling.max_bits() as f64) <= s.guaranteed_bits(10_000) + 64.0);
+        check_sampled(&g, &labeling, &mut r, 3_000);
+    }
+
+    #[test]
+    fn for_graph_matches_sparsity() {
+        let mut r = rng();
+        let g = pl_gen::er::gnm(100, 321, &mut r);
+        let s = SparseScheme::for_graph(&g);
+        assert!((s.c() - 3.21).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tau_grows_with_n() {
+        let s = SparseScheme::new(2.0);
+        assert!(s.tau(1_000_000) > s.tau(1_000));
+        assert!(s.tau(2) >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_c() {
+        let _ = SparseScheme::new(0.0);
+    }
+}

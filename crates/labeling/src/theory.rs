@@ -1,0 +1,200 @@
+//! The paper's bound formulas, as executable functions.
+//!
+//! Every theorem in the paper predicts a label size or a threshold; the
+//! experiment harness compares measured values against these functions.
+//! Logarithms are base 2 (label sizes are in bits).
+
+use pl_stats::paper::PaperConstants;
+
+/// `log₂ n`, clamped below at 1 so thresholds and bounds stay defined for
+/// trivial graphs.
+#[must_use]
+pub fn log2n(n: usize) -> f64 {
+    (n as f64).log2().max(1.0)
+}
+
+/// Theorem 3's threshold for `c`-sparse graphs:
+/// `τ(n) = ⌈√(2cn / log n)⌉`, at least 1.
+#[must_use]
+pub fn sparse_tau(n: usize, c: f64) -> usize {
+    ((2.0 * c * n as f64 / log2n(n)).sqrt().ceil() as usize).max(1)
+}
+
+/// Theorem 3's label-size guarantee: `√(2cn·log n) + 2·log n + 1` bits.
+#[must_use]
+pub fn sparse_upper_bound(n: usize, c: f64) -> f64 {
+    (2.0 * c * n as f64 * log2n(n)).sqrt() + 2.0 * log2n(n) + 1.0
+}
+
+/// Proposition 4's lower bound for `c`-sparse graphs: `⌊√(cn)/2⌋` bits.
+#[must_use]
+pub fn sparse_lower_bound(n: usize, c: f64) -> usize {
+    ((c * n as f64).sqrt() / 2.0).floor() as usize
+}
+
+/// Theorem 4's threshold for `P_h`: `τ(n) = ⌈(C'·n / log n)^{1/α}⌉`.
+///
+/// Pass the paper's constant via [`PaperConstants`] (`c_prime`), or a
+/// smaller practical constant to explore the trade-off (experiment E2).
+#[must_use]
+pub fn powerlaw_tau(n: usize, alpha: f64, c_prime: f64) -> usize {
+    ((c_prime * n as f64 / log2n(n)).powf(1.0 / alpha).ceil() as usize).max(1)
+}
+
+/// Theorem 4's label-size guarantee:
+/// `(C'n)^{1/α} · (log n)^{1−1/α} + 2·log n + 1` bits.
+#[must_use]
+pub fn powerlaw_upper_bound(n: usize, alpha: f64, c_prime: f64) -> f64 {
+    (c_prime * n as f64).powf(1.0 / alpha) * log2n(n).powf(1.0 - 1.0 / alpha) + 2.0 * log2n(n) + 1.0
+}
+
+/// Theorem 6's lower bound for `P_l` (hence `P_h`): any scheme needs
+/// `⌊i₁/2⌋ = Ω(n^{1/α})` bits, because an arbitrary `i₁`-vertex graph
+/// embeds induced into a member of `P_l` and general graphs need `⌊k/2⌋`
+/// bits (Moon).
+#[must_use]
+pub fn powerlaw_lower_bound(n: usize, alpha: f64) -> usize {
+    PaperConstants::new(n, alpha).i1 / 2
+}
+
+/// The fat threshold of Lemma 7's distance scheme: `n^{1/(α−1+f)}`.
+#[must_use]
+pub fn distance_fat_threshold(n: usize, alpha: f64, f: usize) -> f64 {
+    (n as f64).powf(1.0 / (alpha - 1.0 + f as f64))
+}
+
+/// The exponent in Lemma 7's label bound: `f / (α − 1 + f)`.
+#[must_use]
+pub fn distance_exponent(alpha: f64, f: usize) -> f64 {
+    f as f64 / (alpha - 1.0 + f as f64)
+}
+
+/// Lemma 7's label-size guarantee (up to the constant `C'`):
+/// `C'·n^{f/(α−1+f)} · (log f + log n)` bits — the fat table contributes
+/// `O(n^{f/(α−1+f)} log f)` and the thin table `O(n^{f/(α−1+f)} log n)`.
+#[must_use]
+pub fn distance_upper_bound(n: usize, alpha: f64, f: usize, c_prime: f64) -> f64 {
+    let body = (n as f64).powf(distance_exponent(alpha, f));
+    c_prime * body * ((f.max(1) as f64).log2().max(1.0) + log2n(n))
+}
+
+/// The online BA scheme's exact size: `(m + 1)·⌈log₂ n⌉` bits plus the
+/// self-delimiting overhead (prelude width field and list length).
+#[must_use]
+pub fn ba_online_bound(n: usize, m: usize) -> f64 {
+    let w = crate::scheme::id_width(n) as f64;
+    (m as f64 + 1.0) * w + 6.0 + 2.0 * (m as f64 + 1.0).log2() + 1.0
+}
+
+/// Moon's general-graph bound: `⌊n/2⌋` bits necessary; our explicit
+/// [`MoonScheme`](crate::baseline::MoonScheme) achieves `n + O(log n)`.
+#[must_use]
+pub fn general_lower_bound(n: usize) -> usize {
+    n / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_tau_balances_sides() {
+        // At the chosen τ, the two label-size terms are within a factor ~2:
+        // thin ≈ τ·log n, fat ≈ 2cn/τ.
+        let (n, c) = (100_000, 3.0);
+        let tau = sparse_tau(n, c) as f64;
+        let thin = tau * log2n(n);
+        let fat = 2.0 * c * n as f64 / tau;
+        let ratio = thin / fat;
+        assert!(ratio > 0.5 && ratio < 2.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn sparse_bounds_order() {
+        for &n in &[1_000usize, 100_000, 10_000_000] {
+            assert!(sparse_upper_bound(n, 2.0) > sparse_lower_bound(n, 2.0) as f64);
+        }
+    }
+
+    #[test]
+    fn powerlaw_beats_sparse_for_large_alpha() {
+        // For α > 2 the power-law bound grows strictly slower than the
+        // sparse bound; check at a large n.
+        let n = 1 << 26;
+        let k = pl_stats::paper::PaperConstants::new(n, 2.5);
+        assert!(powerlaw_upper_bound(n, 2.5, k.c_prime) < sparse_upper_bound(n, 2.0));
+    }
+
+    #[test]
+    fn powerlaw_tau_scales_as_root() {
+        let t1 = powerlaw_tau(10_000, 2.5, 1.0) as f64;
+        let t2 = powerlaw_tau(10_000 * 32, 2.5, 1.0) as f64;
+        // n ×32 should scale τ by ≈ (32 / (log growth))^{1/2.5} ≈ 3.4.
+        let ratio = t2 / t1;
+        assert!(ratio > 2.0 && ratio < 4.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn lower_bound_scales_as_root() {
+        let l1 = powerlaw_lower_bound(10_000, 2.5) as f64;
+        let l2 = powerlaw_lower_bound(320_000, 2.5) as f64;
+        let ratio = l2 / l1;
+        // 32^{1/2.5} ≈ 4.
+        assert!(ratio > 2.5 && ratio < 6.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn upper_and_lower_gap_is_polylog() {
+        // Theorem 4 vs Theorem 6: gap should be ≈ C'^{1/α} (log n)^{1-1/α}.
+        let n = 1 << 20;
+        let alpha = 2.5;
+        let k = pl_stats::paper::PaperConstants::new(n, alpha);
+        let up = powerlaw_upper_bound(n, alpha, k.c_prime);
+        let lo = powerlaw_lower_bound(n, alpha) as f64;
+        let gap = up / lo;
+        let predicted = 2.0 * k.c_prime.powf(1.0 / alpha) * log2n(n).powf(1.0 - 1.0 / alpha)
+            / (k.c.powf(1.0 / alpha));
+        assert!(
+            gap < 4.0 * predicted,
+            "gap {gap} vs predicted order {predicted}"
+        );
+    }
+
+    #[test]
+    fn distance_exponent_monotone_in_f() {
+        let alpha = 2.5;
+        let mut prev = 0.0;
+        for f in 1..20 {
+            let e = distance_exponent(alpha, f);
+            assert!(e > prev && e < 1.0);
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn distance_threshold_decreases_with_f() {
+        let n = 1_000_000;
+        assert!(distance_fat_threshold(n, 2.5, 1) > distance_fat_threshold(n, 2.5, 4));
+    }
+
+    #[test]
+    fn distance_bound_sublinear() {
+        let n = 1_000_000;
+        for f in [2usize, 3, 5] {
+            assert!(distance_upper_bound(n, 2.5, f, 1.0) < n as f64);
+        }
+    }
+
+    #[test]
+    fn ba_bound_is_logarithmic() {
+        assert!(ba_online_bound(1 << 20, 3) < 120.0);
+        assert!(ba_online_bound(1 << 20, 3) > 4.0 * 20.0);
+    }
+
+    #[test]
+    fn log2n_clamps() {
+        assert_eq!(log2n(1), 1.0);
+        assert_eq!(log2n(2), 1.0);
+        assert!((log2n(1024) - 10.0).abs() < 1e-12);
+    }
+}

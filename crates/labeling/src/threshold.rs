@@ -1,0 +1,345 @@
+//! The fat/thin threshold engine shared by Theorems 3 and 4.
+//!
+//! Both labeling schemes of Section 4 are the same algorithm with different
+//! degree thresholds `τ(n)`:
+//!
+//! * vertices of degree `≥ τ` are **fat**; they receive identifiers
+//!   `0 … k−1` (`k` = number of fat vertices) and their label carries a
+//!   `k`-bit adjacency bitmap *over the fat vertices only* (Figure 1b: fat
+//!   nodes do not store adjacency to thin nodes);
+//! * the remaining **thin** vertices receive identifiers `k … n−1` and
+//!   their label carries the full list of their neighbours' identifiers.
+//!
+//! Decoding a pair: if either label is thin, scan its neighbour list for
+//! the other identifier; if both are fat, test one bit of the bitmap.
+//!
+//! ## Label format
+//!
+//! ```text
+//! prelude: 6-bit id width w, w-bit scheme identifier
+//! 1 bit:   fat flag
+//! fat:     gamma(k+1), then k bitmap bits (bit i = adjacent to fat id i)
+//! thin:    gamma(deg+1), then deg × w-bit neighbour identifiers
+//! ```
+
+use pl_graph::degree::vertices_by_degree_desc;
+use pl_graph::{Graph, VertexId};
+
+use crate::bits::BitWriter;
+use crate::label::{Label, Labeling};
+use crate::scheme::{id_width, read_prelude, write_prelude, AdjacencyDecoder, AdjacencyScheme};
+
+/// The fat/thin scheme with an explicitly chosen degree threshold.
+///
+/// [`SparseScheme`](crate::sparse::SparseScheme) and
+/// [`PowerLawScheme`](crate::powerlaw::PowerLawScheme) wrap this engine
+/// with the τ policies of Theorems 3 and 4; using it directly is how the
+/// threshold-sensitivity experiment sweeps τ.
+///
+/// # Example
+///
+/// ```
+/// use pl_labeling::threshold::ThresholdScheme;
+/// use pl_labeling::scheme::{AdjacencyScheme, AdjacencyDecoder};
+///
+/// let g = pl_graph::builder::from_edges(5, [(0, 1), (0, 2), (0, 3), (3, 4)]);
+/// let scheme = ThresholdScheme::with_tau(3); // only vertex 0 is fat
+/// let labeling = scheme.encode(&g);
+/// let dec = scheme.decoder();
+/// assert!(dec.adjacent(labeling.label(0), labeling.label(1)));
+/// assert!(!dec.adjacent(labeling.label(1), labeling.label(4)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThresholdScheme {
+    tau: usize,
+}
+
+impl ThresholdScheme {
+    /// A scheme whose fat vertices are exactly those of degree `≥ tau`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau == 0` (every vertex would be fat *and* the threshold
+    /// would not be "the lowest possible degree of a fat vertex").
+    #[must_use]
+    pub fn with_tau(tau: usize) -> Self {
+        assert!(tau >= 1, "threshold must be at least 1");
+        Self { tau }
+    }
+
+    /// The configured threshold.
+    #[must_use]
+    pub fn tau(&self) -> usize {
+        self.tau
+    }
+}
+
+/// Encoder statistics useful for experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThresholdStats {
+    /// The threshold used.
+    pub tau: usize,
+    /// Number of fat vertices (`k`).
+    pub fat_count: usize,
+    /// Maximum label size among fat vertices, in bits (0 if none).
+    pub max_fat_bits: usize,
+    /// Maximum label size among thin vertices, in bits (0 if none).
+    pub max_thin_bits: usize,
+}
+
+/// Encodes `g` with threshold `tau`, returning the labeling and stats.
+#[must_use]
+pub fn encode_with_stats(g: &Graph, tau: usize) -> (Labeling, ThresholdStats) {
+    assert!(tau >= 1, "threshold must be at least 1");
+    let n = g.vertex_count();
+    let w = id_width(n);
+
+    // Fat vertices first (degree descending), then thin.
+    let order = vertices_by_degree_desc(g);
+    let fat_count = order.partition_point(|&v| g.degree(v) >= tau);
+    let mut scheme_id = vec![0u64; n];
+    for (i, &v) in order.iter().enumerate() {
+        scheme_id[v as usize] = i as u64;
+    }
+
+    let mut labels = Vec::with_capacity(n);
+    for v in 0..n as VertexId {
+        let sid = scheme_id[v as usize];
+        let fat = (sid as usize) < fat_count;
+        let mut bw = BitWriter::new();
+        write_prelude(&mut bw, w, sid);
+        bw.write_bit(fat);
+        if fat {
+            bw.write_gamma(fat_count as u64 + 1);
+            let mut bitmap = vec![false; fat_count];
+            for &u in g.neighbors(v) {
+                let uid = scheme_id[u as usize] as usize;
+                if uid < fat_count {
+                    bitmap[uid] = true;
+                }
+            }
+            for b in bitmap {
+                bw.write_bit(b);
+            }
+        } else {
+            bw.write_gamma(g.degree(v) as u64 + 1);
+            for &u in g.neighbors(v) {
+                bw.write_bits(scheme_id[u as usize], w);
+            }
+        }
+        labels.push(Label::from(bw));
+    }
+
+    let labeling = Labeling::new(labels);
+    let mut max_fat = 0usize;
+    let mut max_thin = 0usize;
+    for (v, &sid) in scheme_id.iter().enumerate() {
+        let bits = labeling.label(v as u32).bit_len();
+        if (sid as usize) < fat_count {
+            max_fat = max_fat.max(bits);
+        } else {
+            max_thin = max_thin.max(bits);
+        }
+    }
+    (
+        labeling,
+        ThresholdStats {
+            tau,
+            fat_count,
+            max_fat_bits: max_fat,
+            max_thin_bits: max_thin,
+        },
+    )
+}
+
+impl AdjacencyScheme for ThresholdScheme {
+    type Decoder = ThresholdDecoder;
+
+    fn name(&self) -> &'static str {
+        "threshold"
+    }
+
+    fn encode(&self, g: &Graph) -> Labeling {
+        encode_with_stats(g, self.tau).0
+    }
+}
+
+/// Decoder for the fat/thin label format. Stateless.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThresholdDecoder;
+
+impl AdjacencyDecoder for ThresholdDecoder {
+    fn adjacent(&self, a: &Label, b: &Label) -> bool {
+        let mut ra = a.reader();
+        let mut rb = b.reader();
+        let (wa, ida) = read_prelude(&mut ra);
+        let (wb, idb) = read_prelude(&mut rb);
+        debug_assert_eq!(wa, wb, "labels from different labelings");
+        if ida == idb {
+            return false;
+        }
+        let fat_a = ra.read_bit();
+        let fat_b = rb.read_bit();
+        match (fat_a, fat_b) {
+            (false, _) => thin_list_contains(&mut ra, wa, idb),
+            (_, false) => thin_list_contains(&mut rb, wb, ida),
+            (true, true) => {
+                // Read b's bit in a's fat bitmap. Within one labeling every
+                // fat id is below k; an out-of-range id can only arise when
+                // mixing labels across labelings (e.g. in the KNR universal-
+                // graph construction), where any total answer is valid — we
+                // answer "not adjacent".
+                let k = ra.read_gamma() - 1;
+                if idb >= k {
+                    return false;
+                }
+                ra.skip(idb as usize);
+                ra.read_bit()
+            }
+        }
+    }
+}
+
+/// Scans a thin label's neighbour list (positioned at the gamma count) for
+/// `target`.
+fn thin_list_contains(r: &mut crate::bits::BitReader<'_>, w: usize, target: u64) -> bool {
+    let deg = r.read_gamma() - 1;
+    (0..deg).any(|_| r.read_bits(w) == target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pl_graph::builder::from_edges;
+    use pl_graph::GraphBuilder;
+
+    fn check_all_pairs(g: &Graph, tau: usize) {
+        let (labeling, _) = encode_with_stats(g, tau);
+        let dec = ThresholdDecoder;
+        for u in g.vertices() {
+            for v in g.vertices() {
+                assert_eq!(
+                    dec.adjacent(labeling.label(u), labeling.label(v)),
+                    g.has_edge(u, v),
+                    "pair ({u}, {v}) with tau = {tau}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn correct_on_small_graphs_for_all_taus() {
+        let graphs = [
+            from_edges(1, []),
+            from_edges(2, [(0, 1)]),
+            from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]),
+            from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]),
+            from_edges(6, [(0, 1), (0, 2), (1, 2), (3, 4)]),
+        ];
+        for g in &graphs {
+            for tau in 1..=6 {
+                check_all_pairs(g, tau);
+            }
+        }
+    }
+
+    #[test]
+    fn all_fat_equals_bitmap_scheme() {
+        // tau = 1 makes every non-isolated vertex fat.
+        let g = from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let (_, stats) = encode_with_stats(&g, 1);
+        assert_eq!(stats.fat_count, 5);
+        check_all_pairs(&g, 1);
+    }
+
+    #[test]
+    fn all_thin_equals_adjacency_lists() {
+        let g = from_edges(5, [(0, 1), (1, 2), (2, 3)]);
+        let (_, stats) = encode_with_stats(&g, 100);
+        assert_eq!(stats.fat_count, 0);
+        check_all_pairs(&g, 100);
+    }
+
+    #[test]
+    fn isolated_vertices_are_thin_and_harmless() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        let g = b.build();
+        check_all_pairs(&g, 1);
+        check_all_pairs(&g, 2);
+    }
+
+    #[test]
+    fn stats_fat_count_matches_degrees() {
+        let g = from_edges(6, [(0, 1), (0, 2), (0, 3), (1, 2), (4, 5)]);
+        // Degrees: 0 -> 3, 1 -> 2, 2 -> 2, 3 -> 1, 4 -> 1, 5 -> 1.
+        let (_, stats) = encode_with_stats(&g, 2);
+        assert_eq!(stats.fat_count, 3);
+        let (_, stats) = encode_with_stats(&g, 3);
+        assert_eq!(stats.fat_count, 1);
+        let (_, stats) = encode_with_stats(&g, 4);
+        assert_eq!(stats.fat_count, 0);
+    }
+
+    #[test]
+    fn fat_labels_do_not_grow_with_thin_neighbors() {
+        // A hub with many thin neighbours: its label must stay ~k bits,
+        // not ~deg·w bits (the core trick of the paper's Figure 1b).
+        let n = 1000;
+        let g = pl_graph::builder::from_edges(n, (1..n as u32).map(|i| (0, i)));
+        let (labeling, stats) = encode_with_stats(&g, 2);
+        assert_eq!(stats.fat_count, 1);
+        let hub_bits = labeling.label(0).bit_len();
+        assert!(
+            hub_bits < 64,
+            "hub label is {hub_bits} bits; should be O(log n) since k = 1"
+        );
+        // Thin labels: prelude + 1 neighbour id.
+        let leaf_bits = labeling.label(1).bit_len();
+        assert!(leaf_bits < 40, "leaf label {leaf_bits} bits");
+    }
+
+    #[test]
+    fn larger_random_graph_sampled_pairs() {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut b = GraphBuilder::new(300);
+        for _ in 0..900 {
+            let u = rng.gen_range(0..300u32);
+            let v = rng.gen_range(0..300u32);
+            if u != v {
+                b.add_edge(u, v);
+            }
+        }
+        let g = b.build();
+        for tau in [1usize, 3, 8, 50] {
+            let (labeling, _) = encode_with_stats(&g, tau);
+            let dec = ThresholdDecoder;
+            for _ in 0..2000 {
+                let u = rng.gen_range(0..300u32);
+                let v = rng.gen_range(0..300u32);
+                assert_eq!(
+                    dec.adjacent(labeling.label(u), labeling.label(v)),
+                    g.has_edge(u, v)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn self_query_is_false() {
+        let g = from_edges(3, [(0, 1), (1, 2)]);
+        let (labeling, _) = encode_with_stats(&g, 2);
+        let dec = ThresholdDecoder;
+        for v in 0..3u32 {
+            assert!(!dec.adjacent(labeling.label(v), labeling.label(v)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_tau_rejected() {
+        let _ = ThresholdScheme::with_tau(0);
+    }
+}

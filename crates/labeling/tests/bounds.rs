@@ -1,0 +1,173 @@
+//! Systematic bound-compliance matrix: every scheme's measured maximum
+//! label stays within its theoretical guarantee (plus the documented
+//! self-delimiting header slack) across generators and sizes.
+
+use pl_labeling::scheme::AdjacencyScheme;
+use pl_labeling::theory;
+use pl_labeling::{PowerLawScheme, SparseScheme};
+use pl_stats::paper::PaperConstants;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Header slack: prelude width field, fat flag, gamma lengths.
+const SLACK: f64 = 64.0;
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[test]
+fn theorem_3_bound_matrix() {
+    // c-sparse inputs from three different models; the Theorem 3 bound
+    // must hold for each at its own measured sparsity.
+    let mut r = rng(10);
+    let cases: Vec<(&str, pl_graph::Graph)> = vec![
+        ("er", pl_gen::er::gnm(8_000, 24_000, &mut r)),
+        (
+            "chung-lu",
+            pl_gen::chung_lu_power_law(8_000, 2.5, 6.0, &mut r),
+        ),
+        ("ba", pl_gen::barabasi_albert(8_000, 3, &mut r).graph),
+        (
+            "pl-family",
+            pl_gen::pl_family::p_l_random(8_000, 2.5, &mut r).graph,
+        ),
+    ];
+    for (name, g) in &cases {
+        let s = SparseScheme::for_graph(g);
+        let labeling = s.encode(g);
+        let bound = s.guaranteed_bits(g.vertex_count()) + SLACK;
+        assert!(
+            (labeling.max_bits() as f64) <= bound,
+            "{name}: {} > {bound}",
+            labeling.max_bits()
+        );
+    }
+}
+
+#[test]
+fn theorem_4_bound_matrix() {
+    // P_h members at several (n, alpha) corners. Membership is checked
+    // first so the assertion is exactly the theorem's statement.
+    let mut r = rng(11);
+    for &alpha in &[2.2, 2.5, 3.0] {
+        for &n in &[1_000usize, 4_000, 16_000] {
+            let g = pl_gen::chung_lu_power_law(n, alpha, 4.0, &mut r);
+            let k = PaperConstants::new(n, alpha);
+            if !pl_gen::is_in_p_h(&g, alpha, 1, k.c_prime) {
+                continue; // rare unlucky sample: theorem precondition fails
+            }
+            let s = PowerLawScheme::new(alpha);
+            let labeling = s.encode(&g);
+            let bound = s.guaranteed_bits(n) + SLACK;
+            assert!(
+                (labeling.max_bits() as f64) <= bound,
+                "alpha={alpha} n={n}: {} > {bound}",
+                labeling.max_bits()
+            );
+        }
+    }
+}
+
+#[test]
+fn theorem_4_bound_on_the_lower_bound_family() {
+    // The adversarial P_l hosts are exactly where Theorem 4 must still
+    // deliver (P_l ⊂ P_h, Proposition 3).
+    let mut r = rng(12);
+    for &n in &[2_000usize, 8_000] {
+        let emb = pl_gen::pl_family::p_l_random(n, 2.5, &mut r);
+        let s = PowerLawScheme::new(2.5);
+        let labeling = s.encode(&emb.graph);
+        let bound = s.guaranteed_bits(n) + SLACK;
+        assert!(
+            (labeling.max_bits() as f64) <= bound,
+            "n={n}: {} > {bound}",
+            labeling.max_bits()
+        );
+    }
+}
+
+#[test]
+fn lower_bound_below_upper_bound_everywhere() {
+    for &alpha in &[2.1, 2.5, 3.0, 3.5] {
+        for exp in 10..=24 {
+            let n = 1usize << exp;
+            let k = PaperConstants::new(n, alpha);
+            let lo = theory::powerlaw_lower_bound(n, alpha) as f64;
+            let hi = theory::powerlaw_upper_bound(n, alpha, k.c_prime);
+            assert!(lo <= hi, "alpha={alpha} n={n}: {lo} > {hi}");
+        }
+    }
+}
+
+#[test]
+fn ba_online_bound_matrix() {
+    let mut r = rng(13);
+    for &m in &[1usize, 3, 6] {
+        for &n in &[1_000usize, 8_000] {
+            let ba = pl_gen::barabasi_albert(n, m, &mut r);
+            let labeling = pl_labeling::ba_online::BaOnlineScheme.encode_history(&ba);
+            let bound = theory::ba_online_bound(n, m);
+            assert!(
+                (labeling.max_bits() as f64) <= bound,
+                "m={m} n={n}: {} > {bound}",
+                labeling.max_bits()
+            );
+        }
+    }
+}
+
+#[test]
+fn moon_scheme_meets_its_own_bound() {
+    use pl_labeling::baseline::MoonScheme;
+    let mut r = rng(14);
+    let g = pl_gen::er::gnm(512, 4_000, &mut r);
+    let labeling = MoonScheme.encode(&g);
+    // n - 1 bitmap bits + prelude.
+    assert!(labeling.max_bits() <= 511 + 6 + 9);
+    // And the information-theoretic floor is n/2 for general graphs.
+    assert!(labeling.max_bits() >= theory::general_lower_bound(512));
+}
+
+#[test]
+fn distance_bound_matrix() {
+    // Lemma 7's label bound is asymptotic with constant C'; assert the
+    // measured labels stay below the bound with the paper constant, which
+    // is generous at these n but catches regressions in table layouts.
+    let mut r = rng(15);
+    let alpha = 2.5;
+    for &n in &[1_000usize, 4_000] {
+        let g = pl_gen::chung_lu_power_law(n, alpha, 4.0, &mut r);
+        let k = PaperConstants::new(n, alpha);
+        for f in [2u32, 3] {
+            let labeling = pl_labeling::DistanceScheme::new(alpha, f).encode(&g);
+            let bound = theory::distance_upper_bound(n, alpha, f as usize, k.c_prime);
+            assert!(
+                (labeling.max_bits() as f64) <= bound,
+                "n={n} f={f}: {} > {bound:.0}",
+                labeling.max_bits()
+            );
+        }
+    }
+}
+
+#[test]
+fn one_query_labels_stay_logarithmic_scaled() {
+    let mut r = rng(16);
+    let mut prev_max = 0usize;
+    for exp in [10usize, 12, 14] {
+        let n = 1 << exp;
+        let g = pl_gen::chung_lu_power_law(n, 2.5, 4.0, &mut r);
+        let labeling = pl_labeling::OneQueryScheme.encode(&g, &mut r);
+        // Growth per 4x of n must be additive-ish (< 1.6x), not the
+        // multiplicative ~1.74x of the n^{1/alpha} schemes.
+        if prev_max > 0 {
+            assert!(
+                (labeling.max_bits() as f64) < 1.6 * prev_max as f64,
+                "n={n}: {} vs prev {prev_max}",
+                labeling.max_bits()
+            );
+        }
+        prev_max = labeling.max_bits();
+    }
+}

@@ -1,0 +1,530 @@
+//! Landmark-tree compact routing for power-law graphs.
+//!
+//! The paper's introduction motivates labeling schemes with internet
+//! routing, and its related work cites Brady and Cowen's compact routing
+//! on power-law graphs with additive stretch (reference \[17\]). This crate
+//! implements that family of schemes in its simplest robust form, reusing
+//! the paper's own *fat vertex* idea for the landmark set:
+//!
+//! 1. pick the `k` highest-degree vertices as **landmarks** (power-law
+//!    graphs concentrate shortest paths through their hubs);
+//! 2. grow one BFS tree per landmark spanning its component;
+//! 3. give every vertex a DFS **interval address** in the tree of its
+//!    *home* landmark (the nearest one);
+//! 4. to route to `w`, a packet is forwarded inside `w`'s home tree using
+//!    only interval containment — a purely local decision.
+//!
+//! The routed path between `u` and `w` is the tree path in `w`'s home
+//! tree, so its length is at most `d(u, ℓ) + d(ℓ, w)` for `w`'s landmark
+//! `ℓ` (both tree branches are shortest paths, the trees being BFS trees).
+//! On power-law graphs, where a shortest path through a hub is nearly
+//! optimal, the measured stretch stays close to 1 — experiment E13
+//! quantifies it. Addresses are `O(log n)` bits ([`Address::bits`]); the
+//! per-vertex routing state is `O(k + deg)` words.
+//!
+//! ```
+//! use pl_routing::RoutedNetwork;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let g = pl_gen::chung_lu_power_law(2000, 2.5, 6.0, &mut rng);
+//! let giant = pl_graph::view::largest_component(&g);
+//! let net = RoutedNetwork::build(&giant.graph, 16);
+//!
+//! let (u, w) = (0u32, (giant.graph.vertex_count() - 1) as u32);
+//! let path = net.route(u, w).expect("connected");
+//! assert_eq!(path.first(), Some(&u));
+//! assert_eq!(path.last(), Some(&w));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pl_graph::degree::vertices_by_degree_desc;
+use pl_graph::{Graph, VertexId, UNREACHABLE};
+use std::collections::VecDeque;
+
+/// A routable address: the destination's home tree and its DFS interval
+/// within it. This is the only information a packet header carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Address {
+    /// Index of the destination's home landmark tree.
+    pub tree: u32,
+    /// DFS preorder number in that tree.
+    pub pre: u32,
+    /// End (exclusive) of the destination's DFS interval.
+    pub post: u32,
+}
+
+impl Address {
+    /// Header size in bits: tree id plus two interval endpoints, at the
+    /// natural widths for `k` landmarks and `n` vertices.
+    #[must_use]
+    pub fn bits(k: usize, n: usize) -> usize {
+        let w = |x: usize| (usize::BITS - x.saturating_sub(1).leading_zeros()).max(1) as usize;
+        w(k) + 2 * w(n)
+    }
+}
+
+/// One landmark's BFS tree with DFS interval labels.
+#[derive(Debug, Clone)]
+struct Tree {
+    /// Parent of each vertex (`None` for the root or unreachable vertices).
+    parent: Vec<Option<VertexId>>,
+    /// DFS preorder number, `u32::MAX` if the vertex is not in this tree.
+    pre: Vec<u32>,
+    /// Exclusive end of the DFS interval.
+    post: Vec<u32>,
+    /// Children in DFS order (CSR layout), sorted by `pre`.
+    child_offsets: Vec<usize>,
+    children: Vec<VertexId>,
+    /// BFS depth (root = 0), `u32::MAX` if unreachable.
+    depth: Vec<u32>,
+}
+
+impl Tree {
+    fn contains(&self, v: VertexId) -> bool {
+        self.pre[v as usize] != u32::MAX
+    }
+
+    fn children_of(&self, v: VertexId) -> &[VertexId] {
+        &self.children[self.child_offsets[v as usize]..self.child_offsets[v as usize + 1]]
+    }
+
+    /// Builds the BFS tree rooted at `root`, then assigns DFS intervals.
+    fn build(g: &Graph, root: VertexId) -> Self {
+        let n = g.vertex_count();
+        let mut parent = vec![None; n];
+        let mut depth = vec![UNREACHABLE; n];
+        let mut order = Vec::with_capacity(n);
+        let mut queue = VecDeque::new();
+        depth[root as usize] = 0;
+        queue.push_back(root);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &v in g.neighbors(u) {
+                if depth[v as usize] == UNREACHABLE {
+                    depth[v as usize] = depth[u as usize] + 1;
+                    parent[v as usize] = Some(u);
+                    queue.push_back(v);
+                }
+            }
+        }
+        // Children lists in CSR form.
+        let mut counts = vec![0usize; n];
+        for &v in &order {
+            if let Some(p) = parent[v as usize] {
+                counts[p as usize] += 1;
+            }
+        }
+        let mut child_offsets = vec![0usize; n + 1];
+        for i in 0..n {
+            child_offsets[i + 1] = child_offsets[i] + counts[i];
+        }
+        let mut cursor = child_offsets[..n].to_vec();
+        let mut children = vec![0 as VertexId; order.len().saturating_sub(1)];
+        for &v in &order {
+            if let Some(p) = parent[v as usize] {
+                children[cursor[p as usize]] = v;
+                cursor[p as usize] += 1;
+            }
+        }
+        // Iterative DFS for intervals; children get consecutive subranges.
+        let mut pre = vec![u32::MAX; n];
+        let mut post = vec![u32::MAX; n];
+        let mut counter = 0u32;
+        let mut stack = vec![(root, false)];
+        while let Some((v, expanded)) = stack.pop() {
+            if expanded {
+                post[v as usize] = counter;
+                continue;
+            }
+            pre[v as usize] = counter;
+            counter += 1;
+            stack.push((v, true));
+            let lo = child_offsets[v as usize];
+            let hi = child_offsets[v as usize + 1];
+            for i in (lo..hi).rev() {
+                stack.push((children[i], false));
+            }
+        }
+        // Children were produced in BFS order; re-sort each list by pre so
+        // next-hop binary search works.
+        let mut t = Self {
+            parent,
+            pre,
+            post,
+            child_offsets,
+            children,
+            depth,
+        };
+        for v in 0..n {
+            let lo = t.child_offsets[v];
+            let hi = t.child_offsets[v + 1];
+            let pre_ref = &t.pre;
+            t.children[lo..hi].sort_by_key(|&c| pre_ref[c as usize]);
+        }
+        t
+    }
+}
+
+/// A network prepared for landmark-tree routing.
+#[derive(Debug, Clone)]
+pub struct RoutedNetwork {
+    trees: Vec<Tree>,
+    addresses: Vec<Address>,
+    landmarks: Vec<VertexId>,
+    n: usize,
+}
+
+impl RoutedNetwork {
+    /// Prepares routing state with a budget of `k` landmarks: the `k`
+    /// highest-degree vertices (the paper's fat vertices). Every connected
+    /// component additionally gets its own highest-degree vertex as a
+    /// landmark if the budget missed it, so delivery is guaranteed between
+    /// *all* connected pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is empty or `k == 0`.
+    #[must_use]
+    pub fn build(g: &Graph, k: usize) -> Self {
+        assert!(k >= 1, "need at least one landmark");
+        assert!(!g.is_empty(), "cannot route in an empty graph");
+        let by_degree = vertices_by_degree_desc(g);
+        let mut landmarks: Vec<VertexId> = by_degree.iter().copied().take(k).collect();
+        // Cover components the degree-ranked budget missed (their local
+        // hub becomes a landmark). `by_degree` is degree-sorted, so the
+        // first vertex seen per component is that component's hub.
+        let comps = pl_graph::components::connected_components(g);
+        let mut covered = vec![false; comps.count()];
+        for &l in &landmarks {
+            covered[comps.component_of(l) as usize] = true;
+        }
+        for &v in &by_degree {
+            let c = comps.component_of(v) as usize;
+            if !covered[c] {
+                covered[c] = true;
+                landmarks.push(v);
+            }
+        }
+        let trees: Vec<Tree> = landmarks.iter().map(|&l| Tree::build(g, l)).collect();
+
+        // Home landmark of v = the nearest landmark (ties: lowest index).
+        let n = g.vertex_count();
+        let mut addresses = Vec::with_capacity(n);
+        for v in 0..n as VertexId {
+            let mut best: Option<(u32, usize)> = None;
+            for (t, tree) in trees.iter().enumerate() {
+                let d = tree.depth[v as usize];
+                if d != UNREACHABLE && best.is_none_or(|(bd, _)| d < bd) {
+                    best = Some((d, t));
+                }
+            }
+            let addr = match best {
+                Some((_, t)) => Address {
+                    tree: t as u32,
+                    pre: trees[t].pre[v as usize],
+                    post: trees[t].post[v as usize],
+                },
+                // Unreachable from every landmark: self-only address.
+                None => Address {
+                    tree: u32::MAX,
+                    pre: v,
+                    post: v,
+                },
+            };
+            addresses.push(addr);
+        }
+        Self {
+            trees,
+            addresses,
+            landmarks,
+            n,
+        }
+    }
+
+    /// The routable address of `v` — what `v` would publish.
+    #[must_use]
+    pub fn address(&self, v: VertexId) -> Address {
+        self.addresses[v as usize]
+    }
+
+    /// The chosen landmark vertices, in tree-index order.
+    #[must_use]
+    pub fn landmarks(&self) -> &[VertexId] {
+        &self.landmarks
+    }
+
+    /// Header size in bits for this network's addresses.
+    #[must_use]
+    pub fn address_bits(&self) -> usize {
+        Address::bits(self.trees.len(), self.n)
+    }
+
+    /// The local forwarding decision at `cur` for a packet addressed to
+    /// `dest`: the next hop, or `None` if `cur` already matches `dest` or
+    /// cannot make progress (different component).
+    #[must_use]
+    pub fn next_hop(&self, cur: VertexId, dest: &Address) -> Option<VertexId> {
+        if dest.tree == u32::MAX {
+            return None; // self-only address
+        }
+        let tree = &self.trees[dest.tree as usize];
+        if !tree.contains(cur) {
+            return None;
+        }
+        let (cpre, cpost) = (tree.pre[cur as usize], tree.post[cur as usize]);
+        if dest.pre == cpre {
+            return None; // delivered
+        }
+        if dest.pre > cpre && dest.pre < cpost {
+            // Descend to the child whose interval contains dest.pre.
+            let kids = tree.children_of(cur);
+            let idx = kids.partition_point(|&c| tree.pre[c as usize] <= dest.pre);
+            debug_assert!(idx > 0, "containment implies a covering child");
+            return Some(kids[idx - 1]);
+        }
+        tree.parent[cur as usize]
+    }
+
+    /// Simulates routing a packet from `u` to `v`; returns the full path
+    /// (both endpoints included) or `None` if undeliverable.
+    #[must_use]
+    pub fn route(&self, u: VertexId, v: VertexId) -> Option<Vec<VertexId>> {
+        let dest = self.address(v);
+        if u == v {
+            return Some(vec![u]);
+        }
+        let mut path = vec![u];
+        let mut cur = u;
+        // A tree path never revisits a vertex; 2n hops is a safe fuse.
+        for _ in 0..2 * self.n {
+            match self.next_hop(cur, &dest) {
+                Some(next) => {
+                    path.push(next);
+                    cur = next;
+                    if cur == v {
+                        return Some(path);
+                    }
+                }
+                None => return (cur == v).then_some(path),
+            }
+        }
+        None
+    }
+
+    /// Number of hops [`route`](Self::route) would take, or `None`.
+    #[must_use]
+    pub fn routed_distance(&self, u: VertexId, v: VertexId) -> Option<u32> {
+        self.route(u, v).map(|p| (p.len() - 1) as u32)
+    }
+
+    /// Total routing-table state across all vertices, in machine words
+    /// (parents + children + intervals per tree) — the "compactness" cost.
+    #[must_use]
+    pub fn table_words(&self) -> usize {
+        self.trees
+            .iter()
+            .map(|t| 4 * self.n + t.children.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pl_graph::traversal::bfs_distances;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x2077)
+    }
+
+    /// Routing must deliver between every connected pair, with path length
+    /// at least the true distance.
+    fn check_delivery(g: &Graph, net: &RoutedNetwork) {
+        for u in g.vertices() {
+            let truth = bfs_distances(g, u);
+            for v in g.vertices() {
+                let routed = net.routed_distance(u, v);
+                if truth[v as usize] == UNREACHABLE {
+                    if u != v {
+                        assert_eq!(routed, None, "({u}, {v}) should be unroutable");
+                    }
+                } else {
+                    let r = routed.unwrap_or_else(|| panic!("({u}, {v}) undelivered"));
+                    assert!(
+                        r >= truth[v as usize],
+                        "({u}, {v}): routed {r} < true {}",
+                        truth[v as usize]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delivers_on_classic_graphs() {
+        for g in [
+            pl_gen::classic::path(12),
+            pl_gen::classic::cycle(9),
+            pl_gen::classic::star(14),
+            pl_gen::classic::binary_tree(15),
+            pl_gen::classic::complete(6),
+            pl_gen::classic::grid(4, 5),
+        ] {
+            for k in [1usize, 2, 4] {
+                let net = RoutedNetwork::build(&g, k);
+                check_delivery(&g, &net);
+            }
+        }
+    }
+
+    #[test]
+    fn tree_routing_is_exact_on_trees() {
+        // On a tree the routed path IS the unique path: stretch 1.
+        let g = pl_gen::classic::binary_tree(31);
+        let net = RoutedNetwork::build(&g, 3);
+        for u in g.vertices() {
+            let truth = bfs_distances(&g, u);
+            for v in g.vertices() {
+                assert_eq!(net.routed_distance(u, v), Some(truth[v as usize]));
+            }
+        }
+    }
+
+    #[test]
+    fn handles_disconnected_graphs() {
+        let g = pl_graph::builder::from_edges(7, [(0, 1), (1, 2), (4, 5), (5, 6)]);
+        let net = RoutedNetwork::build(&g, 2);
+        check_delivery(&g, &net);
+        // Isolated vertex 3 routes only to itself.
+        assert_eq!(net.route(3, 3), Some(vec![3]));
+        assert_eq!(net.route(0, 3), None);
+    }
+
+    #[test]
+    fn stretch_bounded_by_landmark_relay() {
+        let mut r = rng();
+        let g0 = pl_gen::chung_lu_power_law(1_200, 2.5, 6.0, &mut r);
+        let giant = pl_graph::view::largest_component(&g0);
+        let g = &giant.graph;
+        let net = RoutedNetwork::build(g, 8);
+        for _ in 0..300 {
+            let u = r.gen_range(0..g.vertex_count() as u32);
+            let v = r.gen_range(0..g.vertex_count() as u32);
+            let routed = net.routed_distance(u, v).expect("giant component");
+            // Bound: d(u, l) + d(l, v) where l = v's home landmark root.
+            let dest = net.address(v);
+            let l = net.landmarks()[dest.tree as usize];
+            let du = bfs_distances(g, u)[l as usize];
+            let dv = bfs_distances(g, v)[l as usize];
+            assert!(routed <= du + dv, "routed {routed} > {du} + {dv}");
+        }
+    }
+
+    #[test]
+    fn average_stretch_is_small_on_power_law_graphs() {
+        let mut r = rng();
+        let g0 = pl_gen::chung_lu_power_law(2_000, 2.5, 6.0, &mut r);
+        let giant = pl_graph::view::largest_component(&g0);
+        let g = &giant.graph;
+        let net = RoutedNetwork::build(g, 16);
+        let mut total_stretch = 0.0;
+        let mut count = 0usize;
+        for _ in 0..40 {
+            let u = r.gen_range(0..g.vertex_count() as u32);
+            let truth = bfs_distances(g, u);
+            for _ in 0..20 {
+                let v = r.gen_range(0..g.vertex_count() as u32);
+                if v == u {
+                    continue;
+                }
+                let routed = net.routed_distance(u, v).unwrap();
+                total_stretch += f64::from(routed) / f64::from(truth[v as usize]);
+                count += 1;
+            }
+        }
+        let avg = total_stretch / count as f64;
+        assert!(avg < 1.6, "average stretch {avg}");
+    }
+
+    #[test]
+    fn addresses_are_unique_within_components() {
+        let mut r = rng();
+        let g = pl_gen::er::gnm(300, 900, &mut r);
+        let net = RoutedNetwork::build(&g, 5);
+        let mut seen = std::collections::HashSet::new();
+        for v in g.vertices() {
+            let a = net.address(v);
+            assert!(seen.insert((a.tree, a.pre)), "duplicate address for {v}");
+        }
+    }
+
+    #[test]
+    fn address_bits_are_logarithmic() {
+        assert_eq!(Address::bits(16, 1 << 20), 4 + 40);
+        let mut r = rng();
+        // Use the giant component so the landmark budget is not inflated
+        // by per-component coverage landmarks.
+        let g0 = pl_gen::chung_lu_power_law(5_000, 2.5, 5.0, &mut r);
+        let g = pl_graph::view::largest_component(&g0).graph;
+        let net = RoutedNetwork::build(&g, 32);
+        assert_eq!(net.landmarks().len(), 32);
+        assert!(net.address_bits() <= 5 + 2 * 13);
+        assert!(net.table_words() > 0);
+    }
+
+    #[test]
+    fn every_component_gets_a_landmark() {
+        // Three components, budget 1: coverage adds two more landmarks.
+        let g = pl_graph::builder::from_edges(
+            9,
+            [
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (3, 4),
+                (4, 5),
+                (6, 7),
+                (7, 8),
+                (0, 4),
+            ],
+        );
+        // Components: {0,1,2,3,4,5} and {6,7,8}.
+        let net = RoutedNetwork::build(&g, 1);
+        assert_eq!(net.landmarks().len(), 2);
+        assert!(net.routed_distance(6, 8).is_some());
+    }
+
+    #[test]
+    fn next_hop_is_purely_local_and_loop_free() {
+        let g = pl_gen::classic::grid(5, 5);
+        let net = RoutedNetwork::build(&g, 2);
+        let dest = net.address(24);
+        let mut cur = 0u32;
+        let mut visited = std::collections::HashSet::new();
+        while let Some(next) = net.next_hop(cur, &dest) {
+            assert!(visited.insert(cur), "routing loop at {cur}");
+            assert!(g.has_edge(cur, next), "non-edge hop {cur} -> {next}");
+            cur = next;
+        }
+        assert_eq!(cur, 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one landmark")]
+    fn rejects_zero_landmarks() {
+        let g = pl_gen::classic::path(3);
+        let _ = RoutedNetwork::build(&g, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty graph")]
+    fn rejects_empty_graph() {
+        let g = pl_graph::GraphBuilder::new(0).build();
+        let _ = RoutedNetwork::build(&g, 1);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests: landmark-tree routing must deliver between all
+//! connected pairs of arbitrary graphs, never traverse a non-edge, and
+//! never beat the true shortest path.
+
+use pl_graph::traversal::bfs_distances;
+use pl_graph::{Graph, GraphBuilder, UNREACHABLE};
+use pl_routing::RoutedNetwork;
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..30).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..90).prop_map(move |edges| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v) in edges {
+                if u != v {
+                    b.add_edge(u, v);
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn routing_delivers_exactly_the_connected_pairs(g in arb_graph(), k in 1usize..6) {
+        let net = RoutedNetwork::build(&g, k);
+        for u in g.vertices() {
+            let truth = bfs_distances(&g, u);
+            for v in g.vertices() {
+                let routed = net.routed_distance(u, v);
+                if truth[v as usize] == UNREACHABLE {
+                    prop_assert!(u == v || routed.is_none());
+                } else {
+                    let r = routed.expect("connected pair must deliver");
+                    prop_assert!(r >= truth[v as usize], "({}, {})", u, v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routed_paths_are_real_simple_paths(g in arb_graph(), k in 1usize..6) {
+        let net = RoutedNetwork::build(&g, k);
+        for u in g.vertices() {
+            for v in g.vertices() {
+                if let Some(path) = net.route(u, v) {
+                    prop_assert_eq!(*path.first().unwrap(), u);
+                    prop_assert_eq!(*path.last().unwrap(), v);
+                    for w in path.windows(2) {
+                        prop_assert!(g.has_edge(w[0], w[1]), "hop {:?} is not an edge", w);
+                    }
+                    // Tree paths are simple.
+                    let mut sorted = path.clone();
+                    sorted.sort_unstable();
+                    sorted.dedup();
+                    prop_assert_eq!(sorted.len(), path.len(), "path revisits a vertex");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn addresses_unique_per_component(g in arb_graph(), k in 1usize..6) {
+        let net = RoutedNetwork::build(&g, k);
+        let mut seen = std::collections::HashSet::new();
+        for v in g.vertices() {
+            let a = net.address(v);
+            prop_assert!(seen.insert((a.tree, a.pre)));
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Empirical CCDFs and log–log least squares.
+//!
+//! The experiment harness verifies scaling claims of the form
+//! "label size grows like `n^{1/α}`" by fitting a line to `(ln x, ln y)`
+//! points; this module provides that regression plus the empirical
+//! complementary CDF used for degree-distribution plots.
+
+/// One point of an empirical CCDF: `P(X >= x)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CcdfPoint {
+    /// The value `x`.
+    pub x: u64,
+    /// `P(X >= x)` over the sample.
+    pub p: f64,
+}
+
+/// Empirical complementary CDF of integer samples: one point per distinct
+/// value, in increasing `x` order. Empty input gives an empty CCDF.
+///
+/// # Example
+///
+/// ```
+/// let ccdf = pl_stats::ccdf::empirical_ccdf(&[1, 1, 2, 4]);
+/// assert_eq!(ccdf.len(), 3);
+/// assert_eq!(ccdf[0].x, 1);
+/// assert!((ccdf[0].p - 1.0).abs() < 1e-12);
+/// assert!((ccdf[2].p - 0.25).abs() < 1e-12); // P(X >= 4)
+/// ```
+#[must_use]
+pub fn empirical_ccdf(samples: &[u64]) -> Vec<CcdfPoint> {
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as f64;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < sorted.len() {
+        let x = sorted[i];
+        // P(X >= x) = (count of samples >= x) / n = (len - i) / n.
+        out.push(CcdfPoint {
+            x,
+            p: (sorted.len() - i) as f64 / n,
+        });
+        while i < sorted.len() && sorted[i] == x {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Result of a simple linear regression `y = slope * x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination `R²` (1 for a perfect line; 1 is also
+    /// reported for degenerate zero-variance input).
+    pub r2: f64,
+}
+
+/// Ordinary least squares on `(x, y)` pairs.
+///
+/// Returns `None` for fewer than 2 points or zero variance in `x`.
+#[must_use]
+pub fn linear_fit(points: &[(f64, f64)]) -> Option<LinearFit> {
+    if points.len() < 2 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let mx = points.iter().map(|p| p.0).sum::<f64>() / n;
+    let my = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let sxx: f64 = points.iter().map(|p| (p.0 - mx).powi(2)).sum();
+    let sxy: f64 = points.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+    let syy: f64 = points.iter().map(|p| (p.1 - my).powi(2)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r2 = if syy == 0.0 {
+        1.0
+    } else {
+        sxy * sxy / (sxx * syy)
+    };
+    Some(LinearFit {
+        slope,
+        intercept,
+        r2,
+    })
+}
+
+/// Fits `y = A · x^β` by least squares on `(ln x, ln y)`; returns
+/// `(β, A, R²)` as a [`LinearFit`] with `slope = β` and
+/// `intercept = ln A`. Points with non-positive coordinates are skipped.
+///
+/// # Example
+///
+/// ```
+/// let pts: Vec<(f64, f64)> = (1..=64).map(|i| {
+///     let x = i as f64;
+///     (x, 3.0 * x.powf(0.4))
+/// }).collect();
+/// let fit = pl_stats::ccdf::loglog_fit(&pts).unwrap();
+/// assert!((fit.slope - 0.4).abs() < 1e-9);
+/// assert!((fit.intercept.exp() - 3.0).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn loglog_fit(points: &[(f64, f64)]) -> Option<LinearFit> {
+    let logged: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|&&(x, y)| x > 0.0 && y > 0.0)
+        .map(|&(x, y)| (x.ln(), y.ln()))
+        .collect();
+    linear_fit(&logged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ccdf_of_empty_is_empty() {
+        assert!(empirical_ccdf(&[]).is_empty());
+    }
+
+    #[test]
+    fn ccdf_starts_at_one_and_decreases() {
+        let c = empirical_ccdf(&[5, 1, 3, 3, 9]);
+        assert!((c[0].p - 1.0).abs() < 1e-12);
+        for w in c.windows(2) {
+            assert!(w[0].x < w[1].x);
+            assert!(w[0].p > w[1].p);
+        }
+    }
+
+    #[test]
+    fn ccdf_values_exact() {
+        let c = empirical_ccdf(&[2, 2, 2, 7]);
+        assert_eq!(c.len(), 2);
+        assert!((c[1].p - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_exact_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 2.0 * i as f64 - 1.0)).collect();
+        let f = linear_fit(&pts).unwrap();
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!((f.intercept + 1.0).abs() < 1e-12);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_degenerate() {
+        assert!(linear_fit(&[]).is_none());
+        assert!(linear_fit(&[(1.0, 2.0)]).is_none());
+        assert!(linear_fit(&[(1.0, 2.0), (1.0, 3.0)]).is_none()); // zero x-variance
+    }
+
+    #[test]
+    fn linear_fit_horizontal_line_r2_one() {
+        let pts = [(0.0, 4.0), (1.0, 4.0), (2.0, 4.0)];
+        let f = linear_fit(&pts).unwrap();
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.r2, 1.0);
+    }
+
+    #[test]
+    fn loglog_recovers_power_law_ccdf_exponent() {
+        // CCDF of an ideal α power law decays like x^{-(α-1)}.
+        let alpha = 2.5f64;
+        let mut data = Vec::new();
+        for k in 1u64..=400 {
+            let c = (1e7 * (k as f64).powf(-alpha)).round() as usize;
+            data.extend(std::iter::repeat_n(k, c));
+        }
+        let ccdf = empirical_ccdf(&data);
+        let range = |x: u64| (2..=20).contains(&x);
+        let pts: Vec<(f64, f64)> = ccdf
+            .iter()
+            .filter(|p| range(p.x))
+            .map(|p| (p.x as f64, p.p))
+            .collect();
+        let f = loglog_fit(&pts).unwrap();
+        // At small x the *discrete* power-law CCDF ζ(α,x)/ζ(α) is visibly
+        // steeper than the asymptotic x^{-(α-1)}; compare against the exact
+        // model slope over the same range instead of the asymptote.
+        let model: Vec<(f64, f64)> = (2u64..=20)
+            .map(|x| {
+                (
+                    x as f64,
+                    crate::zeta::hurwitz_zeta(alpha, x as f64) / crate::zeta::zeta(alpha),
+                )
+            })
+            .collect();
+        let fm = loglog_fit(&model).unwrap();
+        assert!(
+            (f.slope - fm.slope).abs() < 0.02,
+            "emp {} model {}",
+            f.slope,
+            fm.slope
+        );
+        assert!(f.r2 > 0.99);
+        // And the asymptote is still the right ballpark.
+        assert!(f.slope < -(alpha - 1.0) + 0.2 && f.slope > -(alpha - 1.0) - 0.4);
+    }
+
+    #[test]
+    fn loglog_skips_nonpositive_points() {
+        let pts = [(0.0, 1.0), (-1.0, 2.0), (1.0, 1.0), (2.0, 2.0), (4.0, 4.0)];
+        let f = loglog_fit(&pts).unwrap();
+        assert!((f.slope - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,309 @@
+//! Discrete power-law fitting (Clauset–Shalizi–Newman style).
+//!
+//! Fits `P(X = k) ∝ k^{-α}` for `k >= x_min` to integer samples (degree
+//! sequences). Provides:
+//!
+//! * [`fit_alpha_mle`] — the exact discrete MLE for a fixed `x_min`,
+//!   maximizing `ℓ(α) = -n·ln ζ(α, x_min) - α·Σ ln x_i` by golden-section
+//!   search (the likelihood is strictly unimodal in `α`).
+//! * [`fit_power_law`] — the full CSN procedure: scan candidate `x_min`
+//!   values, fit `α̂` for each, and keep the `(x_min, α̂)` minimizing the
+//!   Kolmogorov–Smirnov distance between the empirical and fitted tail CDFs.
+//!
+//! The paper's `P_h` labeling scheme needs exactly one number from the
+//! graph: the fitted exponent `α` used to predict the fat/thin threshold
+//! `τ(n) = ⌈(C'n / log n)^{1/α}⌉`.
+
+use crate::zeta::hurwitz_zeta;
+
+/// Result of a discrete power-law fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLawFit {
+    /// Fitted exponent `α̂`.
+    pub alpha: f64,
+    /// Cutoff: the fit applies to samples `>= x_min`.
+    pub x_min: u64,
+    /// Kolmogorov–Smirnov distance of the fitted tail.
+    pub ks: f64,
+    /// Number of samples in the fitted tail (`x >= x_min`).
+    pub n_tail: usize,
+}
+
+/// Bounds of the golden-section search for `α̂`.
+const ALPHA_LO: f64 = 1.000_1;
+const ALPHA_HI: f64 = 12.0;
+const GOLDEN_ITERS: usize = 80;
+
+/// Discrete power-law log-likelihood (up to a constant) of exponent `alpha`
+/// for tail samples with given `sum_log` = Σ ln x_i, `n` samples, cutoff
+/// `x_min`.
+fn log_likelihood(alpha: f64, n: usize, sum_log: f64, x_min: u64) -> f64 {
+    -(n as f64) * hurwitz_zeta(alpha, x_min as f64).ln() - alpha * sum_log
+}
+
+/// Maximum-likelihood `α̂` for samples `>= x_min` (samples below the cutoff
+/// are ignored). Returns `None` if fewer than 2 samples survive the cutoff
+/// or all surviving samples equal `x_min` (the MLE diverges).
+///
+/// # Example
+///
+/// ```
+/// // Degrees drawn exactly ∝ k^{-2.5}: the MLE should recover ≈ 2.5.
+/// let mut data = Vec::new();
+/// for k in 1u64..=60 {
+///     let count = (1e5 * (k as f64).powf(-2.5)).round() as usize;
+///     data.extend(std::iter::repeat(k).take(count));
+/// }
+/// let alpha = pl_stats::fit_alpha_mle(&data, 1).unwrap();
+/// assert!((alpha - 2.5).abs() < 0.05, "alpha = {alpha}");
+/// ```
+#[must_use]
+pub fn fit_alpha_mle(samples: &[u64], x_min: u64) -> Option<f64> {
+    assert!(x_min >= 1, "x_min must be at least 1");
+    let mut n = 0usize;
+    let mut sum_log = 0.0f64;
+    let mut any_above = false;
+    for &x in samples {
+        if x >= x_min {
+            n += 1;
+            sum_log += (x as f64).ln();
+            if x > x_min {
+                any_above = true;
+            }
+        }
+    }
+    if n < 2 || !any_above {
+        return None;
+    }
+    // Golden-section search for the maximizer of the unimodal likelihood.
+    let phi = (5.0_f64.sqrt() - 1.0) / 2.0;
+    let (mut lo, mut hi) = (ALPHA_LO, ALPHA_HI);
+    let mut c = hi - phi * (hi - lo);
+    let mut d = lo + phi * (hi - lo);
+    let mut fc = log_likelihood(c, n, sum_log, x_min);
+    let mut fd = log_likelihood(d, n, sum_log, x_min);
+    for _ in 0..GOLDEN_ITERS {
+        if fc > fd {
+            hi = d;
+            d = c;
+            fd = fc;
+            c = hi - phi * (hi - lo);
+            fc = log_likelihood(c, n, sum_log, x_min);
+        } else {
+            lo = c;
+            c = d;
+            fc = fd;
+            d = lo + phi * (hi - lo);
+            fd = log_likelihood(d, n, sum_log, x_min);
+        }
+    }
+    Some(0.5 * (lo + hi))
+}
+
+/// The widely used closed-form approximation to the discrete MLE:
+/// `α̂ ≈ 1 + n / Σ ln(x_i / (x_min − ½))`.
+///
+/// Cheaper than the exact MLE and accurate for `x_min ≳ 6`; exposed for the
+/// experiment harness to cross-check the exact optimizer.
+#[must_use]
+pub fn fit_alpha_approx(samples: &[u64], x_min: u64) -> Option<f64> {
+    assert!(x_min >= 1, "x_min must be at least 1");
+    let shift = x_min as f64 - 0.5;
+    let mut n = 0usize;
+    let mut s = 0.0f64;
+    for &x in samples {
+        if x >= x_min {
+            n += 1;
+            s += (x as f64 / shift).ln();
+        }
+    }
+    if n == 0 || s == 0.0 {
+        None
+    } else {
+        Some(1.0 + n as f64 / s)
+    }
+}
+
+/// Kolmogorov–Smirnov distance between the empirical CDF of the tail
+/// samples (`x >= x_min`, **must be sorted ascending**) and the discrete
+/// power-law CDF with exponent `alpha` and cutoff `x_min`. Public for the
+/// bootstrap goodness-of-fit test in [`crate::gof`].
+#[must_use]
+pub fn ks_distance(sorted_tail: &[u64], alpha: f64, x_min: u64) -> f64 {
+    let n = sorted_tail.len() as f64;
+    let z = hurwitz_zeta(alpha, x_min as f64);
+    let mut max_dev = 0.0f64;
+    let mut i = 0usize;
+    // Walk distinct values; empirical CDF just below and at each value.
+    while i < sorted_tail.len() {
+        let x = sorted_tail[i];
+        let mut j = i;
+        while j < sorted_tail.len() && sorted_tail[j] == x {
+            j += 1;
+        }
+        let emp_lo = i as f64 / n;
+        let emp_hi = j as f64 / n;
+        // Model CDF at x: P(X <= x) = 1 - ζ(α, x+1)/ζ(α, x_min).
+        let model = 1.0 - hurwitz_zeta(alpha, (x + 1) as f64) / z;
+        let model_lo = 1.0 - hurwitz_zeta(alpha, x as f64) / z;
+        max_dev = max_dev
+            .max((model - emp_hi).abs())
+            .max((model_lo - emp_lo).abs());
+        i = j;
+    }
+    max_dev
+}
+
+/// Full CSN fit: scans candidate cutoffs `x_min` over the distinct sample
+/// values (bounded by `max_x_min`), fits `α̂` by exact MLE for each, and
+/// returns the fit minimizing the KS distance. Requires at least
+/// `min_tail` samples in the tail for a cutoff to be considered
+/// (default recommendation: 50; pass smaller for tiny graphs).
+///
+/// Returns `None` if no cutoff yields a valid fit.
+///
+/// # Example
+///
+/// ```
+/// let mut data = vec![1u64; 500]; // noisy head below the power law
+/// for k in 2u64..=80 {
+///     let count = (2e4 * (k as f64).powf(-2.2)).round() as usize;
+///     data.extend(std::iter::repeat(k).take(count));
+/// }
+/// let fit = pl_stats::fit_power_law(&data, 100, 20).unwrap();
+/// assert!((fit.alpha - 2.2).abs() < 0.25, "{fit:?}");
+/// ```
+#[must_use]
+pub fn fit_power_law(samples: &[u64], max_x_min: u64, min_tail: usize) -> Option<PowerLawFit> {
+    let mut sorted: Vec<u64> = samples.iter().copied().filter(|&x| x >= 1).collect();
+    sorted.sort_unstable();
+    if sorted.len() < 2 {
+        return None;
+    }
+    let mut best: Option<PowerLawFit> = None;
+    let mut candidates: Vec<u64> = sorted.clone();
+    candidates.dedup();
+    for &x_min in candidates.iter().filter(|&&x| x <= max_x_min) {
+        let tail_start = sorted.partition_point(|&x| x < x_min);
+        let tail = &sorted[tail_start..];
+        if tail.len() < min_tail.max(2) {
+            continue;
+        }
+        let Some(alpha) = fit_alpha_mle(tail, x_min) else {
+            continue;
+        };
+        let ks = ks_distance(tail, alpha, x_min);
+        let fit = PowerLawFit {
+            alpha,
+            x_min,
+            ks,
+            n_tail: tail.len(),
+        };
+        if best.is_none_or(|b| ks < b.ks) {
+            best = Some(fit);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic samples whose histogram is exactly ⌊A·k^{-α}⌋.
+    fn ideal_samples(alpha: f64, scale: f64, k_max: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        for k in 1..=k_max {
+            let c = (scale * (k as f64).powf(-alpha)).floor() as usize;
+            out.extend(std::iter::repeat_n(k, c));
+        }
+        out
+    }
+
+    #[test]
+    fn mle_recovers_exponent_from_ideal_data() {
+        for &alpha in &[2.1, 2.5, 3.0] {
+            let data = ideal_samples(alpha, 2e5, 100);
+            let a = fit_alpha_mle(&data, 1).unwrap();
+            assert!((a - alpha).abs() < 0.06, "alpha={alpha} got {a}");
+        }
+    }
+
+    #[test]
+    fn mle_with_cutoff_ignores_head() {
+        // Corrupt the head: the tail (k >= 5) is still a clean power law.
+        let mut data = ideal_samples(2.5, 1e5, 100);
+        data.extend(std::iter::repeat_n(1u64, 50_000));
+        let a = fit_alpha_mle(&data, 5).unwrap();
+        assert!((a - 2.5).abs() < 0.1, "got {a}");
+    }
+
+    #[test]
+    fn mle_rejects_degenerate_input() {
+        assert_eq!(fit_alpha_mle(&[], 1), None);
+        assert_eq!(fit_alpha_mle(&[3], 1), None);
+        assert_eq!(fit_alpha_mle(&[2, 2, 2], 2), None); // all at cutoff
+        assert_eq!(fit_alpha_mle(&[1, 1, 2, 3], 10), None); // all below cutoff
+    }
+
+    #[test]
+    fn approx_close_to_exact_for_large_xmin() {
+        let data = ideal_samples(2.5, 5e6, 400);
+        let exact = fit_alpha_mle(&data, 10).unwrap();
+        let approx = fit_alpha_approx(&data, 10).unwrap();
+        assert!(
+            (exact - approx).abs() < 0.05,
+            "exact {exact} approx {approx}"
+        );
+    }
+
+    #[test]
+    fn csn_scan_finds_cutoff() {
+        // Head of the data deviates (uniform noise on {1,2,3}); tail follows
+        // the law from 4 on. The scan should pick a small x_min > 1 and a
+        // sensible alpha.
+        let mut data = Vec::new();
+        for k in 1u64..=3 {
+            data.extend(std::iter::repeat_n(k, 30_000));
+        }
+        for k in 4u64..=150 {
+            let c = (3e6 * (k as f64).powf(-2.6)).round() as usize;
+            data.extend(std::iter::repeat_n(k, c));
+        }
+        let fit = fit_power_law(&data, 50, 50).unwrap();
+        assert!(fit.x_min >= 2, "{fit:?}");
+        assert!((fit.alpha - 2.6).abs() < 0.2, "{fit:?}");
+        assert!(fit.ks < 0.1);
+    }
+
+    #[test]
+    fn csn_handles_tiny_input() {
+        assert!(fit_power_law(&[1], 10, 2).is_none());
+        assert!(fit_power_law(&[], 10, 2).is_none());
+    }
+
+    #[test]
+    fn ks_zero_for_perfect_match_is_small() {
+        let data = ideal_samples(2.5, 1e6, 300);
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        let d = ks_distance(&sorted, 2.5, 1);
+        assert!(d < 0.01, "ks = {d}");
+    }
+
+    #[test]
+    fn ks_large_for_wrong_alpha() {
+        let data = ideal_samples(2.0, 1e6, 300);
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        let right = ks_distance(&sorted, 2.0, 1);
+        let wrong = ks_distance(&sorted, 3.5, 1);
+        assert!(wrong > 4.0 * right.max(1e-4), "right {right} wrong {wrong}");
+    }
+
+    #[test]
+    #[should_panic(expected = "x_min")]
+    fn mle_rejects_zero_cutoff() {
+        let _ = fit_alpha_mle(&[1, 2, 3], 0);
+    }
+}

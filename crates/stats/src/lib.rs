@@ -1,0 +1,32 @@
+//! Numeric substrate for the power-law labeling reproduction.
+//!
+//! The labeling schemes of the paper need a handful of numerical tools:
+//!
+//! * [`mod@zeta`] — the Riemann zeta function `ζ(α)` (the paper's normalizing
+//!   constant is `C = 1/ζ(α)`) and the Hurwitz generalization needed by the
+//!   discrete power-law likelihood.
+//! * [`fit`] — discrete power-law fitting in the style of Clauset, Shalizi
+//!   and Newman (reference \[24\] of the paper): maximum-likelihood `α̂` for a
+//!   given cutoff `x_min`, plus a full `x_min` scan minimizing the
+//!   Kolmogorov–Smirnov distance. The paper's labeling scheme for `P_h`
+//!   chooses its degree threshold *"based only on the coefficient α of a
+//!   power-law curve fitted to the degree distribution of G"* — this module
+//!   is that fitter.
+//! * [`ccdf`] — empirical complementary CDFs and log–log least squares,
+//!   used by the experiment harness to verify scaling exponents.
+//! * [`summary`] — small descriptive-statistics helpers for experiment
+//!   tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ccdf;
+pub mod fit;
+pub mod gof;
+pub mod paper;
+pub mod summary;
+pub mod zeta;
+
+pub use fit::{fit_alpha_mle, fit_power_law, PowerLawFit};
+pub use paper::PaperConstants;
+pub use zeta::{hurwitz_zeta, zeta};

@@ -1,0 +1,148 @@
+//! The constants of the paper's Section 3.
+//!
+//! Everything downstream — generators, membership checkers, thresholds,
+//! bounds — is parameterized by the same three numbers, so they live here
+//! in the numeric substrate:
+//!
+//! * `C = 1/ζ(α)`, normalizing the ideal power-law degree distribution;
+//! * `i₁`, the smallest integer with `⌊C·n/i₁^α⌋ ≤ 1` — the `Θ(n^{1/α})`
+//!   scale at which ideal degree-class sizes drop to one vertex;
+//! * `C' = (C/(α−1) + i₁/n^{1/α} + 5)^α + C/(α−1)`, the minimal constant
+//!   Section 3 allows for the `P_h` tail bound.
+
+use crate::zeta::paper_c;
+
+/// The constants of the paper's Section 3, for a given `n` and `α`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperConstants {
+    /// Number of vertices the constants were computed for.
+    pub n: usize,
+    /// The exponent `α`.
+    pub alpha: f64,
+    /// `C = 1/ζ(α)`.
+    pub c: f64,
+    /// Smallest integer with `⌊C·n/i₁^α⌋ ≤ 1`; `Θ(n^{1/α})`.
+    pub i1: usize,
+    /// The minimal `C'` allowed by Section 3:
+    /// `(C/(α−1) + i₁/n^{1/α} + 5)^α + C/(α−1)`.
+    pub c_prime: f64,
+}
+
+impl PaperConstants {
+    /// Computes the constants for an `n`-vertex family with exponent `α > 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `α <= 1` or `n == 0`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let k = pl_stats::paper::PaperConstants::new(100_000, 2.5);
+    /// // i₁ scales like n^{1/α}.
+    /// let root = (100_000f64).powf(1.0 / 2.5);
+    /// assert!((k.i1 as f64) > 0.3 * root && (k.i1 as f64) < 3.0 * root);
+    /// ```
+    #[must_use]
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(alpha > 1.0, "the families require alpha > 1, got {alpha}");
+        assert!(n > 0, "n must be positive");
+        let c = paper_c(alpha);
+        let nf = n as f64;
+        // i1 = Θ(n^{1/α}): start the search near the analytic solution and
+        // walk to the exact minimal integer.
+        let guess = ((c * nf).powf(1.0 / alpha) as usize).max(1);
+        let holds = |i: usize| (c * nf / (i as f64).powf(alpha)).floor() <= 1.0;
+        let mut i1 = guess;
+        while !holds(i1) {
+            i1 += 1;
+        }
+        while i1 > 1 && holds(i1 - 1) {
+            i1 -= 1;
+        }
+        let root = nf.powf(1.0 / alpha);
+        let base = c / (alpha - 1.0) + i1 as f64 / root + 5.0;
+        let c_prime = base.powf(alpha) + c / (alpha - 1.0);
+        Self {
+            n,
+            alpha,
+            c,
+            i1,
+            c_prime,
+        }
+    }
+
+    /// The ideal class size `⌊C·n/i^α⌋` for degree `i ≥ 1`.
+    #[must_use]
+    pub fn ideal_class_size(&self, i: usize) -> usize {
+        (self.c * self.n as f64 / (i as f64).powf(self.alpha)).floor() as usize
+    }
+
+    /// The upper-bound curve of Definition 1: `C'·n/k^{α−1}`.
+    #[must_use]
+    pub fn p_h_tail_bound(&self, k: usize) -> f64 {
+        self.c_prime * self.n as f64 / (k as f64).powf(self.alpha - 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i1_is_minimal() {
+        for &(n, alpha) in &[(1_000usize, 2.2), (50_000, 2.5), (200_000, 3.0)] {
+            let k = PaperConstants::new(n, alpha);
+            let holds = |i: usize| (k.c * n as f64 / (i as f64).powf(alpha)).floor() <= 1.0;
+            assert!(holds(k.i1), "n={n} alpha={alpha}");
+            assert!(k.i1 == 1 || !holds(k.i1 - 1), "n={n} alpha={alpha}");
+        }
+    }
+
+    #[test]
+    fn i1_matches_naive_search() {
+        for &(n, alpha) in &[(64usize, 2.5), (500, 2.1), (10_000, 3.5)] {
+            let k = PaperConstants::new(n, alpha);
+            let mut naive = 1usize;
+            while (k.c * n as f64 / (naive as f64).powf(alpha)).floor() > 1.0 {
+                naive += 1;
+            }
+            assert_eq!(k.i1, naive, "n={n} alpha={alpha}");
+        }
+    }
+
+    #[test]
+    fn c_prime_dominates_tail_constant() {
+        let k = PaperConstants::new(10_000, 2.5);
+        assert!(k.c_prime > 5f64.powf(2.5), "c_prime = {}", k.c_prime);
+        assert!(k.c_prime.is_finite());
+    }
+
+    #[test]
+    fn ideal_class_sizes_decrease() {
+        let k = PaperConstants::new(10_000, 2.5);
+        for i in 1..100 {
+            assert!(k.ideal_class_size(i) >= k.ideal_class_size(i + 1));
+        }
+        assert!(k.ideal_class_size(k.i1) <= 1);
+    }
+
+    #[test]
+    fn tail_bound_curve_decreases() {
+        let k = PaperConstants::new(10_000, 2.5);
+        assert!(k.p_h_tail_bound(1) > k.p_h_tail_bound(2));
+        assert!(k.p_h_tail_bound(10) > k.p_h_tail_bound(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha > 1")]
+    fn rejects_alpha_one() {
+        let _ = PaperConstants::new(100, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_n() {
+        let _ = PaperConstants::new(0, 2.5);
+    }
+}

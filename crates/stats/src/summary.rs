@@ -1,0 +1,116 @@
+//! Descriptive statistics for experiment tables.
+
+/// Summary statistics of a numeric sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Median (lower-middle element for even `n`).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics; returns `None` for an empty sample.
+    #[must_use]
+    pub fn of(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        Some(Self {
+            n,
+            min: sorted[0],
+            max: sorted[n - 1],
+            mean,
+            std_dev: var.sqrt(),
+            median: sorted[(n - 1) / 2],
+        })
+    }
+
+    /// Convenience constructor for integer samples.
+    #[must_use]
+    pub fn of_usize(samples: &[usize]) -> Option<Self> {
+        let v: Vec<f64> = samples.iter().map(|&x| x as f64).collect();
+        Self::of(&v)
+    }
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) of a sample by nearest-rank; `None` if empty.
+#[must_use]
+pub fn quantile(samples: &[f64], q: f64) -> Option<f64> {
+    if samples.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    Some(sorted[idx])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample() {
+        assert!(Summary::of(&[]).is_none());
+        assert!(quantile(&[], 0.5).is_none());
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::of(&[7.0]).unwrap();
+        assert_eq!(s.n, 1);
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.max, 7.0);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 7.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std_dev, 2.0);
+        assert_eq!(s.median, 4.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn of_usize_matches_f64() {
+        let a = Summary::of_usize(&[1, 2, 3]).unwrap();
+        let b = Summary::of(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn quantiles() {
+        let v: Vec<f64> = (1..=101).map(|i| i as f64).collect();
+        assert_eq!(quantile(&v, 0.0), Some(1.0));
+        assert_eq!(quantile(&v, 0.5), Some(51.0));
+        assert_eq!(quantile(&v, 1.0), Some(101.0));
+        assert!(quantile(&v, 1.5).is_none());
+    }
+
+    #[test]
+    fn unsorted_input_handled() {
+        let s = Summary::of(&[9.0, 1.0, 5.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.median, 5.0);
+    }
+}

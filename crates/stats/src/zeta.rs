@@ -1,0 +1,171 @@
+//! Riemann and Hurwitz zeta functions.
+//!
+//! The paper normalizes its ideal power-law degree distribution with
+//! `C = 1/ζ(α)` (Section 3). The discrete power-law likelihood additionally
+//! needs the Hurwitz zeta `ζ(α, q) = Σ_{k≥0} (k+q)^{-α}` as the normalizer
+//! of a power law with cutoff `x_min` (then `q = x_min`).
+//!
+//! Both are computed by a direct partial sum plus an Euler–Maclaurin tail
+//! correction, giving ~1e-12 relative accuracy for every `α > 1` the
+//! experiments use — far beyond what the labeling constants need.
+
+/// Number of terms summed directly before switching to the tail expansion.
+const DIRECT_TERMS: u64 = 64;
+
+/// Hurwitz zeta `ζ(α, q) = Σ_{k=0}^{∞} (k + q)^{-α}` for `α > 1`, `q > 0`.
+///
+/// # Panics
+///
+/// Panics if `α <= 1` (the series diverges) or `q <= 0`.
+///
+/// # Example
+///
+/// ```
+/// // ζ(α, 1) is the Riemann zeta function.
+/// let z = pl_stats::hurwitz_zeta(2.0, 1.0);
+/// assert!((z - std::f64::consts::PI.powi(2) / 6.0).abs() < 1e-10);
+/// ```
+#[must_use]
+pub fn hurwitz_zeta(alpha: f64, q: f64) -> f64 {
+    assert!(alpha > 1.0, "hurwitz_zeta requires alpha > 1, got {alpha}");
+    assert!(q > 0.0, "hurwitz_zeta requires q > 0, got {q}");
+    // Direct sum over k = 0 .. N-1, then Euler–Maclaurin from x = q + N:
+    //   Σ_{k≥N} (k+q)^{-α} ≈ x^{1-α}/(α-1) + x^{-α}/2 + α x^{-α-1}/12
+    //                        - α(α+1)(α+2) x^{-α-3}/720 + …
+    let mut sum = 0.0f64;
+    for k in 0..DIRECT_TERMS {
+        sum += (k as f64 + q).powf(-alpha);
+    }
+    let x = q + DIRECT_TERMS as f64;
+    let tail = x.powf(1.0 - alpha) / (alpha - 1.0)
+        + 0.5 * x.powf(-alpha)
+        + alpha * x.powf(-alpha - 1.0) / 12.0
+        - alpha * (alpha + 1.0) * (alpha + 2.0) * x.powf(-alpha - 3.0) / 720.0
+        + alpha
+            * (alpha + 1.0)
+            * (alpha + 2.0)
+            * (alpha + 3.0)
+            * (alpha + 4.0)
+            * x.powf(-alpha - 5.0)
+            / 30240.0;
+    sum + tail
+}
+
+/// Riemann zeta `ζ(α)` for `α > 1`.
+///
+/// # Panics
+///
+/// Panics if `α <= 1`.
+///
+/// # Example
+///
+/// ```
+/// assert!((pl_stats::zeta(4.0) - std::f64::consts::PI.powi(4) / 90.0).abs() < 1e-10);
+/// ```
+#[must_use]
+pub fn zeta(alpha: f64) -> f64 {
+    hurwitz_zeta(alpha, 1.0)
+}
+
+/// The paper's normalizing constant `C = 1/ζ(α)` from Section 3.
+///
+/// With this constant, the ideal power-law degree distribution
+/// `ddist(k) = C·k^{-α}` sums to 1 over `k = 1, 2, …`.
+#[must_use]
+pub fn paper_c(alpha: f64) -> f64 {
+    1.0 / zeta(alpha)
+}
+
+/// Truncated zeta sum `Σ_{k=a}^{b} k^{-α}` computed as a difference of
+/// Hurwitz values (exact up to floating error, no loop over the range).
+///
+/// Returns 0 for an empty range.
+#[must_use]
+pub fn partial_zeta(alpha: f64, a: u64, b: u64) -> f64 {
+    if a > b {
+        return 0.0;
+    }
+    hurwitz_zeta(alpha, a as f64) - hurwitz_zeta(alpha, (b + 1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn zeta_two() {
+        assert!((zeta(2.0) - PI * PI / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zeta_three_aperys_constant() {
+        assert!((zeta(3.0) - 1.202_056_903_159_594_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zeta_four() {
+        assert!((zeta(4.0) - PI.powi(4) / 90.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zeta_large_alpha_tends_to_one() {
+        assert!((zeta(30.0) - 1.0).abs() < 1e-8);
+        assert!(zeta(30.0) > 1.0);
+    }
+
+    #[test]
+    fn zeta_near_one_blows_up() {
+        assert!(zeta(1.001) > 999.0);
+    }
+
+    #[test]
+    fn hurwitz_shift_identity() {
+        // ζ(α, q) = q^{-α} + ζ(α, q + 1)
+        for &(a, q) in &[(2.5, 1.0), (3.0, 4.0), (2.1, 0.5)] {
+            let lhs = hurwitz_zeta(a, q);
+            let rhs = q.powf(-a) + hurwitz_zeta(a, q + 1.0);
+            assert!((lhs - rhs).abs() < 1e-12, "a={a} q={q}");
+        }
+    }
+
+    #[test]
+    fn partial_zeta_matches_direct_sum() {
+        let direct: f64 = (5..=50u64).map(|k| (k as f64).powf(-2.5)).sum();
+        assert!((partial_zeta(2.5, 5, 50) - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_zeta_empty_range() {
+        assert_eq!(partial_zeta(2.0, 10, 9), 0.0);
+    }
+
+    #[test]
+    fn partial_zeta_full_tail_matches_hurwitz() {
+        // ζ(α, 7) = Σ_{7..10^7} k^{-α} + ζ(α, 10^7 + 1), exactly.
+        let tail = hurwitz_zeta(2.2, 7.0);
+        let partial = partial_zeta(2.2, 7, 10_000_000);
+        let rest = hurwitz_zeta(2.2, 10_000_001.0);
+        assert!((tail - partial - rest).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_c_is_probability_normalizer() {
+        let alpha = 2.5;
+        let c = paper_c(alpha);
+        let total: f64 = (1..200_000u64).map(|k| c * (k as f64).powf(-alpha)).sum();
+        assert!((total - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha > 1")]
+    fn rejects_alpha_at_one() {
+        let _ = zeta(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "q > 0")]
+    fn rejects_nonpositive_q() {
+        let _ = hurwitz_zeta(2.0, 0.0);
+    }
+}

@@ -1,0 +1,318 @@
+//! `plab` — command-line front end for the power-law labeling toolkit.
+//!
+//! ```text
+//! plab gen    --model chung-lu --n 10000 --alpha 2.5 [--avg-degree 5]
+//!             [--m-param 3] [--edges 30000] [--seed 1] [--out graph.el]
+//! plab stats  <graph.el> [--ddist]
+//! plab fit    <graph.el>
+//! plab encode --scheme powerlaw|sparse|adjlist|orientation|moon|tau:N
+//!             [--alpha 2.5] <graph.el> --out labels.plab
+//! plab query  <labels.plab> <u> <v>
+//! ```
+//!
+//! Graphs travel as plain edge lists (`n m` header plus `u v` lines);
+//! labelings travel as a 1-byte scheme tag followed by the
+//! [`Labeling`] wire format, so `query` knows which
+//! decoder to apply.
+
+use std::fs;
+use std::process::ExitCode;
+
+use pl_graph::Graph;
+use pl_labeling::baseline::{AdjListDecoder, AdjListScheme, MoonDecoder, MoonScheme};
+use pl_labeling::forest::{OrientationDecoder, OrientationScheme};
+use pl_labeling::scheme::{AdjacencyDecoder, AdjacencyScheme};
+use pl_labeling::threshold::ThresholdDecoder;
+use pl_labeling::{Labeling, PowerLawScheme, SparseScheme, ThresholdScheme};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Scheme tags for the labeling container format.
+const TAG_THRESHOLD: u8 = 1; // powerlaw / sparse / tau:N (same decoder)
+const TAG_ADJLIST: u8 = 2;
+const TAG_ORIENTATION: u8 = 3;
+const TAG_MOON: u8 = 4;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("fit") => cmd_fit(&args[1..]),
+        Some("encode") => cmd_encode(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            eprintln!("{}", USAGE);
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("plab: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  plab gen    --model <chung-lu|ba|er|waxman|pl|hierarchical> --n N
+              [--alpha A] [--avg-degree D] [--m-param M] [--edges M]
+              [--seed S] [--out FILE]
+  plab stats  <graph.el> [--ddist]
+  plab fit    <graph.el>
+  plab encode --scheme <powerlaw|sparse|adjlist|orientation|moon|tau:N>
+              [--alpha A] <graph.el> --out <labels.plab>
+  plab query  <labels.plab> <u> <v>";
+
+/// Minimal flag parser: `--key value` pairs plus positional arguments.
+struct Args {
+    flags: Vec<(String, String)>,
+    positional: Vec<String>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Self, String> {
+        let mut flags = Vec::new();
+        let mut positional = Vec::new();
+        let mut it = raw.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                // A flag followed by another flag (or nothing) is boolean.
+                match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        flags.push((key.to_string(), it.next().expect("peeked").clone()));
+                    }
+                    _ => flags.push((key.to_string(), "true".to_string())),
+                }
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Self { flags, positional })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse {v:?}")),
+        }
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing --{key}"))
+    }
+}
+
+fn load_graph(path: &str) -> Result<Graph, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    pl_graph::io::from_edge_list(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn emit(out: Option<&str>, content: &str) -> Result<(), String> {
+    match out {
+        Some(path) => fs::write(path, content).map_err(|e| format!("writing {path}: {e}")),
+        None => {
+            print!("{content}");
+            Ok(())
+        }
+    }
+}
+
+fn cmd_gen(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let model = args.require("model")?.to_string();
+    let n: usize = args.get_parsed("n", 0)?;
+    if n == 0 {
+        return Err("missing or zero --n".into());
+    }
+    let alpha: f64 = args.get_parsed("alpha", 2.5)?;
+    let avg: f64 = args.get_parsed("avg-degree", 5.0)?;
+    let seed: u64 = args.get_parsed("seed", 1)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = match model.as_str() {
+        "chung-lu" => pl_gen::chung_lu_power_law(n, alpha, avg, &mut rng),
+        "ba" => {
+            let m: usize = args.get_parsed("m-param", 3)?;
+            pl_gen::barabasi_albert(n, m, &mut rng).graph
+        }
+        "er" => {
+            let m: usize = args.get_parsed("edges", (avg * n as f64 / 2.0) as usize)?;
+            pl_gen::er::gnm(n, m, &mut rng)
+        }
+        "waxman" => pl_gen::waxman::waxman(n, 0.9, 0.05, &mut rng),
+        "pl" => pl_gen::pl_family::p_l_random(n, alpha, &mut rng).graph,
+        "hierarchical" => {
+            let domains = (n as f64).sqrt().ceil() as usize;
+            pl_gen::hierarchical::hierarchical(
+                pl_gen::hierarchical::HierarchicalParams {
+                    domains,
+                    domain_size: n.div_ceil(domains),
+                    p_intra: avg / n.div_ceil(domains) as f64,
+                    p_inter: 0.5,
+                },
+                &mut rng,
+            )
+        }
+        other => return Err(format!("unknown model `{other}`")),
+    };
+    emit(args.get("out"), &pl_graph::io::to_edge_list(&g))?;
+    eprintln!(
+        "generated {model}: n = {}, m = {}",
+        g.vertex_count(),
+        g.edge_count()
+    );
+    Ok(())
+}
+
+fn cmd_stats(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let path = args.positional.first().ok_or("missing graph file")?;
+    let g = load_graph(path)?;
+    let comps = pl_graph::components::connected_components(&g);
+    let degeneracy = pl_graph::degeneracy::degeneracy_ordering(&g).degeneracy;
+    println!("vertices       {}", g.vertex_count());
+    println!("edges          {}", g.edge_count());
+    println!("max degree     {}", g.max_degree());
+    println!("sparsity m/n   {:.3}", g.sparsity());
+    println!("components     {}", comps.count());
+    println!("degeneracy     {degeneracy}");
+    println!(
+        "diameter (est) {}",
+        pl_graph::traversal::double_sweep_diameter(&g, 0)
+    );
+    if args.get("ddist").is_some_and(|v| v != "false") {
+        let h = pl_graph::degree::DegreeHistogram::of(&g);
+        println!("\ndegree  count  ddist     |V>=k|");
+        let total_classes = h.nonzero().count();
+        for (printed, (k, c)) in h.nonzero().enumerate() {
+            if printed >= 20 {
+                println!("… ({} more classes)", total_classes - printed);
+                break;
+            }
+            println!("{k:>6}  {c:>5}  {:<8.6}  {}", h.ddist(k), h.tail_count(k));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_fit(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let path = args.positional.first().ok_or("missing graph file")?;
+    let g = load_graph(path)?;
+    let degrees: Vec<u64> = g
+        .vertices()
+        .map(|v| g.degree(v) as u64)
+        .filter(|&d| d > 0)
+        .collect();
+    let max_x_min = (g.vertex_count() as f64).sqrt().ceil() as u64;
+    match pl_stats::fit_power_law(&degrees, max_x_min.max(10), 10) {
+        Some(fit) => {
+            println!("alpha          {:.4}", fit.alpha);
+            println!("x_min          {}", fit.x_min);
+            println!("KS distance    {:.4}", fit.ks);
+            println!("tail samples   {}", fit.n_tail);
+            let k = pl_stats::paper::PaperConstants::new(g.vertex_count().max(1), fit.alpha);
+            println!("paper C        {:.4}", k.c);
+            println!("paper i1       {}", k.i1);
+            println!("paper C'       {:.1}", k.c_prime);
+            Ok(())
+        }
+        None => Err("not enough degree data to fit a power law".into()),
+    }
+}
+
+fn cmd_encode(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let scheme_name = args.require("scheme")?.to_string();
+    let path = args.positional.first().ok_or("missing graph file")?;
+    let out = args.require("out")?.to_string();
+    let g = load_graph(path)?;
+    let n = g.vertex_count();
+
+    let (tag, labeling, desc): (u8, Labeling, String) = match scheme_name.as_str() {
+        "powerlaw" => {
+            let s = match args.get("alpha") {
+                Some(a) => {
+                    PowerLawScheme::new(a.parse().map_err(|_| "--alpha: bad number".to_string())?)
+                }
+                None => {
+                    PowerLawScheme::fitted(&g).ok_or("cannot fit alpha; pass --alpha explicitly")?
+                }
+            };
+            let desc = format!("powerlaw alpha={:.2} tau={}", s.alpha(), s.tau(n));
+            (TAG_THRESHOLD, s.encode(&g), desc)
+        }
+        "sparse" => {
+            let s = SparseScheme::for_graph(&g);
+            let desc = format!("sparse c={:.2} tau={}", s.c(), s.tau(n));
+            (TAG_THRESHOLD, s.encode(&g), desc)
+        }
+        "adjlist" => (TAG_ADJLIST, AdjListScheme.encode(&g), "adjlist".into()),
+        "orientation" => (
+            TAG_ORIENTATION,
+            OrientationScheme.encode(&g),
+            "orientation".into(),
+        ),
+        "moon" => (TAG_MOON, MoonScheme.encode(&g), "moon".into()),
+        other => match other.strip_prefix("tau:") {
+            Some(t) => {
+                let tau: usize = t.parse().map_err(|_| format!("bad tau in {other:?}"))?;
+                (
+                    TAG_THRESHOLD,
+                    ThresholdScheme::with_tau(tau).encode(&g),
+                    format!("threshold tau={tau}"),
+                )
+            }
+            None => return Err(format!("unknown scheme `{other}`")),
+        },
+    };
+
+    let mut blob = vec![tag];
+    blob.extend_from_slice(&labeling.to_bytes());
+    fs::write(&out, &blob).map_err(|e| format!("writing {out}: {e}"))?;
+    eprintln!(
+        "encoded {desc}: {} labels, max {} bits, avg {:.1} bits, {} bytes on disk",
+        labeling.len(),
+        labeling.max_bits(),
+        labeling.avg_bits(),
+        blob.len()
+    );
+    Ok(())
+}
+
+fn cmd_query(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let [path, u, v] = args.positional.as_slice() else {
+        return Err("usage: plab query <labels.plab> <u> <v>".into());
+    };
+    let blob = fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let (&tag, body) = blob.split_first().ok_or("empty labeling file")?;
+    let labeling = Labeling::from_bytes(body).map_err(|e| format!("parsing {path}: {e}"))?;
+    let u: u32 = u.parse().map_err(|_| format!("bad vertex id {u:?}"))?;
+    let v: u32 = v.parse().map_err(|_| format!("bad vertex id {v:?}"))?;
+    if (u as usize) >= labeling.len() || (v as usize) >= labeling.len() {
+        return Err(format!("vertex out of range (n = {})", labeling.len()));
+    }
+    let (a, b) = (labeling.label(u), labeling.label(v));
+    let adjacent = match tag {
+        TAG_THRESHOLD => ThresholdDecoder.adjacent(a, b),
+        TAG_ADJLIST => AdjListDecoder.adjacent(a, b),
+        TAG_ORIENTATION => OrientationDecoder.adjacent(a, b),
+        TAG_MOON => MoonDecoder.adjacent(a, b),
+        other => return Err(format!("unknown scheme tag {other}")),
+    };
+    println!("{adjacent}");
+    Ok(())
+}

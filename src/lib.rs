@@ -1,0 +1,49 @@
+//! # powerlaw-labeling
+//!
+//! Facade crate re-exporting the whole workspace: a from-scratch Rust
+//! implementation of *Near Optimal Adjacency Labeling Schemes for
+//! Power-Law Graphs* (Petersen, Rotbart, Simonsen, Wulff-Nilsen;
+//! ICALP 2016, announced at PODC 2016).
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`graph`] | `pl-graph` | CSR graphs, BFS (plain / bounded / thin-restricted), components, degeneracy & core numbers, pseudoforests, edge-list I/O |
+//! | [`stats`] | `pl-stats` | ζ functions, the paper's constants `C, i₁, C'`, CSN power-law fitting + bootstrap GoF, CCDF/log-log fits |
+//! | [`gen`] | `pl-gen` | Chung–Lu, Barabási–Albert (with history), configuration, ER, Waxman, hierarchical, the Section-5 `P_l` construction and Definition 1/2 checkers |
+//! | [`hash`] | `pl-hash` | FKS perfect hashing, bounded-load chaining, universal families |
+//! | [`labeling`] | `pl-labeling` | the schemes themselves: Theorems 3/4, baselines, Proposition 5, the 1-query relaxation, Lemma 7 distance labels, the dynamic extension, KNR universal graphs, and every bound formula |
+//! | [`routing`] | `pl-routing` | landmark-tree compact routing (extension; paper ref. \[17\]) |
+//!
+//! # One-minute tour
+//!
+//! ```
+//! use powerlaw_labeling::{gen, labeling, stats};
+//! use labeling::scheme::{AdjacencyScheme, AdjacencyDecoder};
+//! use rand::SeedableRng;
+//!
+//! // Generate a power-law graph, fit its exponent, label it, query it.
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let g = gen::chung_lu_power_law(5_000, 2.5, 5.0, &mut rng);
+//!
+//! let degrees: Vec<u64> = g.vertices().map(|v| g.degree(v) as u64).collect();
+//! let fit = stats::fit_power_law(&degrees, 50, 20).unwrap();
+//!
+//! let scheme = labeling::PowerLawScheme::new(fit.alpha);
+//! let labels = scheme.encode(&g);
+//! let dec = scheme.decoder();
+//! let (u, v) = g.edges().next().unwrap();
+//! assert!(dec.adjacent(labels.label(u), labels.label(v)));
+//! ```
+//!
+//! See `README.md` for the architecture overview, `DESIGN.md` for the
+//! paper-to-module map, and `EXPERIMENTS.md` for the reproduced
+//! evaluation.
+
+#![forbid(unsafe_code)]
+
+pub use pl_gen as gen;
+pub use pl_graph as graph;
+pub use pl_hash as hash;
+pub use pl_labeling as labeling;
+pub use pl_routing as routing;
+pub use pl_stats as stats;

@@ -1,0 +1,217 @@
+//! Integration tests for the `plab` command-line tool: the gen → stats →
+//! fit → encode → query pipeline a user would run from a shell.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn plab(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_plab"))
+        .args(args)
+        .output()
+        .expect("plab should launch")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("plab-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = plab(&["--help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn unknown_subcommand_fails() {
+    let out = plab(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
+}
+
+#[test]
+fn gen_stats_fit_pipeline() {
+    let graph = tmp("pipeline.el");
+    let out = plab(&[
+        "gen",
+        "--model",
+        "chung-lu",
+        "--n",
+        "3000",
+        "--alpha",
+        "2.5",
+        "--seed",
+        "7",
+        "--out",
+        graph.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = plab(&["stats", graph.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("vertices       3000"), "{text}");
+    assert!(text.contains("degeneracy"));
+
+    let out = plab(&["fit", graph.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    let alpha_line = text.lines().find(|l| l.starts_with("alpha")).unwrap();
+    let alpha: f64 = alpha_line
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!((alpha - 2.5).abs() < 0.6, "fitted alpha {alpha}");
+
+    let _ = std::fs::remove_file(graph);
+}
+
+#[test]
+fn encode_and_query_agree_with_graph() {
+    let graph = tmp("enc.el");
+    let labels = tmp("enc.plab");
+    assert!(plab(&[
+        "gen",
+        "--model",
+        "ba",
+        "--n",
+        "500",
+        "--m-param",
+        "2",
+        "--seed",
+        "3",
+        "--out",
+        graph.to_str().unwrap(),
+    ])
+    .status
+    .success());
+
+    for scheme in [
+        "powerlaw",
+        "sparse",
+        "adjlist",
+        "orientation",
+        "moon",
+        "tau:8",
+    ] {
+        let mut args = vec!["encode", "--scheme", scheme];
+        let alpha_args = ["--alpha", "3.0"];
+        if scheme == "powerlaw" {
+            args.extend_from_slice(&alpha_args);
+        }
+        args.extend_from_slice(&[graph.to_str().unwrap(), "--out", labels.to_str().unwrap()]);
+        let out = plab(&args);
+        assert!(
+            out.status.success(),
+            "{scheme}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+
+        // Reload the graph to pick true/false query pairs.
+        let text = std::fs::read_to_string(&graph).unwrap();
+        let g = pl_graph::io::from_edge_list(&text).unwrap();
+        let (u, v) = g.edges().next().unwrap();
+        let out = plab(&[
+            "query",
+            labels.to_str().unwrap(),
+            &u.to_string(),
+            &v.to_string(),
+        ]);
+        assert!(out.status.success());
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout).trim(),
+            "true",
+            "{scheme}"
+        );
+
+        // A guaranteed non-edge: a vertex with itself.
+        let out = plab(&["query", labels.to_str().unwrap(), "0", "0"]);
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout).trim(),
+            "false",
+            "{scheme}"
+        );
+    }
+
+    let _ = std::fs::remove_file(graph);
+    let _ = std::fs::remove_file(labels);
+}
+
+#[test]
+fn query_rejects_out_of_range() {
+    let graph = tmp("range.el");
+    let labels = tmp("range.plab");
+    assert!(plab(&[
+        "gen",
+        "--model",
+        "er",
+        "--n",
+        "50",
+        "--edges",
+        "100",
+        "--out",
+        graph.to_str().unwrap(),
+    ])
+    .status
+    .success());
+    assert!(plab(&[
+        "encode",
+        "--scheme",
+        "adjlist",
+        graph.to_str().unwrap(),
+        "--out",
+        labels.to_str().unwrap(),
+    ])
+    .status
+    .success());
+    let out = plab(&["query", labels.to_str().unwrap(), "0", "5000"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("out of range"));
+
+    let _ = std::fs::remove_file(graph);
+    let _ = std::fs::remove_file(labels);
+}
+
+#[test]
+fn gen_rejects_bad_model_and_missing_n() {
+    let out = plab(&["gen", "--model", "nope", "--n", "10"]);
+    assert!(!out.status.success());
+    let out = plab(&["gen", "--model", "er"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--n"));
+}
+
+#[test]
+fn stats_ddist_prints_degree_classes() {
+    let graph = tmp("ddist.el");
+    assert!(plab(&[
+        "gen",
+        "--model",
+        "chung-lu",
+        "--n",
+        "2000",
+        "--alpha",
+        "2.5",
+        "--out",
+        graph.to_str().unwrap(),
+    ])
+    .status
+    .success());
+    let out = plab(&["stats", graph.to_str().unwrap(), "--ddist"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("ddist"), "{text}");
+    assert!(
+        text.lines().any(|l| l.trim_start().starts_with('1')),
+        "{text}"
+    );
+    let _ = std::fs::remove_file(graph);
+}

@@ -1,0 +1,224 @@
+//! End-to-end integration tests spanning every crate: generate → fit →
+//! choose scheme → encode → decode, exercised the way a downstream user
+//! would drive the library.
+
+use powerlaw_labeling::gen;
+use powerlaw_labeling::graph::traversal::bfs_distances;
+use powerlaw_labeling::labeling::scheme::{AdjacencyDecoder, AdjacencyScheme};
+use powerlaw_labeling::labeling::{
+    DistanceScheme, OneQueryDecoder, OneQueryScheme, PowerLawScheme, SparseScheme,
+};
+use powerlaw_labeling::stats;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// The full paper pipeline: generate a power-law graph, fit α from the
+/// degree distribution, build the Theorem 4 scheme from the fit, and
+/// verify both correctness and the label-size guarantee.
+#[test]
+fn fit_then_label_pipeline() {
+    let mut r = rng(1);
+    let n = 20_000;
+    let g = gen::chung_lu_power_law(n, 2.5, 5.0, &mut r);
+
+    let degrees: Vec<u64> = g.vertices().map(|v| g.degree(v) as u64).collect();
+    let fit = stats::fit_power_law(&degrees, 50, 50).expect("fit succeeds");
+    assert!((fit.alpha - 2.5).abs() < 0.5, "fit {fit:?}");
+
+    let scheme = PowerLawScheme::new(fit.alpha);
+    let labeling = scheme.encode(&g);
+    let dec = scheme.decoder();
+
+    for (u, v) in g.edges().take(2_000) {
+        assert!(dec.adjacent(labeling.label(u), labeling.label(v)));
+    }
+    for _ in 0..2_000 {
+        let u = r.gen_range(0..n as u32);
+        let v = r.gen_range(0..n as u32);
+        assert_eq!(
+            dec.adjacent(labeling.label(u), labeling.label(v)),
+            g.has_edge(u, v)
+        );
+    }
+}
+
+/// Every adjacency scheme family agrees with every other on the same graph.
+#[test]
+fn schemes_agree_pairwise() {
+    let mut r = rng(2);
+    let g = gen::chung_lu_power_law(2_000, 2.5, 4.0, &mut r);
+
+    let thm4 = PowerLawScheme::new(2.5);
+    let thm3 = SparseScheme::for_graph(&g);
+    let l4 = thm4.encode(&g);
+    let l3 = thm3.encode(&g);
+    let adj = powerlaw_labeling::labeling::baseline::AdjListScheme.encode(&g);
+    let ori = powerlaw_labeling::labeling::forest::OrientationScheme.encode(&g);
+    let oq = OneQueryScheme.encode(&g, &mut r);
+
+    let d4 = thm4.decoder();
+    let d3 = thm3.decoder();
+    let dadj = powerlaw_labeling::labeling::baseline::AdjListDecoder;
+    let dori = powerlaw_labeling::labeling::forest::OrientationDecoder;
+    let doq = OneQueryDecoder;
+
+    for _ in 0..5_000 {
+        let u = r.gen_range(0..2_000u32);
+        let v = r.gen_range(0..2_000u32);
+        let answers = [
+            d4.adjacent(l4.label(u), l4.label(v)),
+            d3.adjacent(l3.label(u), l3.label(v)),
+            dadj.adjacent(adj.label(u), adj.label(v)),
+            dori.adjacent(ori.label(u), ori.label(v)),
+            doq.adjacent_with(oq.label(u), oq.label(v), |t| oq.label(t as u32)),
+        ];
+        assert!(
+            answers.iter().all(|&a| a == answers[0]),
+            "schemes disagree on ({u}, {v}): {answers:?}"
+        );
+        assert_eq!(answers[0], g.has_edge(u, v));
+    }
+}
+
+/// The lower-bound machinery composes with the upper-bound machinery: a
+/// `P_l` host labels correctly and the label of the embedded `H` region
+/// reproduces `H`'s adjacency.
+#[test]
+fn lower_bound_embedding_labels_correctly() {
+    let mut r = rng(3);
+    let n = 10_000;
+    let alpha = 2.5;
+    let k = stats::PaperConstants::new(n, alpha);
+    let h = gen::er::gnp(k.i1, 0.5, &mut r);
+    let emb = gen::embed_in_p_l(&h, n, alpha, &mut r);
+
+    let scheme = PowerLawScheme::new(alpha);
+    let labeling = scheme.encode(&emb.graph);
+    let dec = scheme.decoder();
+
+    // Adjacency inside the embedded H, answered purely from labels,
+    // must equal H's own adjacency.
+    for a in 0..h.vertex_count() as u32 {
+        for b in 0..h.vertex_count() as u32 {
+            let (ga, gb) = (emb.host[a as usize], emb.host[b as usize]);
+            assert_eq!(
+                dec.adjacent(labeling.label(ga), labeling.label(gb)),
+                h.has_edge(a, b),
+                "H pair ({a}, {b})"
+            );
+        }
+    }
+}
+
+/// Distance labels built on the generated graph agree with BFS.
+#[test]
+fn distance_oracle_pipeline() {
+    let mut r = rng(4);
+    let n = 3_000;
+    let g = gen::chung_lu_power_law(n, 2.5, 5.0, &mut r);
+    let f = 3u32;
+    let scheme = DistanceScheme::new(2.5, f);
+    let labeling = scheme.encode(&g);
+    let dec = scheme.decoder();
+
+    for _ in 0..4 {
+        let u = r.gen_range(0..n as u32);
+        let truth = bfs_distances(&g, u);
+        for _ in 0..500 {
+            let v = r.gen_range(0..n as u32);
+            let want = match truth[v as usize] {
+                powerlaw_labeling::graph::UNREACHABLE => None,
+                d if d > f => None,
+                d => Some(d),
+            };
+            assert_eq!(dec.distance(labeling.label(u), labeling.label(v)), want);
+        }
+    }
+}
+
+/// The facade crate re-exports compose: a user can reach every subsystem
+/// through `powerlaw_labeling::*`.
+#[test]
+fn facade_reexports_compose() {
+    let mut r = rng(5);
+    let g = powerlaw_labeling::gen::classic::cycle(10);
+    let ph = powerlaw_labeling::hash::PerfectHash::build(&[1, 2, 3], &mut r).unwrap();
+    assert!(ph.contains(2));
+    assert_eq!(g.edge_count(), 10);
+    assert!((powerlaw_labeling::stats::zeta(2.0) - 1.6449).abs() < 1e-3);
+    let lab = powerlaw_labeling::labeling::ThresholdScheme::with_tau(2).encode(&g);
+    assert!(lab.max_bits() > 0);
+}
+
+/// Serialization round trip: a graph written to the edge-list format and
+/// read back yields identical labels under a deterministic scheme.
+#[test]
+fn io_round_trip_preserves_labels() {
+    let mut r = rng(6);
+    let g = gen::chung_lu_power_law(1_000, 2.5, 4.0, &mut r);
+    let text = powerlaw_labeling::graph::io::to_edge_list(&g);
+    let g2 = powerlaw_labeling::graph::io::from_edge_list(&text).unwrap();
+    assert_eq!(g, g2);
+
+    let s = PowerLawScheme::new(2.5);
+    let l1 = s.encode(&g);
+    let l2 = s.encode(&g2);
+    for v in g.vertices() {
+        assert_eq!(l1.label(v), l2.label(v));
+    }
+}
+
+/// A distance scheme with budget f = 1 is an adjacency scheme: the
+/// decoders must agree pair-by-pair.
+#[test]
+fn distance_f1_is_adjacency() {
+    let mut r = rng(7);
+    let g = gen::chung_lu_power_law(1_500, 2.5, 4.0, &mut r);
+    let dist = DistanceScheme::new(2.5, 1);
+    let dist_l = dist.encode(&g);
+    let ddec = dist.decoder();
+    let adj = PowerLawScheme::new(2.5);
+    let adj_l = adj.encode(&g);
+    let adec = adj.decoder();
+    for _ in 0..5_000 {
+        let u = r.gen_range(0..1_500u32);
+        let v = r.gen_range(0..1_500u32);
+        let d = ddec.distance(dist_l.label(u), dist_l.label(v));
+        let a = adec.adjacent(adj_l.label(u), adj_l.label(v));
+        match d {
+            Some(0) => assert_eq!(u, v),
+            Some(1) => assert!(a, "({u}, {v})"),
+            Some(x) => panic!("budget 1 scheme returned {x}"),
+            None => assert!(!a && u != v, "({u}, {v})"),
+        }
+    }
+}
+
+/// The compressed and plain threshold decoders agree everywhere and with
+/// ground truth, label by label.
+#[test]
+fn compressed_and_plain_threshold_agree() {
+    use powerlaw_labeling::labeling::compressed::CompressedThresholdScheme;
+    use powerlaw_labeling::labeling::ThresholdScheme;
+    let mut r = rng(8);
+    let g = gen::chung_lu_power_law(1_000, 2.5, 5.0, &mut r);
+    for tau in [3usize, 12, 60] {
+        let plain = ThresholdScheme::with_tau(tau);
+        let comp = CompressedThresholdScheme::with_tau(tau);
+        let pl = plain.encode(&g);
+        let cl = comp.encode(&g);
+        let pd = plain.decoder();
+        let cd = comp.decoder();
+        for _ in 0..3_000 {
+            let u = r.gen_range(0..1_000u32);
+            let v = r.gen_range(0..1_000u32);
+            let want = g.has_edge(u, v);
+            assert_eq!(pd.adjacent(pl.label(u), pl.label(v)), want);
+            assert_eq!(cd.adjacent(cl.label(u), cl.label(v)), want);
+        }
+    }
+}
