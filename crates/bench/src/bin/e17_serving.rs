@@ -1,0 +1,177 @@
+//! E17 — serving throughput: shard count × cache size × query skew.
+//!
+//! Puts the pl-serve engine under load: one in-process server per
+//! configuration, a multi-connection Zipf/uniform load over real TCP,
+//! and the paper's threshold scheme against the adjacency-list baseline.
+//! Expected shape: the decode cache only pays off under skew (the hot
+//! set must be the fat hubs), shard count matters little for pure reads
+//! (labels are lock-free either way; shards bound cache-mutex
+//! contention), and the threshold scheme holds its throughput while
+//! shipping far smaller labels than the baseline.
+
+use std::sync::Arc;
+
+use pl_bench::{banner, f1, quick_mode, rng, Table};
+use pl_graph::degree::vertices_by_degree_desc;
+use pl_labeling::baseline::AdjListScheme;
+use pl_labeling::scheme::AdjacencyScheme;
+use pl_labeling::PowerLawScheme;
+use pl_serve::client::loadgen::{self, LoadgenConfig, Skew};
+use pl_serve::{Client, LabelStore, SchemeTag, StoreConfig, TaggedLabeling};
+
+fn skew_name(skew: Skew) -> String {
+    match skew {
+        Skew::Uniform => "uniform".to_string(),
+        Skew::Zipf(s) => format!("zipf({s})"),
+    }
+}
+
+struct RunResult {
+    qps: f64,
+    hit_rate: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+}
+
+fn run_one(
+    tagged: TaggedLabeling,
+    shards: usize,
+    cache: usize,
+    skew: Skew,
+    hot_order: &[u32],
+    requests_per_conn: usize,
+) -> RunResult {
+    let store = Arc::new(LabelStore::new(
+        tagged,
+        StoreConfig {
+            shards,
+            cache_capacity: cache,
+        },
+    ));
+    let handle = pl_serve::serve(store, "127.0.0.1:0").expect("bind");
+    let config = LoadgenConfig {
+        connections: 4,
+        requests_per_conn,
+        batch: 64,
+        skew,
+        seed: 0xE17,
+        hot_order: Some(hot_order.to_vec()),
+    };
+    let report = loadgen::run(handle.addr(), &config).expect("load run");
+    let mut client = Client::connect(handle.addr()).expect("stats connection");
+    let stats = client.stats().expect("stats");
+    let _ = client.goodbye();
+    handle.shutdown();
+    RunResult {
+        qps: report.qps,
+        hit_rate: stats.cache_hit_rate(),
+        p50_ns: stats.p50_ns,
+        p99_ns: stats.p99_ns,
+    }
+}
+
+fn main() {
+    banner("E17", "serving throughput: shards x cache x skew");
+    let alpha = 2.5;
+    let (n, requests_per_conn) = if quick_mode() {
+        (3_000, 1_500)
+    } else {
+        (20_000, 12_000)
+    };
+    let mut r = rng(1_700);
+    let g = pl_gen::chung_lu_power_law(n, alpha, 5.0, &mut r);
+    let hot_order = vertices_by_degree_desc(&g);
+
+    let threshold_scheme = PowerLawScheme::with_c_prime(alpha, 1.0);
+    let threshold = TaggedLabeling {
+        tag: SchemeTag::Threshold,
+        labeling: threshold_scheme.encode(&g),
+    };
+    let adjlist = TaggedLabeling {
+        tag: SchemeTag::AdjList,
+        labeling: AdjListScheme.encode(&g),
+    };
+    println!(
+        "chung-lu alpha = {alpha}, n = {}, m = {}; threshold tau = {} \
+         (max label {} bits) vs adjlist (max label {} bits)\n",
+        g.vertex_count(),
+        g.edge_count(),
+        threshold_scheme.tau(n),
+        threshold.labeling.max_bits(),
+        adjlist.labeling.max_bits(),
+    );
+
+    let shard_grid: &[usize] = if quick_mode() { &[1, 4] } else { &[1, 2, 4, 8] };
+    let cache_grid: &[usize] = if quick_mode() {
+        &[0, 4_096]
+    } else {
+        &[0, 1_024, 16_384]
+    };
+    let skews = [Skew::Uniform, Skew::Zipf(1.2)];
+
+    let mut table = Table::new(&[
+        "scheme",
+        "shards",
+        "cache",
+        "skew",
+        "kqps",
+        "cache hit %",
+        "p50 ns",
+        "p99 ns",
+    ]);
+    for &shards in shard_grid {
+        for &cache in cache_grid {
+            for skew in skews {
+                let res = run_one(
+                    threshold.clone(),
+                    shards,
+                    cache,
+                    skew,
+                    &hot_order,
+                    requests_per_conn,
+                );
+                table.row(vec![
+                    "threshold".to_string(),
+                    shards.to_string(),
+                    cache.to_string(),
+                    skew_name(skew),
+                    f1(res.qps / 1_000.0),
+                    f1(res.hit_rate * 100.0),
+                    res.p50_ns.to_string(),
+                    res.p99_ns.to_string(),
+                ]);
+            }
+        }
+    }
+    // Baseline: the adjacency-list labeling at one representative layout
+    // (its thin-list decode never touches the fat cache).
+    for skew in skews {
+        let res = run_one(
+            adjlist.clone(),
+            4,
+            *cache_grid.last().expect("nonempty grid"),
+            skew,
+            &hot_order,
+            requests_per_conn,
+        );
+        table.row(vec![
+            "adjlist".to_string(),
+            "4".to_string(),
+            cache_grid.last().expect("nonempty grid").to_string(),
+            skew_name(skew),
+            f1(res.qps / 1_000.0),
+            f1(res.hit_rate * 100.0),
+            res.p50_ns.to_string(),
+            res.p99_ns.to_string(),
+        ]);
+    }
+
+    table.print();
+    println!(
+        "\nexpected: cache hit rate near zero under uniform load and high under\n\
+         zipf (the hot set is the fat hubs, which is what the per-shard LRU\n\
+         holds); threshold decode stays competitive with adjlist scans while\n\
+         its labels are a fraction of the size; shard count shifts p99 more\n\
+         than throughput (reads are lock-free, only the cache mutex shards)."
+    );
+}

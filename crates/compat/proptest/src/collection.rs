@@ -1,0 +1,136 @@
+//! Collection strategies: `vec` and `hash_set` with size ranges.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::Range;
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Number of elements to generate; converts from `usize` and `Range<usize>`.
+#[derive(Debug, Clone)]
+pub struct SizeRange(Range<usize>);
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self(n..n + 1)
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(!r.is_empty(), "empty size range");
+        Self(r)
+    }
+}
+
+impl SizeRange {
+    fn draw(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.0.clone())
+    }
+
+    fn min(&self) -> usize {
+        self.0.start
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+#[must_use]
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.draw(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `HashSet<S::Value>` with a size drawn from `size`
+/// (duplicates are retried, so the set reaches at least the range minimum
+/// whenever the element domain allows it).
+#[must_use]
+pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+{
+    HashSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`hash_set`].
+#[derive(Debug, Clone)]
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+{
+    type Value = HashSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let target = self.size.draw(rng);
+        let mut out = HashSet::with_capacity(target);
+        let mut attempts = 0usize;
+        while out.len() < target && attempts < target * 10 + 100 {
+            out.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        assert!(
+            out.len() >= self.size.min(),
+            "hash_set strategy could not reach minimum size {} (got {})",
+            self.size.min(),
+            out.len()
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_for_seed;
+
+    #[test]
+    fn vec_respects_size_range() {
+        let mut rng = rng_for_seed(4);
+        let s = vec(0u32..5, 2..7);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn hash_set_reaches_minimum() {
+        let mut rng = rng_for_seed(5);
+        let s = hash_set(0u64..u64::MAX, 10..20);
+        for _ in 0..20 {
+            let set = s.generate(&mut rng);
+            assert!(set.len() >= 10);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no crates.io access, so this workspace vendors
+//! the slice of proptest it uses: the [`proptest!`] macro, composable
+//! [`Strategy`] values (ranges, tuples, [`Just`], `any`, collections,
+//! `prop_map`/`prop_flat_map`), the `prop_assert*`/`prop_assume!` macros,
+//! and a deterministic case runner. Differences from upstream: cases are
+//! seeded from the test name + case index (fully reproducible, no
+//! persistence files) and failing inputs are **not shrunk** — the panic
+//! message carries the case seed instead.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Glob-import surface, mirroring `proptest::prelude::*`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// item becomes a `#[test]` that runs the body over `config.cases`
+/// generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { [$cfg] $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { [$crate::test_runner::Config::default()] $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ([$cfg:expr]) => {};
+    ([$cfg:expr]
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut passed: u32 = 0;
+            let mut rejected: u32 = 0;
+            while passed < config.cases {
+                let seed = $crate::test_runner::case_seed(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    passed + rejected,
+                );
+                let mut __rng = $crate::test_runner::rng_for_seed(seed);
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                let outcome = (|| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => passed += 1,
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        assert!(
+                            rejected < config.cases.saturating_mul(16).max(256),
+                            "proptest {}: too many prop_assume! rejections",
+                            stringify!($name),
+                        );
+                    }
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {} failed at case {} (seed {:#x}):\n{}",
+                            stringify!($name),
+                            passed,
+                            seed,
+                            msg,
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { [$cfg] $($rest)* }
+    };
+}
+
+/// Fails the current case with a formatted message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+            stringify!($left), stringify!($right), l, r, format!($($fmt)+),
+        );
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+        );
+    }};
+}
+
+/// Discards the current case (regenerating a fresh one) unless `cond`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}

@@ -1,0 +1,79 @@
+//! Case runner plumbing: configuration, case errors, deterministic seeds.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-block configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases each test must pass.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config that runs `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Why a generated case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property failed; the test should panic.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; generate a fresh case.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self::Fail(msg.into())
+    }
+
+    /// A rejection with the given reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        Self::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Fail(m) => write!(f, "test case failed: {m}"),
+            Self::Reject(m) => write!(f, "test case rejected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The generator strategies draw from.
+pub type TestRng = StdRng;
+
+/// Deterministic per-case seed: FNV-1a over the test path, mixed with the
+/// case index. Stable across runs, so a failing case is reproducible from
+/// its printed seed.
+#[must_use]
+pub fn case_seed(test_path: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h ^ (u64::from(case) << 32) ^ u64::from(case)
+}
+
+/// The RNG for one case.
+#[must_use]
+pub fn rng_for_seed(seed: u64) -> TestRng {
+    StdRng::seed_from_u64(seed)
+}

@@ -1,0 +1,392 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no crates.io access, so this workspace vendors
+//! the small slice of `rand` 0.8 it actually uses: [`Rng`]/[`RngCore`],
+//! [`SeedableRng`], [`rngs::StdRng`], and [`seq::SliceRandom`]. Streams are
+//! deterministic per seed (xoshiro256++ seeded via SplitMix64) but do NOT
+//! match upstream `rand`'s streams; all in-repo uses treat seeds as opaque
+//! reproducibility handles, never as golden values.
+
+/// Low-level uniform bit source. Mirrors `rand_core::RngCore` minus the
+/// fallible API.
+pub trait RngCore {
+    /// The next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniform bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with uniform bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Types that [`Rng::gen`] can produce uniformly.
+pub trait Standard: Sized {
+    /// Draws one uniform value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Types with a uniform sampler over ranges, for [`Rng::gen_range`].
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[low, high)`.
+    fn sample_range<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+
+    /// Uniform draw from `[low, high]`.
+    fn sample_range_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+/// Range shapes [`Rng::gen_range`] accepts (`a..b` and `a..=b`).
+pub trait SampleRange<T> {
+    /// Uniform draw from this range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        T::sample_range_inclusive(low, high, rng)
+    }
+}
+
+/// Unbiased `[0, n)` draw via Lemire's widening-multiply rejection method.
+fn uniform_below<R: RngCore + ?Sized>(n: u64, rng: &mut R) -> u64 {
+    debug_assert!(n > 0);
+    // Reject the low fringe of each multiple so every residue is equally
+    // likely; `threshold = 2^64 mod n`.
+    let threshold = n.wrapping_neg() % n;
+    loop {
+        let m = u128::from(rng.next_u64()) * u128::from(n);
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low < high, "cannot sample empty range");
+                let span = (high as u64).wrapping_sub(low as u64);
+                low.wrapping_add(uniform_below(span, rng) as $t)
+            }
+
+            fn sample_range_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self {
+                assert!(low <= high, "cannot sample empty range");
+                let span = (high as u64).wrapping_sub(low as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                low.wrapping_add(uniform_below(span + 1, rng) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_signed {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low < high, "cannot sample empty range");
+                let span = (high as i64).wrapping_sub(low as i64) as u64;
+                low.wrapping_add(uniform_below(span, rng) as $t)
+            }
+
+            fn sample_range_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self {
+                assert!(low <= high, "cannot sample empty range");
+                let span = (high as i64).wrapping_sub(low as i64) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                low.wrapping_add(uniform_below(span + 1, rng) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_signed!(i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        assert!(low < high, "cannot sample empty range");
+        low + f64::sample_standard(rng) * (high - low)
+    }
+
+    fn sample_range_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        Self::sample_range(low, high, rng)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        assert!(low < high, "cannot sample empty range");
+        low + f32::sample_standard(rng) * (high - low)
+    }
+
+    fn sample_range_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        Self::sample_range(low, high, rng)
+    }
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// A uniform value in `range` (`a..b` or `a..=b`).
+    fn gen_range<T: SampleUniform, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable generators. Mirrors `rand::SeedableRng` for the `u64` entry
+/// point the workspace uses.
+pub trait SeedableRng: Sized {
+    /// Constructs a generator whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++,
+    /// seeded by expanding a `u64` through SplitMix64.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            Self { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence helpers.
+
+    use super::Rng;
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly chosen element, `None` if empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: u64 = StdRng::seed_from_u64(1).gen();
+        let b: u64 = StdRng::seed_from_u64(1).gen();
+        let c: u64 = StdRng::seed_from_u64(2).gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3u32..17);
+            assert!((3..17).contains(&x));
+            let f = rng.gen_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&f));
+            let s = rng.gen_range(0usize..5);
+            assert!(s < 5);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn f64_standard_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "astronomically unlikely");
+    }
+
+    #[test]
+    fn unsized_rng_callable_through_generic() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+            let _: f64 = rng.gen();
+            rng.gen_range(0u64..10)
+        }
+        let mut rng = StdRng::seed_from_u64(11);
+        assert!(draw(&mut rng) < 10);
+    }
+}

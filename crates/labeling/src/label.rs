@@ -7,14 +7,23 @@ use crate::bits::{BitReader, BitString, BitWriter};
 const LABELING_MAGIC: &[u8; 4] = b"PLL1";
 
 /// Error deserializing a label or labeling.
+///
+/// `from_bytes` treats its input as untrusted network/disk bytes: any
+/// declared length is checked against the bytes actually present *before*
+/// memory is reserved, so a hostile header can neither panic the parser
+/// nor make it overallocate.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireError {
-    /// The buffer ended before the declared content.
+    /// The buffer ended before the declared content (or a declared length
+    /// exceeds what any buffer of this size could hold).
     Truncated,
     /// The labeling magic/version prefix did not match.
     BadMagic,
     /// Unused trailing bits of the final byte were not zero.
     DirtyPadding,
+    /// Bytes remained after the declared content (the encoding is
+    /// canonical: one labeling, nothing else).
+    TrailingBytes,
 }
 
 impl std::fmt::Display for WireError {
@@ -23,6 +32,7 @@ impl std::fmt::Display for WireError {
             Self::Truncated => write!(f, "buffer too short for declared label data"),
             Self::BadMagic => write!(f, "not a labeling blob (bad magic)"),
             Self::DirtyPadding => write!(f, "non-zero padding bits in final byte"),
+            Self::TrailingBytes => write!(f, "trailing bytes after labeling content"),
         }
     }
 }
@@ -79,11 +89,21 @@ impl Label {
 
     /// Parses a label written by [`to_bytes`](Self::to_bytes), returning
     /// the label and the number of bytes consumed.
+    ///
+    /// Safe on adversarial input: an oversized bit-length header is
+    /// rejected against the actual buffer size before any allocation.
     pub fn from_bytes(buf: &[u8]) -> Result<(Self, usize), WireError> {
         if buf.len() < 8 {
             return Err(WireError::Truncated);
         }
-        let bit_len = u64::from_le_bytes(buf[..8].try_into().expect("8 bytes")) as usize;
+        let declared = u64::from_le_bytes(buf[..8].try_into().expect("8 bytes"));
+        // The body can hold at most 8 bits per remaining byte; checking the
+        // declared length in u64 first keeps every later usize conversion
+        // and `8 + nbytes` sum exact on all targets.
+        if declared > (buf.len() as u64 - 8).saturating_mul(8) {
+            return Err(WireError::Truncated);
+        }
+        let bit_len = declared as usize;
         let nbytes = bit_len.div_ceil(8);
         let body = buf.get(8..8 + nbytes).ok_or(WireError::Truncated)?;
         let mut w = BitWriter::new();
@@ -145,6 +165,14 @@ impl Labeling {
         self.labels.iter().enumerate().map(|(v, l)| (v as u32, l))
     }
 
+    /// Consumes the labeling, yielding the per-vertex labels (index =
+    /// vertex id). Lets a serving store re-partition labels without
+    /// cloning them.
+    #[must_use]
+    pub fn into_labels(self) -> Vec<Label> {
+        self.labels
+    }
+
     /// The scheme's `size(n)`: the maximum label length in bits.
     #[must_use]
     pub fn max_bits(&self) -> usize {
@@ -181,6 +209,11 @@ impl Labeling {
     }
 
     /// Parses a labeling written by [`to_bytes`](Self::to_bytes).
+    ///
+    /// Safe on adversarial input: the declared label count is bounded by
+    /// the bytes actually present before any allocation, and trailing
+    /// bytes after the last label are rejected so the encoding stays
+    /// canonical.
     pub fn from_bytes(buf: &[u8]) -> Result<Self, WireError> {
         if buf.len() < 12 {
             return Err(WireError::Truncated);
@@ -188,13 +221,23 @@ impl Labeling {
         if &buf[..4] != LABELING_MAGIC {
             return Err(WireError::BadMagic);
         }
-        let count = u64::from_le_bytes(buf[4..12].try_into().expect("8 bytes")) as usize;
+        let declared = u64::from_le_bytes(buf[4..12].try_into().expect("8 bytes"));
+        // Every label costs at least its 8-byte length header, so a count
+        // beyond (len - 12) / 8 cannot be satisfied — reject it before
+        // reserving memory for it.
+        if declared > (buf.len() as u64 - 12) / 8 {
+            return Err(WireError::Truncated);
+        }
+        let count = declared as usize;
         let mut labels = Vec::with_capacity(count);
         let mut pos = 12usize;
         for _ in 0..count {
             let (l, used) = Label::from_bytes(&buf[pos..])?;
             labels.push(l);
             pos += used;
+        }
+        if pos != buf.len() {
+            return Err(WireError::TrailingBytes);
         }
         Ok(Self::new(labels))
     }

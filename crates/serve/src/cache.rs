@@ -1,0 +1,241 @@
+//! A fixed-capacity LRU map used for the per-shard decoded-label cache.
+//!
+//! Entries live in a slab (`Vec`) threaded by an intrusive doubly-linked
+//! list of indices, so a hit is a `HashMap` probe plus a few pointer
+//! swaps — no allocation after the cache is warm. Eviction always removes
+//! the tail (least recently used) entry.
+
+use std::collections::HashMap;
+
+const NIL: usize = usize::MAX;
+
+struct Entry<V> {
+    key: u32,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// Fixed-capacity map from `u32` keys with least-recently-used eviction.
+pub struct LruCache<V> {
+    map: HashMap<u32, usize>,
+    slab: Vec<Entry<V>>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+impl<V> LruCache<V> {
+    /// A cache holding at most `capacity` entries. Zero capacity is
+    /// allowed and caches nothing.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            slab: Vec::with_capacity(capacity.min(1 << 20)),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Number of cached entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up `key`, marking it most recently used on a hit.
+    pub fn get(&mut self, key: u32) -> Option<&V> {
+        let idx = *self.map.get(&key)?;
+        self.move_to_front(idx);
+        Some(&self.slab[idx].value)
+    }
+
+    /// Inserts `key → value`, evicting the least recently used entry if
+    /// the cache is full. Overwrites an existing entry for `key`.
+    pub fn insert(&mut self, key: u32, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&idx) = self.map.get(&key) {
+            self.slab[idx].value = value;
+            self.move_to_front(idx);
+            return;
+        }
+        let idx = if self.slab.len() < self.capacity {
+            self.slab.push(Entry {
+                key,
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.slab.len() - 1
+        } else {
+            // Recycle the tail slot.
+            let idx = self.tail;
+            self.unlink(idx);
+            let evicted = std::mem::replace(&mut self.slab[idx].key, key);
+            self.map.remove(&evicted);
+            self.slab[idx].value = value;
+            idx
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slab[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slab[next].prev = prev;
+        }
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn move_to_front(&mut self, idx: usize) {
+        if self.head == idx {
+            return;
+        }
+        self.unlink(idx);
+        self.push_front(idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss() {
+        let mut c = LruCache::new(2);
+        assert!(c.is_empty());
+        c.insert(1, "a");
+        c.insert(2, "b");
+        assert_eq!(c.get(1), Some(&"a"));
+        assert_eq!(c.get(3), None);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.get(1), Some(&10)); // 2 is now LRU
+        c.insert(3, 30);
+        assert_eq!(c.get(2), None);
+        assert_eq!(c.get(1), Some(&10));
+        assert_eq!(c.get(3), Some(&30));
+    }
+
+    #[test]
+    fn overwrite_refreshes_recency() {
+        let mut c = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(1, 11); // 2 becomes LRU
+        c.insert(3, 30);
+        assert_eq!(c.get(1), Some(&11));
+        assert_eq!(c.get(2), None);
+    }
+
+    #[test]
+    fn zero_capacity_caches_nothing() {
+        let mut c = LruCache::new(0);
+        c.insert(1, 10);
+        assert_eq!(c.get(1), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn capacity_one() {
+        let mut c = LruCache::new(1);
+        for k in 0..100 {
+            c.insert(k, k);
+            assert_eq!(c.get(k), Some(&k));
+            assert_eq!(c.len(), 1);
+        }
+        assert_eq!(c.get(98), None);
+    }
+
+    #[test]
+    fn matches_naive_model_under_random_workload() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        // Reference model: Vec kept in recency order.
+        struct Model {
+            cap: usize,
+            items: Vec<(u32, u64)>,
+        }
+        impl Model {
+            fn get(&mut self, k: u32) -> Option<u64> {
+                let pos = self.items.iter().position(|&(key, _)| key == k)?;
+                let it = self.items.remove(pos);
+                let v = it.1;
+                self.items.insert(0, it);
+                Some(v)
+            }
+            fn insert(&mut self, k: u32, v: u64) {
+                if self.cap == 0 {
+                    return;
+                }
+                if let Some(pos) = self.items.iter().position(|&(key, _)| key == k) {
+                    self.items.remove(pos);
+                } else if self.items.len() == self.cap {
+                    self.items.pop();
+                }
+                self.items.insert(0, (k, v));
+            }
+        }
+
+        let mut r = StdRng::seed_from_u64(0xCAFE);
+        for cap in [1usize, 2, 7, 16] {
+            let mut lru = LruCache::new(cap);
+            let mut model = Model {
+                cap,
+                items: Vec::new(),
+            };
+            for step in 0..4_000u64 {
+                let key = r.gen_range(0..24u32);
+                if r.gen_bool(0.5) {
+                    assert_eq!(
+                        lru.get(key).copied(),
+                        model.get(key),
+                        "cap {cap} step {step} get({key})"
+                    );
+                } else {
+                    lru.insert(key, step);
+                    model.insert(key, step);
+                }
+                assert_eq!(lru.len(), model.items.len());
+            }
+        }
+    }
+}

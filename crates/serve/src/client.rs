@@ -1,0 +1,383 @@
+//! Blocking client and the load generator.
+//!
+//! [`Client`] is a thin synchronous wrapper over one TCP connection:
+//! handshake on connect, then batched request/reply in lockstep. The
+//! [`loadgen`] module drives many clients from worker threads, replaying
+//! uniform or Zipf-skewed adjacency query mixes against a server and
+//! optionally verifying every answer against the source graph.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::metrics::Snapshot;
+use crate::protocol::{
+    encode_batch, encode_hello, opcode, parse_batch_reply, parse_hello_ok, parse_stats_reply,
+    read_frame, write_frame, Answer, Query,
+};
+
+fn bad_data(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// One connection to a pl-serve server, already past the handshake.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    tag: u8,
+    n: u32,
+}
+
+impl Client {
+    /// Connects and performs the HELLO handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        write_frame(&mut stream, &encode_hello())?;
+        let reply = read_frame(&mut stream)?;
+        match reply.first() {
+            Some(&opcode::HELLO_OK) => {
+                let (_, tag, n) = parse_hello_ok(&reply).map_err(|e| bad_data(e.to_string()))?;
+                Ok(Self { stream, tag, n })
+            }
+            Some(&opcode::ERROR) => Err(bad_data(format!(
+                "server rejected handshake: {}",
+                String::from_utf8_lossy(&reply[1..])
+            ))),
+            _ => Err(bad_data("unexpected handshake reply")),
+        }
+    }
+
+    /// Scheme tag byte the server is serving.
+    #[must_use]
+    pub fn tag(&self) -> u8 {
+        self.tag
+    }
+
+    /// Vertex count of the served labeling.
+    #[must_use]
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Sends one batch and reads the matching reply (answers in query
+    /// order).
+    pub fn batch(&mut self, queries: &[Query]) -> io::Result<Vec<Answer>> {
+        write_frame(&mut self.stream, &encode_batch(queries))?;
+        let reply = read_frame(&mut self.stream)?;
+        match reply.first() {
+            Some(&opcode::BATCH_REPLY) => {
+                let answers = parse_batch_reply(&reply).map_err(|e| bad_data(e.to_string()))?;
+                if answers.len() != queries.len() {
+                    return Err(bad_data("reply count mismatch"));
+                }
+                Ok(answers)
+            }
+            Some(&opcode::ERROR) => Err(bad_data(format!(
+                "server error: {}",
+                String::from_utf8_lossy(&reply[1..])
+            ))),
+            _ => Err(bad_data("unexpected batch reply")),
+        }
+    }
+
+    /// Single adjacency query.
+    pub fn adjacent(&mut self, u: u32, v: u32) -> io::Result<bool> {
+        match self.batch(&[Query::adjacent(u, v)])?[0] {
+            Answer::Adjacent => Ok(true),
+            Answer::NotAdjacent => Ok(false),
+            other => Err(bad_data(format!("unexpected answer {other:?}"))),
+        }
+    }
+
+    /// Single distance query; `None` = beyond the scheme's bound.
+    pub fn distance(&mut self, u: u32, v: u32) -> io::Result<Option<u32>> {
+        match self.batch(&[Query::distance(u, v)])?[0] {
+            Answer::Distance(d) => Ok(Some(d)),
+            Answer::Unreachable => Ok(None),
+            other => Err(bad_data(format!("unexpected answer {other:?}"))),
+        }
+    }
+
+    /// Fetches the server's metrics snapshot.
+    pub fn stats(&mut self) -> io::Result<Snapshot> {
+        write_frame(&mut self.stream, &[opcode::STATS])?;
+        let reply = read_frame(&mut self.stream)?;
+        parse_stats_reply(&reply).map_err(|e| bad_data(e.to_string()))
+    }
+
+    /// Orderly close: GOODBYE, await GOODBYE_OK.
+    pub fn goodbye(mut self) -> io::Result<()> {
+        write_frame(&mut self.stream, &[opcode::GOODBYE])?;
+        let reply = read_frame(&mut self.stream)?;
+        if reply.first() == Some(&opcode::GOODBYE_OK) {
+            Ok(())
+        } else {
+            Err(bad_data("expected GOODBYE_OK"))
+        }
+    }
+
+    /// Low-level escape hatch for protocol tests: send raw body, read
+    /// raw reply.
+    pub fn raw_round_trip(&mut self, body: &[u8]) -> io::Result<Vec<u8>> {
+        write_frame(&mut self.stream, body)?;
+        read_frame(&mut self.stream)
+    }
+}
+
+pub mod loadgen {
+    //! Multi-connection load generator.
+
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Instant;
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    use super::{Answer, Client, Query};
+
+    /// Vertex-selection distribution for generated queries.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub enum Skew {
+        /// Both endpoints uniform over `0..n`.
+        Uniform,
+        /// Endpoints Zipf-distributed with this exponent: vertex of rank
+        /// `r` drawn with probability ∝ `r^{-s}`. Rank order is
+        /// [`LoadgenConfig::hot_order`] when given, else vertex id.
+        Zipf(f64),
+    }
+
+    /// Load-generator parameters.
+    #[derive(Debug, Clone)]
+    pub struct LoadgenConfig {
+        /// Concurrent connections (worker threads).
+        pub connections: usize,
+        /// Queries each connection issues.
+        pub requests_per_conn: usize,
+        /// Queries per BATCH frame.
+        pub batch: usize,
+        /// Endpoint distribution.
+        pub skew: Skew,
+        /// Base RNG seed; connection `i` uses `seed + i`.
+        pub seed: u64,
+        /// Optional rank → vertex map for [`Skew::Zipf`] (e.g. vertices
+        /// in degree-descending order, making the hot set the hubs).
+        /// Must be a permutation of `0..n` when present.
+        pub hot_order: Option<Vec<u32>>,
+    }
+
+    impl Default for LoadgenConfig {
+        fn default() -> Self {
+            Self {
+                connections: 4,
+                requests_per_conn: 10_000,
+                batch: 64,
+                skew: Skew::Uniform,
+                seed: 0x1abe1,
+                hot_order: None,
+            }
+        }
+    }
+
+    /// What a load run observed.
+    #[derive(Debug, Clone, Copy)]
+    pub struct LoadReport {
+        /// Queries answered across all connections.
+        pub queries: u64,
+        /// Of those, answered "adjacent".
+        pub adjacent_true: u64,
+        /// Answers disagreeing with the reference graph (always 0
+        /// without a reference; see [`run_verified`]).
+        pub mismatches: u64,
+        /// Wall-clock seconds for the whole run.
+        pub elapsed_secs: f64,
+        /// Client-side aggregate throughput.
+        pub qps: f64,
+    }
+
+    /// Rank sampler: inverse-CDF over `P(r) ∝ (r+1)^{-s}`, or uniform.
+    struct VertexSampler {
+        n: u32,
+        /// Cumulative probabilities for Zipf; empty = uniform.
+        cdf: Vec<f64>,
+    }
+
+    impl VertexSampler {
+        fn new(n: u32, skew: Skew) -> Self {
+            let cdf = match skew {
+                Skew::Uniform => Vec::new(),
+                Skew::Zipf(s) => {
+                    let mut weights: Vec<f64> = (0..n).map(|r| (r as f64 + 1.0).powf(-s)).collect();
+                    let total: f64 = weights.iter().sum();
+                    let mut acc = 0.0;
+                    for w in &mut weights {
+                        acc += *w / total;
+                        *w = acc;
+                    }
+                    weights
+                }
+            };
+            Self { n, cdf }
+        }
+
+        /// Draws a rank in `0..n`.
+        fn sample(&self, rng: &mut StdRng) -> u32 {
+            if self.cdf.is_empty() {
+                return rng.gen_range(0..self.n);
+            }
+            let x: f64 = rng.gen();
+            self.cdf
+                .partition_point(|&c| c < x)
+                .min(self.n as usize - 1) as u32
+        }
+    }
+
+    fn generate_batch(
+        sampler: &VertexSampler,
+        hot_order: Option<&[u32]>,
+        rng: &mut StdRng,
+        len: usize,
+    ) -> Vec<Query> {
+        (0..len)
+            .map(|_| {
+                let mut pick = || {
+                    let rank = sampler.sample(rng);
+                    match hot_order {
+                        Some(order) => order[rank as usize],
+                        None => rank,
+                    }
+                };
+                Query::adjacent(pick(), pick())
+            })
+            .collect()
+    }
+
+    fn run_inner(
+        addr: std::net::SocketAddr,
+        config: &LoadgenConfig,
+        reference: Option<&pl_graph::Graph>,
+    ) -> std::io::Result<LoadReport> {
+        assert!(config.connections >= 1, "need at least one connection");
+        assert!(config.batch >= 1, "need a positive batch size");
+        let queries = AtomicU64::new(0);
+        let adjacent_true = AtomicU64::new(0);
+        let mismatches = AtomicU64::new(0);
+        let started = Instant::now();
+        let result: std::io::Result<()> = std::thread::scope(|scope| {
+            let mut workers = Vec::with_capacity(config.connections);
+            for conn_idx in 0..config.connections {
+                let queries = &queries;
+                let adjacent_true = &adjacent_true;
+                let mismatches = &mismatches;
+                workers.push(scope.spawn(move || -> std::io::Result<()> {
+                    let mut client = Client::connect(addr)?;
+                    let sampler = VertexSampler::new(client.n(), config.skew);
+                    let mut rng = StdRng::seed_from_u64(config.seed + conn_idx as u64);
+                    let mut remaining = config.requests_per_conn;
+                    while remaining > 0 {
+                        let len = remaining.min(config.batch);
+                        let batch =
+                            generate_batch(&sampler, config.hot_order.as_deref(), &mut rng, len);
+                        let answers = client.batch(&batch)?;
+                        for (q, a) in batch.iter().zip(&answers) {
+                            match a {
+                                Answer::Adjacent => {
+                                    adjacent_true.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Answer::NotAdjacent => {}
+                                other => {
+                                    return Err(super::bad_data(format!(
+                                        "unexpected answer {other:?}"
+                                    )))
+                                }
+                            }
+                            if let Some(g) = reference {
+                                let expected = g.has_edge(q.u, q.v);
+                                let got = *a == Answer::Adjacent;
+                                if expected != got {
+                                    mismatches.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                        queries.fetch_add(len as u64, Ordering::Relaxed);
+                        remaining -= len;
+                    }
+                    client.goodbye()
+                }));
+            }
+            for w in workers {
+                w.join().expect("loadgen worker panicked")?;
+            }
+            Ok(())
+        });
+        result?;
+        let elapsed_secs = started.elapsed().as_secs_f64();
+        let total = queries.load(Ordering::Relaxed);
+        Ok(LoadReport {
+            queries: total,
+            adjacent_true: adjacent_true.load(Ordering::Relaxed),
+            mismatches: mismatches.load(Ordering::Relaxed),
+            elapsed_secs,
+            qps: total as f64 / elapsed_secs.max(1e-9),
+        })
+    }
+
+    /// Runs the configured load against a server.
+    pub fn run(addr: std::net::SocketAddr, config: &LoadgenConfig) -> std::io::Result<LoadReport> {
+        run_inner(addr, config, None)
+    }
+
+    /// Like [`run`], but checks every adjacency answer against `g`;
+    /// disagreements are counted in [`LoadReport::mismatches`].
+    pub fn run_verified(
+        addr: std::net::SocketAddr,
+        config: &LoadgenConfig,
+        g: &pl_graph::Graph,
+    ) -> std::io::Result<LoadReport> {
+        run_inner(addr, config, Some(g))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn zipf_sampler_skews_toward_low_ranks() {
+            let sampler = VertexSampler::new(1_000, Skew::Zipf(1.2));
+            let mut rng = StdRng::seed_from_u64(42);
+            let mut head = 0usize;
+            let draws = 20_000;
+            for _ in 0..draws {
+                if sampler.sample(&mut rng) < 10 {
+                    head += 1;
+                }
+            }
+            // Top-10 ranks carry far more than the uniform 1% of mass.
+            assert!(
+                head as f64 > draws as f64 * 0.25,
+                "only {head}/{draws} draws in the head"
+            );
+        }
+
+        #[test]
+        fn uniform_sampler_covers_the_range() {
+            let sampler = VertexSampler::new(8, Skew::Uniform);
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut seen = [false; 8];
+            for _ in 0..1_000 {
+                seen[sampler.sample(&mut rng) as usize] = true;
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+
+        #[test]
+        fn zipf_samples_stay_in_range() {
+            for n in [1u32, 2, 17] {
+                let sampler = VertexSampler::new(n, Skew::Zipf(0.9));
+                let mut rng = StdRng::seed_from_u64(u64::from(n));
+                for _ in 0..500 {
+                    assert!(sampler.sample(&mut rng) < n);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! pl-serve: a sharded, concurrent label-serving engine.
+//!
+//! The paper's decoders answer adjacency from two labels alone — no
+//! graph needed — which makes a labeling a natural unit to *serve*: load
+//! the `.plab` file once, keep the labels in memory, and answer queries
+//! over the network. This crate is that serving layer:
+//!
+//! * [`store`] — the labeling partitioned across shards behind `Arc`s;
+//!   immutable labels mean lock-free reads, and each shard keeps a small
+//!   LRU of decoded fat-label bitmaps (the hubs — exactly the vertices a
+//!   power-law workload hammers).
+//! * [`protocol`] — a length-prefixed binary wire format: versioned
+//!   handshake, batched adjacency/distance queries, stats, orderly
+//!   goodbye. All parsers are total on untrusted bytes.
+//! * [`server`] — `std::net` thread-per-connection server with
+//!   cooperative graceful shutdown that drains in-flight requests.
+//! * [`metrics`] — lock-free counters and power-of-two latency
+//!   histograms, snapshotted on demand (`STATS`) and at shutdown.
+//! * [`client`] — blocking client plus a multi-connection load
+//!   generator with uniform and Zipf-skewed query mixes.
+//! * [`format`] — the scheme-tagged labeling container shared with the
+//!   `plab` CLI.
+//!
+//! Everything is std-only: no async runtime, no serialization crates.
+
+pub mod cache;
+pub mod client;
+pub mod format;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+pub mod store;
+
+pub use client::loadgen::{LoadReport, LoadgenConfig, Skew};
+pub use client::Client;
+pub use format::{SchemeTag, TaggedLabeling};
+pub use metrics::Snapshot;
+pub use protocol::{Answer, Query, QueryKind};
+pub use server::{serve, ServerHandle};
+pub use store::{LabelStore, StoreConfig};

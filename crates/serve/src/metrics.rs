@@ -1,0 +1,304 @@
+//! Server metrics: atomic counters plus a fixed-bucket latency histogram.
+//!
+//! Everything here is lock-free (`Relaxed` atomics) so the hot query path
+//! pays a handful of uncontended fetch-adds. Buckets are powers of two in
+//! nanoseconds, which keeps `record` branch-free (`ilog2`) and gives
+//! quantile estimates within a factor of two — plenty for p50/p99 over a
+//! load test.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Number of power-of-two latency buckets: bucket `i` covers
+/// `[2^i, 2^{i+1})` ns, with the last bucket open-ended (≥ ~34 s).
+const BUCKETS: usize = 36;
+
+/// Lock-free latency histogram with power-of-two nanosecond buckets.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    fn bucket_of(ns: u64) -> usize {
+        (ns.max(1).ilog2() as usize).min(BUCKETS - 1)
+    }
+
+    /// Records one observation of `ns` nanoseconds.
+    pub fn record(&self, ns: u64) {
+        self.buckets[Self::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Upper edge (exclusive) in ns of the bucket containing quantile
+    /// `q ∈ [0, 1]`; 0 when the histogram is empty.
+    #[must_use]
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        1u64 << 63
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// The server's counters. One instance is shared (via `Arc`) by every
+/// connection thread.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Adjacency queries answered.
+    pub adj_queries: AtomicU64,
+    /// Distance queries answered.
+    pub dist_queries: AtomicU64,
+    /// Batch frames processed.
+    pub batches: AtomicU64,
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Decode-cache hits (fat-label bitmap found decoded).
+    pub cache_hits: AtomicU64,
+    /// Decode-cache misses (bitmap decoded and inserted).
+    pub cache_misses: AtomicU64,
+    /// Bytes read off sockets.
+    pub bytes_in: AtomicU64,
+    /// Bytes written to sockets.
+    pub bytes_out: AtomicU64,
+    /// Malformed frames rejected.
+    pub protocol_errors: AtomicU64,
+    /// Per-query decode latency.
+    pub query_latency: LatencyHistogram,
+}
+
+impl Metrics {
+    /// Immutable snapshot of all counters; `elapsed` is measured against
+    /// `started` for the QPS figure.
+    #[must_use]
+    pub fn snapshot(&self, started: Instant) -> Snapshot {
+        let adj = self.adj_queries.load(Ordering::Relaxed);
+        let dist = self.dist_queries.load(Ordering::Relaxed);
+        let secs = started.elapsed().as_secs_f64().max(1e-9);
+        Snapshot {
+            adj_queries: adj,
+            dist_queries: dist,
+            batches: self.batches.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            p50_ns: self.query_latency.quantile_ns(0.50),
+            p99_ns: self.query_latency.quantile_ns(0.99),
+            qps_milli: (((adj + dist) as f64 / secs) * 1000.0) as u64,
+        }
+    }
+}
+
+/// A point-in-time copy of [`Metrics`], also the payload of the wire
+/// `STATS` reply (twelve `u64`s, in field order).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    pub adj_queries: u64,
+    pub dist_queries: u64,
+    pub batches: u64,
+    pub connections: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub bytes_in: u64,
+    pub bytes_out: u64,
+    pub protocol_errors: u64,
+    /// Estimated median decode latency, ns (bucket upper edge).
+    pub p50_ns: u64,
+    /// Estimated 99th-percentile decode latency, ns.
+    pub p99_ns: u64,
+    /// Queries per second × 1000, measured over the server's lifetime.
+    pub qps_milli: u64,
+}
+
+impl Snapshot {
+    /// Serializes for the `STATS` reply body.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let fields = self.fields();
+        let mut out = Vec::with_capacity(fields.len() * 8);
+        for f in fields {
+            out.extend_from_slice(&f.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses a `STATS` reply body.
+    #[must_use]
+    pub fn from_bytes(buf: &[u8]) -> Option<Self> {
+        let mut it = buf.chunks_exact(8);
+        let mut next = || -> Option<u64> {
+            it.next()
+                .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+        };
+        let s = Self {
+            adj_queries: next()?,
+            dist_queries: next()?,
+            batches: next()?,
+            connections: next()?,
+            cache_hits: next()?,
+            cache_misses: next()?,
+            bytes_in: next()?,
+            bytes_out: next()?,
+            protocol_errors: next()?,
+            p50_ns: next()?,
+            p99_ns: next()?,
+            qps_milli: next()?,
+        };
+        (buf.len() == 12 * 8).then_some(s)
+    }
+
+    fn fields(&self) -> [u64; 12] {
+        [
+            self.adj_queries,
+            self.dist_queries,
+            self.batches,
+            self.connections,
+            self.cache_hits,
+            self.cache_misses,
+            self.bytes_in,
+            self.bytes_out,
+            self.protocol_errors,
+            self.p50_ns,
+            self.p99_ns,
+            self.qps_milli,
+        ]
+    }
+
+    /// Cache hit rate in `[0, 1]`; 0 when the cache was never consulted.
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Queries per second.
+    #[must_use]
+    pub fn qps(&self) -> f64 {
+        self.qps_milli as f64 / 1000.0
+    }
+}
+
+impl std::fmt::Display for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "queries: {} adj + {} dist in {} batches over {} connections",
+            self.adj_queries, self.dist_queries, self.batches, self.connections
+        )?;
+        writeln!(
+            f,
+            "throughput: {:.1} qps, latency p50 < {} ns, p99 < {} ns",
+            self.qps(),
+            self.p50_ns,
+            self.p99_ns
+        )?;
+        writeln!(
+            f,
+            "cache: {} hits / {} misses ({:.1}% hit rate)",
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_hit_rate() * 100.0
+        )?;
+        write!(
+            f,
+            "wire: {} bytes in, {} bytes out, {} protocol errors",
+            self.bytes_in, self.bytes_out, self.protocol_errors
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_ns(0.5), 0);
+        for _ in 0..99 {
+            h.record(100); // bucket 6: [64, 128)
+        }
+        h.record(1 << 20);
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_ns(0.5), 128);
+        assert_eq!(h.quantile_ns(0.98), 128);
+        assert_eq!(h.quantile_ns(1.0), 1 << 21);
+    }
+
+    #[test]
+    fn histogram_extremes_do_not_panic() {
+        let h = LatencyHistogram::default();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile_ns(1.0) > 0);
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let s = Snapshot {
+            adj_queries: 1,
+            dist_queries: 2,
+            batches: 3,
+            connections: 4,
+            cache_hits: 5,
+            cache_misses: 6,
+            bytes_in: 7,
+            bytes_out: 8,
+            protocol_errors: 9,
+            p50_ns: 10,
+            p99_ns: 11,
+            qps_milli: 12_500,
+        };
+        let bytes = s.to_bytes();
+        assert_eq!(Snapshot::from_bytes(&bytes), Some(s));
+        assert_eq!(Snapshot::from_bytes(&bytes[..bytes.len() - 1]), None);
+        assert!((s.qps() - 12.5).abs() < 1e-9);
+        assert!((s.cache_hit_rate() - 5.0 / 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_counts_and_qps() {
+        let m = Metrics::default();
+        m.adj_queries.fetch_add(10, Ordering::Relaxed);
+        m.cache_hits.fetch_add(3, Ordering::Relaxed);
+        let s = m.snapshot(Instant::now() - std::time::Duration::from_secs(1));
+        assert_eq!(s.adj_queries, 10);
+        assert!(s.qps() > 1.0, "ten queries over ~1s");
+        assert!((s.cache_hit_rate() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,293 @@
+//! The TCP server: thread-per-connection over a shared [`LabelStore`].
+//!
+//! The accept loop and every connection thread poll a shared shutdown
+//! flag between socket operations (reads carry a short timeout), so
+//! [`ServerHandle::shutdown`] is cooperative: connections finish
+//! answering every fully received frame, then linger through a short
+//! quiet window to drain bytes still in flight, and only then close.
+//! `shutdown` joins all threads and returns the final metrics snapshot.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::metrics::{Metrics, Snapshot};
+use crate::protocol::{
+    encode_batch_reply, encode_hello_ok, encode_stats_reply, opcode, parse_batch, parse_hello,
+    write_frame, Answer, FrameBuffer, QueryKind,
+};
+use crate::store::{LabelStore, StoreError};
+
+/// Poll interval for the accept loop and connection read timeout.
+const POLL: Duration = Duration::from_millis(20);
+
+/// After shutdown is signalled, a connection closes once it has seen no
+/// new bytes for this long — frames already on the wire still get served.
+const DRAIN_QUIET: Duration = Duration::from_millis(150);
+
+/// Everything a connection thread needs, behind one `Arc`.
+struct Shared {
+    store: Arc<LabelStore>,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+    started: Instant,
+}
+
+impl Shared {
+    /// Snapshot with the store's cache counters folded in.
+    fn snapshot(&self) -> Snapshot {
+        self.metrics
+            .cache_hits
+            .store(self.store.cache_hits(), Ordering::Relaxed);
+        self.metrics
+            .cache_misses
+            .store(self.store.cache_misses(), Ordering::Relaxed);
+        self.metrics.snapshot(self.started)
+    }
+}
+
+/// A running server. Dropping the handle without calling
+/// [`shutdown`](Self::shutdown) aborts rather than drains.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A live metrics snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        self.shared.snapshot()
+    }
+
+    /// Signals shutdown, waits for every connection to drain, and
+    /// returns the final metrics snapshot.
+    pub fn shutdown(mut self) -> Snapshot {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.shared.snapshot()
+    }
+}
+
+/// Binds `addr` (e.g. `"127.0.0.1:0"`) and serves `store` until
+/// [`ServerHandle::shutdown`].
+pub fn serve(store: Arc<LabelStore>, addr: &str) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        store,
+        metrics: Metrics::default(),
+        shutdown: AtomicBool::new(false),
+        started: Instant::now(),
+    });
+    let accept_shared = Arc::clone(&shared);
+    let accept_thread = std::thread::spawn(move || accept_loop(&listener, &accept_shared));
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+                let conn_shared = Arc::clone(shared);
+                conns.push(std::thread::spawn(move || {
+                    // Per-connection I/O errors just end that connection.
+                    let _ = serve_connection(stream, &conn_shared);
+                }));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL);
+                conns.retain(|c| !c.is_finished());
+            }
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+    for c in conns {
+        let _ = c.join();
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(POLL))?;
+    let mut fb = FrameBuffer::new();
+    let mut read_buf = [0u8; 16 * 1024];
+    let mut handshaken = false;
+    let mut quiet_since: Option<Instant> = None;
+    loop {
+        match stream.read(&mut read_buf) {
+            Ok(0) => return Ok(()), // peer closed
+            Ok(len) => {
+                quiet_since = None;
+                shared
+                    .metrics
+                    .bytes_in
+                    .fetch_add(len as u64, Ordering::Relaxed);
+                fb.push(&read_buf[..len]);
+                loop {
+                    match fb.next_frame() {
+                        Ok(Some(body)) => {
+                            if !process_frame(&body, &mut handshaken, shared, &mut stream)? {
+                                return stream.flush();
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(e) => {
+                            shared
+                                .metrics
+                                .protocol_errors
+                                .fetch_add(1, Ordering::Relaxed);
+                            send_error(&mut stream, shared, &e.to_string())?;
+                            return stream.flush();
+                        }
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    // Drain: keep listening for DRAIN_QUIET in case a
+                    // request is still in flight, then close.
+                    let since = *quiet_since.get_or_insert_with(Instant::now);
+                    if since.elapsed() >= DRAIN_QUIET {
+                        return stream.flush();
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Handles one frame; returns `false` when the connection should close.
+fn process_frame(
+    body: &[u8],
+    handshaken: &mut bool,
+    shared: &Arc<Shared>,
+    stream: &mut TcpStream,
+) -> std::io::Result<bool> {
+    let op = body.first().copied();
+    if !*handshaken {
+        return match op {
+            Some(opcode::HELLO) => match parse_hello(body) {
+                Ok(_) => {
+                    *handshaken = true;
+                    let reply = encode_hello_ok(shared.store.tag().as_u8(), shared.store.n());
+                    send(stream, shared, &reply)?;
+                    Ok(true)
+                }
+                Err(e) => {
+                    shared
+                        .metrics
+                        .protocol_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    send_error(stream, shared, &e.to_string())?;
+                    Ok(false)
+                }
+            },
+            _ => {
+                shared
+                    .metrics
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                send_error(stream, shared, "expected HELLO")?;
+                Ok(false)
+            }
+        };
+    }
+    match op {
+        Some(opcode::BATCH) => match parse_batch(body) {
+            Ok(queries) => {
+                let mut answers = Vec::with_capacity(queries.len());
+                for q in &queries {
+                    let t0 = Instant::now();
+                    let answer = match q.kind {
+                        QueryKind::Adjacent => {
+                            shared.metrics.adj_queries.fetch_add(1, Ordering::Relaxed);
+                            match shared.store.adjacent(q.u, q.v) {
+                                Ok(true) => Answer::Adjacent,
+                                Ok(false) => Answer::NotAdjacent,
+                                Err(StoreError::OutOfRange) => Answer::OutOfRange,
+                                Err(StoreError::Unsupported) => Answer::Unsupported,
+                            }
+                        }
+                        QueryKind::Distance => {
+                            shared.metrics.dist_queries.fetch_add(1, Ordering::Relaxed);
+                            match shared.store.distance(q.u, q.v) {
+                                Ok(Some(d)) => Answer::Distance(d),
+                                Ok(None) => Answer::Unreachable,
+                                Err(StoreError::OutOfRange) => Answer::OutOfRange,
+                                Err(StoreError::Unsupported) => Answer::Unsupported,
+                            }
+                        }
+                    };
+                    shared
+                        .metrics
+                        .query_latency
+                        .record(t0.elapsed().as_nanos() as u64);
+                    answers.push(answer);
+                }
+                shared.metrics.batches.fetch_add(1, Ordering::Relaxed);
+                send(stream, shared, &encode_batch_reply(&answers))?;
+                Ok(true)
+            }
+            Err(e) => {
+                shared
+                    .metrics
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                send_error(stream, shared, &e.to_string())?;
+                Ok(false)
+            }
+        },
+        Some(opcode::STATS) => {
+            send(stream, shared, &encode_stats_reply(&shared.snapshot()))?;
+            Ok(true)
+        }
+        Some(opcode::GOODBYE) => {
+            send(stream, shared, &[opcode::GOODBYE_OK])?;
+            Ok(false)
+        }
+        _ => {
+            shared
+                .metrics
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            send_error(stream, shared, "unknown opcode")?;
+            Ok(false)
+        }
+    }
+}
+
+fn send(stream: &mut TcpStream, shared: &Shared, body: &[u8]) -> std::io::Result<()> {
+    write_frame(stream, body)?;
+    shared
+        .metrics
+        .bytes_out
+        .fetch_add(4 + body.len() as u64, Ordering::Relaxed);
+    Ok(())
+}
+
+fn send_error(stream: &mut TcpStream, shared: &Shared, msg: &str) -> std::io::Result<()> {
+    let mut body = vec![opcode::ERROR];
+    body.extend_from_slice(msg.as_bytes());
+    send(stream, shared, &body)
+}

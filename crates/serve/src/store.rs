@@ -1,0 +1,406 @@
+//! The sharded in-memory label store.
+//!
+//! The labeling is loaded once and partitioned across `S` shards (vertex
+//! `v` lives in shard `v mod S` at index `v div S`). Labels are immutable
+//! after load, so reads need no synchronization at all — shards sit behind
+//! `Arc`s and any number of connection threads query concurrently.
+//!
+//! The only mutable state is a per-shard LRU cache of *decoded fat
+//! labels*. A fat vertex's label is a `k`-bit adjacency bitmap over the
+//! fat vertices, prefixed by a gamma-coded `k`; a fat–fat query must skip
+//! the varint and seek to one bit. Decoding the bitmap once into `u64`
+//! words turns repeat queries against the same hub into a word-indexed
+//! bit test. Under a power-law workload this is exactly the right thing
+//! to cache: the hot vertices *are* the hubs, hubs are fat, and `k` is
+//! small (Theorem 4 picks τ so that `k ≈ (C'n/log n)^{1/α}`), so the
+//! cache holds the heavy tail of the query distribution in a few KB.
+//! Thin labels are deliberately not cached — they are cheap linear scans,
+//! and under skew they would flood the LRU with cold entries.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use pl_labeling::scheme::{read_prelude, AdjacencyDecoder};
+use pl_labeling::threshold::ThresholdDecoder;
+use pl_labeling::Label;
+
+use crate::cache::LruCache;
+use crate::format::{decode_adjacent, decode_distance, SchemeTag, TaggedLabeling};
+
+/// Store sizing knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Number of shards `S`; clamped to at least 1.
+    pub shards: usize,
+    /// Total decoded-fat-label cache entries across all shards (split
+    /// evenly; 0 disables the cache).
+    pub cache_capacity: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            cache_capacity: 1024,
+        }
+    }
+}
+
+/// A query the store cannot answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreError {
+    /// A vertex id was `≥ n`.
+    OutOfRange,
+    /// The loaded scheme cannot answer this query kind.
+    Unsupported,
+}
+
+/// A fat label's adjacency bitmap, decoded into words for O(1) bit tests.
+#[derive(Debug)]
+pub struct DecodedFat {
+    k: u64,
+    words: Vec<u64>,
+}
+
+impl DecodedFat {
+    /// Decodes the bitmap of a fat threshold label; `None` if the label
+    /// is thin.
+    #[must_use]
+    pub fn from_label(label: &Label) -> Option<Self> {
+        let mut r = label.reader();
+        let _ = read_prelude(&mut r);
+        if !r.read_bit() {
+            return None;
+        }
+        let k = r.read_gamma() - 1;
+        let mut words = vec![0u64; (k as usize).div_ceil(64)];
+        for i in 0..k as usize {
+            if r.read_bit() {
+                words[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        Some(Self { k, words })
+    }
+
+    /// Tests adjacency to fat scheme-id `id`.
+    #[must_use]
+    pub fn test(&self, id: u64) -> bool {
+        id < self.k && (self.words[id as usize / 64] >> (id % 64)) & 1 == 1
+    }
+
+    /// Number of fat vertices the bitmap covers.
+    #[must_use]
+    pub fn k(&self) -> u64 {
+        self.k
+    }
+}
+
+struct Shard {
+    /// Labels of vertices `v` with `v mod S == shard_index`, at `v div S`.
+    labels: Vec<Label>,
+    cache: Mutex<LruCache<Arc<DecodedFat>>>,
+}
+
+/// The sharded, concurrently readable label store.
+pub struct LabelStore {
+    shards: Vec<Arc<Shard>>,
+    tag: SchemeTag,
+    n: u32,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+impl std::fmt::Debug for LabelStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LabelStore")
+            .field("tag", &self.tag)
+            .field("n", &self.n)
+            .field("shards", &self.shards.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl LabelStore {
+    /// Partitions `tagged` across shards per `config`.
+    #[must_use]
+    pub fn new(tagged: TaggedLabeling, config: StoreConfig) -> Self {
+        let shard_count = config.shards.max(1);
+        let per_shard_cache = config.cache_capacity.div_ceil(shard_count);
+        let tag = tagged.tag;
+        let labels = tagged.labeling.into_labels();
+        let n = u32::try_from(labels.len()).expect("more than u32::MAX labels");
+        let mut parts: Vec<Vec<Label>> = (0..shard_count)
+            .map(|s| Vec::with_capacity(labels.len() / shard_count + usize::from(s == 0)))
+            .collect();
+        for (v, label) in labels.into_iter().enumerate() {
+            parts[v % shard_count].push(label);
+        }
+        let shards = parts
+            .into_iter()
+            .map(|labels| {
+                Arc::new(Shard {
+                    labels,
+                    cache: Mutex::new(LruCache::new(if config.cache_capacity == 0 {
+                        0
+                    } else {
+                        per_shard_cache
+                    })),
+                })
+            })
+            .collect();
+        Self {
+            shards,
+            tag,
+            n,
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Vertex count.
+    #[must_use]
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// The loaded scheme.
+    #[must_use]
+    pub fn tag(&self) -> SchemeTag {
+        self.tag
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Decode-cache hits so far.
+    #[must_use]
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Decode-cache misses so far.
+    #[must_use]
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses.load(Ordering::Relaxed)
+    }
+
+    /// The label of `v`, if in range.
+    #[must_use]
+    pub fn label(&self, v: u32) -> Option<&Label> {
+        if v >= self.n {
+            return None;
+        }
+        let s = v as usize % self.shards.len();
+        Some(&self.shards[s].labels[v as usize / self.shards.len()])
+    }
+
+    /// Answers "is {u, v} an edge?" from labels alone.
+    pub fn adjacent(&self, u: u32, v: u32) -> Result<bool, StoreError> {
+        let la = self.label(u).ok_or(StoreError::OutOfRange)?;
+        let lb = self.label(v).ok_or(StoreError::OutOfRange)?;
+        if self.tag != SchemeTag::Threshold {
+            return Ok(decode_adjacent(self.tag, la, lb));
+        }
+        // Threshold fast path: peek at the preludes and fat flags; a
+        // fat–fat pair is answered from the cached decoded bitmap.
+        let mut ra = la.reader();
+        let mut rb = lb.reader();
+        let (_, ida) = read_prelude(&mut ra);
+        let (_, idb) = read_prelude(&mut rb);
+        if ida == idb {
+            return Ok(false);
+        }
+        if ra.read_bit() && rb.read_bit() {
+            return Ok(self.decoded_fat(u, la).test(idb));
+        }
+        Ok(ThresholdDecoder.adjacent(la, lb))
+    }
+
+    /// Answers "what is dist(u, v)?"; `Ok(None)` means beyond the
+    /// scheme's bound (or disconnected).
+    pub fn distance(&self, u: u32, v: u32) -> Result<Option<u32>, StoreError> {
+        if !self.tag.supports_distance() {
+            return Err(StoreError::Unsupported);
+        }
+        let la = self.label(u).ok_or(StoreError::OutOfRange)?;
+        let lb = self.label(v).ok_or(StoreError::OutOfRange)?;
+        Ok(decode_distance(self.tag, la, lb))
+    }
+
+    /// The decoded bitmap of fat vertex `u`, from cache or decoded now.
+    fn decoded_fat(&self, u: u32, label: &Label) -> Arc<DecodedFat> {
+        let shard = &self.shards[u as usize % self.shards.len()];
+        let mut cache = shard.cache.lock().expect("cache mutex poisoned");
+        if let Some(hit) = cache.get(u) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let decoded = Arc::new(
+            DecodedFat::from_label(label).expect("fat flag was set but label decoded as thin"),
+        );
+        cache.insert(u, Arc::clone(&decoded));
+        decoded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pl_labeling::scheme::AdjacencyScheme;
+    use pl_labeling::ThresholdScheme;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn store_for(g: &pl_graph::Graph, tau: usize, config: StoreConfig) -> LabelStore {
+        LabelStore::new(
+            TaggedLabeling {
+                tag: SchemeTag::Threshold,
+                labeling: ThresholdScheme::with_tau(tau).encode(g),
+            },
+            config,
+        )
+    }
+
+    fn star_plus_cycle(n: u32) -> pl_graph::Graph {
+        let spokes = (1..n).map(|i| (0, i));
+        let cycle = (1..n).map(move |i| (i, if i + 1 == n { 1 } else { i + 1 }));
+        pl_graph::builder::from_edges(n as usize, spokes.chain(cycle))
+    }
+
+    #[test]
+    fn matches_graph_for_every_shard_count() {
+        let g = star_plus_cycle(40);
+        for shards in [1usize, 2, 3, 7, 40, 64] {
+            let store = store_for(
+                &g,
+                3,
+                StoreConfig {
+                    shards,
+                    cache_capacity: 16,
+                },
+            );
+            assert_eq!(store.shard_count(), shards);
+            for u in 0..40u32 {
+                for v in 0..40u32 {
+                    assert_eq!(
+                        store.adjacent(u, v).unwrap(),
+                        g.has_edge(u, v),
+                        "({u}, {v}) with {shards} shards"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_is_an_error() {
+        let g = star_plus_cycle(10);
+        let store = store_for(&g, 2, StoreConfig::default());
+        assert_eq!(store.adjacent(0, 10), Err(StoreError::OutOfRange));
+        assert_eq!(store.adjacent(10, 0), Err(StoreError::OutOfRange));
+        assert_eq!(store.adjacent(u32::MAX, 0), Err(StoreError::OutOfRange));
+        assert!(store.label(10).is_none());
+    }
+
+    #[test]
+    fn distance_unsupported_on_adjacency_scheme() {
+        let g = star_plus_cycle(10);
+        let store = store_for(&g, 2, StoreConfig::default());
+        assert_eq!(store.distance(0, 1), Err(StoreError::Unsupported));
+    }
+
+    #[test]
+    fn fat_fat_queries_hit_the_cache() {
+        // Star + cycle with tau=3: the hub (degree n-1) and every cycle
+        // vertex (degree 3) are fat.
+        let g = star_plus_cycle(30);
+        let store = store_for(
+            &g,
+            3,
+            StoreConfig {
+                shards: 4,
+                cache_capacity: 64,
+            },
+        );
+        for v in 1..30u32 {
+            assert!(store.adjacent(0, v).unwrap());
+        }
+        assert_eq!(store.cache_misses(), 1, "hub decoded once");
+        assert_eq!(store.cache_hits(), 28, "then served from cache");
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching_but_stays_correct() {
+        let g = star_plus_cycle(20);
+        let store = store_for(
+            &g,
+            3,
+            StoreConfig {
+                shards: 2,
+                cache_capacity: 0,
+            },
+        );
+        for v in 1..20u32 {
+            assert!(store.adjacent(0, v).unwrap());
+        }
+        assert_eq!(store.cache_hits(), 0);
+        assert!(store.cache_misses() > 0);
+    }
+
+    #[test]
+    fn decoded_fat_covers_all_fat_vertices() {
+        // Every vertex of star+cycle(25) has degree ≥ 3, so all 25 are fat.
+        let g = star_plus_cycle(25);
+        let labeling = ThresholdScheme::with_tau(3).encode(&g);
+        let hub = DecodedFat::from_label(labeling.label(0)).expect("hub is fat");
+        assert_eq!(hub.k(), 25);
+        // The hub (scheme id 0, highest degree) is adjacent to every other
+        // fat vertex and never to itself.
+        assert!(!hub.test(0));
+        for id in 1..25 {
+            assert!(hub.test(id), "hub should see fat id {id}");
+        }
+        assert!(!hub.test(25), "out-of-range id is never adjacent");
+    }
+
+    #[test]
+    fn thin_label_does_not_decode_as_fat() {
+        let g = pl_graph::builder::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let labeling = ThresholdScheme::with_tau(2).encode(&g);
+        // Vertex 1 has degree 1 < 2: thin.
+        assert!(DecodedFat::from_label(labeling.label(1)).is_none());
+    }
+
+    #[test]
+    fn random_graph_random_queries_with_small_cache() {
+        let mut r = StdRng::seed_from_u64(77);
+        let n = 200u32;
+        let mut b = pl_graph::GraphBuilder::new(n as usize);
+        for _ in 0..600 {
+            let u = r.gen_range(0..n);
+            let v = r.gen_range(0..n);
+            if u != v {
+                b.add_edge(u, v);
+            }
+        }
+        let g = b.build();
+        // Tiny cache forces evictions; answers must not change.
+        let store = store_for(
+            &g,
+            4,
+            StoreConfig {
+                shards: 3,
+                cache_capacity: 2,
+            },
+        );
+        for _ in 0..5_000 {
+            let u = r.gen_range(0..n);
+            let v = r.gen_range(0..n);
+            assert_eq!(store.adjacent(u, v).unwrap(), g.has_edge(u, v));
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! End-to-end acceptance tests: a real server on a real TCP socket,
+//! driven by the load generator and raw protocol clients.
+
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use pl_graph::degree::vertices_by_degree_desc;
+use pl_labeling::scheme::AdjacencyScheme;
+use pl_labeling::ThresholdScheme;
+use pl_serve::client::loadgen::{self, LoadgenConfig, Skew};
+use pl_serve::protocol::{
+    encode_batch, encode_hello, opcode, parse_batch_reply, read_frame, write_frame, Query,
+};
+use pl_serve::{Client, LabelStore, SchemeTag, StoreConfig, TaggedLabeling};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn chung_lu(n: usize, seed: u64) -> pl_graph::Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    pl_gen::chung_lu_power_law(n, 2.5, 5.0, &mut rng)
+}
+
+fn threshold_store(g: &pl_graph::Graph, tau: usize, config: StoreConfig) -> Arc<LabelStore> {
+    Arc::new(LabelStore::new(
+        TaggedLabeling {
+            tag: SchemeTag::Threshold,
+            labeling: ThresholdScheme::with_tau(tau).encode(g),
+        },
+        config,
+    ))
+}
+
+/// The headline acceptance test: a 10⁴-vertex Chung–Lu graph served over
+/// TCP to four concurrent Zipf-skewed connections; every answer checked
+/// against the graph, cache hits observed, shutdown drains cleanly.
+#[test]
+fn serves_chung_lu_over_tcp_with_verified_answers() {
+    let g = chung_lu(10_000, 42);
+    let store = threshold_store(
+        &g,
+        8,
+        StoreConfig {
+            shards: 4,
+            cache_capacity: 2048,
+        },
+    );
+    let handle = pl_serve::serve(store, "127.0.0.1:0").expect("bind");
+    let addr = handle.addr();
+
+    // Zipf-skewed load whose hot set is the hubs (degree-descending
+    // rank → vertex map): that is the regime the decode cache targets.
+    let config = LoadgenConfig {
+        connections: 4,
+        requests_per_conn: 5_000,
+        batch: 50,
+        skew: Skew::Zipf(1.2),
+        seed: 7,
+        hot_order: Some(vertices_by_degree_desc(&g)),
+    };
+    let report = loadgen::run_verified(addr, &config, &g).expect("load run");
+    assert_eq!(report.queries, 20_000);
+    assert_eq!(
+        report.mismatches, 0,
+        "every adjacency answer must match Graph::has_edge"
+    );
+    assert!(
+        report.adjacent_true > 0,
+        "skewed load over hubs should hit some edges"
+    );
+
+    // STATS over the wire: nonzero throughput, warm cache.
+    let mut client = Client::connect(addr).expect("stats connection");
+    let stats = client.stats().expect("stats fetch");
+    assert_eq!(stats.adj_queries, 20_000);
+    assert!(stats.qps() > 0.0, "qps should be nonzero: {stats}");
+    assert!(
+        stats.cache_hit_rate() > 0.0,
+        "Zipf load over fat hubs must produce cache hits: {stats}"
+    );
+    assert!(stats.batches >= 4 * (5_000 / 50));
+    assert!(stats.bytes_in > 0 && stats.bytes_out > 0);
+    assert_eq!(stats.protocol_errors, 0);
+    assert!(stats.p99_ns >= stats.p50_ns);
+    client.goodbye().expect("goodbye");
+
+    let final_stats = handle.shutdown();
+    assert!(final_stats.adj_queries >= 20_000);
+}
+
+/// Graceful shutdown must answer requests already on the wire: write a
+/// batch, shut the server down *before reading the reply*, and check the
+/// full reply still arrives.
+#[test]
+fn shutdown_drains_in_flight_requests() {
+    let g = chung_lu(2_000, 3);
+    let store = threshold_store(&g, 8, StoreConfig::default());
+    let handle = pl_serve::serve(store, "127.0.0.1:0").expect("bind");
+
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    write_frame(&mut stream, &encode_hello()).expect("hello");
+    let hello_ok = read_frame(&mut stream).expect("hello reply");
+    assert_eq!(hello_ok.first(), Some(&opcode::HELLO_OK));
+
+    let queries: Vec<Query> = (0..500)
+        .map(|i| Query::adjacent(i, (i + 1) % 2_000))
+        .collect();
+    write_frame(&mut stream, &encode_batch(&queries)).expect("send batch");
+
+    // Shutdown blocks until every connection drains; the batch above is
+    // in flight and must be answered, not dropped.
+    let final_stats = handle.shutdown();
+    assert!(
+        final_stats.adj_queries >= 500,
+        "drained queries must be counted: {final_stats}"
+    );
+
+    let reply = read_frame(&mut stream).expect("reply survives shutdown");
+    let answers = parse_batch_reply(&reply).expect("well-formed reply");
+    assert_eq!(answers.len(), 500, "no response may be dropped");
+}
+
+/// Protocol-level rejections over a real socket: bad magic and unknown
+/// opcodes produce an ERROR frame (and a counted protocol error), not a
+/// hang or a crash.
+#[test]
+fn malformed_frames_get_error_replies() {
+    let g = chung_lu(500, 1);
+    let store = threshold_store(&g, 8, StoreConfig::default());
+    let handle = pl_serve::serve(store, "127.0.0.1:0").expect("bind");
+
+    // Bad magic.
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    write_frame(&mut stream, &[opcode::HELLO, b'N', b'O', b'P', b'E', 1]).expect("send");
+    let reply = read_frame(&mut stream).expect("error reply");
+    assert_eq!(reply.first(), Some(&opcode::ERROR));
+
+    // Unknown opcode after a good handshake.
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    write_frame(&mut stream, &encode_hello()).expect("hello");
+    let _ = read_frame(&mut stream).expect("hello ok");
+    write_frame(&mut stream, &[0x77]).expect("send junk");
+    let reply = read_frame(&mut stream).expect("error reply");
+    assert_eq!(reply.first(), Some(&opcode::ERROR));
+
+    let stats = handle.shutdown();
+    assert!(stats.protocol_errors >= 2, "{stats}");
+}
+
+/// The server answers distance queries when serving a distance labeling,
+/// and reports Unsupported for distance queries against an adjacency
+/// scheme.
+#[test]
+fn distance_scheme_served_end_to_end() {
+    use pl_labeling::distance::DistanceScheme;
+    use pl_serve::Answer;
+
+    let g = chung_lu(600, 12);
+    let scheme = DistanceScheme::new(2.5, 2);
+    let store = Arc::new(LabelStore::new(
+        TaggedLabeling {
+            tag: SchemeTag::Distance,
+            labeling: scheme.encode(&g),
+        },
+        StoreConfig::default(),
+    ));
+    let handle = pl_serve::serve(store, "127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    assert_eq!(client.tag(), SchemeTag::Distance.as_u8());
+
+    let (u, v) = g.edges().next().expect("graph has edges");
+    assert_eq!(client.distance(u, v).expect("distance"), Some(1));
+    assert!(client.adjacent(u, v).expect("adjacency via distance"));
+
+    // An adjacency store must refuse distance queries.
+    let adj_store = threshold_store(&g, 8, StoreConfig::default());
+    let adj_handle = pl_serve::serve(adj_store, "127.0.0.1:0").expect("bind");
+    let mut adj_client = Client::connect(adj_handle.addr()).expect("connect");
+    let answers = adj_client
+        .batch(&[pl_serve::Query::distance(u, v)])
+        .expect("batch");
+    assert_eq!(answers[0], Answer::Unsupported);
+
+    client.goodbye().expect("goodbye");
+    adj_client.goodbye().expect("goodbye");
+    handle.shutdown();
+    adj_handle.shutdown();
+}
+
+/// Out-of-range vertices come back as a per-query status, not an error
+/// that kills the batch.
+#[test]
+fn out_of_range_is_a_per_query_status() {
+    use pl_serve::Answer;
+
+    let g = chung_lu(100, 5);
+    let store = threshold_store(&g, 4, StoreConfig::default());
+    let handle = pl_serve::serve(store, "127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let (u, v) = g.edges().next().expect("graph has edges");
+    let answers = client
+        .batch(&[
+            pl_serve::Query::adjacent(u, v),
+            pl_serve::Query::adjacent(0, 100),
+            pl_serve::Query::adjacent(u32::MAX, 0),
+        ])
+        .expect("batch");
+    assert_eq!(answers[0], Answer::Adjacent);
+    assert_eq!(answers[1], Answer::OutOfRange);
+    assert_eq!(answers[2], Answer::OutOfRange);
+    client.goodbye().expect("goodbye");
+    handle.shutdown();
+}

@@ -1,37 +1,40 @@
 //! `plab` — command-line front end for the power-law labeling toolkit.
 //!
 //! ```text
-//! plab gen    --model chung-lu --n 10000 --alpha 2.5 [--avg-degree 5]
-//!             [--m-param 3] [--edges 30000] [--seed 1] [--out graph.el]
-//! plab stats  <graph.el> [--ddist]
-//! plab fit    <graph.el>
-//! plab encode --scheme powerlaw|sparse|adjlist|orientation|moon|tau:N
-//!             [--alpha 2.5] <graph.el> --out labels.plab
-//! plab query  <labels.plab> <u> <v>
+//! plab gen     --model chung-lu --n 10000 --alpha 2.5 [--avg-degree 5]
+//!              [--m-param 3] [--edges 30000] [--seed 1] [--out graph.el]
+//! plab stats   <graph.el> [--ddist]
+//! plab fit     <graph.el>
+//! plab encode  --scheme powerlaw|sparse|adjlist|orientation|moon|distance|tau:N
+//!              [--alpha 2.5] [--f 3] <graph.el> --out labels.plab
+//! plab query   <labels.plab> <u> <v>
+//! plab query   <labels.plab> --stdin          # one "u v" pair per line
+//! plab serve   <labels.plab> [--addr HOST:PORT] [--shards S] [--cache C]
+//!              [--duration SECS]
+//! plab loadgen <HOST:PORT> [--connections N] [--requests R] [--batch B]
+//!              [--skew uniform|zipf:S] [--seed X]
 //! ```
 //!
 //! Graphs travel as plain edge lists (`n m` header plus `u v` lines);
-//! labelings travel as a 1-byte scheme tag followed by the
-//! [`Labeling`] wire format, so `query` knows which
-//! decoder to apply.
+//! labelings travel as [`TaggedLabeling`] files — a 1-byte scheme tag
+//! followed by the [`pl_labeling::Labeling`] wire format — so `query` and
+//! `serve` know which decoder to apply.
 
 use std::fs;
+use std::io::BufRead;
 use std::process::ExitCode;
 
 use pl_graph::Graph;
-use pl_labeling::baseline::{AdjListDecoder, AdjListScheme, MoonDecoder, MoonScheme};
-use pl_labeling::forest::{OrientationDecoder, OrientationScheme};
-use pl_labeling::scheme::{AdjacencyDecoder, AdjacencyScheme};
-use pl_labeling::threshold::ThresholdDecoder;
+use pl_labeling::baseline::{AdjListScheme, MoonScheme};
+use pl_labeling::distance::DistanceScheme;
+use pl_labeling::forest::OrientationScheme;
+use pl_labeling::scheme::AdjacencyScheme;
 use pl_labeling::{Labeling, PowerLawScheme, SparseScheme, ThresholdScheme};
+use pl_serve::client::loadgen::{self, LoadgenConfig, Skew};
+use pl_serve::format::{decode_adjacent, SchemeTag, TaggedLabeling};
+use pl_serve::{Client, LabelStore, StoreConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-
-/// Scheme tags for the labeling container format.
-const TAG_THRESHOLD: u8 = 1; // powerlaw / sparse / tau:N (same decoder)
-const TAG_ADJLIST: u8 = 2;
-const TAG_ORIENTATION: u8 = 3;
-const TAG_MOON: u8 = 4;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,6 +44,8 @@ fn main() -> ExitCode {
         Some("fit") => cmd_fit(&args[1..]),
         Some("encode") => cmd_encode(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("loadgen") => cmd_loadgen(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             eprintln!("{}", USAGE);
             return ExitCode::SUCCESS;
@@ -57,14 +62,19 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  plab gen    --model <chung-lu|ba|er|waxman|pl|hierarchical> --n N
-              [--alpha A] [--avg-degree D] [--m-param M] [--edges M]
-              [--seed S] [--out FILE]
-  plab stats  <graph.el> [--ddist]
-  plab fit    <graph.el>
-  plab encode --scheme <powerlaw|sparse|adjlist|orientation|moon|tau:N>
-              [--alpha A] <graph.el> --out <labels.plab>
-  plab query  <labels.plab> <u> <v>";
+  plab gen     --model <chung-lu|ba|er|waxman|pl|hierarchical> --n N
+               [--alpha A] [--avg-degree D] [--m-param M] [--edges M]
+               [--seed S] [--out FILE]
+  plab stats   <graph.el> [--ddist]
+  plab fit     <graph.el>
+  plab encode  --scheme <powerlaw|sparse|adjlist|orientation|moon|distance|tau:N>
+               [--alpha A] [--f F] <graph.el> --out <labels.plab>
+  plab query   <labels.plab> <u> <v>
+  plab query   <labels.plab> --stdin
+  plab serve   <labels.plab> [--addr HOST:PORT] [--shards S] [--cache C]
+               [--duration SECS]
+  plab loadgen <HOST:PORT> [--connections N] [--requests R] [--batch B]
+               [--skew uniform|zipf:S] [--seed X]";
 
 /// Minimal flag parser: `--key value` pairs plus positional arguments.
 struct Args {
@@ -241,7 +251,7 @@ fn cmd_encode(raw: &[String]) -> Result<(), String> {
     let g = load_graph(path)?;
     let n = g.vertex_count();
 
-    let (tag, labeling, desc): (u8, Labeling, String) = match scheme_name.as_str() {
+    let (tag, labeling, desc): (SchemeTag, Labeling, String) = match scheme_name.as_str() {
         "powerlaw" => {
             let s = match args.get("alpha") {
                 Some(a) => {
@@ -252,25 +262,36 @@ fn cmd_encode(raw: &[String]) -> Result<(), String> {
                 }
             };
             let desc = format!("powerlaw alpha={:.2} tau={}", s.alpha(), s.tau(n));
-            (TAG_THRESHOLD, s.encode(&g), desc)
+            (SchemeTag::Threshold, s.encode(&g), desc)
         }
         "sparse" => {
             let s = SparseScheme::for_graph(&g);
             let desc = format!("sparse c={:.2} tau={}", s.c(), s.tau(n));
-            (TAG_THRESHOLD, s.encode(&g), desc)
+            (SchemeTag::Threshold, s.encode(&g), desc)
         }
-        "adjlist" => (TAG_ADJLIST, AdjListScheme.encode(&g), "adjlist".into()),
+        "adjlist" => (
+            SchemeTag::AdjList,
+            AdjListScheme.encode(&g),
+            "adjlist".into(),
+        ),
         "orientation" => (
-            TAG_ORIENTATION,
+            SchemeTag::Orientation,
             OrientationScheme.encode(&g),
             "orientation".into(),
         ),
-        "moon" => (TAG_MOON, MoonScheme.encode(&g), "moon".into()),
+        "moon" => (SchemeTag::Moon, MoonScheme.encode(&g), "moon".into()),
+        "distance" => {
+            let alpha: f64 = args.get_parsed("alpha", 2.5)?;
+            let f: u32 = args.get_parsed("f", 3)?;
+            let s = DistanceScheme::new(alpha, f);
+            let desc = format!("distance alpha={alpha:.2} f={f}");
+            (SchemeTag::Distance, s.encode(&g), desc)
+        }
         other => match other.strip_prefix("tau:") {
             Some(t) => {
                 let tau: usize = t.parse().map_err(|_| format!("bad tau in {other:?}"))?;
                 (
-                    TAG_THRESHOLD,
+                    SchemeTag::Threshold,
                     ThresholdScheme::with_tau(tau).encode(&g),
                     format!("threshold tau={tau}"),
                 )
@@ -279,40 +300,153 @@ fn cmd_encode(raw: &[String]) -> Result<(), String> {
         },
     };
 
-    let mut blob = vec![tag];
-    blob.extend_from_slice(&labeling.to_bytes());
-    fs::write(&out, &blob).map_err(|e| format!("writing {out}: {e}"))?;
+    let tagged = TaggedLabeling { tag, labeling };
+    tagged
+        .save(&out)
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    let labeling = &tagged.labeling;
     eprintln!(
         "encoded {desc}: {} labels, max {} bits, avg {:.1} bits, {} bytes on disk",
         labeling.len(),
         labeling.max_bits(),
         labeling.avg_bits(),
-        blob.len()
+        tagged.to_bytes().len()
     );
     Ok(())
 }
 
+fn load_labeling(path: &str) -> Result<TaggedLabeling, String> {
+    TaggedLabeling::load(path).map_err(|e| format!("{path}: {e}"))
+}
+
 fn cmd_query(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(raw)?;
+    if args.get("stdin").is_some_and(|v| v != "false") {
+        let [path] = args.positional.as_slice() else {
+            return Err("usage: plab query <labels.plab> --stdin".into());
+        };
+        return query_stdin(path);
+    }
     let [path, u, v] = args.positional.as_slice() else {
-        return Err("usage: plab query <labels.plab> <u> <v>".into());
+        return Err("usage: plab query <labels.plab> <u> <v>  (or --stdin)".into());
     };
-    let blob = fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let (&tag, body) = blob.split_first().ok_or("empty labeling file")?;
-    let labeling = Labeling::from_bytes(body).map_err(|e| format!("parsing {path}: {e}"))?;
+    let tagged = load_labeling(path)?;
     let u: u32 = u.parse().map_err(|_| format!("bad vertex id {u:?}"))?;
     let v: u32 = v.parse().map_err(|_| format!("bad vertex id {v:?}"))?;
-    if (u as usize) >= labeling.len() || (v as usize) >= labeling.len() {
-        return Err(format!("vertex out of range (n = {})", labeling.len()));
+    let n = tagged.labeling.len();
+    if (u as usize) >= n || (v as usize) >= n {
+        return Err(format!("vertex out of range (n = {n})"));
     }
-    let (a, b) = (labeling.label(u), labeling.label(v));
-    let adjacent = match tag {
-        TAG_THRESHOLD => ThresholdDecoder.adjacent(a, b),
-        TAG_ADJLIST => AdjListDecoder.adjacent(a, b),
-        TAG_ORIENTATION => OrientationDecoder.adjacent(a, b),
-        TAG_MOON => MoonDecoder.adjacent(a, b),
-        other => return Err(format!("unknown scheme tag {other}")),
+    let (a, b) = (tagged.labeling.label(u), tagged.labeling.label(v));
+    println!("{}", decode_adjacent(tagged.tag, a, b));
+    Ok(())
+}
+
+/// Batch mode: the labeling is loaded once, then one `u v` pair per stdin
+/// line is answered per output line. Any malformed or out-of-range pair
+/// aborts with a non-zero exit so pipelines fail loudly.
+fn query_stdin(path: &str) -> Result<(), String> {
+    let tagged = load_labeling(path)?;
+    let n = tagged.labeling.len();
+    let stdin = std::io::stdin();
+    for (line_no, line) in stdin.lock().lines().enumerate() {
+        let line = line.map_err(|e| format!("reading stdin: {e}"))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(u), Some(v), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(format!(
+                "line {}: expected `u v`, got {line:?}",
+                line_no + 1
+            ));
+        };
+        let parse = |s: &str| -> Result<u32, String> {
+            s.parse()
+                .map_err(|_| format!("line {}: bad vertex id {s:?}", line_no + 1))
+        };
+        let (u, v) = (parse(u)?, parse(v)?);
+        if (u as usize) >= n || (v as usize) >= n {
+            return Err(format!(
+                "line {}: vertex out of range (n = {n})",
+                line_no + 1
+            ));
+        }
+        let (a, b) = (tagged.labeling.label(u), tagged.labeling.label(v));
+        println!("{}", decode_adjacent(tagged.tag, a, b));
+    }
+    Ok(())
+}
+
+fn cmd_serve(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let path = args.positional.first().ok_or("missing labeling file")?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7401");
+    let shards: usize = args.get_parsed("shards", 4)?;
+    let cache: usize = args.get_parsed("cache", 1024)?;
+    let duration: u64 = args.get_parsed("duration", 0)?;
+    let tagged = load_labeling(path)?;
+    let store = std::sync::Arc::new(LabelStore::new(
+        tagged,
+        StoreConfig {
+            shards,
+            cache_capacity: cache,
+        },
+    ));
+    eprintln!(
+        "serving {} labels ({} scheme) on {} with {} shards, cache {}",
+        store.n(),
+        store.tag().name(),
+        addr,
+        store.shard_count(),
+        cache
+    );
+    let handle = pl_serve::serve(store, addr).map_err(|e| format!("binding {addr}: {e}"))?;
+    eprintln!("listening on {}", handle.addr());
+    if duration == 0 {
+        // No signal handling in std: run until killed.
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+    std::thread::sleep(std::time::Duration::from_secs(duration));
+    let final_stats = handle.shutdown();
+    eprintln!("--- final stats ---\n{final_stats}");
+    Ok(())
+}
+
+fn cmd_loadgen(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let addr = args.positional.first().ok_or("missing server address")?;
+    let addr: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|_| format!("bad server address {addr:?}"))?;
+    let skew = match args.get("skew").unwrap_or("uniform") {
+        "uniform" => Skew::Uniform,
+        other => match other.strip_prefix("zipf:") {
+            Some(s) => Skew::Zipf(
+                s.parse()
+                    .map_err(|_| format!("bad zipf exponent in {other:?}"))?,
+            ),
+            None => return Err(format!("unknown skew {other:?}")),
+        },
     };
-    println!("{adjacent}");
+    let config = LoadgenConfig {
+        connections: args.get_parsed("connections", 4)?,
+        requests_per_conn: args.get_parsed("requests", 10_000)?,
+        batch: args.get_parsed("batch", 64)?,
+        skew,
+        seed: args.get_parsed("seed", 0x1abe1)?,
+        hot_order: None,
+    };
+    let report = loadgen::run(addr, &config).map_err(|e| format!("load run failed: {e}"))?;
+    println!(
+        "{} queries over {} connections in {:.3}s: {:.0} qps ({} adjacent)",
+        report.queries, config.connections, report.elapsed_secs, report.qps, report.adjacent_true
+    );
+    let mut client = Client::connect(addr).map_err(|e| format!("stats connection: {e}"))?;
+    let stats = client.stats().map_err(|e| format!("fetching stats: {e}"))?;
+    println!("--- server stats ---\n{stats}");
     Ok(())
 }
