@@ -19,4 +19,25 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> plab encode/query smoke (parallel encode round-trip)"
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+plab="target/release/plab"
+"$plab" gen --model chung-lu --n 2000 --alpha 2.5 --avg-degree 5 --seed 7 \
+    --out "$smoke_dir/g.el"
+"$plab" encode --scheme powerlaw --alpha 2.5 --threads 4 "$smoke_dir/g.el" \
+    --out "$smoke_dir/g.plab"
+"$plab" encode --scheme powerlaw --alpha 2.5 "$smoke_dir/g.el" \
+    --out "$smoke_dir/g1.plab"
+cmp "$smoke_dir/g.plab" "$smoke_dir/g1.plab" \
+    || { echo "ci: --threads 4 encode is not bit-identical to single-threaded" >&2; exit 1; }
+printf '0 1\n1 0\n0 1999\n' | "$plab" query "$smoke_dir/g.plab" --stdin \
+    > "$smoke_dir/answers"
+[ "$(wc -l < "$smoke_dir/answers")" -eq 3 ] \
+    || { echo "ci: query --stdin answered wrong line count" >&2; exit 1; }
+if grep -Evq '^(true|false)$' "$smoke_dir/answers"; then
+    echo "ci: query --stdin produced a non-boolean answer" >&2
+    exit 1
+fi
+
 echo "ci: all green"

@@ -14,10 +14,11 @@ use std::sync::Arc;
 use pl_bench::{banner, f1, quick_mode, rng, Table};
 use pl_graph::degree::vertices_by_degree_desc;
 use pl_labeling::baseline::AdjListScheme;
+use pl_labeling::codec::{SchemeTag, TaggedLabeling};
 use pl_labeling::scheme::AdjacencyScheme;
 use pl_labeling::PowerLawScheme;
 use pl_serve::client::loadgen::{self, LoadgenConfig, Skew};
-use pl_serve::{Client, LabelStore, SchemeTag, StoreConfig, TaggedLabeling};
+use pl_serve::{Client, LabelStore, StoreConfig};
 
 fn skew_name(skew: Skew) -> String {
     match skew {

@@ -1,0 +1,130 @@
+//! E18 — arena encode/decode micro-benchmark, emitting `BENCH_encode.json`.
+//!
+//! Sweeps graph size and encoder thread count for the threshold-family
+//! schemes over the arena `Labeling`, timing whole-labeling encode
+//! (ns/vertex) and random adjacency queries over zero-copy `LabelRef`
+//! views (ns/query). Two properties should be visible in the numbers:
+//! encode scales down with threads (chunked `std::thread::scope`
+//! workers, bit-identical output), and decode ns/query stays flat as the
+//! label count grows — a query reads two bit windows of the shared
+//! arena and performs no per-query heap allocation.
+//!
+//! Output: a markdown table on stdout plus a JSON record per
+//! configuration in `BENCH_encode.json` (`--out PATH` to relocate).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use pl_bench::{banner, f1, quick_mode, rng, Table};
+use pl_labeling::scheme::AdjacencyDecoder;
+use pl_labeling::threshold::{encode_with_stats_threads, ThresholdDecoder};
+use pl_labeling::PowerLawScheme;
+use rand::Rng;
+
+struct Row {
+    scheme: &'static str,
+    n: usize,
+    threads: usize,
+    ns_per_vertex: f64,
+    ns_per_query: f64,
+    avg_bits: f64,
+}
+
+fn measure(n: usize, threads: usize, queries: usize, stream: u64) -> Row {
+    let mut g_rng = rng(stream);
+    let g = pl_gen::chung_lu_power_law(n, 2.5, 5.0, &mut g_rng);
+    let tau = PowerLawScheme::new(2.5).tau(n);
+
+    // Encode: time the full labeling build, amortized per vertex. One
+    // warm-up run keeps the first configuration from paying page-fault
+    // costs the others don't.
+    let _ = encode_with_stats_threads(&g, tau, threads);
+    let reps = if n <= 20_000 { 3 } else { 1 };
+    let start = Instant::now();
+    let mut labeling = None;
+    for _ in 0..reps {
+        labeling = Some(encode_with_stats_threads(&g, tau, threads).0);
+    }
+    let encode_ns = start.elapsed().as_nanos() as f64 / reps as f64;
+    let labeling = labeling.expect("reps >= 1");
+
+    // Decode: random pairs over the arena views.
+    let dec = ThresholdDecoder;
+    let mut q_rng = rng(stream ^ 0xDEC);
+    let pairs: Vec<(u32, u32)> = (0..queries)
+        .map(|_| (q_rng.gen_range(0..n as u32), q_rng.gen_range(0..n as u32)))
+        .collect();
+    let start = Instant::now();
+    let mut hits = 0usize;
+    for &(u, v) in &pairs {
+        hits += usize::from(dec.adjacent(labeling.label(u), labeling.label(v)));
+    }
+    let decode_ns = start.elapsed().as_nanos() as f64 / queries as f64;
+    std::hint::black_box(hits);
+
+    Row {
+        scheme: "threshold",
+        n,
+        threads,
+        ns_per_vertex: encode_ns / n as f64,
+        ns_per_query: decode_ns,
+        avg_bits: labeling.avg_bits(),
+    }
+}
+
+fn main() {
+    banner("E18", "arena encode/decode throughput");
+    let out_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1).cloned())
+            .unwrap_or_else(|| "BENCH_encode.json".to_string())
+    };
+    let (sizes, queries): (&[usize], usize) = if quick_mode() {
+        (&[5_000, 20_000], 50_000)
+    } else {
+        (&[10_000, 40_000, 160_000], 200_000)
+    };
+    let threads_grid = [1usize, 2, 4, 8];
+
+    let mut table = Table::new(&[
+        "scheme",
+        "n",
+        "threads",
+        "ns/vertex",
+        "ns/query",
+        "avg bits",
+    ]);
+    let mut rows = Vec::new();
+    for (i, &n) in sizes.iter().enumerate() {
+        for (j, &threads) in threads_grid.iter().enumerate() {
+            let row = measure(n, threads, queries, 0xE18 ^ ((i as u64) << 8) ^ j as u64);
+            table.row(vec![
+                row.scheme.to_string(),
+                row.n.to_string(),
+                row.threads.to_string(),
+                f1(row.ns_per_vertex),
+                f1(row.ns_per_query),
+                f1(row.avg_bits),
+            ]);
+            rows.push(row);
+        }
+    }
+    table.print();
+
+    // Hand-rolled JSON (std-only crate: no serializer dependency).
+    let mut json = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        writeln!(
+            json,
+            "  {{\"scheme\": \"{}\", \"n\": {}, \"threads\": {}, \"ns_per_vertex\": {:.1}, \"ns_per_query\": {:.1}, \"avg_bits\": {:.1}}}{sep}",
+            r.scheme, r.n, r.threads, r.ns_per_vertex, r.ns_per_query, r.avg_bits
+        )
+        .expect("write to String");
+    }
+    json.push_str("]\n");
+    std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("\nwrote {out_path}");
+}

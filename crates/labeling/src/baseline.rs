@@ -4,7 +4,7 @@
 use pl_graph::{Graph, VertexId};
 
 use crate::bits::BitWriter;
-use crate::label::{Label, Labeling};
+use crate::label::{Label, LabelRef, Labeling};
 use crate::scheme::{id_width, read_prelude, write_prelude, AdjacencyDecoder, AdjacencyScheme};
 
 /// The naive adjacency-list labeling: every vertex stores all of its
@@ -51,7 +51,7 @@ impl AdjacencyScheme for AdjListScheme {
 pub struct AdjListDecoder;
 
 impl AdjacencyDecoder for AdjListDecoder {
-    fn adjacent(&self, a: &Label, b: &Label) -> bool {
+    fn adjacent(&self, a: LabelRef<'_>, b: LabelRef<'_>) -> bool {
         let mut ra = a.reader();
         let (w, ida) = read_prelude(&mut ra);
         let mut rb = b.reader();
@@ -114,7 +114,7 @@ impl AdjacencyScheme for MoonScheme {
 pub struct MoonDecoder;
 
 impl AdjacencyDecoder for MoonDecoder {
-    fn adjacent(&self, a: &Label, b: &Label) -> bool {
+    fn adjacent(&self, a: LabelRef<'_>, b: LabelRef<'_>) -> bool {
         let mut ra = a.reader();
         let (_, ida) = read_prelude(&mut ra);
         let mut rb = b.reader();

@@ -6,8 +6,15 @@
 //! order. Variable-length non-negative integers use the Elias gamma code
 //! (via [`BitWriter::write_gamma`] / [`BitReader::read_gamma`]) so labels
 //! are self-delimiting without fixed-width length fields.
+//!
+//! A [`BitReader`] is a *window* over a word slice — any `(start, len)`
+//! bit range of any `&[u64]` — so a label stored inside a shared arena
+//! (see [`crate::Labeling`]) can be read in place without copying.
 
 /// A packed, growable string of bits.
+///
+/// Invariant: bits at positions `>= len` in the final word are zero, so
+/// word-level equality and serialization are canonical.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct BitString {
     words: Vec<u64>,
@@ -33,6 +40,30 @@ impl BitString {
         self.len == 0
     }
 
+    /// The backing words, MSB-first within each word; bits at positions
+    /// `>= len()` in the last word are zero.
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a bit string from backing words and a bit length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len() != len.div_ceil(64)` or any bit at position
+    /// `>= len` in the final word is set (the canonical-form invariant).
+    #[must_use]
+    pub fn from_raw_parts(words: Vec<u64>, len: usize) -> Self {
+        assert_eq!(words.len(), len.div_ceil(64), "word count mismatch");
+        if !len.is_multiple_of(64) {
+            if let Some(&last) = words.last() {
+                assert_eq!(last & (u64::MAX >> (len % 64)), 0, "dirty tail bits");
+            }
+        }
+        Self { words, len }
+    }
+
     /// The bit at position `i` (0-based from the start).
     ///
     /// # Panics
@@ -54,6 +85,28 @@ impl BitString {
             *w |= 1u64 << (63 - (self.len % 64));
         }
         self.len += 1;
+    }
+
+    /// Appends every bit of `other`, preserving order. Word-aligned
+    /// appends are a plain `memcpy`; unaligned ones shift word-at-a-time,
+    /// so stitching per-chunk encodings into one arena stays cheap.
+    pub fn extend_from(&mut self, other: &BitString) {
+        if other.len == 0 {
+            return;
+        }
+        let shift = self.len % 64;
+        if shift == 0 {
+            self.words.extend_from_slice(&other.words);
+            self.len += other.len;
+            return;
+        }
+        for &w in &other.words {
+            let last = self.words.last_mut().expect("shift != 0 implies a word");
+            *last |= w >> shift;
+            self.words.push(w << (64 - shift));
+        }
+        self.len += other.len;
+        self.words.truncate(self.len.div_ceil(64));
     }
 }
 
@@ -126,10 +179,17 @@ impl BitWriter {
     }
 }
 
-/// Sequentially consumes fields from a [`BitString`].
+/// Sequentially consumes fields from a window of a word slice.
+///
+/// The window starts at absolute bit `start` of `words` and spans `len`
+/// bits; positions reported by [`position`](Self::position) are relative
+/// to the window, so a reader over a label inside an arena behaves
+/// exactly like a reader over a standalone [`BitString`].
 #[derive(Debug, Clone)]
 pub struct BitReader<'a> {
-    bits: &'a BitString,
+    words: &'a [u64],
+    start: usize,
+    len: usize,
     pos: usize,
 }
 
@@ -137,10 +197,37 @@ impl<'a> BitReader<'a> {
     /// A reader positioned at the start of `bits`.
     #[must_use]
     pub fn new(bits: &'a BitString) -> Self {
-        Self { bits, pos: 0 }
+        Self {
+            words: &bits.words,
+            start: 0,
+            len: bits.len,
+            pos: 0,
+        }
     }
 
-    /// Current position in bits.
+    /// A reader over the `len`-bit window starting at absolute bit
+    /// `start` of `words`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window extends past `words.len() * 64` bits.
+    #[must_use]
+    pub fn over(words: &'a [u64], start: usize, len: usize) -> Self {
+        assert!(
+            start
+                .checked_add(len)
+                .is_some_and(|e| e <= words.len() * 64),
+            "bit window out of range"
+        );
+        Self {
+            words,
+            start,
+            len,
+            pos: 0,
+        }
+    }
+
+    /// Current position in bits, relative to the window start.
     #[must_use]
     pub fn position(&self) -> usize {
         self.pos
@@ -149,7 +236,7 @@ impl<'a> BitReader<'a> {
     /// Bits remaining.
     #[must_use]
     pub fn remaining(&self) -> usize {
-        self.bits.len() - self.pos
+        self.len - self.pos
     }
 
     /// Reads one bit.
@@ -158,9 +245,10 @@ impl<'a> BitReader<'a> {
     ///
     /// Panics on reading past the end.
     pub fn read_bit(&mut self) -> bool {
-        let b = self.bits.bit(self.pos);
+        assert!(self.pos < self.len, "bit index out of range");
+        let i = self.start + self.pos;
         self.pos += 1;
-        b
+        (self.words[i / 64] >> (63 - (i % 64))) & 1 == 1
     }
 
     /// Reads `width` bits as an MSB-first unsigned integer.
@@ -188,11 +276,49 @@ impl<'a> BitReader<'a> {
 
     /// Skips `count` bits.
     pub fn skip(&mut self, count: usize) {
-        assert!(
-            self.pos + count <= self.bits.len(),
-            "skip past end of bit string"
-        );
+        assert!(self.pos + count <= self.len, "skip past end of bit string");
         self.pos += count;
+    }
+
+    /// Reads one bit, or `None` at end of window — for untrusted labels
+    /// where a truncated field must surface as an error, not a panic.
+    pub fn try_read_bit(&mut self) -> Option<bool> {
+        if self.pos < self.len {
+            Some(self.read_bit())
+        } else {
+            None
+        }
+    }
+
+    /// Reads `width` bits as an MSB-first unsigned integer, or `None` if
+    /// fewer than `width` bits remain.
+    pub fn try_read_bits(&mut self, width: usize) -> Option<u64> {
+        if width > 64 || self.remaining() < width {
+            return None;
+        }
+        Some(self.read_bits(width))
+    }
+
+    /// Reads an Elias-gamma integer, or `None` if the code is truncated
+    /// or its unary prefix exceeds 63 zeros (no valid `u64` gamma code).
+    pub fn try_read_gamma(&mut self) -> Option<u64> {
+        let mut zeros = 0usize;
+        loop {
+            match self.try_read_bit()? {
+                true => break,
+                false => {
+                    zeros += 1;
+                    if zeros > 63 {
+                        return None;
+                    }
+                }
+            }
+        }
+        let mut v = 1u64;
+        for _ in 0..zeros {
+            v = (v << 1) | u64::from(self.try_read_bit()?);
+        }
+        Some(v)
     }
 }
 
@@ -326,5 +452,82 @@ mod tests {
         assert_eq!(r.read_gamma(), 1);
         assert_eq!(r.read_bits(13), 0);
         assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn windowed_reader_matches_whole_string() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xABCD, 16);
+        w.write_gamma(99);
+        w.write_bits(0x1F, 5);
+        let s = w.finish();
+        // Window over the gamma + trailing field only.
+        let mut r = BitReader::over(s.words(), 16, s.len() - 16);
+        assert_eq!(r.read_gamma(), 99);
+        assert_eq!(r.read_bits(5), 0x1F);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn windowed_reader_stops_at_window_end() {
+        let mut w = BitWriter::new();
+        w.write_bits(u64::MAX, 64);
+        let s = w.finish();
+        let mut r = BitReader::over(s.words(), 3, 10);
+        assert_eq!(r.read_bits(10), 0x3FF);
+        assert_eq!(r.try_read_bit(), None);
+    }
+
+    #[test]
+    fn extend_from_aligned_and_unaligned() {
+        for first_bits in [0usize, 1, 13, 63, 64, 65, 127, 128, 200] {
+            for second_bits in [0usize, 1, 7, 64, 100, 130] {
+                let mut wa = BitWriter::new();
+                let mut wb = BitWriter::new();
+                let mut whole = BitWriter::new();
+                for i in 0..first_bits {
+                    let b = (i * 7 + 1).is_multiple_of(3);
+                    wa.write_bit(b);
+                    whole.write_bit(b);
+                }
+                for i in 0..second_bits {
+                    let b = (i * 5 + 2).is_multiple_of(3);
+                    wb.write_bit(b);
+                    whole.write_bit(b);
+                }
+                let mut a = wa.finish();
+                a.extend_from(&wb.finish());
+                assert_eq!(a, whole.finish(), "{first_bits}+{second_bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn raw_parts_round_trip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xFEED, 16);
+        w.write_gamma(12);
+        let s = w.finish();
+        let rebuilt = BitString::from_raw_parts(s.words().to_vec(), s.len());
+        assert_eq!(rebuilt, s);
+    }
+
+    #[test]
+    #[should_panic(expected = "dirty tail")]
+    fn raw_parts_rejects_dirty_tail() {
+        let _ = BitString::from_raw_parts(vec![u64::MAX], 5);
+    }
+
+    #[test]
+    fn try_reads_report_truncation() {
+        let mut w = BitWriter::new();
+        w.write_bits(0, 3); // looks like the start of a gamma unary prefix
+        let s = w.finish();
+        let mut r = BitReader::new(&s);
+        assert_eq!(r.try_read_gamma(), None);
+        let mut r2 = BitReader::new(&s);
+        assert_eq!(r2.try_read_bits(4), None);
+        assert_eq!(r2.try_read_bits(3), Some(0));
+        assert_eq!(r2.try_read_bit(), None);
     }
 }

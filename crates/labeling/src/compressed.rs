@@ -32,7 +32,7 @@ use pl_graph::degree::vertices_by_degree_desc;
 use pl_graph::{Graph, VertexId};
 
 use crate::bits::BitWriter;
-use crate::label::{Label, Labeling};
+use crate::label::{Label, LabelRef, Labeling};
 use crate::scheme::{id_width, read_prelude, write_prelude, AdjacencyDecoder, AdjacencyScheme};
 
 /// The threshold scheme with per-vertex choice of fat-payload encoding.
@@ -148,7 +148,7 @@ impl AdjacencyScheme for CompressedThresholdScheme {
 pub struct CompressedDecoder;
 
 impl AdjacencyDecoder for CompressedDecoder {
-    fn adjacent(&self, a: &Label, b: &Label) -> bool {
+    fn adjacent(&self, a: LabelRef<'_>, b: LabelRef<'_>) -> bool {
         let mut ra = a.reader();
         let mut rb = b.reader();
         let (wa, ida) = read_prelude(&mut ra);

@@ -31,7 +31,7 @@ use pl_graph::traversal::{bfs_bounded, bfs_bounded_through};
 use pl_graph::{Graph, VertexId};
 
 use crate::bits::BitWriter;
-use crate::label::{Label, Labeling};
+use crate::label::{Label, LabelRef, Labeling};
 use crate::scheme::{id_width, read_prelude, write_prelude};
 use crate::theory::distance_fat_threshold;
 
@@ -173,7 +173,7 @@ struct Parsed {
     thin: Vec<(u64, u32)>,
 }
 
-fn parse(l: &Label) -> Parsed {
+fn parse(l: LabelRef<'_>) -> Parsed {
     let mut r = l.reader();
     let (w, id) = read_prelude(&mut r);
     let f = (r.read_gamma() - 1) as u32;
@@ -209,7 +209,7 @@ pub struct DistanceDecoder;
 impl DistanceDecoder {
     /// Exact bounded distance between the two labeled vertices.
     #[must_use]
-    pub fn distance(&self, a: &Label, b: &Label) -> Option<u32> {
+    pub fn distance(&self, a: LabelRef<'_>, b: LabelRef<'_>) -> Option<u32> {
         let pa = parse(a);
         let pb = parse(b);
         debug_assert_eq!(pa.f, pb.f, "labels from different schemes");

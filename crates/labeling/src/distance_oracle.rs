@@ -22,7 +22,7 @@ use pl_graph::traversal::bfs_distances;
 use pl_graph::{Graph, VertexId, UNREACHABLE};
 
 use crate::bits::BitWriter;
-use crate::label::{Label, Labeling};
+use crate::label::{Label, LabelRef, Labeling};
 use crate::scheme::{id_width, read_prelude, write_prelude};
 
 /// Bits needed to store values `0..=max`.
@@ -101,7 +101,7 @@ pub struct FullDistanceDecoder;
 impl FullDistanceDecoder {
     /// The exact distance, or `None` if unreachable.
     #[must_use]
-    pub fn distance(&self, a: &Label, b: &Label) -> Option<u32> {
+    pub fn distance(&self, a: LabelRef<'_>, b: LabelRef<'_>) -> Option<u32> {
         let mut ra = a.reader();
         let (_, ida) = read_prelude(&mut ra);
         let mut rb = b.reader();
@@ -221,8 +221,8 @@ impl LandmarkDecoder {
     /// landmark reaches both endpoints (distinct components, as far as the
     /// oracle can tell).
     #[must_use]
-    pub fn estimate(&self, a: &Label, b: &Label) -> Option<DistanceEstimate> {
-        let parse = |l: &Label| {
+    pub fn estimate(&self, a: LabelRef<'_>, b: LabelRef<'_>) -> Option<DistanceEstimate> {
+        let parse = |l: LabelRef<'_>| {
             let mut r = l.reader();
             let (_, id) = read_prelude(&mut r);
             let dw = r.read_bits(6) as usize;

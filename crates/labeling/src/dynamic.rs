@@ -41,7 +41,7 @@
 use pl_graph::VertexId;
 
 use crate::bits::BitWriter;
-use crate::label::Label;
+use crate::label::{Label, LabelRef};
 use crate::scheme::{id_width, read_prelude, write_prelude, AdjacencyDecoder};
 
 /// An incrementally maintained fat/thin labeling.
@@ -120,10 +120,10 @@ impl DynamicScheme {
         self.promotions
     }
 
-    /// The current label of `v`.
+    /// The current label of `v`, viewed in place.
     #[must_use]
-    pub fn label(&self, v: VertexId) -> &Label {
-        &self.labels[v as usize]
+    pub fn label(&self, v: VertexId) -> LabelRef<'_> {
+        self.labels[v as usize].view()
     }
 
     /// Maximum current label size in bits.
@@ -258,7 +258,7 @@ impl DynamicScheme {
 pub struct DynamicDecoder;
 
 impl AdjacencyDecoder for DynamicDecoder {
-    fn adjacent(&self, a: &Label, b: &Label) -> bool {
+    fn adjacent(&self, a: LabelRef<'_>, b: LabelRef<'_>) -> bool {
         let mut ra = a.reader();
         let (wa, ida) = read_prelude(&mut ra);
         let mut rb = b.reader();

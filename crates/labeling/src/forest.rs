@@ -20,7 +20,7 @@ use pl_graph::traversal::bfs_distances;
 use pl_graph::{Graph, VertexId, UNREACHABLE};
 
 use crate::bits::BitWriter;
-use crate::label::{Label, Labeling};
+use crate::label::{Label, LabelRef, Labeling};
 use crate::scheme::{id_width, read_prelude, write_prelude, AdjacencyDecoder, AdjacencyScheme};
 
 /// Parent-pointer adjacency labeling for forests.
@@ -106,8 +106,8 @@ impl AdjacencyScheme for ForestScheme {
 pub struct ForestDecoder;
 
 impl AdjacencyDecoder for ForestDecoder {
-    fn adjacent(&self, a: &Label, b: &Label) -> bool {
-        let parse = |l: &Label| {
+    fn adjacent(&self, a: LabelRef<'_>, b: LabelRef<'_>) -> bool {
+        let parse = |l: LabelRef<'_>| {
             let mut r = l.reader();
             let (w, id) = read_prelude(&mut r);
             let parent = r.read_bit().then(|| r.read_bits(w));
@@ -167,8 +167,8 @@ impl AdjacencyScheme for OrientationScheme {
 pub struct OrientationDecoder;
 
 impl AdjacencyDecoder for OrientationDecoder {
-    fn adjacent(&self, a: &Label, b: &Label) -> bool {
-        let contains = |l: &Label, target: u64| {
+    fn adjacent(&self, a: LabelRef<'_>, b: LabelRef<'_>) -> bool {
+        let contains = |l: LabelRef<'_>, target: u64| {
             let mut r = l.reader();
             let (w, id) = read_prelude(&mut r);
             if id == target {

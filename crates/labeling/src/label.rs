@@ -1,10 +1,20 @@
 //! Labels and labelings, with bit-exact size accounting and a compact
 //! binary wire format (labels exist to be shipped to peers).
+//!
+//! A [`Labeling`] is stored as one contiguous bit arena plus a bit-offset
+//! table: `label(v)` hands out a borrowed [`LabelRef`] window into the
+//! arena, so a loaded `.plab` is queried in place with zero per-query
+//! allocation. The wire format is v2 (`PLL2`: arena + offsets); the
+//! reader is version-gated and still accepts v1 (`PLL1`: per-label
+//! records) files. See `crates/labeling/FORMAT.md` for the byte layout.
 
 use crate::bits::{BitReader, BitString, BitWriter};
 
-/// Magic prefix of the [`Labeling`] wire format.
-const LABELING_MAGIC: &[u8; 4] = b"PLL1";
+/// Magic prefix of the v1 (per-label records) wire format.
+const LABELING_MAGIC_V1: &[u8; 4] = b"PLL1";
+
+/// Magic prefix of the v2 (arena + offsets) wire format.
+const LABELING_MAGIC_V2: &[u8; 4] = b"PLL2";
 
 /// Error deserializing a label or labeling.
 ///
@@ -24,6 +34,8 @@ pub enum WireError {
     /// Bytes remained after the declared content (the encoding is
     /// canonical: one labeling, nothing else).
     TrailingBytes,
+    /// The v2 offset table was not monotone non-decreasing from zero.
+    BadOffsets,
 }
 
 impl std::fmt::Display for WireError {
@@ -33,6 +45,7 @@ impl std::fmt::Display for WireError {
             Self::BadMagic => write!(f, "not a labeling blob (bad magic)"),
             Self::DirtyPadding => write!(f, "non-zero padding bits in final byte"),
             Self::TrailingBytes => write!(f, "trailing bytes after labeling content"),
+            Self::BadOffsets => write!(f, "offset table not monotone from zero"),
         }
     }
 }
@@ -57,6 +70,16 @@ impl Label {
         self.0.len()
     }
 
+    /// A borrowed view of this label, as decoders consume it.
+    #[must_use]
+    pub fn view(&self) -> LabelRef<'_> {
+        LabelRef {
+            words: self.0.words(),
+            start: 0,
+            len: self.0.len(),
+        }
+    }
+
     /// A reader over the label's bits.
     #[must_use]
     pub fn reader(&self) -> BitReader<'_> {
@@ -64,7 +87,8 @@ impl Label {
     }
 
     /// Serializes as `u64-LE bit length` followed by the packed bits,
-    /// MSB-first within each byte, zero-padded to a byte boundary.
+    /// MSB-first within each byte, zero-padded to a byte boundary (the
+    /// per-label record of the v1 container format).
     #[must_use]
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(8 + self.bit_len().div_ceil(8));
@@ -128,99 +152,271 @@ impl From<BitWriter> for Label {
     }
 }
 
+/// A borrowed, zero-copy view of one label inside a [`Labeling`] arena
+/// (or of a standalone [`Label`]).
+///
+/// `Copy`, so call sites pass it by value; decoders read it in place via
+/// [`reader`](Self::reader) without touching the heap.
+#[derive(Debug, Clone, Copy)]
+pub struct LabelRef<'a> {
+    words: &'a [u64],
+    start: usize,
+    len: usize,
+}
+
+impl<'a> LabelRef<'a> {
+    /// Label size in bits.
+    #[must_use]
+    pub fn bit_len(self) -> usize {
+        self.len
+    }
+
+    /// `true` iff the label is empty.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    /// A reader over the label's bits.
+    #[must_use]
+    pub fn reader(self) -> BitReader<'a> {
+        BitReader::over(self.words, self.start, self.len)
+    }
+
+    /// Copies the viewed bits into an owned [`Label`].
+    #[must_use]
+    pub fn to_label(self) -> Label {
+        let mut w = BitWriter::new();
+        let mut r = self.reader();
+        let mut left = self.len;
+        while left >= 64 {
+            w.write_bits(r.read_bits(64), 64);
+            left -= 64;
+        }
+        if left > 0 {
+            w.write_bits(r.read_bits(left), left);
+        }
+        w.into()
+    }
+}
+
+impl PartialEq for LabelRef<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        if self.len != other.len {
+            return false;
+        }
+        let mut a = self.reader();
+        let mut b = other.reader();
+        let mut left = self.len;
+        while left >= 64 {
+            if a.read_bits(64) != b.read_bits(64) {
+                return false;
+            }
+            left -= 64;
+        }
+        left == 0 || a.read_bits(left) == b.read_bits(left)
+    }
+}
+
+impl Eq for LabelRef<'_> {}
+
+/// Incrementally assembles a [`Labeling`] arena, label by label.
+///
+/// Builders are also the unit of parallel encoding: each worker fills its
+/// own builder over a chunk of vertices, and the chunks are stitched in
+/// vertex order with [`merge`](Self::merge) — bit-identical to a single
+/// sequential pass by construction.
+#[derive(Debug, Default)]
+pub struct LabelingBuilder {
+    arena: BitString,
+    offsets: Vec<u64>,
+}
+
+impl LabelingBuilder {
+    /// An empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            arena: BitString::new(),
+            offsets: vec![0],
+        }
+    }
+
+    /// Labels pushed so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// `true` iff no labels have been pushed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.offsets.len() == 1
+    }
+
+    /// Appends the next vertex's label bits.
+    pub fn push_bits(&mut self, bits: &BitString) {
+        self.arena.extend_from(bits);
+        self.offsets.push(self.arena.len() as u64);
+    }
+
+    /// Appends the next vertex's label.
+    pub fn push_label(&mut self, label: &Label) {
+        self.push_bits(&label.0);
+    }
+
+    /// Appends every label of `other` after this builder's labels,
+    /// preserving order.
+    pub fn merge(&mut self, other: &LabelingBuilder) {
+        let base = self.arena.len() as u64;
+        self.arena.extend_from(&other.arena);
+        self.offsets
+            .extend(other.offsets.iter().skip(1).map(|&o| base + o));
+    }
+
+    /// Finishes building, yielding the labeling.
+    #[must_use]
+    pub fn finish(self) -> Labeling {
+        Labeling {
+            arena: self.arena,
+            offsets: self.offsets,
+        }
+    }
+}
+
 /// The output of an encoder: one label per vertex, indexed by the original
 /// vertex id of the input graph.
+///
+/// Labels live in a single contiguous bit arena; `offsets[v]..offsets[v+1]`
+/// is vertex `v`'s bit range, so lookups are O(1) and decoders borrow the
+/// arena in place via [`LabelRef`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Labeling {
-    labels: Vec<Label>,
+    arena: BitString,
+    offsets: Vec<u64>,
 }
 
 impl Labeling {
-    /// Wraps per-vertex labels (index = original vertex id).
+    /// Packs per-vertex labels (index = original vertex id) into an arena.
     #[must_use]
     pub fn new(labels: Vec<Label>) -> Self {
-        Self { labels }
+        let mut b = LabelingBuilder::new();
+        for l in &labels {
+            b.push_label(l);
+        }
+        b.finish()
     }
 
     /// Number of labeled vertices.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.labels.len()
+        self.offsets.len() - 1
     }
 
     /// `true` iff the labeling covers no vertices.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.labels.is_empty()
+        self.offsets.len() == 1
     }
 
-    /// The label of vertex `v`.
+    /// The label of vertex `v`, viewed in place — no copy, no allocation.
     #[must_use]
-    pub fn label(&self, v: u32) -> &Label {
-        &self.labels[v as usize]
+    pub fn label(&self, v: u32) -> LabelRef<'_> {
+        let start = self.offsets[v as usize] as usize;
+        let end = self.offsets[v as usize + 1] as usize;
+        LabelRef {
+            words: self.arena.words(),
+            start,
+            len: end - start,
+        }
     }
 
     /// Iterator over `(vertex, label)` pairs.
-    pub fn iter(&self) -> impl Iterator<Item = (u32, &Label)> + '_ {
-        self.labels.iter().enumerate().map(|(v, l)| (v as u32, l))
-    }
-
-    /// Consumes the labeling, yielding the per-vertex labels (index =
-    /// vertex id). Lets a serving store re-partition labels without
-    /// cloning them.
-    #[must_use]
-    pub fn into_labels(self) -> Vec<Label> {
-        self.labels
+    pub fn iter(&self) -> impl Iterator<Item = (u32, LabelRef<'_>)> + '_ {
+        (0..self.len() as u32).map(|v| (v, self.label(v)))
     }
 
     /// The scheme's `size(n)`: the maximum label length in bits.
     #[must_use]
     pub fn max_bits(&self) -> usize {
-        self.labels.iter().map(Label::bit_len).max().unwrap_or(0)
+        self.offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Average label length in bits.
     #[must_use]
     pub fn avg_bits(&self) -> f64 {
-        if self.labels.is_empty() {
+        if self.is_empty() {
             0.0
         } else {
-            self.total_bits() as f64 / self.labels.len() as f64
+            self.total_bits() as f64 / self.len() as f64
         }
     }
 
     /// Total bits across all labels (the distributed structure's footprint).
     #[must_use]
     pub fn total_bits(&self) -> usize {
-        self.labels.iter().map(Label::bit_len).sum()
+        self.arena.len()
     }
 
-    /// Serializes the whole labeling: magic, `u64-LE` label count, then
-    /// each label in the [`Label::to_bytes`] format.
+    /// Serializes in the v2 arena format: magic `PLL2`, `u64-LE` label
+    /// count `n`, `n + 1` `u64-LE` bit offsets, then the arena bits
+    /// packed MSB-first and zero-padded to a byte boundary.
     #[must_use]
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(12 + self.total_bits() / 8 + 9 * self.len());
-        out.extend_from_slice(LABELING_MAGIC);
+        let nbytes = self.total_bits().div_ceil(8);
+        let mut out = Vec::with_capacity(12 + 8 * self.offsets.len() + nbytes);
+        out.extend_from_slice(LABELING_MAGIC_V2);
         out.extend_from_slice(&(self.len() as u64).to_le_bytes());
-        for l in &self.labels {
-            out.extend_from_slice(&l.to_bytes());
+        for &o in &self.offsets {
+            out.extend_from_slice(&o.to_le_bytes());
+        }
+        let mut remaining = nbytes;
+        for w in self.arena.words() {
+            let take = remaining.min(8);
+            out.extend_from_slice(&w.to_be_bytes()[..take]);
+            remaining -= take;
         }
         out
     }
 
-    /// Parses a labeling written by [`to_bytes`](Self::to_bytes).
+    /// Serializes in the legacy v1 format: magic `PLL1`, `u64-LE` label
+    /// count, then each label as a [`Label::to_bytes`] record. Kept so
+    /// back-compat fixtures and v1↔v2 equivalence tests can still produce
+    /// v1 bytes; new files should use [`to_bytes`](Self::to_bytes).
+    #[must_use]
+    pub fn to_bytes_v1(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + self.total_bits() / 8 + 9 * self.len());
+        out.extend_from_slice(LABELING_MAGIC_V1);
+        out.extend_from_slice(&(self.len() as u64).to_le_bytes());
+        for (_, l) in self.iter() {
+            out.extend_from_slice(&l.to_label().to_bytes());
+        }
+        out
+    }
+
+    /// Parses a labeling, accepting both the v2 arena format and legacy
+    /// v1 files (version-gated on the magic).
     ///
-    /// Safe on adversarial input: the declared label count is bounded by
-    /// the bytes actually present before any allocation, and trailing
-    /// bytes after the last label are rejected so the encoding stays
-    /// canonical.
+    /// Safe on adversarial input: declared counts and offsets are bounded
+    /// by the bytes actually present before any allocation, offsets must
+    /// be monotone from zero, padding must be clean, and trailing bytes
+    /// are rejected so each encoding stays canonical.
     pub fn from_bytes(buf: &[u8]) -> Result<Self, WireError> {
         if buf.len() < 12 {
             return Err(WireError::Truncated);
         }
-        if &buf[..4] != LABELING_MAGIC {
-            return Err(WireError::BadMagic);
+        match &buf[..4] {
+            m if m == LABELING_MAGIC_V2 => Self::from_bytes_v2(buf),
+            m if m == LABELING_MAGIC_V1 => Self::from_bytes_v1(buf),
+            _ => Err(WireError::BadMagic),
         }
+    }
+
+    fn from_bytes_v1(buf: &[u8]) -> Result<Self, WireError> {
         let declared = u64::from_le_bytes(buf[4..12].try_into().expect("8 bytes"));
         // Every label costs at least its 8-byte length header, so a count
         // beyond (len - 12) / 8 cannot be satisfied — reject it before
@@ -229,17 +425,71 @@ impl Labeling {
             return Err(WireError::Truncated);
         }
         let count = declared as usize;
-        let mut labels = Vec::with_capacity(count);
+        let mut b = LabelingBuilder::new();
         let mut pos = 12usize;
         for _ in 0..count {
             let (l, used) = Label::from_bytes(&buf[pos..])?;
-            labels.push(l);
+            b.push_label(&l);
             pos += used;
         }
         if pos != buf.len() {
             return Err(WireError::TrailingBytes);
         }
-        Ok(Self::new(labels))
+        Ok(b.finish())
+    }
+
+    fn from_bytes_v2(buf: &[u8]) -> Result<Self, WireError> {
+        let declared = u64::from_le_bytes(buf[4..12].try_into().expect("8 bytes"));
+        // The offset table alone costs (n + 1) * 8 bytes; bound the count
+        // against the buffer before allocating the table.
+        let table_bytes = declared
+            .checked_add(1)
+            .and_then(|c| c.checked_mul(8))
+            .ok_or(WireError::Truncated)?;
+        if table_bytes > (buf.len() as u64).saturating_sub(12) {
+            return Err(WireError::Truncated);
+        }
+        let n = declared as usize;
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut pos = 12usize;
+        for _ in 0..=n {
+            offsets.push(u64::from_le_bytes(
+                buf[pos..pos + 8].try_into().expect("8 bytes"),
+            ));
+            pos += 8;
+        }
+        if offsets[0] != 0 || offsets.windows(2).any(|w| w[1] < w[0]) {
+            return Err(WireError::BadOffsets);
+        }
+        let total = offsets[n];
+        // The arena must fill the rest of the buffer exactly — checked in
+        // u64 before sizing any allocation from the declared total.
+        let body = &buf[pos..];
+        let nbytes = total.div_ceil(8);
+        if nbytes > body.len() as u64 {
+            return Err(WireError::Truncated);
+        }
+        if nbytes < body.len() as u64 {
+            return Err(WireError::TrailingBytes);
+        }
+        let total = total as usize;
+        let mut words = Vec::with_capacity(total.div_ceil(64));
+        for chunk in body.chunks(8) {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            words.push(u64::from_be_bytes(w));
+        }
+        if !total.is_multiple_of(64) {
+            if let Some(&last) = words.last() {
+                if last & (u64::MAX >> (total % 64)) != 0 {
+                    return Err(WireError::DirtyPadding);
+                }
+            }
+        }
+        Ok(Self {
+            arena: BitString::from_raw_parts(words, total),
+            offsets,
+        })
     }
 }
 
@@ -295,6 +545,35 @@ mod tests {
     }
 
     #[test]
+    fn arena_views_match_source_labels() {
+        let labels = vec![label_of_bits(3), label_of_bits(0), label_of_bits(77)];
+        let lab = Labeling::new(labels.clone());
+        for (v, l) in labels.iter().enumerate() {
+            let r = lab.label(v as u32);
+            assert_eq!(r.bit_len(), l.bit_len());
+            assert_eq!(r, l.view(), "vertex {v}");
+            assert_eq!(r.to_label(), *l, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn builder_merge_matches_sequential() {
+        let labels: Vec<Label> = (0..9).map(|i| label_of_bits(i * 13 + 1)).collect();
+        let whole = Labeling::new(labels.clone());
+        let mut left = LabelingBuilder::new();
+        let mut right = LabelingBuilder::new();
+        for l in &labels[..4] {
+            left.push_label(l);
+        }
+        for l in &labels[4..] {
+            right.push_label(l);
+        }
+        left.merge(&right);
+        assert_eq!(left.len(), labels.len());
+        assert_eq!(left.finish(), whole);
+    }
+
+    #[test]
     fn label_wire_round_trip() {
         for bits in [0usize, 1, 7, 8, 9, 63, 64, 65, 130] {
             let l = label_of_bits(bits);
@@ -329,11 +608,21 @@ mod tests {
     fn labeling_wire_round_trip() {
         let lab = Labeling::new(vec![label_of_bits(3), label_of_bits(0), label_of_bits(77)]);
         let bytes = lab.to_bytes();
+        assert_eq!(&bytes[..4], LABELING_MAGIC_V2);
         let back = Labeling::from_bytes(&bytes).unwrap();
-        assert_eq!(back.len(), 3);
+        assert_eq!(back, lab);
         for v in 0..3u32 {
             assert_eq!(back.label(v), lab.label(v));
         }
+    }
+
+    #[test]
+    fn v1_bytes_still_parse() {
+        let lab = Labeling::new(vec![label_of_bits(5), label_of_bits(0), label_of_bits(64)]);
+        let v1 = lab.to_bytes_v1();
+        assert_eq!(&v1[..4], LABELING_MAGIC_V1);
+        let back = Labeling::from_bytes(&v1).unwrap();
+        assert_eq!(back, lab);
     }
 
     #[test]
@@ -343,6 +632,38 @@ mod tests {
         bytes[0] = b'X';
         assert_eq!(Labeling::from_bytes(&bytes), Err(WireError::BadMagic));
         assert!(WireError::BadMagic.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn v2_rejects_bad_offsets() {
+        let lab = Labeling::new(vec![label_of_bits(8), label_of_bits(8)]);
+        let mut bytes = lab.to_bytes();
+        // offsets live at [12..36): make offsets[1] > offsets[2].
+        bytes[20..28].copy_from_slice(&100u64.to_le_bytes());
+        assert_eq!(Labeling::from_bytes(&bytes), Err(WireError::BadOffsets));
+    }
+
+    #[test]
+    fn v2_rejects_truncation_and_trailing() {
+        let lab = Labeling::new(vec![label_of_bits(9), label_of_bits(30)]);
+        let bytes = lab.to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                Labeling::from_bytes(&bytes[..cut]).is_err(),
+                "prefix {cut} accepted"
+            );
+        }
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert_eq!(Labeling::from_bytes(&extra), Err(WireError::TrailingBytes));
+    }
+
+    #[test]
+    fn v2_rejects_dirty_padding() {
+        let lab = Labeling::new(vec![label_of_bits(9)]);
+        let mut bytes = lab.to_bytes();
+        *bytes.last_mut().unwrap() |= 1;
+        assert_eq!(Labeling::from_bytes(&bytes), Err(WireError::DirtyPadding));
     }
 
     #[test]

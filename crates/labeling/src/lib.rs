@@ -53,6 +53,7 @@
 pub mod ba_online;
 pub mod baseline;
 pub mod bits;
+pub mod codec;
 pub mod compressed;
 pub mod distance;
 pub mod distance_oracle;
@@ -67,8 +68,9 @@ pub mod theory;
 pub mod threshold;
 pub mod universal;
 
+pub use codec::{AnyDecoder, SchemeTag, TaggedLabeling};
 pub use distance::{DistanceDecoder, DistanceScheme};
-pub use label::{Label, Labeling};
+pub use label::{Label, LabelRef, Labeling, LabelingBuilder};
 pub use one_query::{OneQueryDecoder, OneQueryScheme};
 pub use powerlaw::PowerLawScheme;
 pub use scheme::{AdjacencyDecoder, AdjacencyScheme};

@@ -29,7 +29,7 @@ use pl_hash::universal::edge_key;
 use rand::Rng;
 
 use crate::bits::BitWriter;
-use crate::label::{Label, Labeling};
+use crate::label::{Label, LabelRef, Labeling};
 use crate::scheme::{id_width, read_prelude, write_prelude};
 
 /// The 1-query adjacency scheme. Not an [`AdjacencyScheme`]: its decoder
@@ -108,7 +108,7 @@ impl OneQueryDecoder {
     /// The id of the single extra vertex whose label must be fetched to
     /// answer adjacency between `a` and `b`.
     #[must_use]
-    pub fn query_target(&self, a: &Label, b: &Label) -> u64 {
+    pub fn query_target(&self, a: LabelRef<'_>, b: LabelRef<'_>) -> u64 {
         let mut ra = a.reader();
         let (_, ida) = read_prelude(&mut ra);
         let mut rb = b.reader();
@@ -123,7 +123,7 @@ impl OneQueryDecoder {
     /// Decides adjacency of `a` and `b` given the fetched `third` label
     /// (which must be the label of [`query_target`](Self::query_target)).
     #[must_use]
-    pub fn decide(&self, a: &Label, b: &Label, third: &Label) -> bool {
+    pub fn decide(&self, a: LabelRef<'_>, b: LabelRef<'_>, third: LabelRef<'_>) -> bool {
         let mut ra = a.reader();
         let (_, ida) = read_prelude(&mut ra);
         let mut rb = b.reader();
@@ -148,9 +148,9 @@ impl OneQueryDecoder {
     #[must_use]
     pub fn adjacent_with<'l>(
         &self,
-        a: &Label,
-        b: &Label,
-        fetch: impl FnOnce(u64) -> &'l Label,
+        a: LabelRef<'_>,
+        b: LabelRef<'_>,
+        fetch: impl FnOnce(u64) -> LabelRef<'l>,
     ) -> bool {
         let t = self.query_target(a, b);
         self.decide(a, b, fetch(t))

@@ -10,7 +10,7 @@
 use pl_graph::Graph;
 
 use crate::bits::{BitReader, BitWriter};
-use crate::label::{Label, Labeling};
+use crate::label::{LabelRef, Labeling};
 
 /// An adjacency labeling scheme: the encoder half.
 pub trait AdjacencyScheme {
@@ -40,7 +40,10 @@ pub trait AdjacencyDecoder {
     /// Both labels must come from the same [`AdjacencyScheme::encode`] run;
     /// mixing labelings or schemes is a logic error (the decoder may panic
     /// or answer arbitrarily).
-    fn adjacent(&self, a: &Label, b: &Label) -> bool;
+    ///
+    /// Labels are passed as borrowed [`LabelRef`] views so decoding runs
+    /// in place over a loaded arena with zero per-query allocation.
+    fn adjacent(&self, a: LabelRef<'_>, b: LabelRef<'_>) -> bool;
 }
 
 /// Width in bits of identifiers for an `n`-vertex graph: `⌈log₂ n⌉`,
@@ -93,7 +96,7 @@ mod tests {
             let width = id_width(n);
             let mut w = BitWriter::new();
             write_prelude(&mut w, width, id);
-            let label: Label = w.into();
+            let label: crate::label::Label = w.into();
             let mut r = label.reader();
             assert_eq!(read_prelude(&mut r), (width, id));
         }

@@ -25,8 +25,8 @@
 use pl_graph::degree::vertices_by_degree_desc;
 use pl_graph::{Graph, VertexId};
 
-use crate::bits::BitWriter;
-use crate::label::{Label, Labeling};
+use crate::bits::{BitString, BitWriter};
+use crate::label::{LabelRef, Labeling, LabelingBuilder};
 use crate::scheme::{id_width, read_prelude, write_prelude, AdjacencyDecoder, AdjacencyScheme};
 
 /// The fat/thin scheme with an explicitly chosen degree threshold.
@@ -90,7 +90,63 @@ pub struct ThresholdStats {
 /// Encodes `g` with threshold `tau`, returning the labeling and stats.
 #[must_use]
 pub fn encode_with_stats(g: &Graph, tau: usize) -> (Labeling, ThresholdStats) {
+    encode_with_stats_threads(g, tau, 1)
+}
+
+/// One vertex's label bits under a fixed fat/thin assignment — the unit of
+/// work both the sequential and the parallel encoder share, so chunked
+/// encoding is bit-identical to a single pass by construction.
+fn encode_vertex(
+    g: &Graph,
+    v: VertexId,
+    w: usize,
+    fat_count: usize,
+    scheme_id: &[u64],
+) -> BitString {
+    let sid = scheme_id[v as usize];
+    let fat = (sid as usize) < fat_count;
+    let mut bw = BitWriter::new();
+    write_prelude(&mut bw, w, sid);
+    bw.write_bit(fat);
+    if fat {
+        bw.write_gamma(fat_count as u64 + 1);
+        let mut bitmap = vec![false; fat_count];
+        for &u in g.neighbors(v) {
+            let uid = scheme_id[u as usize] as usize;
+            if uid < fat_count {
+                bitmap[uid] = true;
+            }
+        }
+        for b in bitmap {
+            bw.write_bit(b);
+        }
+    } else {
+        bw.write_gamma(g.degree(v) as u64 + 1);
+        for &u in g.neighbors(v) {
+            bw.write_bits(scheme_id[u as usize], w);
+        }
+    }
+    bw.finish()
+}
+
+/// Encodes `g` with threshold `tau` on `threads` worker threads.
+///
+/// The vertex range is split into contiguous chunks; each worker encodes
+/// its chunk into a private [`LabelingBuilder`] over the shared read-only
+/// fat/thin assignment, and the chunks are stitched in vertex order. The
+/// result is bit-identical to the single-threaded encoding.
+///
+/// # Panics
+///
+/// Panics if `tau == 0` or `threads == 0`.
+#[must_use]
+pub fn encode_with_stats_threads(
+    g: &Graph,
+    tau: usize,
+    threads: usize,
+) -> (Labeling, ThresholdStats) {
     assert!(tau >= 1, "threshold must be at least 1");
+    assert!(threads >= 1, "need at least one encoder thread");
     let n = g.vertex_count();
     let w = id_width(n);
 
@@ -102,35 +158,45 @@ pub fn encode_with_stats(g: &Graph, tau: usize) -> (Labeling, ThresholdStats) {
         scheme_id[v as usize] = i as u64;
     }
 
-    let mut labels = Vec::with_capacity(n);
-    for v in 0..n as VertexId {
-        let sid = scheme_id[v as usize];
-        let fat = (sid as usize) < fat_count;
-        let mut bw = BitWriter::new();
-        write_prelude(&mut bw, w, sid);
-        bw.write_bit(fat);
-        if fat {
-            bw.write_gamma(fat_count as u64 + 1);
-            let mut bitmap = vec![false; fat_count];
-            for &u in g.neighbors(v) {
-                let uid = scheme_id[u as usize] as usize;
-                if uid < fat_count {
-                    bitmap[uid] = true;
-                }
-            }
-            for b in bitmap {
-                bw.write_bit(b);
-            }
-        } else {
-            bw.write_gamma(g.degree(v) as u64 + 1);
-            for &u in g.neighbors(v) {
-                bw.write_bits(scheme_id[u as usize], w);
-            }
+    let threads = threads.min(n).max(1);
+    let chunk = n.div_ceil(threads);
+    let scheme_id = &scheme_id;
+    let builder = if threads == 1 {
+        let mut b = LabelingBuilder::new();
+        for v in 0..n as VertexId {
+            b.push_bits(&encode_vertex(g, v, w, fat_count, scheme_id));
         }
-        labels.push(Label::from(bw));
-    }
+        b
+    } else {
+        let chunks = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let lo = t * chunk;
+                    let hi = n.min(lo + chunk);
+                    s.spawn(move || {
+                        let mut b = LabelingBuilder::new();
+                        for v in lo..hi {
+                            b.push_bits(&encode_vertex(g, v as VertexId, w, fat_count, scheme_id));
+                        }
+                        b
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("encoder worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        let mut it = chunks.into_iter();
+        let mut b = it.next().expect("at least one chunk");
+        for c in it {
+            b.merge(&c);
+        }
+        b
+    };
+    debug_assert_eq!(builder.len(), n);
+    let labeling = builder.finish();
 
-    let labeling = Labeling::new(labels);
     let mut max_fat = 0usize;
     let mut max_thin = 0usize;
     for (v, &sid) in scheme_id.iter().enumerate() {
@@ -169,7 +235,7 @@ impl AdjacencyScheme for ThresholdScheme {
 pub struct ThresholdDecoder;
 
 impl AdjacencyDecoder for ThresholdDecoder {
-    fn adjacent(&self, a: &Label, b: &Label) -> bool {
+    fn adjacent(&self, a: LabelRef<'_>, b: LabelRef<'_>) -> bool {
         let mut ra = a.reader();
         let mut rb = b.reader();
         let (wa, ida) = read_prelude(&mut ra);
@@ -341,5 +407,44 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_tau_rejected() {
         let _ = ThresholdScheme::with_tau(0);
+    }
+
+    #[test]
+    fn threaded_encode_is_bit_identical() {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let mut b = GraphBuilder::new(257);
+        for _ in 0..700 {
+            let u = rng.gen_range(0..257u32);
+            let v = rng.gen_range(0..257u32);
+            if u != v {
+                b.add_edge(u, v);
+            }
+        }
+        let g = b.build();
+        for tau in [1usize, 4, 20] {
+            let (seq, seq_stats) = encode_with_stats(&g, tau);
+            for threads in [2usize, 3, 7, 64, 1000] {
+                let (par, par_stats) = encode_with_stats_threads(&g, tau, threads);
+                assert_eq!(par, seq, "tau {tau}, {threads} threads");
+                assert_eq!(
+                    par.to_bytes(),
+                    seq.to_bytes(),
+                    "tau {tau}, {threads} threads"
+                );
+                assert_eq!(par_stats, seq_stats);
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_encode_handles_tiny_graphs() {
+        for n in [0usize, 1, 2, 5] {
+            let g = GraphBuilder::new(n).build();
+            let (seq, _) = encode_with_stats(&g, 1);
+            let (par, _) = encode_with_stats_threads(&g, 1, 8);
+            assert_eq!(par.to_bytes(), seq.to_bytes(), "n = {n}");
+        }
     }
 }

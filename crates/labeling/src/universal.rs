@@ -59,7 +59,7 @@ impl InducedUniversalGraph {
             let labeling = scheme.encode(g);
             let mut host = Vec::with_capacity(g.vertex_count());
             for v in g.vertices() {
-                let l = labeling.label(v).clone();
+                let l = labeling.label(v).to_label();
                 let key = label_key(&l);
                 let id = *index.entry(key).or_insert_with(|| {
                     labels.push(l.clone());
@@ -73,7 +73,7 @@ impl InducedUniversalGraph {
         let mut b = GraphBuilder::new(labels.len());
         for i in 0..labels.len() as VertexId {
             for j in i + 1..labels.len() as VertexId {
-                if dec.adjacent(&labels[i as usize], &labels[j as usize]) {
+                if dec.adjacent(labels[i as usize].view(), labels[j as usize].view()) {
                     b.add_edge(i, j);
                 }
             }

@@ -18,8 +18,9 @@
 //!   histograms, snapshotted on demand (`STATS`) and at shutdown.
 //! * [`client`] — blocking client plus a multi-connection load
 //!   generator with uniform and Zipf-skewed query mixes.
-//! * [`format`] — the scheme-tagged labeling container shared with the
-//!   `plab` CLI.
+//! * [`format`] — thin re-exports of the codec layer
+//!   ([`pl_labeling::codec`]): the scheme tag, tagged container, and
+//!   decoder dispatch now live with the labels, not the server.
 //!
 //! Everything is std-only: no async runtime, no serialization crates.
 

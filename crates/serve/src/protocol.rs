@@ -110,12 +110,16 @@ pub enum Answer {
     OutOfRange,
     /// The loaded scheme cannot answer this query kind.
     Unsupported,
+    /// A label involved in the query was corrupt; the query fails but
+    /// the connection (and server) stay up.
+    MalformedLabel,
 }
 
 const ANS_NOT_ADJACENT: u8 = 0;
 const ANS_ADJACENT: u8 = 1;
 const ANS_DISTANCE: u8 = 2;
 const ANS_UNREACHABLE: u8 = 3;
+const ANS_MALFORMED: u8 = 0xFC;
 const ANS_OUT_OF_RANGE: u8 = 0xFD;
 const ANS_UNSUPPORTED: u8 = 0xFE;
 
@@ -321,6 +325,7 @@ pub fn encode_batch_reply(answers: &[Answer]) -> Vec<u8> {
             Answer::Unreachable => b.push(ANS_UNREACHABLE),
             Answer::OutOfRange => b.push(ANS_OUT_OF_RANGE),
             Answer::Unsupported => b.push(ANS_UNSUPPORTED),
+            Answer::MalformedLabel => b.push(ANS_MALFORMED),
         }
     }
     b
@@ -352,6 +357,7 @@ pub fn parse_batch_reply(body: &[u8]) -> Result<Vec<Answer>, ProtocolError> {
             ANS_UNREACHABLE => Answer::Unreachable,
             ANS_OUT_OF_RANGE => Answer::OutOfRange,
             ANS_UNSUPPORTED => Answer::Unsupported,
+            ANS_MALFORMED => Answer::MalformedLabel,
             _ => return Err(ProtocolError::Malformed("answer status")),
         });
     }

@@ -227,6 +227,7 @@ fn process_frame(
                                 Ok(false) => Answer::NotAdjacent,
                                 Err(StoreError::OutOfRange) => Answer::OutOfRange,
                                 Err(StoreError::Unsupported) => Answer::Unsupported,
+                                Err(StoreError::Malformed) => Answer::MalformedLabel,
                             }
                         }
                         QueryKind::Distance => {
@@ -236,6 +237,7 @@ fn process_frame(
                                 Ok(None) => Answer::Unreachable,
                                 Err(StoreError::OutOfRange) => Answer::OutOfRange,
                                 Err(StoreError::Unsupported) => Answer::Unsupported,
+                                Err(StoreError::Malformed) => Answer::MalformedLabel,
                             }
                         }
                     };

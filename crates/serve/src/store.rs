@@ -1,28 +1,37 @@
 //! The sharded in-memory label store.
 //!
-//! The labeling is loaded once and partitioned across `S` shards (vertex
-//! `v` lives in shard `v mod S` at index `v div S`). Labels are immutable
-//! after load, so reads need no synchronization at all — shards sit behind
-//! `Arc`s and any number of connection threads query concurrently.
+//! The labeling is loaded once as a single contiguous bit arena
+//! ([`pl_labeling::Labeling`]) and queried in place: `label(v)` hands out
+//! a borrowed [`LabelRef`] window, so the query path performs zero heap
+//! allocation. Labels are immutable after load, so reads need no
+//! synchronization at all — any number of connection threads query
+//! concurrently.
 //!
-//! The only mutable state is a per-shard LRU cache of *decoded fat
-//! labels*. A fat vertex's label is a `k`-bit adjacency bitmap over the
-//! fat vertices, prefixed by a gamma-coded `k`; a fat–fat query must skip
-//! the varint and seek to one bit. Decoding the bitmap once into `u64`
-//! words turns repeat queries against the same hub into a word-indexed
-//! bit test. Under a power-law workload this is exactly the right thing
-//! to cache: the hot vertices *are* the hubs, hubs are fat, and `k` is
-//! small (Theorem 4 picks τ so that `k ≈ (C'n/log n)^{1/α}`), so the
-//! cache holds the heavy tail of the query distribution in a few KB.
-//! Thin labels are deliberately not cached — they are cheap linear scans,
-//! and under skew they would flood the LRU with cold entries.
+//! The only mutable state is a sharded LRU cache of *decoded fat
+//! labels* (vertex `v` maps to shard `v mod S`). A fat vertex's label is
+//! a `k`-bit adjacency bitmap over the fat vertices, prefixed by a
+//! gamma-coded `k`; a fat–fat query must skip the varint and seek to one
+//! bit. Decoding the bitmap once into `u64` words turns repeat queries
+//! against the same hub into a word-indexed bit test. Under a power-law
+//! workload this is exactly the right thing to cache: the hot vertices
+//! *are* the hubs, hubs are fat, and `k` is small (Theorem 4 picks τ so
+//! that `k ≈ (C'n/log n)^{1/α}`), so the cache holds the heavy tail of
+//! the query distribution in a few KB. Thin labels are deliberately not
+//! cached — they are cheap linear scans, and under skew they would flood
+//! the LRU with cold entries.
+//!
+//! Labels are untrusted once a `.plab` leaves the encoder: the threshold
+//! fast path reads them with checked (non-panicking) bit reads, and a
+//! label that declares more content than it carries answers
+//! [`StoreError::Malformed`] for that query instead of killing the
+//! connection thread.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use pl_labeling::scheme::{read_prelude, AdjacencyDecoder};
+use pl_labeling::scheme::AdjacencyDecoder;
 use pl_labeling::threshold::ThresholdDecoder;
-use pl_labeling::Label;
+use pl_labeling::LabelRef;
 
 use crate::cache::LruCache;
 use crate::format::{decode_adjacent, decode_distance, SchemeTag, TaggedLabeling};
@@ -30,7 +39,7 @@ use crate::format::{decode_adjacent, decode_distance, SchemeTag, TaggedLabeling}
 /// Store sizing knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StoreConfig {
-    /// Number of shards `S`; clamped to at least 1.
+    /// Number of cache shards `S`; clamped to at least 1.
     pub shards: usize,
     /// Total decoded-fat-label cache entries across all shards (split
     /// evenly; 0 disables the cache).
@@ -53,6 +62,9 @@ pub enum StoreError {
     OutOfRange,
     /// The loaded scheme cannot answer this query kind.
     Unsupported,
+    /// A label involved in the query was corrupt (declared more content
+    /// than it carries). The store stays up; only this query fails.
+    Malformed,
 }
 
 /// A fat label's adjacency bitmap, decoded into words for O(1) bit tests.
@@ -64,15 +76,20 @@ pub struct DecodedFat {
 
 impl DecodedFat {
     /// Decodes the bitmap of a fat threshold label; `None` if the label
-    /// is thin.
+    /// is thin — or truncated mid-field, so corrupt labels surface as a
+    /// decode failure rather than a panic.
     #[must_use]
-    pub fn from_label(label: &Label) -> Option<Self> {
+    pub fn from_label(label: LabelRef<'_>) -> Option<Self> {
         let mut r = label.reader();
-        let _ = read_prelude(&mut r);
-        if !r.read_bit() {
+        let w = r.try_read_bits(6)? as usize;
+        let _id = r.try_read_bits(w)?;
+        if !r.try_read_bit()? {
             return None;
         }
-        let k = r.read_gamma() - 1;
+        let k = r.try_read_gamma()? - 1;
+        if k > r.remaining() as u64 {
+            return None;
+        }
         let mut words = vec![0u64; (k as usize).div_ceil(64)];
         for i in 0..k as usize {
             if r.read_bit() {
@@ -95,15 +112,20 @@ impl DecodedFat {
     }
 }
 
-struct Shard {
-    /// Labels of vertices `v` with `v mod S == shard_index`, at `v div S`.
-    labels: Vec<Label>,
-    cache: Mutex<LruCache<Arc<DecodedFat>>>,
+/// Checked peek at a threshold label's prelude and fat flag; `None` if
+/// the label is too short to carry them.
+fn peek_threshold(l: LabelRef<'_>) -> Option<(u64, bool)> {
+    let mut r = l.reader();
+    let w = r.try_read_bits(6)? as usize;
+    let id = r.try_read_bits(w)?;
+    let fat = r.try_read_bit()?;
+    Some((id, fat))
 }
 
 /// The sharded, concurrently readable label store.
 pub struct LabelStore {
-    shards: Vec<Arc<Shard>>,
+    labeling: pl_labeling::Labeling,
+    caches: Vec<Mutex<LruCache<Arc<DecodedFat>>>>,
     tag: SchemeTag,
     n: u32,
     cache_hits: AtomicU64,
@@ -115,42 +137,32 @@ impl std::fmt::Debug for LabelStore {
         f.debug_struct("LabelStore")
             .field("tag", &self.tag)
             .field("n", &self.n)
-            .field("shards", &self.shards.len())
+            .field("shards", &self.caches.len())
             .finish_non_exhaustive()
     }
 }
 
 impl LabelStore {
-    /// Partitions `tagged` across shards per `config`.
+    /// Wraps `tagged` with a cache sharded per `config`. The labeling's
+    /// arena is kept whole — shards only partition the decode cache.
     #[must_use]
     pub fn new(tagged: TaggedLabeling, config: StoreConfig) -> Self {
         let shard_count = config.shards.max(1);
         let per_shard_cache = config.cache_capacity.div_ceil(shard_count);
-        let tag = tagged.tag;
-        let labels = tagged.labeling.into_labels();
-        let n = u32::try_from(labels.len()).expect("more than u32::MAX labels");
-        let mut parts: Vec<Vec<Label>> = (0..shard_count)
-            .map(|s| Vec::with_capacity(labels.len() / shard_count + usize::from(s == 0)))
-            .collect();
-        for (v, label) in labels.into_iter().enumerate() {
-            parts[v % shard_count].push(label);
-        }
-        let shards = parts
-            .into_iter()
-            .map(|labels| {
-                Arc::new(Shard {
-                    labels,
-                    cache: Mutex::new(LruCache::new(if config.cache_capacity == 0 {
-                        0
-                    } else {
-                        per_shard_cache
-                    })),
-                })
+        let n = u32::try_from(tagged.labeling.len()).expect("more than u32::MAX labels");
+        let caches = (0..shard_count)
+            .map(|_| {
+                Mutex::new(LruCache::new(if config.cache_capacity == 0 {
+                    0
+                } else {
+                    per_shard_cache
+                }))
             })
             .collect();
         Self {
-            shards,
-            tag,
+            labeling: tagged.labeling,
+            caches,
+            tag: tagged.tag,
             n,
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
@@ -169,10 +181,10 @@ impl LabelStore {
         self.tag
     }
 
-    /// Number of shards.
+    /// Number of cache shards.
     #[must_use]
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.caches.len()
     }
 
     /// Decode-cache hits so far.
@@ -187,14 +199,10 @@ impl LabelStore {
         self.cache_misses.load(Ordering::Relaxed)
     }
 
-    /// The label of `v`, if in range.
+    /// The label of `v`, viewed in place, if in range.
     #[must_use]
-    pub fn label(&self, v: u32) -> Option<&Label> {
-        if v >= self.n {
-            return None;
-        }
-        let s = v as usize % self.shards.len();
-        Some(&self.shards[s].labels[v as usize / self.shards.len()])
+    pub fn label(&self, v: u32) -> Option<LabelRef<'_>> {
+        (v < self.n).then(|| self.labeling.label(v))
     }
 
     /// Answers "is {u, v} an edge?" from labels alone.
@@ -206,15 +214,14 @@ impl LabelStore {
         }
         // Threshold fast path: peek at the preludes and fat flags; a
         // fat–fat pair is answered from the cached decoded bitmap.
-        let mut ra = la.reader();
-        let mut rb = lb.reader();
-        let (_, ida) = read_prelude(&mut ra);
-        let (_, idb) = read_prelude(&mut rb);
+        let (ida, fat_a) = peek_threshold(la).ok_or(StoreError::Malformed)?;
+        let (idb, fat_b) = peek_threshold(lb).ok_or(StoreError::Malformed)?;
         if ida == idb {
             return Ok(false);
         }
-        if ra.read_bit() && rb.read_bit() {
-            return Ok(self.decoded_fat(u, la).test(idb));
+        if fat_a && fat_b {
+            let decoded = self.decoded_fat(u, la).ok_or(StoreError::Malformed)?;
+            return Ok(decoded.test(idb));
         }
         Ok(ThresholdDecoder.adjacent(la, lb))
     }
@@ -230,28 +237,28 @@ impl LabelStore {
         Ok(decode_distance(self.tag, la, lb))
     }
 
-    /// The decoded bitmap of fat vertex `u`, from cache or decoded now.
-    fn decoded_fat(&self, u: u32, label: &Label) -> Arc<DecodedFat> {
-        let shard = &self.shards[u as usize % self.shards.len()];
-        let mut cache = shard.cache.lock().expect("cache mutex poisoned");
+    /// The decoded bitmap of fat vertex `u`, from cache or decoded now;
+    /// `None` if the label turns out corrupt (fat flag set, body short).
+    fn decoded_fat(&self, u: u32, label: LabelRef<'_>) -> Option<Arc<DecodedFat>> {
+        let shard = &self.caches[u as usize % self.caches.len()];
+        let mut cache = shard.lock().expect("cache mutex poisoned");
         if let Some(hit) = cache.get(u) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(hit);
+            return Some(Arc::clone(hit));
         }
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
-        let decoded = Arc::new(
-            DecodedFat::from_label(label).expect("fat flag was set but label decoded as thin"),
-        );
+        let decoded = Arc::new(DecodedFat::from_label(label)?);
         cache.insert(u, Arc::clone(&decoded));
-        decoded
+        Some(decoded)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pl_labeling::bits::BitWriter;
     use pl_labeling::scheme::AdjacencyScheme;
-    use pl_labeling::ThresholdScheme;
+    use pl_labeling::{Label, Labeling, ThresholdScheme};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -373,6 +380,64 @@ mod tests {
         let labeling = ThresholdScheme::with_tau(2).encode(&g);
         // Vertex 1 has degree 1 < 2: thin.
         assert!(DecodedFat::from_label(labeling.label(1)).is_none());
+    }
+
+    /// A fat-looking label whose bitmap is cut short: prelude and fat
+    /// flag parse, the gamma-coded `k` declares 50 bitmap bits, but only
+    /// `carried` follow.
+    fn truncated_fat_label(id: u64, carried: usize) -> Label {
+        let mut w = BitWriter::new();
+        w.write_bits(6, 6); // id width
+        w.write_bits(id, 6);
+        w.write_bit(true); // fat
+        w.write_gamma(51); // k = 50
+        for _ in 0..carried {
+            w.write_bit(false);
+        }
+        w.into()
+    }
+
+    #[test]
+    fn corrupt_fat_label_answers_malformed_not_panic() {
+        let good = {
+            let mut w = BitWriter::new();
+            w.write_bits(6, 6);
+            w.write_bits(1, 6);
+            w.write_bit(true);
+            w.write_gamma(51);
+            for _ in 0..50 {
+                w.write_bit(true);
+            }
+            Label::from(w)
+        };
+        let store = LabelStore::new(
+            TaggedLabeling {
+                tag: SchemeTag::Threshold,
+                labeling: Labeling::new(vec![truncated_fat_label(0, 3), good]),
+            },
+            StoreConfig::default(),
+        );
+        assert_eq!(store.adjacent(0, 1), Err(StoreError::Malformed));
+        // The healthy direction decodes vertex 1's bitmap instead.
+        assert_eq!(store.adjacent(1, 0), Ok(true));
+        // An empty label can't even carry a prelude.
+        let store = LabelStore::new(
+            TaggedLabeling {
+                tag: SchemeTag::Threshold,
+                labeling: Labeling::new(vec![Label::from(BitWriter::new()), good2()]),
+            },
+            StoreConfig::default(),
+        );
+        assert_eq!(store.adjacent(0, 1), Err(StoreError::Malformed));
+    }
+
+    fn good2() -> Label {
+        let mut w = BitWriter::new();
+        w.write_bits(6, 6);
+        w.write_bits(1, 6);
+        w.write_bit(false);
+        w.write_gamma(1);
+        w.into()
     }
 
     #[test]

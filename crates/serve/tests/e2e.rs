@@ -210,3 +210,76 @@ fn out_of_range_is_a_per_query_status() {
     client.goodbye().expect("goodbye");
     handle.shutdown();
 }
+
+/// A tampered `.plab` file — the container parses, but one fat label
+/// declares more bitmap bits than it carries — must surface as a
+/// per-query malformed status over the wire, with the server staying up
+/// to answer healthy queries afterwards.
+#[test]
+fn tampered_plab_answers_malformed_and_server_survives() {
+    use pl_labeling::bits::BitWriter;
+    use pl_labeling::{Label, Labeling};
+    use pl_serve::Answer;
+
+    // Vertex 0: fat-flagged, gamma-coded k = 50, but only 3 of the 50
+    // declared bitmap bits present. Vertex 1: a healthy fat label whose
+    // bitmap marks fat id 0.
+    let truncated = {
+        let mut w = BitWriter::new();
+        w.write_bits(6, 6);
+        w.write_bits(0, 6);
+        w.write_bit(true);
+        w.write_gamma(51);
+        for _ in 0..3 {
+            w.write_bit(false);
+        }
+        Label::from(w)
+    };
+    let good = {
+        let mut w = BitWriter::new();
+        w.write_bits(6, 6);
+        w.write_bits(1, 6);
+        w.write_bit(true);
+        w.write_gamma(51);
+        w.write_bit(true);
+        for _ in 1..50 {
+            w.write_bit(false);
+        }
+        Label::from(w)
+    };
+    let tampered = TaggedLabeling {
+        tag: SchemeTag::Threshold,
+        labeling: Labeling::new(vec![truncated, good]),
+    };
+
+    // Round-trip through a real file: the container itself is valid v2,
+    // so loading succeeds — the corruption is inside a label's bits.
+    let path = std::env::temp_dir().join(format!("pl-e2e-tampered-{}.plab", std::process::id()));
+    tampered.save(&path).expect("write tampered .plab");
+    let loaded = TaggedLabeling::load(&path).expect("container still parses");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(loaded, tampered);
+
+    let store = Arc::new(LabelStore::new(loaded, StoreConfig::default()));
+    let handle = pl_serve::serve(store, "127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let answers = client
+        .batch(&[
+            Query::adjacent(0, 1), // needs vertex 0's truncated bitmap
+            Query::adjacent(1, 0), // decodes vertex 1's healthy bitmap
+        ])
+        .expect("batch survives the corrupt label");
+    assert_eq!(answers[0], Answer::MalformedLabel);
+    assert_eq!(answers[1], Answer::Adjacent);
+
+    // The connection and server are still healthy after the bad answer.
+    assert!(client.adjacent(1, 0).expect("follow-up query"));
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.protocol_errors, 0,
+        "malformed labels are per-query statuses, not protocol errors"
+    );
+    client.goodbye().expect("goodbye");
+    handle.shutdown();
+}

@@ -6,7 +6,7 @@
 //! plab stats   <graph.el> [--ddist]
 //! plab fit     <graph.el>
 //! plab encode  --scheme powerlaw|sparse|adjlist|orientation|moon|distance|tau:N
-//!              [--alpha 2.5] [--f 3] <graph.el> --out labels.plab
+//!              [--alpha 2.5] [--f 3] [--threads N] <graph.el> --out labels.plab
 //! plab query   <labels.plab> <u> <v>
 //! plab query   <labels.plab> --stdin          # one "u v" pair per line
 //! plab serve   <labels.plab> [--addr HOST:PORT] [--shards S] [--cache C]
@@ -26,12 +26,13 @@ use std::process::ExitCode;
 
 use pl_graph::Graph;
 use pl_labeling::baseline::{AdjListScheme, MoonScheme};
+use pl_labeling::codec::{decode_adjacent, SchemeTag, TaggedLabeling};
 use pl_labeling::distance::DistanceScheme;
 use pl_labeling::forest::OrientationScheme;
 use pl_labeling::scheme::AdjacencyScheme;
-use pl_labeling::{Labeling, PowerLawScheme, SparseScheme, ThresholdScheme};
+use pl_labeling::threshold::encode_with_stats_threads;
+use pl_labeling::{Labeling, PowerLawScheme, SparseScheme};
 use pl_serve::client::loadgen::{self, LoadgenConfig, Skew};
-use pl_serve::format::{decode_adjacent, SchemeTag, TaggedLabeling};
 use pl_serve::{Client, LabelStore, StoreConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -68,7 +69,7 @@ const USAGE: &str = "usage:
   plab stats   <graph.el> [--ddist]
   plab fit     <graph.el>
   plab encode  --scheme <powerlaw|sparse|adjlist|orientation|moon|distance|tau:N>
-               [--alpha A] [--f F] <graph.el> --out <labels.plab>
+               [--alpha A] [--f F] [--threads N] <graph.el> --out <labels.plab>
   plab query   <labels.plab> <u> <v>
   plab query   <labels.plab> --stdin
   plab serve   <labels.plab> [--addr HOST:PORT] [--shards S] [--cache C]
@@ -250,6 +251,17 @@ fn cmd_encode(raw: &[String]) -> Result<(), String> {
     let out = args.require("out")?.to_string();
     let g = load_graph(path)?;
     let n = g.vertex_count();
+    let threads: usize = args.get_parsed("threads", 1)?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    // Only the threshold-family encoders are chunked; parallelism is a
+    // no-op (with a warning) for the rest.
+    let warn_threads = |scheme: &str| {
+        if threads > 1 {
+            eprintln!("plab: --threads ignored for scheme `{scheme}`");
+        }
+    };
 
     let (tag, labeling, desc): (SchemeTag, Labeling, String) = match scheme_name.as_str() {
         "powerlaw" => {
@@ -261,26 +273,40 @@ fn cmd_encode(raw: &[String]) -> Result<(), String> {
                     PowerLawScheme::fitted(&g).ok_or("cannot fit alpha; pass --alpha explicitly")?
                 }
             };
-            let desc = format!("powerlaw alpha={:.2} tau={}", s.alpha(), s.tau(n));
-            (SchemeTag::Threshold, s.encode(&g), desc)
+            let tau = s.tau(n);
+            let desc = format!("powerlaw alpha={:.2} tau={tau}", s.alpha());
+            let (labeling, _) = encode_with_stats_threads(&g, tau, threads);
+            (SchemeTag::Threshold, labeling, desc)
         }
         "sparse" => {
             let s = SparseScheme::for_graph(&g);
-            let desc = format!("sparse c={:.2} tau={}", s.c(), s.tau(n));
-            (SchemeTag::Threshold, s.encode(&g), desc)
+            let tau = s.tau(n);
+            let desc = format!("sparse c={:.2} tau={tau}", s.c());
+            let (labeling, _) = encode_with_stats_threads(&g, tau, threads);
+            (SchemeTag::Threshold, labeling, desc)
         }
-        "adjlist" => (
-            SchemeTag::AdjList,
-            AdjListScheme.encode(&g),
-            "adjlist".into(),
-        ),
-        "orientation" => (
-            SchemeTag::Orientation,
-            OrientationScheme.encode(&g),
-            "orientation".into(),
-        ),
-        "moon" => (SchemeTag::Moon, MoonScheme.encode(&g), "moon".into()),
+        "adjlist" => {
+            warn_threads("adjlist");
+            (
+                SchemeTag::AdjList,
+                AdjListScheme.encode(&g),
+                "adjlist".into(),
+            )
+        }
+        "orientation" => {
+            warn_threads("orientation");
+            (
+                SchemeTag::Orientation,
+                OrientationScheme.encode(&g),
+                "orientation".into(),
+            )
+        }
+        "moon" => {
+            warn_threads("moon");
+            (SchemeTag::Moon, MoonScheme.encode(&g), "moon".into())
+        }
         "distance" => {
+            warn_threads("distance");
             let alpha: f64 = args.get_parsed("alpha", 2.5)?;
             let f: u32 = args.get_parsed("f", 3)?;
             let s = DistanceScheme::new(alpha, f);
@@ -290,9 +316,10 @@ fn cmd_encode(raw: &[String]) -> Result<(), String> {
         other => match other.strip_prefix("tau:") {
             Some(t) => {
                 let tau: usize = t.parse().map_err(|_| format!("bad tau in {other:?}"))?;
+                let (labeling, _) = encode_with_stats_threads(&g, tau, threads);
                 (
                     SchemeTag::Threshold,
-                    ThresholdScheme::with_tau(tau).encode(&g),
+                    labeling,
                     format!("threshold tau={tau}"),
                 )
             }
