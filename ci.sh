@@ -40,4 +40,46 @@ if grep -Evq '^(true|false)$' "$smoke_dir/answers"; then
     exit 1
 fi
 
+echo "==> observability smoke (prom scrape + trace JSONL)"
+# Encode with tracing: the JSONL must carry the encode-phase spans.
+"$plab" encode --scheme powerlaw --alpha 2.5 "$smoke_dir/g.el" \
+    --out "$smoke_dir/g2.plab" --trace "$smoke_dir/encode_trace.jsonl"
+grep -q '"name":"encode.fat_thin_encode"' "$smoke_dir/encode_trace.jsonl" \
+    || { echo "ci: encode trace JSONL lacks the fat/thin encode span" >&2; exit 1; }
+grep -q '"name":"encode.arena_pack"' "$smoke_dir/encode_trace.jsonl" \
+    || { echo "ci: encode trace JSONL lacks the arena pack span" >&2; exit 1; }
+
+# Serve with the Prometheus sidecar, drive a little load, scrape, drain.
+"$plab" serve "$smoke_dir/g.plab" --addr 127.0.0.1:7421 \
+    --prom 127.0.0.1:7422 --trace --slow-us 1 --duration 12 \
+    2> "$smoke_dir/serve.log" &
+serve_pid=$!
+sleep 1
+"$plab" loadgen 127.0.0.1:7421 --connections 2 --requests 2000 --batch 50 \
+    --skew zipf:1.2 > "$smoke_dir/loadgen.out"
+scrape() {
+    if command -v curl > /dev/null; then
+        curl -sf "http://127.0.0.1:7422/metrics"
+    else
+        # Fallback scraper: raw HTTP over bash's /dev/tcp.
+        exec 3<> /dev/tcp/127.0.0.1/7422
+        printf 'GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n' >&3
+        cat <&3
+        exec 3>&-
+    fi
+}
+scrape > "$smoke_dir/metrics.prom"
+for metric in plserve_adj_queries_total plserve_cache_hits_total \
+              plserve_cache_hit_ratio plserve_query_latency_ns \
+              plserve_slow_queries_total; do
+    grep -q "$metric" "$smoke_dir/metrics.prom" \
+        || { echo "ci: scrape is missing $metric" >&2; exit 1; }
+done
+"$plab" stats 127.0.0.1:7421 --prom | grep -q '^plserve_qps ' \
+    || { echo "ci: plab stats --prom lacks plserve_qps" >&2; exit 1; }
+"$plab" trace 127.0.0.1:7421 --out "$smoke_dir/serve_trace.jsonl"
+grep -q '"name":"serve.slow_query"' "$smoke_dir/serve_trace.jsonl" \
+    || { echo "ci: serve trace JSONL lacks slow-query events" >&2; exit 1; }
+wait "$serve_pid"
+
 echo "ci: all green"

@@ -163,3 +163,30 @@ fn e17_runs() {
         });
     assert!(any_hits, "no zipf row shows cache hits:\n{out}");
 }
+
+#[test]
+fn e19_runs() {
+    // Route the JSON artifact to a temp path so the smoke run does not
+    // clobber the committed BENCH_obs.json.
+    let out_path = std::env::temp_dir().join(format!("e19-smoke-{}.json", std::process::id()));
+    let out = Command::new(env!("CARGO_BIN_EXE_e19_observability"))
+        .args(["--quick", "--out"])
+        .arg(&out_path)
+        .output()
+        .expect("launch e19");
+    assert!(
+        out.status.success(),
+        "e19 exited with {:?}\nstderr: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf8 output");
+    // 3 store modes + 2 serve modes + 2 encode modes.
+    assert_table(&stdout, 7);
+    assert!(stdout.contains("traced-off"));
+    assert!(stdout.contains("worst tracing-disabled overhead"));
+    let json = std::fs::read_to_string(&out_path).expect("BENCH_obs.json written");
+    std::fs::remove_file(&out_path).ok();
+    assert!(json.contains("\"workload\": \"serve.tcp\""));
+    assert!(json.contains("\"overhead_pct\""));
+}

@@ -93,6 +93,39 @@ pub fn encode_with_stats(g: &Graph, tau: usize) -> (Labeling, ThresholdStats) {
     encode_with_stats_threads(g, tau, 1)
 }
 
+/// Times `f`, recording the duration both into the global
+/// `plab_encode_phase_ns{phase=...}` histogram family and — when tracing
+/// is enabled — as a completed trace span named `trace_name`.
+///
+/// A helper (not the `span!` macro) because the metric label and span
+/// name differ, and because `record_complete` sidesteps the macro's
+/// per-call-site interning cache, which a shared helper would defeat.
+fn timed_phase<T>(phase: &'static str, trace_name: &'static str, f: impl FnOnce() -> T) -> T {
+    let start = pl_obs::trace::now_ns();
+    let out = f();
+    let dur = pl_obs::trace::now_ns().saturating_sub(start);
+    pl_obs::global()
+        .histogram_with("plab_encode_phase_ns", &[("phase", phase)])
+        .record(dur);
+    pl_obs::trace::record_complete(trace_name, start, dur, 0, 0);
+    out
+}
+
+/// Records summary label-size signals of one finished encode into the
+/// global registry: a high-water `plab_encode_max_label_bits` gauge, the
+/// last fat count, and a run counter. The per-label distribution goes
+/// into the `plab_encode_label_bits{kind}` histograms during the stats
+/// scan. These are the signals the paper's space claims are checked
+/// against (`OBSERVABILITY.md`).
+fn record_label_size_metrics(stats: &ThresholdStats) {
+    let reg = pl_obs::global();
+    reg.counter("plab_encode_runs_total").inc();
+    reg.gauge("plab_encode_max_label_bits")
+        .set_max(stats.max_fat_bits.max(stats.max_thin_bits) as i64);
+    reg.gauge("plab_encode_fat_count")
+        .set(stats.fat_count as i64);
+}
+
 /// One vertex's label bits under a fixed fat/thin assignment — the unit of
 /// work both the sequential and the parallel encoder share, so chunked
 /// encoding is bit-identical to a single pass by construction.
@@ -151,71 +184,88 @@ pub fn encode_with_stats_threads(
     let w = id_width(n);
 
     // Fat vertices first (degree descending), then thin.
-    let order = vertices_by_degree_desc(g);
-    let fat_count = order.partition_point(|&v| g.degree(v) >= tau);
-    let mut scheme_id = vec![0u64; n];
-    for (i, &v) in order.iter().enumerate() {
-        scheme_id[v as usize] = i as u64;
-    }
+    let order = timed_phase("degree_scan", "encode.degree_scan", || {
+        vertices_by_degree_desc(g)
+    });
+    let (fat_count, scheme_id) =
+        timed_phase("threshold_partition", "encode.threshold_partition", || {
+            let fat_count = order.partition_point(|&v| g.degree(v) >= tau);
+            let mut scheme_id = vec![0u64; n];
+            for (i, &v) in order.iter().enumerate() {
+                scheme_id[v as usize] = i as u64;
+            }
+            (fat_count, scheme_id)
+        });
 
     let threads = threads.min(n).max(1);
     let chunk = n.div_ceil(threads);
     let scheme_id = &scheme_id;
-    let builder = if threads == 1 {
+    let encode_chunk = |lo: usize, hi: usize, t: usize| {
+        let start = pl_obs::trace::now_ns();
         let mut b = LabelingBuilder::new();
-        for v in 0..n as VertexId {
-            b.push_bits(&encode_vertex(g, v, w, fat_count, scheme_id));
+        for v in lo..hi {
+            b.push_bits(&encode_vertex(g, v as VertexId, w, fat_count, scheme_id));
         }
-        b
-    } else {
-        let chunks = std::thread::scope(|s| {
-            let handles: Vec<_> = (0..threads)
-                .map(|t| {
-                    let lo = t * chunk;
-                    let hi = n.min(lo + chunk);
-                    s.spawn(move || {
-                        let mut b = LabelingBuilder::new();
-                        for v in lo..hi {
-                            b.push_bits(&encode_vertex(g, v as VertexId, w, fat_count, scheme_id));
-                        }
-                        b
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("encoder worker panicked"))
-                .collect::<Vec<_>>()
-        });
-        let mut it = chunks.into_iter();
-        let mut b = it.next().expect("at least one chunk");
-        for c in it {
-            b.merge(&c);
-        }
+        let dur = pl_obs::trace::now_ns().saturating_sub(start);
+        pl_obs::global()
+            .histogram("plab_encode_chunk_ns")
+            .record(dur);
+        pl_obs::trace::record_complete("encode.chunk", start, dur, t as u64, (hi - lo) as u64);
         b
     };
-    debug_assert_eq!(builder.len(), n);
-    let labeling = builder.finish();
-
-    let mut max_fat = 0usize;
-    let mut max_thin = 0usize;
-    for (v, &sid) in scheme_id.iter().enumerate() {
-        let bits = labeling.label(v as u32).bit_len();
-        if (sid as usize) < fat_count {
-            max_fat = max_fat.max(bits);
+    let builder = timed_phase("fat_thin_encode", "encode.fat_thin_encode", || {
+        if threads == 1 {
+            encode_chunk(0, n, 0)
         } else {
-            max_thin = max_thin.max(bits);
+            let chunks = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        let lo = n.min(t * chunk);
+                        let hi = n.min(lo + chunk);
+                        s.spawn(move || encode_chunk(lo, hi, t))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("encoder worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            let mut it = chunks.into_iter();
+            let mut b = it.next().expect("at least one chunk");
+            for c in it {
+                b.merge(&c);
+            }
+            b
         }
-    }
-    (
-        labeling,
+    });
+    debug_assert_eq!(builder.len(), n);
+    let labeling = timed_phase("arena_pack", "encode.arena_pack", || builder.finish());
+
+    let stats = timed_phase("stats_scan", "encode.stats_scan", || {
+        let reg = pl_obs::global();
+        let fat_bits_hist = reg.histogram_with("plab_encode_label_bits", &[("kind", "fat")]);
+        let thin_bits_hist = reg.histogram_with("plab_encode_label_bits", &[("kind", "thin")]);
+        let mut max_fat = 0usize;
+        let mut max_thin = 0usize;
+        for (v, &sid) in scheme_id.iter().enumerate() {
+            let bits = labeling.label(v as u32).bit_len();
+            if (sid as usize) < fat_count {
+                max_fat = max_fat.max(bits);
+                fat_bits_hist.record(bits as u64);
+            } else {
+                max_thin = max_thin.max(bits);
+                thin_bits_hist.record(bits as u64);
+            }
+        }
         ThresholdStats {
             tau,
             fat_count,
             max_fat_bits: max_fat,
             max_thin_bits: max_thin,
-        },
-    )
+        }
+    });
+    record_label_size_metrics(&stats);
+    (labeling, stats)
 }
 
 impl AdjacencyScheme for ThresholdScheme {
@@ -436,6 +486,65 @@ mod tests {
                 assert_eq!(par_stats, seq_stats);
             }
         }
+    }
+
+    #[test]
+    fn encode_records_phase_metrics_and_label_histograms() {
+        use pl_obs::MetricValue;
+        let reg = pl_obs::global();
+        let runs_before = reg.counter("plab_encode_runs_total").get();
+        let g = from_edges(6, [(0, 1), (0, 2), (0, 3), (1, 2), (4, 5)]);
+        let (_, stats) = encode_with_stats_threads(&g, 2, 2);
+        assert!(reg.counter("plab_encode_runs_total").get() > runs_before);
+        assert!(reg.gauge("plab_encode_max_label_bits").get() >= stats.max_thin_bits as i64);
+
+        let samples = reg.samples();
+        let phases: Vec<&str> = samples
+            .iter()
+            .filter(|s| s.name == "plab_encode_phase_ns")
+            .flat_map(|s| s.labels.iter().map(|(_, v)| v.as_str()))
+            .collect();
+        for phase in [
+            "degree_scan",
+            "threshold_partition",
+            "fat_thin_encode",
+            "arena_pack",
+            "stats_scan",
+        ] {
+            assert!(phases.contains(&phase), "missing phase {phase}: {phases:?}");
+        }
+        let label_bits_count: u64 = samples
+            .iter()
+            .filter(|s| s.name == "plab_encode_label_bits")
+            .map(|s| match &s.value {
+                MetricValue::Histogram(h) => h.count(),
+                _ => 0,
+            })
+            .sum();
+        assert!(
+            label_bits_count >= 6,
+            "got {label_bits_count} label-bit samples"
+        );
+    }
+
+    #[test]
+    fn encode_emits_chunk_trace_events() {
+        pl_obs::set_tracing(true);
+        let g = from_edges(8, [(0, 1), (1, 2), (2, 3), (4, 5), (6, 7)]);
+        let _ = encode_with_stats_threads(&g, 2, 4);
+        pl_obs::set_tracing(false);
+        let events = pl_obs::trace::drain();
+        let chunks: Vec<_> = events.iter().filter(|e| e.name == "encode.chunk").collect();
+        assert!(!chunks.is_empty(), "events: {events:?}");
+        // Other tests' encodes may land in the same global ring while
+        // tracing is on, so assert coverage as a lower bound.
+        let total: u64 = chunks.iter().map(|e| e.b).sum();
+        assert!(
+            total >= 8,
+            "chunk sizes must cover all 8 vertices, got {total}"
+        );
+        assert!(events.iter().any(|e| e.name == "encode.fat_thin_encode"));
+        assert!(events.iter().any(|e| e.name == "encode.arena_pack"));
     }
 
     #[test]

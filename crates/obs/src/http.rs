@@ -1,0 +1,178 @@
+//! A minimal HTTP/1.1 exposition endpoint for Prometheus scrapes.
+//!
+//! Hand-rolled on `std::net` (the workspace is offline — no hyper, no
+//! tokio): one listener thread, blocking per-request handling with
+//! short read timeouts, `Connection: close` on every response. This is
+//! a scrape sidecar, not a web server; it assumes a cooperative client
+//! (Prometheus, curl, or the `ci.sh` `/dev/tcp` fallback) and caps the
+//! request head it will buffer.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Largest request head (request line + headers) we will buffer.
+const MAX_HEAD: usize = 8 * 1024;
+
+/// Renders the scrape body on demand.
+pub type RenderFn = Arc<dyn Fn() -> String + Send + Sync>;
+
+/// Handle to a running exposition endpoint; stops it on [`shutdown`]
+/// (or drop of the last clone after `shutdown`).
+///
+/// [`shutdown`]: ExpositionHandle::shutdown
+pub struct ExpositionHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl ExpositionHandle {
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener thread and waits for it to exit.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for ExpositionHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Starts serving `GET /metrics` (and `/`) with the output of `render`
+/// on `addr`. Any other path gets a 404; any other method a 405.
+pub fn expose<A: ToSocketAddrs>(addr: A, render: RenderFn) -> std::io::Result<ExpositionHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = stop.clone();
+    let join = std::thread::Builder::new()
+        .name("obs-expose".into())
+        .spawn(move || accept_loop(&listener, &render, &stop2))?;
+    Ok(ExpositionHandle {
+        addr,
+        stop,
+        join: Some(join),
+    })
+}
+
+fn accept_loop(listener: &TcpListener, render: &RenderFn, stop: &AtomicBool) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = handle(stream, render);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn handle(mut stream: TcpStream, render: &RenderFn) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut head = Vec::new();
+    let mut buf = [0u8; 1024];
+    // Read until the end of the request head; scrape requests have no
+    // body we care about.
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+        if head.len() > MAX_HEAD {
+            return respond(&mut stream, 400, "Bad Request", "request head too large\n");
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => head.extend_from_slice(&buf[..n]),
+            Err(_) => break,
+        }
+    }
+    let line = head.split(|&b| b == b'\r').next().unwrap_or(&[]);
+    let line = String::from_utf8_lossy(line);
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    if method != "GET" {
+        return respond(
+            &mut stream,
+            405,
+            "Method Not Allowed",
+            "only GET is supported\n",
+        );
+    }
+    let path = path.split('?').next().unwrap_or("");
+    if path != "/metrics" && path != "/" {
+        return respond(&mut stream, 404, "Not Found", "try /metrics\n");
+    }
+    let body = render();
+    respond(&mut stream, 200, "OK", &body)
+}
+
+fn respond(stream: &mut TcpStream, code: u16, reason: &str, body: &str) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    fn get(addr: SocketAddr, req: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(req.as_bytes()).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_metrics_and_rejects_others() {
+        let render: RenderFn = Arc::new(|| "metric_total 1\n".to_string());
+        let mut h = expose("127.0.0.1:0", render).unwrap();
+        let addr = h.addr();
+
+        let ok = get(addr, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(ok.starts_with("HTTP/1.1 200 OK\r\n"), "{ok}");
+        assert!(ok.contains("text/plain; version=0.0.4"));
+        assert!(ok.ends_with("metric_total 1\n"));
+
+        let root = get(addr, "GET / HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(root.ends_with("metric_total 1\n"));
+
+        let missing = get(addr, "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(missing.starts_with("HTTP/1.1 404"));
+
+        let post = get(addr, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(post.starts_with("HTTP/1.1 405"));
+
+        h.shutdown();
+        assert!(
+            TcpStream::connect(addr).is_err() || {
+                // The OS may accept briefly after shutdown on some
+                // platforms; a second connect must fail.
+                std::thread::sleep(Duration::from_millis(50));
+                TcpStream::connect(addr).is_err()
+            }
+        );
+    }
+}

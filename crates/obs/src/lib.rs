@@ -1,0 +1,91 @@
+//! # pl-obs — dependency-free observability for the pl workspace
+//!
+//! The paper's central empirical claims — Theorem 4's labels "use
+//! little space in practice", the theoretical threshold `τ(n)` sits
+//! close to the optimum — are only honest if label sizes, encode-phase
+//! costs, and serve latencies are continuously observable. This crate
+//! provides the three legs:
+//!
+//! - [`registry`] — a [`MetricsRegistry`] of named atomic counters,
+//!   gauges, and log₂-bucketed [`Histogram`]s, with labeled families
+//!   (per-shard, per-scheme, per-phase). Instruments are `Arc`s updated
+//!   with relaxed atomics; the registry lock is touched only at
+//!   registration and scrape.
+//! - [`trace`] — span-based structured tracing. [`span!`] opens an RAII
+//!   guard; events land in lock-free per-thread ring buffers and drain
+//!   as JSONL (`plab trace`, the `TRACE_DUMP` wire opcode, or
+//!   [`trace::drain_jsonl`]). Off by default; a disabled call site
+//!   costs one relaxed load.
+//! - [`prom`] + [`http`] — Prometheus text-format rendering and a
+//!   hand-rolled HTTP/1.1 scrape endpoint ([`http::expose`]) used as a
+//!   sidecar by `plab serve --prom`.
+//!
+//! Everything is `std`-only: the build environment has no crates.io
+//! registry, so this crate is hand-rolled in the same spirit as
+//! `crates/compat`.
+
+#![forbid(unsafe_code)]
+
+pub mod hist;
+pub mod http;
+pub mod prom;
+pub mod registry;
+pub mod trace;
+
+pub use hist::{Histogram, HistogramSnapshot, BUCKETS};
+pub use registry::{global, Counter, Gauge, MetricSample, MetricValue, MetricsRegistry};
+pub use trace::{set_tracing, tracing_enabled, SpanGuard, TraceEvent};
+
+/// Opens a trace span; returns `Option<SpanGuard>` recording on drop.
+///
+/// The name must be a string literal; it is interned once per call site
+/// (cached in a `OnceLock`), so the enabled-path cost is a clock read
+/// and five relaxed stores, and the disabled-path cost is one relaxed
+/// load. Optional `a`/`b` expressions attach two `u64` payload words.
+///
+/// ```
+/// pl_obs::set_tracing(true);
+/// {
+///     let _g = pl_obs::span!("encode.fat_pass", 42);
+///     // ... work measured by the span ...
+/// }
+/// pl_obs::set_tracing(false);
+/// assert!(pl_obs::trace::drain().iter().any(|e| e.name == "encode.fat_pass"));
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:literal) => {
+        $crate::span!($name, 0u64, 0u64)
+    };
+    ($name:literal, $a:expr) => {
+        $crate::span!($name, $a, 0u64)
+    };
+    ($name:literal, $a:expr, $b:expr) => {{
+        static __PL_OBS_ID: ::std::sync::OnceLock<u32> = ::std::sync::OnceLock::new();
+        $crate::trace::enter_id(
+            *__PL_OBS_ID.get_or_init(|| $crate::trace::intern($name)),
+            ($a) as u64,
+            ($b) as u64,
+        )
+    }};
+}
+
+/// Records an instant trace event (duration 0). Same naming and
+/// payload rules as [`span!`].
+#[macro_export]
+macro_rules! event {
+    ($name:literal) => {
+        $crate::event!($name, 0u64, 0u64)
+    };
+    ($name:literal, $a:expr) => {
+        $crate::event!($name, $a, 0u64)
+    };
+    ($name:literal, $a:expr, $b:expr) => {{
+        static __PL_OBS_ID: ::std::sync::OnceLock<u32> = ::std::sync::OnceLock::new();
+        $crate::trace::event_id(
+            *__PL_OBS_ID.get_or_init(|| $crate::trace::intern($name)),
+            ($a) as u64,
+            ($b) as u64,
+        )
+    }};
+}

@@ -1,0 +1,287 @@
+//! A registry of named metrics: counters, gauges, and histograms, with
+//! optional label sets forming families (per-shard, per-phase, …).
+//!
+//! Registration is get-or-create keyed on `(name, labels)` and hands
+//! back an `Arc` to the instrument; callers cache that `Arc` and update
+//! it with relaxed atomics, so the registry mutex is only touched at
+//! setup and scrape time, never on the hot path.
+//!
+//! A process-wide [`global`] registry exists for instrumentation that
+//! has no natural owner (e.g. encode phases deep inside `pl-labeling`).
+//! Components with an owner — a server instance, a test — should carry
+//! their own `Arc<MetricsRegistry>` so parallel instances don't bleed
+//! into each other's numbers.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::hist::{Histogram, HistogramSnapshot};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts by `d` (may be negative).
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if `v` is larger (high-water mark).
+    pub fn set_max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Owned label set: `(key, value)` pairs, order-significant.
+pub type Labels = Vec<(String, String)>;
+
+fn to_labels(pairs: &[(&str, &str)]) -> Labels {
+    pairs
+        .iter()
+        .map(|&(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+struct Family<T> {
+    name: String,
+    members: Vec<(Labels, Arc<T>)>,
+}
+
+impl<T: Default> Family<T> {
+    fn get_or_create(&mut self, labels: Labels) -> Arc<T> {
+        if let Some((_, m)) = self.members.iter().find(|(l, _)| *l == labels) {
+            return m.clone();
+        }
+        let m = Arc::new(T::default());
+        self.members.push((labels, m.clone()));
+        m
+    }
+}
+
+#[derive(Default)]
+struct State {
+    counters: Vec<Family<Counter>>,
+    gauges: Vec<Family<Gauge>>,
+    histograms: Vec<Family<Histogram>>,
+}
+
+fn family<'a, T: Default>(fams: &'a mut Vec<Family<T>>, name: &str) -> &'a mut Family<T> {
+    if let Some(i) = fams.iter().position(|f| f.name == name) {
+        return &mut fams[i];
+    }
+    fams.push(Family {
+        name: name.to_string(),
+        members: Vec::new(),
+    });
+    fams.last_mut().unwrap()
+}
+
+/// The value captured for one metric instance at scrape time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A counter reading.
+    Counter(u64),
+    /// A gauge reading.
+    Gauge(i64),
+    /// A histogram snapshot.
+    Histogram(Box<HistogramSnapshot>),
+}
+
+/// One `(name, labels, value)` triple from [`MetricsRegistry::samples`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSample {
+    /// Metric family name.
+    pub name: String,
+    /// Label set (empty for unlabeled metrics).
+    pub labels: Labels,
+    /// Captured value.
+    pub value: MetricValue,
+}
+
+/// A collection of named metric families. See the module docs for the
+/// ownership model (per-component instances vs [`global`]).
+#[derive(Default)]
+pub struct MetricsRegistry {
+    state: Mutex<State>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("samples", &self.samples().len())
+            .finish()
+    }
+}
+
+impl MetricsRegistry {
+    /// A fresh, empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get-or-create the unlabeled counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_with(name, &[])
+    }
+
+    /// Get-or-create the counter `name{labels}`.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let mut s = self.state.lock().unwrap();
+        family(&mut s.counters, name).get_or_create(to_labels(labels))
+    }
+
+    /// Get-or-create the unlabeled gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[])
+    }
+
+    /// Get-or-create the gauge `name{labels}`.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let mut s = self.state.lock().unwrap();
+        family(&mut s.gauges, name).get_or_create(to_labels(labels))
+    }
+
+    /// Get-or-create the unlabeled histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with(name, &[])
+    }
+
+    /// Get-or-create the histogram `name{labels}`.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let mut s = self.state.lock().unwrap();
+        family(&mut s.histograms, name).get_or_create(to_labels(labels))
+    }
+
+    /// Captures every registered metric, sorted by name then labels for
+    /// deterministic output.
+    #[must_use]
+    pub fn samples(&self) -> Vec<MetricSample> {
+        let s = self.state.lock().unwrap();
+        let mut out = Vec::new();
+        for f in &s.counters {
+            for (labels, c) in &f.members {
+                out.push(MetricSample {
+                    name: f.name.clone(),
+                    labels: labels.clone(),
+                    value: MetricValue::Counter(c.get()),
+                });
+            }
+        }
+        for f in &s.gauges {
+            for (labels, g) in &f.members {
+                out.push(MetricSample {
+                    name: f.name.clone(),
+                    labels: labels.clone(),
+                    value: MetricValue::Gauge(g.get()),
+                });
+            }
+        }
+        for f in &s.histograms {
+            for (labels, h) in &f.members {
+                out.push(MetricSample {
+                    name: f.name.clone(),
+                    labels: labels.clone(),
+                    value: MetricValue::Histogram(Box::new(h.snapshot())),
+                });
+            }
+        }
+        out.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        out
+    }
+}
+
+/// The process-wide registry for ownerless instrumentation (encode
+/// phases, label-size histograms). Server-side metrics live in
+/// per-instance registries instead.
+#[must_use]
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_is_stable() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("hits");
+        let b = reg.counter("hits");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert!(Arc::ptr_eq(&a, &b));
+
+        let s0 = reg.counter_with("shard_hits", &[("shard", "0")]);
+        let s1 = reg.counter_with("shard_hits", &[("shard", "1")]);
+        assert!(!Arc::ptr_eq(&s0, &s1));
+        s1.inc();
+        assert_eq!(s0.get(), 0);
+        assert_eq!(s1.get(), 1);
+    }
+
+    #[test]
+    fn gauge_set_max() {
+        let g = Gauge::default();
+        g.set(5);
+        g.set_max(3);
+        assert_eq!(g.get(), 5);
+        g.set_max(9);
+        assert_eq!(g.get(), 9);
+        g.add(-4);
+        assert_eq!(g.get(), 5);
+    }
+
+    #[test]
+    fn samples_are_sorted_and_typed() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("z_gauge").set(-7);
+        reg.counter("a_count").add(4);
+        reg.histogram("m_hist").record(100);
+        let samples = reg.samples();
+        let names: Vec<_> = samples.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["a_count", "m_hist", "z_gauge"]);
+        assert_eq!(samples[0].value, MetricValue::Counter(4));
+        assert_eq!(samples[2].value, MetricValue::Gauge(-7));
+        match &samples[1].value {
+            MetricValue::Histogram(h) => assert_eq!(h.count(), 1),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! Span-based structured tracing over lock-free per-thread rings.
+//!
+//! Each thread owns a fixed-capacity ring of trace events stored as
+//! plain `AtomicU64` words, so the recording path is a handful of
+//! relaxed stores plus one release store of the head — no locks, no
+//! allocation, no `unsafe`. A global registry keeps an `Arc` to every
+//! ring ever created (rings outlive their threads so events from
+//! finished workers remain drainable). [`drain`] collects the undrained
+//! window of every ring into owned [`TraceEvent`]s; [`drain_jsonl`]
+//! renders them as one JSON object per line.
+//!
+//! Consistency model: the ring is single-producer (its owning thread)
+//! and the drain is best-effort. If a producer laps the reader between
+//! the reader's head load and its slot reads, the affected events may
+//! be torn (mixed words from two events). With `CAP` = 4096 events per
+//! thread and drains driven by a human or a test, this does not happen
+//! in practice; the trade is deliberate — correctness of the *observed*
+//! program is never affected.
+//!
+//! Tracing is off by default. [`set_tracing`] flips a global flag that
+//! the [`span!`](crate::span)/[`event!`](crate::event) macros check
+//! first, so a disabled call site costs one relaxed atomic load.
+//!
+//! Span names are interned once per call site (the macros cache the id
+//! in a `OnceLock`), so steady-state recording never touches the intern
+//! table's mutex.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Events retained per thread before the ring wraps.
+pub const CAP: usize = 4096;
+
+const WORDS: usize = 5;
+
+static TRACING: AtomicBool = AtomicBool::new(false);
+
+/// Enables or disables trace recording process-wide.
+pub fn set_tracing(on: bool) {
+    TRACING.store(on, Ordering::Relaxed);
+}
+
+/// Whether trace recording is currently enabled.
+#[must_use]
+pub fn tracing_enabled() -> bool {
+    TRACING.load(Ordering::Relaxed)
+}
+
+fn epoch() -> &'static Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process's trace epoch (first call wins).
+#[must_use]
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+fn names() -> &'static Mutex<Vec<&'static str>> {
+    static NAMES: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    NAMES.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Interns `name` and returns its stable id. Idempotent; intended to be
+/// called once per call site (the macros cache the result).
+#[must_use]
+pub fn intern(name: &'static str) -> u32 {
+    let mut tbl = names().lock().unwrap();
+    if let Some(i) = tbl.iter().position(|&n| n == name) {
+        return i as u32;
+    }
+    tbl.push(name);
+    (tbl.len() - 1) as u32
+}
+
+fn name_of(id: u32) -> &'static str {
+    names()
+        .lock()
+        .unwrap()
+        .get(id as usize)
+        .copied()
+        .unwrap_or("?")
+}
+
+struct Ring {
+    slots: Box<[AtomicU64]>,
+    /// Total events ever written (monotone; slot = head % CAP).
+    head: AtomicU64,
+    /// Total events already drained (reader-owned watermark).
+    drained: AtomicU64,
+    tid: u32,
+}
+
+impl Ring {
+    fn register() -> Arc<Ring> {
+        static NEXT_TID: AtomicU32 = AtomicU32::new(0);
+        let ring = Arc::new(Ring {
+            slots: (0..CAP * WORDS).map(|_| AtomicU64::new(0)).collect(),
+            head: AtomicU64::new(0),
+            drained: AtomicU64::new(0),
+            tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+        });
+        rings().lock().unwrap().push(ring.clone());
+        ring
+    }
+
+    fn push(&self, name_id: u32, start_ns: u64, dur_ns: u64, a: u64, b: u64) {
+        let seq = self.head.load(Ordering::Relaxed);
+        let base = (seq as usize % CAP) * WORDS;
+        let meta = (u64::from(name_id) << 32) | u64::from(self.tid);
+        for (off, w) in [meta, start_ns, dur_ns, a, b].into_iter().enumerate() {
+            self.slots[base + off].store(w, Ordering::Relaxed);
+        }
+        self.head.store(seq + 1, Ordering::Release);
+    }
+
+    fn drain_into(&self, out: &mut Vec<TraceEvent>) {
+        let head = self.head.load(Ordering::Acquire);
+        let start = self
+            .drained
+            .load(Ordering::Relaxed)
+            .max(head.saturating_sub(CAP as u64));
+        for seq in start..head {
+            let base = (seq as usize % CAP) * WORDS;
+            let w: Vec<u64> = (0..WORDS)
+                .map(|off| self.slots[base + off].load(Ordering::Relaxed))
+                .collect();
+            out.push(TraceEvent {
+                name: name_of((w[0] >> 32) as u32),
+                tid: w[0] as u32,
+                start_ns: w[1],
+                dur_ns: w[2],
+                a: w[3],
+                b: w[4],
+            });
+        }
+        self.drained.store(head, Ordering::Release);
+    }
+}
+
+fn rings() -> &'static Mutex<Vec<Arc<Ring>>> {
+    static RINGS: OnceLock<Mutex<Vec<Arc<Ring>>>> = OnceLock::new();
+    RINGS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static RING: Arc<Ring> = Ring::register();
+}
+
+fn record(name_id: u32, start_ns: u64, dur_ns: u64, a: u64, b: u64) {
+    // try_with: silently drop events during TLS teardown.
+    let _ = RING.try_with(|r| r.push(name_id, start_ns, dur_ns, a, b));
+}
+
+/// One drained trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Interned span/event name.
+    pub name: &'static str,
+    /// Recording thread's trace id (dense, assigned per thread).
+    pub tid: u32,
+    /// Nanoseconds since the trace epoch at span entry.
+    pub start_ns: u64,
+    /// Span duration in nanoseconds (0 for instant events).
+    pub dur_ns: u64,
+    /// First free-form payload word (span-specific meaning).
+    pub a: u64,
+    /// Second free-form payload word.
+    pub b: u64,
+}
+
+impl TraceEvent {
+    /// Renders the event as one JSON object (no trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"tid\":{},\"start_ns\":{},\"dur_ns\":{},\"a\":{},\"b\":{}}}",
+            self.name, self.tid, self.start_ns, self.dur_ns, self.a, self.b
+        )
+    }
+}
+
+/// Collects every undrained event from every thread's ring, ordered by
+/// start time. Draining consumes: a second call returns only events
+/// recorded in between.
+#[must_use]
+pub fn drain() -> Vec<TraceEvent> {
+    let rings = rings().lock().unwrap();
+    let mut out = Vec::new();
+    for ring in rings.iter() {
+        ring.drain_into(&mut out);
+    }
+    out.sort_by_key(|e| e.start_ns);
+    out
+}
+
+/// [`drain`]s and renders one JSON object per line (JSONL).
+#[must_use]
+pub fn drain_jsonl() -> String {
+    let mut s = String::new();
+    for e in drain() {
+        s.push_str(&e.to_json());
+        s.push('\n');
+    }
+    s
+}
+
+/// RAII guard recording a span on drop. Created by the
+/// [`span!`](crate::span) macro; hold it for the span's extent.
+#[must_use = "a span guard records on drop; bind it with `let _g = ...`"]
+pub struct SpanGuard {
+    name_id: u32,
+    start_ns: u64,
+    a: u64,
+    b: u64,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let dur = now_ns().saturating_sub(self.start_ns);
+        record(self.name_id, self.start_ns, dur, self.a, self.b);
+    }
+}
+
+/// Opens a span by interned id; `None` when tracing is disabled.
+/// Prefer the [`span!`](crate::span) macro, which interns and caches.
+pub fn enter_id(name_id: u32, a: u64, b: u64) -> Option<SpanGuard> {
+    if !tracing_enabled() {
+        return None;
+    }
+    Some(SpanGuard {
+        name_id,
+        start_ns: now_ns(),
+        a,
+        b,
+    })
+}
+
+/// Records an instant event by interned id when tracing is enabled.
+/// Prefer the [`event!`](crate::event) macro.
+pub fn event_id(name_id: u32, a: u64, b: u64) {
+    if tracing_enabled() {
+        record(name_id, now_ns(), 0, a, b);
+    }
+}
+
+/// Records a completed span after the fact (e.g. a timed phase or a
+/// slow-query report where the duration is already known). Interns
+/// `name` on every call — use only off the hot path.
+pub fn record_complete(name: &'static str, start_ns: u64, dur_ns: u64, a: u64, b: u64) {
+    if tracing_enabled() {
+        record(intern(name), start_ns, dur_ns, a, b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // All trace assertions live in one test: `drain` consumes the
+    // shared global rings, so concurrent drain-calling tests would
+    // steal each other's events.
+    #[test]
+    fn record_and_drain() {
+        set_tracing(true);
+        let id = intern("test.span");
+        {
+            let _g = enter_id(id, 7, 8);
+        }
+        event_id(intern("test.event"), 1, 2);
+        record_complete("test.complete", 10, 20, 3, 4);
+        set_tracing(false);
+        event_id(id, 9, 9); // disabled: must not record
+
+        let events = drain();
+        let mine: Vec<_> = events
+            .iter()
+            .filter(|e| e.name.starts_with("test."))
+            .collect();
+        assert_eq!(mine.len(), 3, "events: {events:?}");
+        let span = mine.iter().find(|e| e.name == "test.span").unwrap();
+        assert_eq!((span.a, span.b), (7, 8));
+        let comp = mine.iter().find(|e| e.name == "test.complete").unwrap();
+        assert_eq!((comp.start_ns, comp.dur_ns), (10, 20));
+        assert!(comp.to_json().contains("\"name\":\"test.complete\""));
+
+        // Drained: a second drain sees none of ours.
+        assert!(!drain().iter().any(|e| e.name.starts_with("test.")));
+
+        // Wrap the ring: only the newest CAP survive.
+        set_tracing(true);
+        let wid = intern("test.wrap");
+        for i in 0..(CAP as u64 + 50) {
+            record(wid, i, 0, i, 0);
+        }
+        set_tracing(false);
+        let wrapped: Vec<_> = drain()
+            .into_iter()
+            .filter(|e| e.name == "test.wrap")
+            .collect();
+        assert_eq!(wrapped.len(), CAP);
+        assert_eq!(wrapped.last().unwrap().a, CAP as u64 + 49);
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = intern("test.intern.a");
+        let b = intern("test.intern.b");
+        assert_ne!(a, b);
+        assert_eq!(intern("test.intern.a"), a);
+        assert_eq!(name_of(a), "test.intern.a");
+    }
+}

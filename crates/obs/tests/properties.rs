@@ -1,0 +1,47 @@
+//! Property tests for pl-obs histograms.
+
+use pl_obs::Histogram;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantile_is_monotone_in_q(
+        samples in proptest::collection::vec(0u64..u64::MAX, 1..300),
+        qs in proptest::collection::vec(0.0f64..1.0, 2..16),
+    ) {
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let snap = h.snapshot();
+        let mut qs = qs;
+        qs.sort_by(f64::total_cmp);
+        let mut prev = 0u64;
+        for &q in &qs {
+            let v = snap.quantile_ns(q);
+            prop_assert!(v >= prev, "quantile_ns({q}) = {v} < previous {prev}");
+            prev = v;
+        }
+        // Every quantile edge brackets the data: at least the min's
+        // bucket, at most the max's bucket edge.
+        let lo = snap.quantile_ns(0.0);
+        let hi = snap.quantile_ns(1.0);
+        let min = *samples.iter().min().unwrap();
+        let max = *samples.iter().max().unwrap();
+        prop_assert!(lo > min.max(1) / 2);
+        prop_assert!(hi >= max || hi == u64::MAX);
+        prop_assert_eq!(snap.count(), samples.len() as u64);
+        prop_assert_eq!(snap.min, min);
+        prop_assert_eq!(snap.max, max);
+    }
+
+    #[test]
+    fn bucket_edge_bounds_every_sample(v in 0u64..u64::MAX) {
+        let h = Histogram::new();
+        h.record(v);
+        let q = h.quantile_ns(1.0);
+        prop_assert!(q > v || q == u64::MAX, "edge {q} does not bound {v}");
+    }
+}

@@ -11,8 +11,8 @@ use std::net::{TcpStream, ToSocketAddrs};
 
 use crate::metrics::Snapshot;
 use crate::protocol::{
-    encode_batch, encode_hello, opcode, parse_batch_reply, parse_hello_ok, parse_stats_reply,
-    read_frame, write_frame, Answer, Query,
+    encode_batch, encode_hello_version, opcode, parse_batch_reply, parse_hello_ok,
+    parse_stats_reply, read_frame, write_frame, Answer, Query, MIN_VERSION, VERSION,
 };
 
 fn bad_data(msg: impl Into<String>) -> io::Error {
@@ -23,21 +23,44 @@ fn bad_data(msg: impl Into<String>) -> io::Error {
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
+    version: u8,
     tag: u8,
     n: u32,
 }
 
 impl Client {
-    /// Connects and performs the HELLO handshake.
+    /// Connects and performs the HELLO handshake, falling back to older
+    /// protocol versions (down to [`MIN_VERSION`]) if the server
+    /// rejects the current one.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        // Resolve once so version-fallback reconnects hit the same host.
+        let addrs: Vec<_> = addr.to_socket_addrs()?.collect();
+        let mut last_err = bad_data("no addresses resolved");
+        for version in (MIN_VERSION..=VERSION).rev() {
+            match Self::connect_version(&addrs[..], version) {
+                Ok(client) => return Ok(client),
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Connects with one specific protocol version, no fallback.
+    pub fn connect_version(addr: impl ToSocketAddrs, version: u8) -> io::Result<Self> {
         let mut stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        write_frame(&mut stream, &encode_hello())?;
+        write_frame(&mut stream, &encode_hello_version(version))?;
         let reply = read_frame(&mut stream)?;
         match reply.first() {
             Some(&opcode::HELLO_OK) => {
-                let (_, tag, n) = parse_hello_ok(&reply).map_err(|e| bad_data(e.to_string()))?;
-                Ok(Self { stream, tag, n })
+                let (version, tag, n) =
+                    parse_hello_ok(&reply).map_err(|e| bad_data(e.to_string()))?;
+                Ok(Self {
+                    stream,
+                    version,
+                    tag,
+                    n,
+                })
             }
             Some(&opcode::ERROR) => Err(bad_data(format!(
                 "server rejected handshake: {}",
@@ -45,6 +68,12 @@ impl Client {
             ))),
             _ => Err(bad_data("unexpected handshake reply")),
         }
+    }
+
+    /// Protocol version negotiated with the server.
+    #[must_use]
+    pub fn version(&self) -> u8 {
+        self.version
     }
 
     /// Scheme tag byte the server is serving.
@@ -103,6 +132,25 @@ impl Client {
         write_frame(&mut self.stream, &[opcode::STATS])?;
         let reply = read_frame(&mut self.stream)?;
         parse_stats_reply(&reply).map_err(|e| bad_data(e.to_string()))
+    }
+
+    /// Drains the server's trace ring buffers as JSONL (one event per
+    /// line, possibly empty). Requires protocol version ≥ 2.
+    pub fn trace_dump(&mut self) -> io::Result<String> {
+        if self.version < 2 {
+            return Err(bad_data("server too old for TRACE_DUMP (needs v2)"));
+        }
+        write_frame(&mut self.stream, &[opcode::TRACE_DUMP])?;
+        let reply = read_frame(&mut self.stream)?;
+        match reply.first() {
+            Some(&opcode::TRACE_REPLY) => String::from_utf8(reply[1..].to_vec())
+                .map_err(|_| bad_data("trace reply is not UTF-8")),
+            Some(&opcode::ERROR) => Err(bad_data(format!(
+                "server error: {}",
+                String::from_utf8_lossy(&reply[1..])
+            ))),
+            _ => Err(bad_data("unexpected trace reply")),
+        }
     }
 
     /// Orderly close: GOODBYE, await GOODBYE_OK.

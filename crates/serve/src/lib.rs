@@ -14,8 +14,10 @@
 //!   goodbye. All parsers are total on untrusted bytes.
 //! * [`server`] — `std::net` thread-per-connection server with
 //!   cooperative graceful shutdown that drains in-flight requests.
-//! * [`metrics`] — lock-free counters and power-of-two latency
-//!   histograms, snapshotted on demand (`STATS`) and at shutdown.
+//! * [`metrics`] — [`pl_obs`]-backed counters and power-of-two latency
+//!   histograms in a per-server [`pl_obs::MetricsRegistry`],
+//!   snapshotted on demand (`STATS`) and at shutdown, and renderable
+//!   as Prometheus text via [`ServerHandle::prometheus_text`].
 //! * [`client`] — blocking client plus a multi-connection load
 //!   generator with uniform and Zipf-skewed query mixes.
 //! * [`format`] — thin re-exports of the codec layer
@@ -37,5 +39,5 @@ pub use client::Client;
 pub use format::{SchemeTag, TaggedLabeling};
 pub use metrics::Snapshot;
 pub use protocol::{Answer, Query, QueryKind};
-pub use server::{serve, ServerHandle};
-pub use store::{LabelStore, StoreConfig};
+pub use server::{serve, serve_with, ServeOptions, ServerHandle};
+pub use store::{LabelStore, QueryPath, StoreConfig};

@@ -1,150 +1,175 @@
-//! Server metrics: atomic counters plus a fixed-bucket latency histogram.
+//! Server metrics, built on the [`pl_obs`] metrics registry.
 //!
-//! Everything here is lock-free (`Relaxed` atomics) so the hot query path
-//! pays a handful of uncontended fetch-adds. Buckets are powers of two in
-//! nanoseconds, which keeps `record` branch-free (`ilog2`) and gives
-//! quantile estimates within a factor of two — plenty for p50/p99 over a
-//! load test.
+//! Every instrument is an `Arc` handed out by a
+//! [`MetricsRegistry`] — counters under `plserve_*_total`, the query
+//! latency under `plserve_query_latency_ns` — so the same numbers that
+//! feed the binary `STATS` reply are scrapeable as Prometheus text from
+//! the exposition sidecar. The hot query path still pays only a handful
+//! of uncontended relaxed fetch-adds. [`LatencyHistogram`] is
+//! [`pl_obs::Histogram`]: 64 power-of-two nanosecond buckets plus exact
+//! sum/min/max.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
-/// Number of power-of-two latency buckets: bucket `i` covers
-/// `[2^i, 2^{i+1})` ns, with the last bucket open-ended (≥ ~34 s).
-const BUCKETS: usize = 36;
+use pl_obs::registry::Counter;
+use pl_obs::MetricsRegistry;
 
-/// Lock-free latency histogram with power-of-two nanosecond buckets.
+/// Power-of-two latency histogram (see [`pl_obs::Histogram`]).
+pub type LatencyHistogram = pl_obs::Histogram;
+
+/// The server's counters, registered in a [`MetricsRegistry`]. One
+/// instance is shared (via `Arc`d instruments) by every connection
+/// thread.
 #[derive(Debug)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-        }
-    }
-}
-
-impl LatencyHistogram {
-    fn bucket_of(ns: u64) -> usize {
-        (ns.max(1).ilog2() as usize).min(BUCKETS - 1)
-    }
-
-    /// Records one observation of `ns` nanoseconds.
-    pub fn record(&self, ns: u64) {
-        self.buckets[Self::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Upper edge (exclusive) in ns of the bucket containing quantile
-    /// `q ∈ [0, 1]`; 0 when the histogram is empty.
-    #[must_use]
-    pub fn quantile_ns(&self, q: f64) -> u64 {
-        let counts: Vec<u64> = self
-            .buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return 0;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, &c) in counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return 1u64 << (i + 1).min(63);
-            }
-        }
-        1u64 << 63
-    }
-
-    /// Total observations.
-    #[must_use]
-    pub fn count(&self) -> u64 {
-        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
-    }
-}
-
-/// The server's counters. One instance is shared (via `Arc`) by every
-/// connection thread.
-#[derive(Debug, Default)]
 pub struct Metrics {
-    /// Adjacency queries answered.
-    pub adj_queries: AtomicU64,
-    /// Distance queries answered.
-    pub dist_queries: AtomicU64,
-    /// Batch frames processed.
-    pub batches: AtomicU64,
-    /// Connections accepted.
-    pub connections: AtomicU64,
-    /// Decode-cache hits (fat-label bitmap found decoded).
-    pub cache_hits: AtomicU64,
-    /// Decode-cache misses (bitmap decoded and inserted).
-    pub cache_misses: AtomicU64,
-    /// Bytes read off sockets.
-    pub bytes_in: AtomicU64,
-    /// Bytes written to sockets.
-    pub bytes_out: AtomicU64,
-    /// Malformed frames rejected.
-    pub protocol_errors: AtomicU64,
-    /// Per-query decode latency.
-    pub query_latency: LatencyHistogram,
+    /// Adjacency queries answered (`plserve_adj_queries_total`).
+    pub adj_queries: Arc<Counter>,
+    /// Distance queries answered (`plserve_dist_queries_total`).
+    pub dist_queries: Arc<Counter>,
+    /// Batch frames processed (`plserve_batches_total`).
+    pub batches: Arc<Counter>,
+    /// Connections accepted (`plserve_connections_total`).
+    pub connections: Arc<Counter>,
+    /// Bytes read off sockets (`plserve_bytes_in_total`).
+    pub bytes_in: Arc<Counter>,
+    /// Bytes written to sockets (`plserve_bytes_out_total`).
+    pub bytes_out: Arc<Counter>,
+    /// Malformed frames rejected (`plserve_protocol_errors_total`).
+    pub protocol_errors: Arc<Counter>,
+    /// Queries at or over the slow-query threshold
+    /// (`plserve_slow_queries_total`).
+    pub slow_queries: Arc<Counter>,
+    /// Per-query decode latency (`plserve_query_latency_ns`).
+    pub query_latency: Arc<LatencyHistogram>,
 }
 
 impl Metrics {
-    /// Immutable snapshot of all counters; `elapsed` is measured against
-    /// `started` for the QPS figure.
+    /// Registers every instrument in `registry`.
     #[must_use]
-    pub fn snapshot(&self, started: Instant) -> Snapshot {
-        let adj = self.adj_queries.load(Ordering::Relaxed);
-        let dist = self.dist_queries.load(Ordering::Relaxed);
+    pub fn new(registry: &MetricsRegistry) -> Self {
+        Self {
+            adj_queries: registry.counter("plserve_adj_queries_total"),
+            dist_queries: registry.counter("plserve_dist_queries_total"),
+            batches: registry.counter("plserve_batches_total"),
+            connections: registry.counter("plserve_connections_total"),
+            bytes_in: registry.counter("plserve_bytes_in_total"),
+            bytes_out: registry.counter("plserve_bytes_out_total"),
+            protocol_errors: registry.counter("plserve_protocol_errors_total"),
+            slow_queries: registry.counter("plserve_slow_queries_total"),
+            query_latency: registry.histogram("plserve_query_latency_ns"),
+        }
+    }
+
+    /// Immutable snapshot of all counters; `elapsed` is measured against
+    /// `started` for the QPS figure, `shard_cache` carries the store's
+    /// per-shard `(hits, misses)` pairs.
+    #[must_use]
+    pub fn snapshot(&self, started: Instant, shard_cache: &[(u64, u64)]) -> Snapshot {
+        let adj = self.adj_queries.get();
+        let dist = self.dist_queries.get();
         let secs = started.elapsed().as_secs_f64().max(1e-9);
+        let lat = self.query_latency.snapshot();
         Snapshot {
             adj_queries: adj,
             dist_queries: dist,
-            batches: self.batches.load(Ordering::Relaxed),
-            connections: self.connections.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.cache_misses.load(Ordering::Relaxed),
-            bytes_in: self.bytes_in.load(Ordering::Relaxed),
-            bytes_out: self.bytes_out.load(Ordering::Relaxed),
-            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
-            p50_ns: self.query_latency.quantile_ns(0.50),
-            p99_ns: self.query_latency.quantile_ns(0.99),
+            batches: self.batches.get(),
+            connections: self.connections.get(),
+            cache_hits: shard_cache.iter().map(|&(h, _)| h).sum(),
+            cache_misses: shard_cache.iter().map(|&(_, m)| m).sum(),
+            bytes_in: self.bytes_in.get(),
+            bytes_out: self.bytes_out.get(),
+            protocol_errors: self.protocol_errors.get(),
+            p50_ns: lat.quantile_ns(0.50),
+            p90_ns: lat.quantile_ns(0.90),
+            p99_ns: lat.quantile_ns(0.99),
+            p999_ns: lat.quantile_ns(0.999),
+            min_ns: lat.min,
+            max_ns: lat.max,
             qps_milli: (((adj + dist) as f64 / secs) * 1000.0) as u64,
+            slow_queries: self.slow_queries.get(),
+            shard_cache: shard_cache.to_vec(),
         }
     }
 }
 
+/// Number of fixed `u64` fields in the version-1 `STATS` wire layout.
+const V1_FIELDS: usize = 12;
+
+/// Number of fixed `u64` fields in the version-2 layout, before the
+/// per-shard pairs.
+const V2_FIXED_FIELDS: usize = 18;
+
 /// A point-in-time copy of [`Metrics`], also the payload of the wire
-/// `STATS` reply (twelve `u64`s, in field order).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// `STATS` reply.
+///
+/// Two wire layouts exist: version 1 is the original twelve fixed
+/// `u64`s; version 2 appends p90/p999, min/max, the slow-query count,
+/// and the per-shard cache pairs. [`from_bytes`](Self::from_bytes)
+/// tells them apart by length (96 bytes is v1; v2 is at least 152 and
+/// grows by 16 per shard, so the lengths can never collide).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Snapshot {
     pub adj_queries: u64,
     pub dist_queries: u64,
     pub batches: u64,
     pub connections: u64,
+    /// Decode-cache hits, summed over shards.
     pub cache_hits: u64,
+    /// Decode-cache misses, summed over shards.
     pub cache_misses: u64,
     pub bytes_in: u64,
     pub bytes_out: u64,
     pub protocol_errors: u64,
     /// Estimated median decode latency, ns (bucket upper edge).
     pub p50_ns: u64,
+    /// Estimated 90th-percentile decode latency, ns (v2; 0 from v1).
+    pub p90_ns: u64,
     /// Estimated 99th-percentile decode latency, ns.
     pub p99_ns: u64,
+    /// Estimated 99.9th-percentile decode latency, ns (v2; 0 from v1).
+    pub p999_ns: u64,
+    /// Smallest observed decode latency, ns (v2; 0 from v1).
+    pub min_ns: u64,
+    /// Largest observed decode latency, ns (v2; 0 from v1).
+    pub max_ns: u64,
     /// Queries per second × 1000, measured over the server's lifetime.
     pub qps_milli: u64,
+    /// Queries at or over the slow-query threshold (v2; 0 from v1).
+    pub slow_queries: u64,
+    /// Per-shard decode-cache `(hits, misses)` (v2; empty from v1).
+    pub shard_cache: Vec<(u64, u64)>,
 }
 
 impl Snapshot {
-    /// Serializes for the `STATS` reply body.
+    /// Serializes the version-2 `STATS` reply body.
     #[must_use]
     pub fn to_bytes(&self) -> Vec<u8> {
-        let fields = self.fields();
+        let mut fields = vec![
+            self.adj_queries,
+            self.dist_queries,
+            self.batches,
+            self.connections,
+            self.cache_hits,
+            self.cache_misses,
+            self.bytes_in,
+            self.bytes_out,
+            self.protocol_errors,
+            self.p50_ns,
+            self.p90_ns,
+            self.p99_ns,
+            self.p999_ns,
+            self.min_ns,
+            self.max_ns,
+            self.qps_milli,
+            self.slow_queries,
+            self.shard_cache.len() as u64,
+        ];
+        debug_assert_eq!(fields.len(), V2_FIXED_FIELDS);
+        for &(h, m) in &self.shard_cache {
+            fields.push(h);
+            fields.push(m);
+        }
         let mut out = Vec::with_capacity(fields.len() * 8);
         for f in fields {
             out.extend_from_slice(&f.to_le_bytes());
@@ -152,33 +177,11 @@ impl Snapshot {
         out
     }
 
-    /// Parses a `STATS` reply body.
+    /// Serializes the legacy version-1 reply body (twelve `u64`s); the
+    /// extended fields are dropped.
     #[must_use]
-    pub fn from_bytes(buf: &[u8]) -> Option<Self> {
-        let mut it = buf.chunks_exact(8);
-        let mut next = || -> Option<u64> {
-            it.next()
-                .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
-        };
-        let s = Self {
-            adj_queries: next()?,
-            dist_queries: next()?,
-            batches: next()?,
-            connections: next()?,
-            cache_hits: next()?,
-            cache_misses: next()?,
-            bytes_in: next()?,
-            bytes_out: next()?,
-            protocol_errors: next()?,
-            p50_ns: next()?,
-            p99_ns: next()?,
-            qps_milli: next()?,
-        };
-        (buf.len() == 12 * 8).then_some(s)
-    }
-
-    fn fields(&self) -> [u64; 12] {
-        [
+    pub fn to_bytes_v1(&self) -> Vec<u8> {
+        let fields = [
             self.adj_queries,
             self.dist_queries,
             self.batches,
@@ -191,7 +194,75 @@ impl Snapshot {
             self.p50_ns,
             self.p99_ns,
             self.qps_milli,
-        ]
+        ];
+        let mut out = Vec::with_capacity(fields.len() * 8);
+        for f in fields {
+            out.extend_from_slice(&f.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses a `STATS` reply body of either wire version.
+    #[must_use]
+    pub fn from_bytes(buf: &[u8]) -> Option<Self> {
+        if !buf.len().is_multiple_of(8) {
+            return None;
+        }
+        let words: Vec<u64> = buf
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect();
+        if words.len() == V1_FIELDS {
+            return Some(Self {
+                adj_queries: words[0],
+                dist_queries: words[1],
+                batches: words[2],
+                connections: words[3],
+                cache_hits: words[4],
+                cache_misses: words[5],
+                bytes_in: words[6],
+                bytes_out: words[7],
+                protocol_errors: words[8],
+                p50_ns: words[9],
+                p99_ns: words[10],
+                qps_milli: words[11],
+                ..Self::default()
+            });
+        }
+        if words.len() < V2_FIXED_FIELDS {
+            return None;
+        }
+        let shard_count = usize::try_from(words[V2_FIXED_FIELDS - 1]).ok()?;
+        let expected = shard_count
+            .checked_mul(2)
+            .and_then(|x| x.checked_add(V2_FIXED_FIELDS))?;
+        if words.len() != expected {
+            return None;
+        }
+        let shard_cache = words[V2_FIXED_FIELDS..]
+            .chunks_exact(2)
+            .map(|p| (p[0], p[1]))
+            .collect();
+        Some(Self {
+            adj_queries: words[0],
+            dist_queries: words[1],
+            batches: words[2],
+            connections: words[3],
+            cache_hits: words[4],
+            cache_misses: words[5],
+            bytes_in: words[6],
+            bytes_out: words[7],
+            protocol_errors: words[8],
+            p50_ns: words[9],
+            p90_ns: words[10],
+            p99_ns: words[11],
+            p999_ns: words[12],
+            min_ns: words[13],
+            max_ns: words[14],
+            qps_milli: words[15],
+            slow_queries: words[16],
+            shard_cache,
+        })
     }
 
     /// Cache hit rate in `[0, 1]`; 0 when the cache was never consulted.
@@ -203,6 +274,23 @@ impl Snapshot {
         } else {
             self.cache_hits as f64 / total as f64
         }
+    }
+
+    /// Per-shard hit rates in `[0, 1]`, in shard order (empty for a v1
+    /// snapshot).
+    #[must_use]
+    pub fn shard_hit_rates(&self) -> Vec<f64> {
+        self.shard_cache
+            .iter()
+            .map(|&(h, m)| {
+                let total = h + m;
+                if total == 0 {
+                    0.0
+                } else {
+                    h as f64 / total as f64
+                }
+            })
+            .collect()
     }
 
     /// Queries per second.
@@ -221,10 +309,14 @@ impl std::fmt::Display for Snapshot {
         )?;
         writeln!(
             f,
-            "throughput: {:.1} qps, latency p50 < {} ns, p99 < {} ns",
+            "throughput: {:.1} qps, latency p50 < {} ns, p90 < {} ns, p99 < {} ns, p999 < {} ns (min {} ns, max {} ns)",
             self.qps(),
             self.p50_ns,
-            self.p99_ns
+            self.p90_ns,
+            self.p99_ns,
+            self.p999_ns,
+            self.min_ns,
+            self.max_ns
         )?;
         writeln!(
             f,
@@ -233,6 +325,14 @@ impl std::fmt::Display for Snapshot {
             self.cache_misses,
             self.cache_hit_rate() * 100.0
         )?;
+        for (i, &(h, m)) in self.shard_cache.iter().enumerate() {
+            let rate = self.shard_hit_rates()[i] * 100.0;
+            writeln!(
+                f,
+                "  shard {i}: {h} hits / {m} misses ({rate:.1}% hit rate)"
+            )?;
+        }
+        writeln!(f, "slow queries: {}", self.slow_queries)?;
         write!(
             f,
             "wire: {} bytes in, {} bytes out, {} protocol errors",
@@ -245,6 +345,8 @@ impl std::fmt::Display for Snapshot {
 mod tests {
     use super::*;
 
+    // The histogram semantics themselves are covered in pl-obs; here we
+    // only pin that the re-exported type keeps the serve-side contract.
     #[test]
     fn histogram_buckets_and_quantiles() {
         let h = LatencyHistogram::default();
@@ -259,46 +361,96 @@ mod tests {
         assert_eq!(h.quantile_ns(1.0), 1 << 21);
     }
 
-    #[test]
-    fn histogram_extremes_do_not_panic() {
-        let h = LatencyHistogram::default();
-        h.record(0);
-        h.record(u64::MAX);
-        assert_eq!(h.count(), 2);
-        assert!(h.quantile_ns(1.0) > 0);
-    }
-
-    #[test]
-    fn snapshot_round_trips() {
-        let s = Snapshot {
+    fn sample_snapshot() -> Snapshot {
+        Snapshot {
             adj_queries: 1,
             dist_queries: 2,
             batches: 3,
             connections: 4,
-            cache_hits: 5,
+            cache_hits: 9,
             cache_misses: 6,
             bytes_in: 7,
             bytes_out: 8,
             protocol_errors: 9,
             p50_ns: 10,
-            p99_ns: 11,
+            p90_ns: 11,
+            p99_ns: 12,
+            p999_ns: 13,
+            min_ns: 2,
+            max_ns: 99,
             qps_milli: 12_500,
-        };
+            slow_queries: 1,
+            shard_cache: vec![(4, 1), (5, 5), (0, 0)],
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_v2() {
+        let s = sample_snapshot();
         let bytes = s.to_bytes();
-        assert_eq!(Snapshot::from_bytes(&bytes), Some(s));
+        assert_eq!(bytes.len(), (18 + 2 * 3) * 8);
+        assert_eq!(Snapshot::from_bytes(&bytes), Some(s.clone()));
         assert_eq!(Snapshot::from_bytes(&bytes[..bytes.len() - 1]), None);
+        assert_eq!(Snapshot::from_bytes(&bytes[..bytes.len() - 16]), None);
         assert!((s.qps() - 12.5).abs() < 1e-9);
-        assert!((s.cache_hit_rate() - 5.0 / 11.0).abs() < 1e-9);
+        assert!((s.cache_hit_rate() - 9.0 / 15.0).abs() < 1e-9);
+        let rates = s.shard_hit_rates();
+        assert!((rates[0] - 0.8).abs() < 1e-9);
+        assert!((rates[1] - 0.5).abs() < 1e-9);
+        assert!(rates[2].abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_v1_layout_still_parses() {
+        let s = sample_snapshot();
+        let v1 = s.to_bytes_v1();
+        assert_eq!(v1.len(), 96);
+        let parsed = Snapshot::from_bytes(&v1).expect("v1 parses");
+        assert_eq!(parsed.adj_queries, s.adj_queries);
+        assert_eq!(parsed.p50_ns, s.p50_ns);
+        assert_eq!(parsed.p99_ns, s.p99_ns);
+        assert_eq!(parsed.qps_milli, s.qps_milli);
+        // Extended fields degrade to zero/empty.
+        assert_eq!(parsed.p90_ns, 0);
+        assert_eq!(parsed.p999_ns, 0);
+        assert!(parsed.shard_cache.is_empty());
+    }
+
+    #[test]
+    fn snapshot_rejects_inconsistent_shard_count() {
+        let s = sample_snapshot();
+        let mut bytes = s.to_bytes();
+        // Claim one more shard than the body carries.
+        let idx = (V2_FIXED_FIELDS - 1) * 8;
+        bytes[idx..idx + 8].copy_from_slice(&4u64.to_le_bytes());
+        assert_eq!(Snapshot::from_bytes(&bytes), None);
+        // Absurd shard count must not allocate or wrap.
+        bytes[idx..idx + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(Snapshot::from_bytes(&bytes), None);
     }
 
     #[test]
     fn snapshot_counts_and_qps() {
-        let m = Metrics::default();
-        m.adj_queries.fetch_add(10, Ordering::Relaxed);
-        m.cache_hits.fetch_add(3, Ordering::Relaxed);
-        let s = m.snapshot(Instant::now() - std::time::Duration::from_secs(1));
+        let reg = MetricsRegistry::new();
+        let m = Metrics::new(&reg);
+        m.adj_queries.add(10);
+        m.query_latency.record(500);
+        let s = m.snapshot(
+            Instant::now() - std::time::Duration::from_secs(1),
+            &[(3, 0), (0, 1)],
+        );
         assert_eq!(s.adj_queries, 10);
         assert!(s.qps() > 1.0, "ten queries over ~1s");
-        assert!((s.cache_hit_rate() - 1.0).abs() < 1e-9);
+        assert_eq!(s.cache_hits, 3);
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.shard_cache, vec![(3, 0), (0, 1)]);
+        assert_eq!(s.min_ns, 500);
+        assert_eq!(s.max_ns, 500);
+        assert!(s.p90_ns >= s.p50_ns);
+        assert!(s.p999_ns >= s.p99_ns);
+        // The same numbers are visible through the registry.
+        let text = pl_obs::prom::render(&reg);
+        assert!(text.contains("plserve_adj_queries_total 10"), "{text}");
+        assert!(text.contains("plserve_query_latency_ns_count 1"));
     }
 }

@@ -20,8 +20,14 @@ use std::io::{Read, Write};
 
 use crate::metrics::Snapshot;
 
-/// Protocol version this build speaks.
-pub const VERSION: u8 = 1;
+/// Newest protocol version this build speaks. Version 2 added the
+/// extended STATS reply (p90/p999, min/max, slow queries, per-shard
+/// cache counters) and the `TRACE_DUMP` opcode.
+pub const VERSION: u8 = 2;
+
+/// Oldest protocol version this build still accepts. Version-1 sessions
+/// get the original twelve-field STATS reply.
+pub const MIN_VERSION: u8 = 1;
 
 /// Handshake magic, first bytes of the HELLO body after the opcode.
 pub const MAGIC: [u8; 4] = *b"PLSV";
@@ -43,6 +49,8 @@ pub mod opcode {
     pub const STATS: u8 = 0x02;
     /// Orderly close; server replies `GOODBYE_OK` after draining.
     pub const GOODBYE: u8 = 0x03;
+    /// Drain the server's trace rings (v2+): reply is `TRACE_REPLY`.
+    pub const TRACE_DUMP: u8 = 0x04;
     /// Handshake accepted: version + scheme tag + vertex count.
     pub const HELLO_OK: u8 = 0x80;
     /// Answers, one per query, in order.
@@ -51,6 +59,9 @@ pub mod opcode {
     pub const STATS_REPLY: u8 = 0x82;
     /// Acknowledges `GOODBYE`; the server closes after sending it.
     pub const GOODBYE_OK: u8 = 0x83;
+    /// Drained trace events as UTF-8 JSONL (possibly truncated to the
+    /// frame cap at a line boundary).
+    pub const TRACE_REPLY: u8 = 0x84;
     /// Fatal per-connection error, body is a UTF-8 message.
     pub const ERROR: u8 = 0x8F;
 }
@@ -222,16 +233,24 @@ impl FrameBuffer {
     }
 }
 
-/// Builds a HELLO body.
+/// Builds a HELLO body offering [`VERSION`].
 #[must_use]
 pub fn encode_hello() -> Vec<u8> {
+    encode_hello_version(VERSION)
+}
+
+/// Builds a HELLO body offering an explicit `version` (the client's
+/// downgrade path when talking to an older server).
+#[must_use]
+pub fn encode_hello_version(version: u8) -> Vec<u8> {
     let mut b = vec![opcode::HELLO];
     b.extend_from_slice(&MAGIC);
-    b.push(VERSION);
+    b.push(version);
     b
 }
 
-/// Parses a HELLO body (opcode byte included) and returns the version.
+/// Parses a HELLO body (opcode byte included) and returns the version,
+/// which must be within `MIN_VERSION..=VERSION`.
 pub fn parse_hello(body: &[u8]) -> Result<u8, ProtocolError> {
     if body.len() != 6 || body[0] != opcode::HELLO {
         return Err(ProtocolError::Malformed("hello"));
@@ -240,16 +259,16 @@ pub fn parse_hello(body: &[u8]) -> Result<u8, ProtocolError> {
         return Err(ProtocolError::BadMagic);
     }
     let version = body[5];
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(ProtocolError::UnsupportedVersion(version));
     }
     Ok(version)
 }
 
-/// Builds a HELLO_OK body.
+/// Builds a HELLO_OK body carrying the negotiated session `version`.
 #[must_use]
-pub fn encode_hello_ok(tag: u8, n: u32) -> Vec<u8> {
-    let mut b = vec![opcode::HELLO_OK, VERSION, tag];
+pub fn encode_hello_ok(version: u8, tag: u8, n: u32) -> Vec<u8> {
+    let mut b = vec![opcode::HELLO_OK, version, tag];
     b.extend_from_slice(&n.to_le_bytes());
     b
 }
@@ -367,11 +386,17 @@ pub fn parse_batch_reply(body: &[u8]) -> Result<Vec<Answer>, ProtocolError> {
     Ok(answers)
 }
 
-/// Builds a STATS_REPLY body.
+/// Builds a STATS_REPLY body in the layout of the session's negotiated
+/// `version`: v1 sessions get the original twelve-field reply, v2+ the
+/// extended layout with quantiles, min/max, and per-shard counters.
 #[must_use]
-pub fn encode_stats_reply(s: &Snapshot) -> Vec<u8> {
+pub fn encode_stats_reply(s: &Snapshot, version: u8) -> Vec<u8> {
     let mut b = vec![opcode::STATS_REPLY];
-    b.extend_from_slice(&s.to_bytes());
+    if version <= 1 {
+        b.extend_from_slice(&s.to_bytes_v1());
+    } else {
+        b.extend_from_slice(&s.to_bytes());
+    }
     b
 }
 
@@ -401,12 +426,43 @@ mod tests {
             parse_hello(&wrong_version),
             Err(ProtocolError::UnsupportedVersion(99))
         );
+        let mut too_old = encode_hello();
+        too_old[5] = 0;
+        assert_eq!(
+            parse_hello(&too_old),
+            Err(ProtocolError::UnsupportedVersion(0))
+        );
+        // Every version in the supported range is accepted.
+        for v in MIN_VERSION..=VERSION {
+            assert_eq!(parse_hello(&encode_hello_version(v)), Ok(v));
+        }
     }
 
     #[test]
     fn hello_ok_round_trip() {
-        let body = encode_hello_ok(1, 54_321);
+        let body = encode_hello_ok(VERSION, 1, 54_321);
         assert_eq!(parse_hello_ok(&body), Ok((VERSION, 1, 54_321)));
+        let v1 = encode_hello_ok(1, 1, 54_321);
+        assert_eq!(parse_hello_ok(&v1), Ok((1, 1, 54_321)));
+    }
+
+    #[test]
+    fn stats_reply_is_version_gated() {
+        let s = Snapshot {
+            adj_queries: 7,
+            p90_ns: 1234,
+            ..Snapshot::default()
+        };
+        let v1 = encode_stats_reply(&s, 1);
+        let v2 = encode_stats_reply(&s, 2);
+        assert_eq!(v1.len(), 1 + 12 * 8);
+        assert!(v2.len() > v1.len());
+        // Both parse; the v1 reply loses the extended fields.
+        let from_v1 = parse_stats_reply(&v1).unwrap();
+        assert_eq!(from_v1.adj_queries, 7);
+        assert_eq!(from_v1.p90_ns, 0);
+        let from_v2 = parse_stats_reply(&v2).unwrap();
+        assert_eq!(from_v2.p90_ns, 1234);
     }
 
     #[test]

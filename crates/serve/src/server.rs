@@ -6,6 +6,20 @@
 //! answering every fully received frame, then linger through a short
 //! quiet window to drain bytes still in flight, and only then close.
 //! `shutdown` joins all threads and returns the final metrics snapshot.
+//!
+//! ## Observability
+//!
+//! Every server owns a [`MetricsRegistry`] (per-instance, so parallel
+//! servers in one process — e.g. tests — never share counters). The
+//! serve path is instrumented with [`pl_obs`] spans (`serve.batch`,
+//! `store.adjacent`, cache hit/miss events) and a threshold-triggered
+//! slow-query log: a query at or over
+//! [`ServeOptions::slow_query_ns`] increments
+//! `plserve_slow_queries_total` and records a `serve.slow_query` trace
+//! event carrying the vertex pair and the shard/cache provenance.
+//! [`ServerHandle::prometheus_text`] renders the registry (plus derived
+//! per-shard hit ratios and the process-global encode metrics) in
+//! Prometheus text format — `plab serve --prom` exposes it over HTTP.
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -13,10 +27,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use pl_obs::MetricsRegistry;
+
 use crate::metrics::{Metrics, Snapshot};
 use crate::protocol::{
     encode_batch_reply, encode_hello_ok, encode_stats_reply, opcode, parse_batch, parse_hello,
-    write_frame, Answer, FrameBuffer, QueryKind,
+    write_frame, Answer, FrameBuffer, QueryKind, MAX_FRAME,
 };
 use crate::store::{LabelStore, StoreError};
 
@@ -27,24 +43,60 @@ const POLL: Duration = Duration::from_millis(20);
 /// new bytes for this long — frames already on the wire still get served.
 const DRAIN_QUIET: Duration = Duration::from_millis(150);
 
+/// Server tuning knobs beyond the store itself.
+#[derive(Debug, Clone, Default)]
+pub struct ServeOptions {
+    /// Metrics registry to register the server's instruments in; a
+    /// fresh private registry when `None`. Pass the registry the
+    /// store was built with ([`LabelStore::with_registry`]) so the
+    /// per-shard cache families land on the same scrape surface.
+    pub registry: Option<Arc<MetricsRegistry>>,
+    /// Queries taking at least this many nanoseconds are counted in
+    /// `plserve_slow_queries_total` and logged as `serve.slow_query`
+    /// trace events. `None` disables the slow-query log.
+    pub slow_query_ns: Option<u64>,
+}
+
 /// Everything a connection thread needs, behind one `Arc`.
 struct Shared {
     store: Arc<LabelStore>,
     metrics: Metrics,
+    registry: Arc<MetricsRegistry>,
+    /// Slow-query threshold; `u64::MAX` disables.
+    slow_query_ns: u64,
     shutdown: AtomicBool,
     started: Instant,
 }
 
 impl Shared {
-    /// Snapshot with the store's cache counters folded in.
+    /// Snapshot with the store's per-shard cache counters folded in.
     fn snapshot(&self) -> Snapshot {
         self.metrics
-            .cache_hits
-            .store(self.store.cache_hits(), Ordering::Relaxed);
-        self.metrics
-            .cache_misses
-            .store(self.store.cache_misses(), Ordering::Relaxed);
-        self.metrics.snapshot(self.started)
+            .snapshot(self.started, &self.store.shard_cache_counts())
+    }
+
+    /// Prometheus text: the server registry, derived per-shard hit
+    /// ratios, and the process-global registry (encode-phase timings
+    /// and label-size histograms), deduplicated if they are the same.
+    fn prometheus_text(&self) -> String {
+        let mut p = pl_obs::prom::PromText::new();
+        p.registry(&self.registry);
+        for (i, &(h, m)) in self.store.shard_cache_counts().iter().enumerate() {
+            let ratio = if h + m == 0 {
+                0.0
+            } else {
+                h as f64 / (h + m) as f64
+            };
+            p.gauge_f64(
+                "plserve_cache_hit_ratio",
+                &vec![("shard".to_string(), i.to_string())],
+                ratio,
+            );
+        }
+        if !std::ptr::eq(self.registry.as_ref(), pl_obs::global()) {
+            p.registry(pl_obs::global());
+        }
+        p.finish()
     }
 }
 
@@ -69,6 +121,28 @@ impl ServerHandle {
         self.shared.snapshot()
     }
 
+    /// The registry this server's instruments live in.
+    #[must_use]
+    pub fn registry(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.shared.registry)
+    }
+
+    /// Current metrics in Prometheus text format (server registry,
+    /// derived per-shard cache hit ratios, process-global encode
+    /// metrics).
+    #[must_use]
+    pub fn prometheus_text(&self) -> String {
+        self.shared.prometheus_text()
+    }
+
+    /// A closure rendering [`prometheus_text`](Self::prometheus_text)
+    /// on demand — plug it straight into [`pl_obs::http::expose`].
+    #[must_use]
+    pub fn prometheus_renderer(&self) -> pl_obs::http::RenderFn {
+        let shared = Arc::clone(&self.shared);
+        Arc::new(move || shared.prometheus_text())
+    }
+
     /// Signals shutdown, waits for every connection to drain, and
     /// returns the final metrics snapshot.
     pub fn shutdown(mut self) -> Snapshot {
@@ -81,14 +155,28 @@ impl ServerHandle {
 }
 
 /// Binds `addr` (e.g. `"127.0.0.1:0"`) and serves `store` until
-/// [`ServerHandle::shutdown`].
+/// [`ServerHandle::shutdown`], with default [`ServeOptions`].
 pub fn serve(store: Arc<LabelStore>, addr: &str) -> std::io::Result<ServerHandle> {
+    serve_with(store, addr, ServeOptions::default())
+}
+
+/// Binds `addr` and serves `store` with explicit [`ServeOptions`].
+pub fn serve_with(
+    store: Arc<LabelStore>,
+    addr: &str,
+    options: ServeOptions,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
+    let registry = options
+        .registry
+        .unwrap_or_else(|| Arc::new(MetricsRegistry::new()));
     let shared = Arc::new(Shared {
         store,
-        metrics: Metrics::default(),
+        metrics: Metrics::new(&registry),
+        registry,
+        slow_query_ns: options.slow_query_ns.unwrap_or(u64::MAX),
         shutdown: AtomicBool::new(false),
         started: Instant::now(),
     });
@@ -106,7 +194,8 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     while !shared.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
-                shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.connections.inc();
+                pl_obs::event!("serve.accept");
                 let conn_shared = Arc::clone(shared);
                 conns.push(std::thread::spawn(move || {
                     // Per-connection I/O errors just end that connection.
@@ -130,31 +219,26 @@ fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) -> std::io::Res
     stream.set_read_timeout(Some(POLL))?;
     let mut fb = FrameBuffer::new();
     let mut read_buf = [0u8; 16 * 1024];
-    let mut handshaken = false;
+    // Negotiated protocol version; `None` until the handshake.
+    let mut session_version: Option<u8> = None;
     let mut quiet_since: Option<Instant> = None;
     loop {
         match stream.read(&mut read_buf) {
             Ok(0) => return Ok(()), // peer closed
             Ok(len) => {
                 quiet_since = None;
-                shared
-                    .metrics
-                    .bytes_in
-                    .fetch_add(len as u64, Ordering::Relaxed);
+                shared.metrics.bytes_in.add(len as u64);
                 fb.push(&read_buf[..len]);
                 loop {
                     match fb.next_frame() {
                         Ok(Some(body)) => {
-                            if !process_frame(&body, &mut handshaken, shared, &mut stream)? {
+                            if !process_frame(&body, &mut session_version, shared, &mut stream)? {
                                 return stream.flush();
                             }
                         }
                         Ok(None) => break,
                         Err(e) => {
-                            shared
-                                .metrics
-                                .protocol_errors
-                                .fetch_add(1, Ordering::Relaxed);
+                            shared.metrics.protocol_errors.inc();
                             send_error(&mut stream, shared, &e.to_string())?;
                             return stream.flush();
                         }
@@ -177,91 +261,123 @@ fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) -> std::io::Res
     }
 }
 
+/// Answers one query, recording latency, the slow-query log, and trace
+/// provenance.
+fn answer_query(shared: &Shared, kind: QueryKind, u: u32, v: u32) -> Answer {
+    let t0 = Instant::now();
+    let (answer, path) = match kind {
+        QueryKind::Adjacent => {
+            shared.metrics.adj_queries.inc();
+            match shared.store.adjacent_traced(u, v) {
+                Ok((true, p)) => (Answer::Adjacent, Some(p)),
+                Ok((false, p)) => (Answer::NotAdjacent, Some(p)),
+                Err(StoreError::OutOfRange) => (Answer::OutOfRange, None),
+                Err(StoreError::Unsupported) => (Answer::Unsupported, None),
+                Err(StoreError::Malformed) => (Answer::MalformedLabel, None),
+            }
+        }
+        QueryKind::Distance => {
+            shared.metrics.dist_queries.inc();
+            match shared.store.distance(u, v) {
+                Ok(Some(d)) => (Answer::Distance(d), None),
+                Ok(None) => (Answer::Unreachable, None),
+                Err(StoreError::OutOfRange) => (Answer::OutOfRange, None),
+                Err(StoreError::Unsupported) => (Answer::Unsupported, None),
+                Err(StoreError::Malformed) => (Answer::MalformedLabel, None),
+            }
+        }
+    };
+    let ns = t0.elapsed().as_nanos() as u64;
+    shared.metrics.query_latency.record(ns);
+    if ns >= shared.slow_query_ns {
+        shared.metrics.slow_queries.inc();
+        // Reconstruct the span window only on the (rare) slow branch so
+        // the hot path stays at two clock reads.
+        let end = pl_obs::trace::now_ns();
+        pl_obs::trace::record_complete(
+            "serve.slow_query",
+            end.saturating_sub(ns),
+            ns,
+            (u64::from(u) << 32) | u64::from(v),
+            path.map_or(u64::MAX, |p| p.as_u64()),
+        );
+    }
+    answer
+}
+
 /// Handles one frame; returns `false` when the connection should close.
 fn process_frame(
     body: &[u8],
-    handshaken: &mut bool,
+    session_version: &mut Option<u8>,
     shared: &Arc<Shared>,
     stream: &mut TcpStream,
 ) -> std::io::Result<bool> {
     let op = body.first().copied();
-    if !*handshaken {
+    let Some(version) = *session_version else {
         return match op {
             Some(opcode::HELLO) => match parse_hello(body) {
-                Ok(_) => {
-                    *handshaken = true;
-                    let reply = encode_hello_ok(shared.store.tag().as_u8(), shared.store.n());
+                Ok(v) => {
+                    *session_version = Some(v);
+                    let reply = encode_hello_ok(v, shared.store.tag().as_u8(), shared.store.n());
                     send(stream, shared, &reply)?;
                     Ok(true)
                 }
                 Err(e) => {
-                    shared
-                        .metrics
-                        .protocol_errors
-                        .fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.protocol_errors.inc();
                     send_error(stream, shared, &e.to_string())?;
                     Ok(false)
                 }
             },
             _ => {
-                shared
-                    .metrics
-                    .protocol_errors
-                    .fetch_add(1, Ordering::Relaxed);
+                shared.metrics.protocol_errors.inc();
                 send_error(stream, shared, "expected HELLO")?;
                 Ok(false)
             }
         };
-    }
+    };
     match op {
         Some(opcode::BATCH) => match parse_batch(body) {
             Ok(queries) => {
+                let _batch_span = pl_obs::span!("serve.batch", queries.len());
                 let mut answers = Vec::with_capacity(queries.len());
                 for q in &queries {
-                    let t0 = Instant::now();
-                    let answer = match q.kind {
-                        QueryKind::Adjacent => {
-                            shared.metrics.adj_queries.fetch_add(1, Ordering::Relaxed);
-                            match shared.store.adjacent(q.u, q.v) {
-                                Ok(true) => Answer::Adjacent,
-                                Ok(false) => Answer::NotAdjacent,
-                                Err(StoreError::OutOfRange) => Answer::OutOfRange,
-                                Err(StoreError::Unsupported) => Answer::Unsupported,
-                                Err(StoreError::Malformed) => Answer::MalformedLabel,
-                            }
-                        }
-                        QueryKind::Distance => {
-                            shared.metrics.dist_queries.fetch_add(1, Ordering::Relaxed);
-                            match shared.store.distance(q.u, q.v) {
-                                Ok(Some(d)) => Answer::Distance(d),
-                                Ok(None) => Answer::Unreachable,
-                                Err(StoreError::OutOfRange) => Answer::OutOfRange,
-                                Err(StoreError::Unsupported) => Answer::Unsupported,
-                                Err(StoreError::Malformed) => Answer::MalformedLabel,
-                            }
-                        }
-                    };
-                    shared
-                        .metrics
-                        .query_latency
-                        .record(t0.elapsed().as_nanos() as u64);
-                    answers.push(answer);
+                    answers.push(answer_query(shared, q.kind, q.u, q.v));
                 }
-                shared.metrics.batches.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.batches.inc();
                 send(stream, shared, &encode_batch_reply(&answers))?;
                 Ok(true)
             }
             Err(e) => {
-                shared
-                    .metrics
-                    .protocol_errors
-                    .fetch_add(1, Ordering::Relaxed);
+                shared.metrics.protocol_errors.inc();
                 send_error(stream, shared, &e.to_string())?;
                 Ok(false)
             }
         },
         Some(opcode::STATS) => {
-            send(stream, shared, &encode_stats_reply(&shared.snapshot()))?;
+            send(
+                stream,
+                shared,
+                &encode_stats_reply(&shared.snapshot(), version),
+            )?;
+            Ok(true)
+        }
+        Some(opcode::TRACE_DUMP) => {
+            let jsonl = pl_obs::trace::drain_jsonl();
+            let mut body = Vec::with_capacity(jsonl.len().min(MAX_FRAME) + 1);
+            body.push(opcode::TRACE_REPLY);
+            // Truncate to the frame cap at a line boundary.
+            let budget = MAX_FRAME - 1;
+            let bytes = jsonl.as_bytes();
+            let take = if bytes.len() <= budget {
+                bytes.len()
+            } else {
+                bytes[..budget]
+                    .iter()
+                    .rposition(|&b| b == b'\n')
+                    .map_or(0, |p| p + 1)
+            };
+            body.extend_from_slice(&bytes[..take]);
+            send(stream, shared, &body)?;
             Ok(true)
         }
         Some(opcode::GOODBYE) => {
@@ -269,10 +385,7 @@ fn process_frame(
             Ok(false)
         }
         _ => {
-            shared
-                .metrics
-                .protocol_errors
-                .fetch_add(1, Ordering::Relaxed);
+            shared.metrics.protocol_errors.inc();
             send_error(stream, shared, "unknown opcode")?;
             Ok(false)
         }
@@ -281,10 +394,7 @@ fn process_frame(
 
 fn send(stream: &mut TcpStream, shared: &Shared, body: &[u8]) -> std::io::Result<()> {
     write_frame(stream, body)?;
-    shared
-        .metrics
-        .bytes_out
-        .fetch_add(4 + body.len() as u64, Ordering::Relaxed);
+    shared.metrics.bytes_out.add(4 + body.len() as u64);
     Ok(())
 }
 

@@ -26,12 +26,13 @@
 //! [`StoreError::Malformed`] for that query instead of killing the
 //! connection thread.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use pl_labeling::scheme::AdjacencyDecoder;
 use pl_labeling::threshold::ThresholdDecoder;
 use pl_labeling::LabelRef;
+use pl_obs::registry::Counter;
+use pl_obs::MetricsRegistry;
 
 use crate::cache::LruCache;
 use crate::format::{decode_adjacent, decode_distance, SchemeTag, TaggedLabeling};
@@ -122,14 +123,49 @@ fn peek_threshold(l: LabelRef<'_>) -> Option<(u64, bool)> {
     Some((id, fat))
 }
 
+/// How one adjacency query was answered — the provenance attached to
+/// slow-query trace events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryPath {
+    /// Non-threshold scheme: generic decoder dispatch.
+    Generic,
+    /// At least one endpoint thin: neighbour-list scan.
+    ThinScan,
+    /// Fat–fat pair answered through the decode cache.
+    FatFat {
+        /// Cache shard consulted (`u mod S`).
+        shard: u32,
+        /// Whether the decoded bitmap was already cached.
+        hit: bool,
+    },
+}
+
+impl QueryPath {
+    /// Packs the provenance into one trace payload word:
+    /// low byte = path kind (0 generic, 1 thin, 2 fat–fat),
+    /// bit 8 = cache hit, bits 32.. = shard index.
+    #[must_use]
+    pub fn as_u64(&self) -> u64 {
+        match *self {
+            Self::Generic => 0,
+            Self::ThinScan => 1,
+            Self::FatFat { shard, hit } => 2 | (u64::from(hit) << 8) | (u64::from(shard) << 32),
+        }
+    }
+}
+
 /// The sharded, concurrently readable label store.
 pub struct LabelStore {
     labeling: pl_labeling::Labeling,
     caches: Vec<Mutex<LruCache<Arc<DecodedFat>>>>,
     tag: SchemeTag,
     n: u32,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
+    /// Per-shard decode-cache hit counters
+    /// (`plserve_cache_hits_total{shard=...}`), index-aligned with
+    /// `caches`.
+    shard_hits: Vec<Arc<Counter>>,
+    /// Per-shard miss counters, likewise.
+    shard_misses: Vec<Arc<Counter>>,
 }
 
 impl std::fmt::Debug for LabelStore {
@@ -145,8 +181,22 @@ impl std::fmt::Debug for LabelStore {
 impl LabelStore {
     /// Wraps `tagged` with a cache sharded per `config`. The labeling's
     /// arena is kept whole — shards only partition the decode cache.
+    /// Cache counters are created privately; use
+    /// [`with_registry`](Self::with_registry) to make them scrapeable.
     #[must_use]
     pub fn new(tagged: TaggedLabeling, config: StoreConfig) -> Self {
+        Self::with_registry(tagged, config, &MetricsRegistry::new())
+    }
+
+    /// Like [`new`](Self::new), but registers the per-shard cache
+    /// counters as the `plserve_cache_hits_total{shard=...}` /
+    /// `plserve_cache_misses_total{shard=...}` families in `registry`.
+    #[must_use]
+    pub fn with_registry(
+        tagged: TaggedLabeling,
+        config: StoreConfig,
+        registry: &MetricsRegistry,
+    ) -> Self {
         let shard_count = config.shards.max(1);
         let per_shard_cache = config.cache_capacity.div_ceil(shard_count);
         let n = u32::try_from(tagged.labeling.len()).expect("more than u32::MAX labels");
@@ -159,13 +209,18 @@ impl LabelStore {
                 }))
             })
             .collect();
+        let shard_counter = |name: &str| -> Vec<Arc<Counter>> {
+            (0..shard_count)
+                .map(|i| registry.counter_with(name, &[("shard", &i.to_string())]))
+                .collect()
+        };
         Self {
             labeling: tagged.labeling,
             caches,
             tag: tagged.tag,
             n,
-            cache_hits: AtomicU64::new(0),
-            cache_misses: AtomicU64::new(0),
+            shard_hits: shard_counter("plserve_cache_hits_total"),
+            shard_misses: shard_counter("plserve_cache_misses_total"),
         }
     }
 
@@ -187,16 +242,26 @@ impl LabelStore {
         self.caches.len()
     }
 
-    /// Decode-cache hits so far.
+    /// Decode-cache hits so far, summed over shards.
     #[must_use]
     pub fn cache_hits(&self) -> u64 {
-        self.cache_hits.load(Ordering::Relaxed)
+        self.shard_hits.iter().map(|c| c.get()).sum()
     }
 
-    /// Decode-cache misses so far.
+    /// Decode-cache misses so far, summed over shards.
     #[must_use]
     pub fn cache_misses(&self) -> u64 {
-        self.cache_misses.load(Ordering::Relaxed)
+        self.shard_misses.iter().map(|c| c.get()).sum()
+    }
+
+    /// Per-shard `(hits, misses)` pairs, in shard order.
+    #[must_use]
+    pub fn shard_cache_counts(&self) -> Vec<(u64, u64)> {
+        self.shard_hits
+            .iter()
+            .zip(&self.shard_misses)
+            .map(|(h, m)| (h.get(), m.get()))
+            .collect()
     }
 
     /// The label of `v`, viewed in place, if in range.
@@ -205,25 +270,49 @@ impl LabelStore {
         (v < self.n).then(|| self.labeling.label(v))
     }
 
-    /// Answers "is {u, v} an edge?" from labels alone.
+    /// Answers "is {u, v} an edge?" from labels alone. This is the lean
+    /// path: no spans, no provenance — the server uses
+    /// [`adjacent_traced`](Self::adjacent_traced) instead.
     pub fn adjacent(&self, u: u32, v: u32) -> Result<bool, StoreError> {
+        self.adjacent_inner(u, v).map(|(edge, _)| edge)
+    }
+
+    /// Like [`adjacent`](Self::adjacent), but wraps the lookup in a
+    /// `store.adjacent` trace span, emits cache hit/miss events, and
+    /// reports how the query was answered (shard and cache provenance
+    /// for the slow-query log).
+    pub fn adjacent_traced(&self, u: u32, v: u32) -> Result<(bool, QueryPath), StoreError> {
+        let _span = pl_obs::span!("store.adjacent", u, v);
+        let out = self.adjacent_inner(u, v);
+        if let Ok((_, QueryPath::FatFat { shard, hit })) = out {
+            if hit {
+                pl_obs::event!("store.cache_hit", u, shard);
+            } else {
+                pl_obs::event!("store.cache_miss", u, shard);
+            }
+        }
+        out
+    }
+
+    fn adjacent_inner(&self, u: u32, v: u32) -> Result<(bool, QueryPath), StoreError> {
         let la = self.label(u).ok_or(StoreError::OutOfRange)?;
         let lb = self.label(v).ok_or(StoreError::OutOfRange)?;
         if self.tag != SchemeTag::Threshold {
-            return Ok(decode_adjacent(self.tag, la, lb));
+            return Ok((decode_adjacent(self.tag, la, lb), QueryPath::Generic));
         }
         // Threshold fast path: peek at the preludes and fat flags; a
         // fat–fat pair is answered from the cached decoded bitmap.
         let (ida, fat_a) = peek_threshold(la).ok_or(StoreError::Malformed)?;
         let (idb, fat_b) = peek_threshold(lb).ok_or(StoreError::Malformed)?;
         if ida == idb {
-            return Ok(false);
+            return Ok((false, QueryPath::ThinScan));
         }
         if fat_a && fat_b {
-            let decoded = self.decoded_fat(u, la).ok_or(StoreError::Malformed)?;
-            return Ok(decoded.test(idb));
+            let (decoded, hit) = self.decoded_fat(u, la).ok_or(StoreError::Malformed)?;
+            let shard = (u as usize % self.caches.len()) as u32;
+            return Ok((decoded.test(idb), QueryPath::FatFat { shard, hit }));
         }
-        Ok(ThresholdDecoder.adjacent(la, lb))
+        Ok((ThresholdDecoder.adjacent(la, lb), QueryPath::ThinScan))
     }
 
     /// Answers "what is dist(u, v)?"; `Ok(None)` means beyond the
@@ -237,19 +326,20 @@ impl LabelStore {
         Ok(decode_distance(self.tag, la, lb))
     }
 
-    /// The decoded bitmap of fat vertex `u`, from cache or decoded now;
-    /// `None` if the label turns out corrupt (fat flag set, body short).
-    fn decoded_fat(&self, u: u32, label: LabelRef<'_>) -> Option<Arc<DecodedFat>> {
-        let shard = &self.caches[u as usize % self.caches.len()];
-        let mut cache = shard.lock().expect("cache mutex poisoned");
+    /// The decoded bitmap of fat vertex `u` (plus whether it was a cache
+    /// hit), from cache or decoded now; `None` if the label turns out
+    /// corrupt (fat flag set, body short).
+    fn decoded_fat(&self, u: u32, label: LabelRef<'_>) -> Option<(Arc<DecodedFat>, bool)> {
+        let shard_idx = u as usize % self.caches.len();
+        let mut cache = self.caches[shard_idx].lock().expect("cache mutex poisoned");
         if let Some(hit) = cache.get(u) {
-            self.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return Some(Arc::clone(hit));
+            self.shard_hits[shard_idx].inc();
+            return Some((Arc::clone(hit), true));
         }
-        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.shard_misses[shard_idx].inc();
         let decoded = Arc::new(DecodedFat::from_label(label)?);
         cache.insert(u, Arc::clone(&decoded));
-        Some(decoded)
+        Some((decoded, false))
     }
 }
 
@@ -338,6 +428,65 @@ mod tests {
         }
         assert_eq!(store.cache_misses(), 1, "hub decoded once");
         assert_eq!(store.cache_hits(), 28, "then served from cache");
+    }
+
+    #[test]
+    fn per_shard_counters_and_query_provenance() {
+        let g = star_plus_cycle(30);
+        let reg = MetricsRegistry::new();
+        let store = LabelStore::with_registry(
+            TaggedLabeling {
+                tag: SchemeTag::Threshold,
+                labeling: ThresholdScheme::with_tau(3).encode(&g),
+            },
+            StoreConfig {
+                shards: 4,
+                cache_capacity: 64,
+            },
+            &reg,
+        );
+        // Hub (vertex 0) vs cycle vertices: all fat–fat, shard 0 holds
+        // the hub's decoded bitmap.
+        let (edge, path) = store.adjacent_traced(0, 1).unwrap();
+        assert!(edge);
+        assert_eq!(
+            path,
+            QueryPath::FatFat {
+                shard: 0,
+                hit: false
+            }
+        );
+        let (_, path) = store.adjacent_traced(0, 2).unwrap();
+        assert_eq!(
+            path,
+            QueryPath::FatFat {
+                shard: 0,
+                hit: true
+            }
+        );
+        let counts = store.shard_cache_counts();
+        assert_eq!(counts.len(), 4);
+        assert_eq!(counts[0], (1, 1), "hub lives in shard 0");
+        assert_eq!(counts[1], (0, 0));
+        assert_eq!(store.cache_hits(), 1);
+        assert_eq!(store.cache_misses(), 1);
+        // The same counters surface as a labeled Prometheus family.
+        let text = pl_obs::prom::render(&reg);
+        assert!(
+            text.contains("plserve_cache_hits_total{shard=\"0\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("plserve_cache_misses_total{shard=\"3\"} 0"));
+        // Provenance packing round-trips the interesting bits.
+        assert_eq!(QueryPath::Generic.as_u64(), 0);
+        assert_eq!(QueryPath::ThinScan.as_u64(), 1);
+        let p = QueryPath::FatFat {
+            shard: 3,
+            hit: true,
+        };
+        assert_eq!(p.as_u64() & 0xFF, 2);
+        assert_eq!((p.as_u64() >> 8) & 1, 1);
+        assert_eq!(p.as_u64() >> 32, 3);
     }
 
     #[test]

@@ -283,3 +283,126 @@ fn tampered_plab_answers_malformed_and_server_survives() {
     client.goodbye().expect("goodbye");
     handle.shutdown();
 }
+
+/// The whole observability surface over one live server: per-shard
+/// cache counters in the v2 STATS reply, extended latency quantiles,
+/// the slow-query log, TRACE_DUMP over the wire, and the Prometheus
+/// rendering with derived per-shard hit ratios.
+///
+/// This is the only test in this binary that drains the trace rings
+/// (via TRACE_DUMP) — draining consumes the process-global buffers, so
+/// a second drainer would race it.
+#[test]
+fn observability_surface_end_to_end() {
+    use pl_serve::{ServeOptions, StoreConfig};
+
+    let g = chung_lu(3_000, 99);
+    let registry = Arc::new(pl_obs::MetricsRegistry::new());
+    let store = Arc::new(LabelStore::with_registry(
+        TaggedLabeling {
+            tag: SchemeTag::Threshold,
+            labeling: ThresholdScheme::with_tau(8).encode(&g),
+        },
+        StoreConfig {
+            shards: 4,
+            cache_capacity: 512,
+        },
+        &registry,
+    ));
+    let handle = pl_serve::serve_with(
+        store,
+        "127.0.0.1:0",
+        ServeOptions {
+            registry: Some(Arc::clone(&registry)),
+            // Threshold 0: every query is "slow", so the log must fire.
+            slow_query_ns: Some(0),
+        },
+    )
+    .expect("bind");
+
+    pl_obs::set_tracing(true);
+    let config = LoadgenConfig {
+        connections: 2,
+        requests_per_conn: 1_000,
+        batch: 50,
+        skew: Skew::Zipf(1.2),
+        seed: 11,
+        hot_order: Some(vertices_by_degree_desc(&g)),
+    };
+    loadgen::run(handle.addr(), &config).expect("load run");
+
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    assert_eq!(client.version(), pl_serve::protocol::VERSION);
+
+    // v2 snapshot: extended quantiles and per-shard cache provenance.
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.adj_queries, 2_000);
+    assert_eq!(stats.shard_cache.len(), 4, "{stats}");
+    assert_eq!(
+        stats.shard_cache.iter().map(|(h, m)| h + m).sum::<u64>(),
+        stats.cache_hits + stats.cache_misses,
+        "totals must be the shard sums"
+    );
+    assert!(stats.p50_ns <= stats.p90_ns && stats.p90_ns <= stats.p99_ns);
+    assert!(stats.p99_ns <= stats.p999_ns && stats.min_ns <= stats.max_ns);
+    assert!(stats.max_ns > 0, "latencies were recorded");
+    assert_eq!(stats.slow_queries, 2_000, "threshold 0 flags every query");
+
+    // Trace dump over the wire: the slow-query log and the store spans
+    // were recorded while tracing was on.
+    let jsonl = client.trace_dump().expect("trace dump");
+    assert!(
+        jsonl.contains("\"serve.slow_query\""),
+        "slow-query events missing from: {}",
+        &jsonl[..jsonl.len().min(400)]
+    );
+    assert!(jsonl
+        .lines()
+        .all(|l| l.starts_with('{') && l.ends_with('}')));
+    pl_obs::set_tracing(false);
+
+    // Prometheus text: server counters, latency summary, per-shard
+    // cache families, and the derived hit-ratio gauge.
+    let prom = handle.prometheus_text();
+    for needle in [
+        "plserve_adj_queries_total 2000",
+        "plserve_slow_queries_total 2000",
+        "plserve_query_latency_ns{quantile=\"0.999\"}",
+        "plserve_cache_hits_total{shard=\"0\"}",
+        "plserve_cache_misses_total{shard=\"3\"}",
+        "plserve_cache_hit_ratio{shard=\"0\"}",
+    ] {
+        assert!(prom.contains(needle), "missing {needle:?} in:\n{prom}");
+    }
+
+    client.goodbye().expect("goodbye");
+    handle.shutdown();
+}
+
+/// A v1 client still interoperates with the v2 server: the handshake
+/// negotiates down and the STATS reply arrives in the legacy 12-field
+/// layout (no extended quantiles, no shard breakdown).
+#[test]
+fn v1_client_negotiates_and_parses_legacy_stats() {
+    let g = chung_lu(500, 21);
+    let store = threshold_store(&g, 8, StoreConfig::default());
+    let handle = pl_serve::serve(store, "127.0.0.1:0").expect("bind");
+
+    let mut client = Client::connect_version(handle.addr(), 1).expect("v1 connect");
+    assert_eq!(client.version(), 1);
+    let (u, v) = g.edges().next().expect("graph has edges");
+    assert!(client.adjacent(u, v).expect("query"));
+
+    let stats = client.stats().expect("v1 stats");
+    assert_eq!(stats.adj_queries, 1);
+    assert!(
+        stats.shard_cache.is_empty(),
+        "v1 layout carries no shard breakdown"
+    );
+    assert!(
+        client.trace_dump().is_err(),
+        "TRACE_DUMP must be refused client-side on a v1 session"
+    );
+    client.goodbye().expect("goodbye");
+    handle.shutdown();
+}

@@ -10,15 +10,23 @@
 //! plab query   <labels.plab> <u> <v>
 //! plab query   <labels.plab> --stdin          # one "u v" pair per line
 //! plab serve   <labels.plab> [--addr HOST:PORT] [--shards S] [--cache C]
-//!              [--duration SECS]
+//!              [--duration SECS] [--prom HOST:PORT] [--trace] [--slow-us U]
 //! plab loadgen <HOST:PORT> [--connections N] [--requests R] [--batch B]
 //!              [--skew uniform|zipf:S] [--seed X]
+//! plab stats   <HOST:PORT> [--prom]           # live server metrics
+//! plab trace   <HOST:PORT> [--out FILE]       # drain server trace ring
 //! ```
 //!
 //! Graphs travel as plain edge lists (`n m` header plus `u v` lines);
 //! labelings travel as [`TaggedLabeling`] files — a 1-byte scheme tag
 //! followed by the [`pl_labeling::Labeling`] wire format — so `query` and
 //! `serve` know which decoder to apply.
+//!
+//! Observability: `serve --prom` exposes a Prometheus-text scrape
+//! endpoint, `serve --trace` turns on the in-process trace ring (drained
+//! remotely by `plab trace`), `encode --trace FILE` writes the encode
+//! pipeline's phase spans as JSONL, and `stats <HOST:PORT> --prom`
+//! renders a server's STATS snapshot in Prometheus text form.
 
 use std::fs;
 use std::io::BufRead;
@@ -47,6 +55,7 @@ fn main() -> ExitCode {
         Some("query") => cmd_query(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("loadgen") => cmd_loadgen(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             eprintln!("{}", USAGE);
             return ExitCode::SUCCESS;
@@ -67,15 +76,18 @@ const USAGE: &str = "usage:
                [--alpha A] [--avg-degree D] [--m-param M] [--edges M]
                [--seed S] [--out FILE]
   plab stats   <graph.el> [--ddist]
+  plab stats   <HOST:PORT> [--prom]
   plab fit     <graph.el>
   plab encode  --scheme <powerlaw|sparse|adjlist|orientation|moon|distance|tau:N>
-               [--alpha A] [--f F] [--threads N] <graph.el> --out <labels.plab>
+               [--alpha A] [--f F] [--threads N] [--trace FILE]
+               <graph.el> --out <labels.plab>
   plab query   <labels.plab> <u> <v>
   plab query   <labels.plab> --stdin
   plab serve   <labels.plab> [--addr HOST:PORT] [--shards S] [--cache C]
-               [--duration SECS]
+               [--duration SECS] [--prom HOST:PORT] [--trace] [--slow-us U]
   plab loadgen <HOST:PORT> [--connections N] [--requests R] [--batch B]
-               [--skew uniform|zipf:S] [--seed X]";
+               [--skew uniform|zipf:S] [--seed X]
+  plab trace   <HOST:PORT> [--out FILE]";
 
 /// Minimal flag parser: `--key value` pairs plus positional arguments.
 struct Args {
@@ -190,6 +202,12 @@ fn cmd_gen(raw: &[String]) -> Result<(), String> {
 fn cmd_stats(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(raw)?;
     let path = args.positional.first().ok_or("missing graph file")?;
+    // `stats <HOST:PORT>` queries a live server instead of a graph file.
+    if !std::path::Path::new(path).exists() {
+        if let Ok(addr) = path.parse::<std::net::SocketAddr>() {
+            return server_stats(addr, args.get("prom").is_some_and(|v| v != "false"));
+        }
+    }
     let g = load_graph(path)?;
     let comps = pl_graph::components::connected_components(&g);
     let degeneracy = pl_graph::degeneracy::degeneracy_ordering(&g).degeneracy;
@@ -216,6 +234,65 @@ fn cmd_stats(raw: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// `plab stats <HOST:PORT>`: fetch a live server's snapshot; `--prom`
+/// renders it in Prometheus text form instead of the human layout.
+fn server_stats(addr: std::net::SocketAddr, prom: bool) -> Result<(), String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+    let stats = client.stats().map_err(|e| format!("fetching stats: {e}"))?;
+    if prom {
+        print!("{}", snapshot_prom(&stats));
+    } else {
+        println!("{stats}");
+    }
+    client.goodbye().ok();
+    Ok(())
+}
+
+/// Renders a STATS snapshot as Prometheus text — the client-side twin of
+/// the server's own scrape endpoint, fed over the wire instead of from
+/// the live registry (quantiles arrive precomputed, so they are emitted
+/// as labeled gauges rather than a summary).
+fn snapshot_prom(s: &pl_serve::Snapshot) -> String {
+    let mut p = pl_obs::prom::PromText::new();
+    let no_labels = Vec::new();
+    for (name, v) in [
+        ("plserve_adj_queries_total", s.adj_queries),
+        ("plserve_dist_queries_total", s.dist_queries),
+        ("plserve_batches_total", s.batches),
+        ("plserve_connections_total", s.connections),
+        ("plserve_bytes_in_total", s.bytes_in),
+        ("plserve_bytes_out_total", s.bytes_out),
+        ("plserve_protocol_errors_total", s.protocol_errors),
+        ("plserve_slow_queries_total", s.slow_queries),
+        ("plserve_cache_hits_total", s.cache_hits),
+        ("plserve_cache_misses_total", s.cache_misses),
+    ] {
+        p.counter(name, &no_labels, v);
+    }
+    for (q, v) in [
+        ("0.5", s.p50_ns),
+        ("0.9", s.p90_ns),
+        ("0.99", s.p99_ns),
+        ("0.999", s.p999_ns),
+    ] {
+        let labels = vec![("quantile".to_string(), q.to_string())];
+        p.gauge("plserve_query_latency_ns", &labels, v as i64);
+    }
+    p.gauge("plserve_query_latency_ns_min", &no_labels, s.min_ns as i64);
+    p.gauge("plserve_query_latency_ns_max", &no_labels, s.max_ns as i64);
+    p.gauge_f64("plserve_qps", &no_labels, s.qps());
+    for (i, &(h, m)) in s.shard_cache.iter().enumerate() {
+        let labels = vec![("shard".to_string(), i.to_string())];
+        p.counter("plserve_shard_cache_hits_total", &labels, h);
+        p.counter("plserve_shard_cache_misses_total", &labels, m);
+    }
+    for (i, r) in s.shard_hit_rates().iter().enumerate() {
+        let labels = vec![("shard".to_string(), i.to_string())];
+        p.gauge_f64("plserve_cache_hit_ratio", &labels, *r);
+    }
+    p.finish()
 }
 
 fn cmd_fit(raw: &[String]) -> Result<(), String> {
@@ -263,6 +340,16 @@ fn cmd_encode(raw: &[String]) -> Result<(), String> {
         }
     };
 
+    // `--trace FILE`: turn the trace ring on for the encode and dump the
+    // phase spans as JSONL afterwards.
+    let trace_out = args.get("trace").map(str::to_string);
+    if trace_out.is_some() {
+        pl_obs::set_tracing(true);
+        // Discard anything recorded before the encode begins.
+        let _ = pl_obs::trace::drain_jsonl();
+    }
+
+    let mut paper_bound: Option<f64> = None;
     let (tag, labeling, desc): (SchemeTag, Labeling, String) = match scheme_name.as_str() {
         "powerlaw" => {
             let s = match args.get("alpha") {
@@ -275,6 +362,7 @@ fn cmd_encode(raw: &[String]) -> Result<(), String> {
             };
             let tau = s.tau(n);
             let desc = format!("powerlaw alpha={:.2} tau={tau}", s.alpha());
+            paper_bound = Some(s.guaranteed_bits(n));
             let (labeling, _) = encode_with_stats_threads(&g, tau, threads);
             (SchemeTag::Threshold, labeling, desc)
         }
@@ -282,6 +370,7 @@ fn cmd_encode(raw: &[String]) -> Result<(), String> {
             let s = SparseScheme::for_graph(&g);
             let tau = s.tau(n);
             let desc = format!("sparse c={:.2} tau={tau}", s.c());
+            paper_bound = Some(s.guaranteed_bits(n));
             let (labeling, _) = encode_with_stats_threads(&g, tau, threads);
             (SchemeTag::Threshold, labeling, desc)
         }
@@ -339,6 +428,25 @@ fn cmd_encode(raw: &[String]) -> Result<(), String> {
         labeling.avg_bits(),
         tagged.to_bytes().len()
     );
+    // Standing health check: observed max label size vs the paper's
+    // guarantee (Theorem 3 for sparse, Theorem 4 for powerlaw). The bound
+    // only binds for graphs actually in the paper's family, so out-of-
+    // family inputs report the excess rather than failing.
+    if let Some(bound) = paper_bound {
+        let max = labeling.max_bits() as f64;
+        let verdict = if max <= bound.ceil() {
+            "within bound"
+        } else {
+            "EXCEEDS bound (input may be outside the paper's graph family)"
+        };
+        eprintln!("paper bound: max {max:.0} bits vs guaranteed {bound:.0} bits — {verdict}");
+    }
+    if let Some(path) = trace_out {
+        let jsonl = pl_obs::trace::drain_jsonl();
+        let events = jsonl.lines().count();
+        fs::write(&path, jsonl).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("trace: {events} events -> {path}");
+    }
     Ok(())
 }
 
@@ -413,13 +521,20 @@ fn cmd_serve(raw: &[String]) -> Result<(), String> {
     let shards: usize = args.get_parsed("shards", 4)?;
     let cache: usize = args.get_parsed("cache", 1024)?;
     let duration: u64 = args.get_parsed("duration", 0)?;
+    let slow_us: u64 = args.get_parsed("slow-us", 0)?;
+    if args.get("trace").is_some_and(|v| v != "false") {
+        pl_obs::set_tracing(true);
+        eprintln!("tracing on (drain with `plab trace {addr}`)");
+    }
     let tagged = load_labeling(path)?;
-    let store = std::sync::Arc::new(LabelStore::new(
+    let registry = std::sync::Arc::new(pl_obs::MetricsRegistry::new());
+    let store = std::sync::Arc::new(LabelStore::with_registry(
         tagged,
         StoreConfig {
             shards,
             cache_capacity: cache,
         },
+        &registry,
     ));
     eprintln!(
         "serving {} labels ({} scheme) on {} with {} shards, cache {}",
@@ -429,8 +544,24 @@ fn cmd_serve(raw: &[String]) -> Result<(), String> {
         store.shard_count(),
         cache
     );
-    let handle = pl_serve::serve(store, addr).map_err(|e| format!("binding {addr}: {e}"))?;
+    let options = pl_serve::ServeOptions {
+        registry: Some(registry),
+        slow_query_ns: (slow_us > 0).then_some(slow_us * 1_000),
+    };
+    let handle =
+        pl_serve::serve_with(store, addr, options).map_err(|e| format!("binding {addr}: {e}"))?;
     eprintln!("listening on {}", handle.addr());
+    // Prometheus sidecar: a plain-HTTP /metrics endpoint rendering the
+    // server registry plus derived per-shard hit ratios on every scrape.
+    let _prom_handle = match args.get("prom") {
+        Some(prom_addr) => {
+            let h = pl_obs::http::expose(prom_addr, handle.prometheus_renderer())
+                .map_err(|e| format!("binding prometheus endpoint {prom_addr}: {e}"))?;
+            eprintln!("prometheus metrics on http://{}/metrics", h.addr());
+            Some(h)
+        }
+        None => None,
+    };
     if duration == 0 {
         // No signal handling in std: run until killed.
         loop {
@@ -440,6 +571,25 @@ fn cmd_serve(raw: &[String]) -> Result<(), String> {
     std::thread::sleep(std::time::Duration::from_secs(duration));
     let final_stats = handle.shutdown();
     eprintln!("--- final stats ---\n{final_stats}");
+    Ok(())
+}
+
+/// `plab trace <HOST:PORT>`: drain the server's trace ring buffers over
+/// the wire and print (or save) the JSONL. Each call consumes the
+/// drained events; run it again for fresh ones.
+fn cmd_trace(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let addr = args.positional.first().ok_or("missing server address")?;
+    let addr: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|_| format!("bad server address {addr:?}"))?;
+    let mut client = Client::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+    let jsonl = client
+        .trace_dump()
+        .map_err(|e| format!("trace dump: {e}"))?;
+    eprintln!("{} trace events", jsonl.lines().count());
+    emit(args.get("out"), &jsonl)?;
+    client.goodbye().ok();
     Ok(())
 }
 
