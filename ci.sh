@@ -1,85 +1,202 @@
 #!/usr/bin/env bash
-# Local CI gate: formatting, lints, release build, full test suite.
-# Run from the repo root. Fails fast on the first broken step.
-set -euo pipefail
+# Tiered local CI gate. Run from the repo root.
+#
+#   ci.sh quick   fmt + clippy + offline-dep check + unit tests
+#                 (the fast pre-push loop; targets < 2 minutes warm)
+#   ci.sh full    quick tier + release build + workspace tests + the
+#                 encode/query, observability, and chaos smokes
+#
+# No argument means `full` (the historical behaviour). Every step is
+# wall-clock timed; a summary table prints at the end, and the script
+# exits non-zero if any step failed. Steps run fail-fast: the first
+# failure skips the rest but still prints the table.
+set -uo pipefail
 cd "$(dirname "$0")"
 
-echo "==> cargo fmt --all --check"
-cargo fmt --all --check
+TIER="${1:-full}"
+case "$TIER" in
+    quick|full) ;;
+    *) echo "usage: ci.sh [quick|full]" >&2; exit 2 ;;
+esac
 
-echo "==> cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
-
-echo "==> cargo build --release"
-cargo build --release
-
-echo "==> cargo test -q"
-cargo test -q
-
-echo "==> cargo test --workspace -q"
-cargo test --workspace -q
-
-echo "==> plab encode/query smoke (parallel encode round-trip)"
 smoke_dir="$(mktemp -d)"
-trap 'rm -rf "$smoke_dir"' EXIT
-plab="target/release/plab"
-"$plab" gen --model chung-lu --n 2000 --alpha 2.5 --avg-degree 5 --seed 7 \
-    --out "$smoke_dir/g.el"
-"$plab" encode --scheme powerlaw --alpha 2.5 --threads 4 "$smoke_dir/g.el" \
-    --out "$smoke_dir/g.plab"
-"$plab" encode --scheme powerlaw --alpha 2.5 "$smoke_dir/g.el" \
-    --out "$smoke_dir/g1.plab"
-cmp "$smoke_dir/g.plab" "$smoke_dir/g1.plab" \
-    || { echo "ci: --threads 4 encode is not bit-identical to single-threaded" >&2; exit 1; }
-printf '0 1\n1 0\n0 1999\n' | "$plab" query "$smoke_dir/g.plab" --stdin \
-    > "$smoke_dir/answers"
-[ "$(wc -l < "$smoke_dir/answers")" -eq 3 ] \
-    || { echo "ci: query --stdin answered wrong line count" >&2; exit 1; }
-if grep -Evq '^(true|false)$' "$smoke_dir/answers"; then
-    echo "ci: query --stdin produced a non-boolean answer" >&2
-    exit 1
-fi
+serve_pids=()
+cleanup() {
+    for pid in "${serve_pids[@]:-}"; do
+        [ -n "$pid" ] && kill "$pid" 2> /dev/null
+    done
+    rm -rf "$smoke_dir"
+}
+trap cleanup EXIT
 
-echo "==> observability smoke (prom scrape + trace JSONL)"
-# Encode with tracing: the JSONL must carry the encode-phase spans.
-"$plab" encode --scheme powerlaw --alpha 2.5 "$smoke_dir/g.el" \
-    --out "$smoke_dir/g2.plab" --trace "$smoke_dir/encode_trace.jsonl"
-grep -q '"name":"encode.fat_thin_encode"' "$smoke_dir/encode_trace.jsonl" \
-    || { echo "ci: encode trace JSONL lacks the fat/thin encode span" >&2; exit 1; }
-grep -q '"name":"encode.arena_pack"' "$smoke_dir/encode_trace.jsonl" \
-    || { echo "ci: encode trace JSONL lacks the arena pack span" >&2; exit 1; }
+STEP_NAMES=()
+STEP_TIMES=()
+STEP_STATUS=()
 
-# Serve with the Prometheus sidecar, drive a little load, scrape, drain.
-"$plab" serve "$smoke_dir/g.plab" --addr 127.0.0.1:7421 \
-    --prom 127.0.0.1:7422 --trace --slow-us 1 --duration 12 \
-    2> "$smoke_dir/serve.log" &
-serve_pid=$!
-sleep 1
-"$plab" loadgen 127.0.0.1:7421 --connections 2 --requests 2000 --batch 50 \
-    --skew zipf:1.2 > "$smoke_dir/loadgen.out"
-scrape() {
-    if command -v curl > /dev/null; then
-        curl -sf "http://127.0.0.1:7422/metrics"
+print_summary() {
+    echo
+    printf '%-34s %8s  %s\n' "step" "time" "status"
+    printf '%-34s %8s  %s\n' "----" "----" "------"
+    local i
+    for i in "${!STEP_NAMES[@]}"; do
+        printf '%-34s %7ss  %s\n' \
+            "${STEP_NAMES[$i]}" "${STEP_TIMES[$i]}" "${STEP_STATUS[$i]}"
+    done
+}
+
+# run_step NAME CMD...: times CMD (a command or shell function, run in a
+# `set -e` subshell so internal failures propagate) and records the
+# outcome. On failure, prints the summary and exits 1 immediately.
+run_step() {
+    local name="$1"
+    shift
+    echo "==> $name"
+    local t0=$SECONDS status
+    if (set -e; "$@"); then
+        status=ok
     else
-        # Fallback scraper: raw HTTP over bash's /dev/tcp.
-        exec 3<> /dev/tcp/127.0.0.1/7422
-        printf 'GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n' >&3
-        cat <&3
-        exec 3>&-
+        status=FAIL
+    fi
+    STEP_NAMES+=("$name")
+    STEP_TIMES+=($((SECONDS - t0)))
+    STEP_STATUS+=("$status")
+    if [ "$status" = FAIL ]; then
+        echo "ci: step '$name' failed" >&2
+        print_summary
+        exit 1
     fi
 }
-scrape > "$smoke_dir/metrics.prom"
-for metric in plserve_adj_queries_total plserve_cache_hits_total \
-              plserve_cache_hit_ratio plserve_query_latency_ns \
-              plserve_slow_queries_total; do
-    grep -q "$metric" "$smoke_dir/metrics.prom" \
-        || { echo "ci: scrape is missing $metric" >&2; exit 1; }
-done
-"$plab" stats 127.0.0.1:7421 --prom | grep -q '^plserve_qps ' \
-    || { echo "ci: plab stats --prom lacks plserve_qps" >&2; exit 1; }
-"$plab" trace 127.0.0.1:7421 --out "$smoke_dir/serve_trace.jsonl"
-grep -q '"name":"serve.slow_query"' "$smoke_dir/serve_trace.jsonl" \
-    || { echo "ci: serve trace JSONL lacks slow-query events" >&2; exit 1; }
-wait "$serve_pid"
 
-echo "ci: all green"
+# Every dependency must resolve inside the workspace (path deps only):
+# this repo builds offline, and a stray crates.io or git source in the
+# lockfile would break that silently until the next cold machine.
+offline_deps() {
+    if grep -En 'source = "(registry|git)' Cargo.lock; then
+        echo "ci: Cargo.lock contains a non-path dependency source" >&2
+        return 1
+    fi
+}
+
+encode_query_smoke() {
+    local plab=target/release/plab
+    "$plab" gen --model chung-lu --n 2000 --alpha 2.5 --avg-degree 5 --seed 7 \
+        --out "$smoke_dir/g.el"
+    "$plab" encode --scheme powerlaw --alpha 2.5 --threads 4 "$smoke_dir/g.el" \
+        --out "$smoke_dir/g.plab"
+    "$plab" encode --scheme powerlaw --alpha 2.5 "$smoke_dir/g.el" \
+        --out "$smoke_dir/g1.plab"
+    cmp "$smoke_dir/g.plab" "$smoke_dir/g1.plab" \
+        || { echo "ci: --threads 4 encode is not bit-identical to single-threaded" >&2; return 1; }
+    printf '0 1\n1 0\n0 1999\n' | "$plab" query "$smoke_dir/g.plab" --stdin \
+        > "$smoke_dir/answers"
+    [ "$(wc -l < "$smoke_dir/answers")" -eq 3 ] \
+        || { echo "ci: query --stdin answered wrong line count" >&2; return 1; }
+    if grep -Evq '^(true|false)$' "$smoke_dir/answers"; then
+        echo "ci: query --stdin produced a non-boolean answer" >&2
+        return 1
+    fi
+}
+
+observability_smoke() {
+    local plab=target/release/plab
+    # Encode with tracing: the JSONL must carry the encode-phase spans.
+    "$plab" encode --scheme powerlaw --alpha 2.5 "$smoke_dir/g.el" \
+        --out "$smoke_dir/g2.plab" --trace "$smoke_dir/encode_trace.jsonl"
+    grep -q '"name":"encode.fat_thin_encode"' "$smoke_dir/encode_trace.jsonl" \
+        || { echo "ci: encode trace JSONL lacks the fat/thin encode span" >&2; return 1; }
+    grep -q '"name":"encode.arena_pack"' "$smoke_dir/encode_trace.jsonl" \
+        || { echo "ci: encode trace JSONL lacks the arena pack span" >&2; return 1; }
+
+    # Serve with the Prometheus sidecar, drive a little load, scrape, drain.
+    "$plab" serve "$smoke_dir/g.plab" --addr 127.0.0.1:7421 \
+        --prom 127.0.0.1:7422 --trace --slow-us 1 --duration 12 \
+        2> "$smoke_dir/serve.log" &
+    serve_pids+=($!)
+    local serve_pid=$!
+    sleep 1
+    "$plab" loadgen 127.0.0.1:7421 --connections 2 --requests 2000 --batch 50 \
+        --skew zipf:1.2 > "$smoke_dir/loadgen.out"
+    scrape() {
+        if command -v curl > /dev/null; then
+            curl -sf "http://127.0.0.1:7422/metrics"
+        else
+            # Fallback scraper: raw HTTP over bash's /dev/tcp.
+            exec 3<> /dev/tcp/127.0.0.1/7422
+            printf 'GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n' >&3
+            cat <&3
+            exec 3>&-
+        fi
+    }
+    scrape > "$smoke_dir/metrics.prom"
+    local metric
+    for metric in plserve_adj_queries_total plserve_cache_hits_total \
+                  plserve_cache_hit_ratio plserve_query_latency_ns \
+                  plserve_slow_queries_total; do
+        grep -q "$metric" "$smoke_dir/metrics.prom" \
+            || { echo "ci: scrape is missing $metric" >&2; return 1; }
+    done
+    "$plab" stats 127.0.0.1:7421 --prom | grep -q '^plserve_qps ' \
+        || { echo "ci: plab stats --prom lacks plserve_qps" >&2; return 1; }
+    "$plab" trace 127.0.0.1:7421 --out "$smoke_dir/serve_trace.jsonl"
+    grep -q '"name":"serve.slow_query"' "$smoke_dir/serve_trace.jsonl" \
+        || { echo "ci: serve trace JSONL lacks slow-query events" >&2; return 1; }
+    wait "$serve_pid"
+}
+
+# Chaos smoke: a fixed-seed fault plan injects dropped/truncated/flipped
+# reply frames and simulated store errors; the retrying loadgen must
+# finish with exit 0 and zero wrong answers (--verify checks every
+# adjacency answer against the graph), and the server must report the
+# injected faults over STATS.
+chaos_smoke() {
+    local plab=target/release/plab
+    "$plab" gen --model chung-lu --n 2000 --alpha 2.5 --avg-degree 5 --seed 11 \
+        --out "$smoke_dir/c.el"
+    "$plab" encode --scheme tau:8 "$smoke_dir/c.el" --out "$smoke_dir/c.plab"
+    "$plab" serve "$smoke_dir/c.plab" --addr 127.0.0.1:7431 --duration 18 \
+        --fault-plan "seed=7,flip=0.04,truncate=0.03,drop=0.02,store_err=0.03,delay_ms=1" \
+        2> "$smoke_dir/chaos_serve.log" &
+    serve_pids+=($!)
+    local chaos_pid=$!
+    sleep 1
+    "$plab" health 127.0.0.1:7431 > "$smoke_dir/chaos_health.out" \
+        || { echo "ci: plab health failed against the chaos server" >&2; return 1; }
+    grep -q '^healthy' "$smoke_dir/chaos_health.out" \
+        || { echo "ci: chaos server did not report healthy shards" >&2; return 1; }
+    # Exit 0 here is the correctness assert: --verify makes loadgen exit
+    # nonzero if any retried answer disagrees with the graph.
+    "$plab" loadgen 127.0.0.1:7431 --connections 2 --requests 2000 --batch 32 \
+        --skew zipf:1.2 --retries 3 --deadline-ms 200 --verify "$smoke_dir/c.el" \
+        > "$smoke_dir/chaos_loadgen.out" \
+        || { echo "ci: chaos loadgen failed (wrong answers or unrecovered faults)" >&2; return 1; }
+    grep -q 'verified against reference graph: 0 mismatches' "$smoke_dir/chaos_loadgen.out" \
+        || { echo "ci: chaos loadgen did not report zero mismatches" >&2; return 1; }
+    # The stats fetch itself can draw an injected fault; retry a few times.
+    local try
+    for try in $(seq 1 20); do
+        if "$plab" stats 127.0.0.1:7431 --prom > "$smoke_dir/chaos.prom" 2> /dev/null; then
+            break
+        fi
+        sleep 0.1
+    done
+    grep '^plserve_faults_injected_total' "$smoke_dir/chaos.prom" \
+        | awk '{ exit !($2 > 0) }' \
+        || { echo "ci: chaos server reported no injected faults" >&2; return 1; }
+    wait "$chaos_pid"
+}
+
+run_step "cargo fmt --check"      cargo fmt --all --check
+run_step "cargo clippy -D warnings" cargo clippy --workspace --all-targets -- -D warnings
+run_step "offline dep check"      offline_deps
+run_step "unit tests"             cargo test -q
+
+if [ "$TIER" = full ]; then
+    run_step "release build"          cargo build --release
+    run_step "workspace tests"        cargo test --workspace -q
+    run_step "encode/query smoke"     encode_query_smoke
+    run_step "observability smoke"    observability_smoke
+    run_step "chaos smoke"            chaos_smoke
+fi
+
+print_summary
+echo "ci ($TIER): all green"

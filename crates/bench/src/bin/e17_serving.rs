@@ -57,6 +57,7 @@ fn run_one(
         skew,
         seed: 0xE17,
         hot_order: Some(hot_order.to_vec()),
+        retry: None,
     };
     let report = loadgen::run(handle.addr(), &config).expect("load run");
     let mut client = Client::connect(handle.addr()).expect("stats connection");

@@ -119,6 +119,7 @@ fn serve_rows(n: usize, requests: usize, rows: &mut Vec<Row>) {
             skew: Skew::Zipf(1.2),
             seed: 0xE19,
             hot_order: None,
+            retry: None,
         };
         // Warm-up half-run, then the measured run.
         loadgen::run(handle.addr(), &config).expect("warm-up");

@@ -1,18 +1,31 @@
-//! Blocking client and the load generator.
+//! Blocking client, the retrying [`ResilientClient`], and the load
+//! generator.
 //!
 //! [`Client`] is a thin synchronous wrapper over one TCP connection:
-//! handshake on connect, then batched request/reply in lockstep. The
-//! [`loadgen`] module drives many clients from worker threads, replaying
-//! uniform or Zipf-skewed adjacency query mixes against a server and
-//! optionally verifying every answer against the source graph.
+//! handshake on connect, then batched request/reply in lockstep. Every
+//! failure surfaces as a raw [`io::Error`]; [`ClientError::classify`]
+//! sorts those into [`Retryable`](ClientError::Retryable) vs
+//! [`Fatal`](ClientError::Fatal), and [`ResilientClient`] acts on that
+//! taxonomy — per-request deadlines, bounded exponential backoff with
+//! jitter, and automatic reconnect-and-replay, which is sound because
+//! `BATCH` is idempotent (labels are immutable, answers are pure reads).
+//! The [`loadgen`] module drives many clients from worker threads,
+//! replaying uniform or Zipf-skewed adjacency query mixes against a
+//! server and optionally verifying every answer against the source
+//! graph.
 
 use std::io;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::metrics::Snapshot;
 use crate::protocol::{
-    encode_batch, encode_hello_version, opcode, parse_batch_reply, parse_hello_ok,
-    parse_stats_reply, read_frame, write_frame, Answer, Query, MIN_VERSION, VERSION,
+    encode_batch, encode_hello_version, opcode, parse_batch_reply, parse_health_reply,
+    parse_hello_ok, parse_stats_reply, read_frame, write_frame, Answer, HealthReport, Query,
+    MIN_VERSION, VERSION,
 };
 
 fn bad_data(msg: impl Into<String>) -> io::Error {
@@ -39,7 +52,13 @@ impl Client {
         for version in (MIN_VERSION..=VERSION).rev() {
             match Self::connect_version(&addrs[..], version) {
                 Ok(client) => return Ok(client),
-                Err(e) => last_err = e,
+                // Only an explicit rejection means "try an older
+                // version". A transport error (refused, reset, dropped
+                // mid-handshake) must NOT silently downgrade the
+                // session — under fault injection that would trade the
+                // v3 checksum away exactly when it is needed.
+                Err(e) if is_handshake_rejection(&e) => last_err = e,
+                Err(e) => return Err(e),
             }
         }
         Err(last_err)
@@ -66,8 +85,16 @@ impl Client {
                 "server rejected handshake: {}",
                 String::from_utf8_lossy(&reply[1..])
             ))),
+            Some(&opcode::OVERLOADED) => Err(bad_data("server overloaded, connection shed")),
             _ => Err(bad_data("unexpected handshake reply")),
         }
+    }
+
+    /// Sets (or clears) the socket read/write deadline for every
+    /// subsequent request on this connection.
+    pub fn set_io_deadline(&self, deadline: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(deadline)?;
+        self.stream.set_write_timeout(deadline)
     }
 
     /// Protocol version negotiated with the server.
@@ -95,7 +122,8 @@ impl Client {
         let reply = read_frame(&mut self.stream)?;
         match reply.first() {
             Some(&opcode::BATCH_REPLY) => {
-                let answers = parse_batch_reply(&reply).map_err(|e| bad_data(e.to_string()))?;
+                let answers =
+                    parse_batch_reply(&reply, self.version).map_err(|e| bad_data(e.to_string()))?;
                 if answers.len() != queries.len() {
                     return Err(bad_data("reply count mismatch"));
                 }
@@ -132,6 +160,26 @@ impl Client {
         write_frame(&mut self.stream, &[opcode::STATS])?;
         let reply = read_frame(&mut self.stream)?;
         parse_stats_reply(&reply).map_err(|e| bad_data(e.to_string()))
+    }
+
+    /// Fetches the server's shard-liveness report. Requires protocol
+    /// version ≥ 3.
+    pub fn health(&mut self) -> io::Result<HealthReport> {
+        if self.version < 3 {
+            return Err(bad_data("server too old for HEALTH (needs v3)"));
+        }
+        write_frame(&mut self.stream, &[opcode::HEALTH])?;
+        let reply = read_frame(&mut self.stream)?;
+        match reply.first() {
+            Some(&opcode::HEALTH_REPLY) => {
+                parse_health_reply(&reply).map_err(|e| bad_data(e.to_string()))
+            }
+            Some(&opcode::ERROR) => Err(bad_data(format!(
+                "server error: {}",
+                String::from_utf8_lossy(&reply[1..])
+            ))),
+            _ => Err(bad_data("unexpected health reply")),
+        }
     }
 
     /// Drains the server's trace ring buffers as JSONL (one event per
@@ -172,6 +220,341 @@ impl Client {
     }
 }
 
+/// `true` when the error is the server explicitly refusing the offered
+/// protocol version — the only failure that justifies retrying the
+/// handshake at an older version.
+fn is_handshake_rejection(e: &io::Error) -> bool {
+    e.kind() == io::ErrorKind::InvalidData && e.to_string().contains("rejected handshake")
+}
+
+/// Why a retryable request failed — attached to
+/// [`ClientError::Retryable`] so callers (and tests) can see what the
+/// retry loop is absorbing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryKind {
+    /// The request exceeded its I/O deadline.
+    Timeout,
+    /// The connection died (reset, refused, EOF mid-frame, ...);
+    /// reconnect and replay.
+    Io,
+    /// The reply arrived but failed validation (checksum mismatch,
+    /// short frame); re-ask for a clean copy.
+    Corrupt,
+    /// The server said it is overloaded (shed frame or
+    /// [`Answer::Overloaded`]); back off, then retry.
+    Overloaded,
+}
+
+/// The client-side error taxonomy: every failure is either worth
+/// retrying (transient transport/overload conditions, given that BATCH
+/// requests are idempotent) or fatal (the request itself can never
+/// succeed, e.g. a protocol-version rejection).
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transient; [`ResilientClient`] reconnects and replays.
+    Retryable { kind: RetryKind, source: io::Error },
+    /// Permanent; retrying verbatim cannot help.
+    Fatal(io::Error),
+}
+
+impl ClientError {
+    /// Sorts a raw I/O error into the taxonomy.
+    #[must_use]
+    pub fn classify(e: io::Error) -> Self {
+        use io::ErrorKind as K;
+        match e.kind() {
+            K::TimedOut | K::WouldBlock => Self::Retryable {
+                kind: RetryKind::Timeout,
+                source: e,
+            },
+            K::ConnectionReset
+            | K::ConnectionAborted
+            | K::ConnectionRefused
+            | K::BrokenPipe
+            | K::NotConnected
+            | K::UnexpectedEof
+            | K::Interrupted => Self::Retryable {
+                kind: RetryKind::Io,
+                source: e,
+            },
+            K::InvalidData => {
+                let msg = e.to_string();
+                if msg.contains("overloaded") {
+                    Self::Retryable {
+                        kind: RetryKind::Overloaded,
+                        source: e,
+                    }
+                } else if msg.contains("rejected handshake") || msg.contains("too old") {
+                    Self::Fatal(e)
+                } else {
+                    // Checksum mismatches, short frames, garbled
+                    // replies: the *bytes* are suspect, not the
+                    // request. A fresh connection gets a fresh copy.
+                    Self::Retryable {
+                        kind: RetryKind::Corrupt,
+                        source: e,
+                    }
+                }
+            }
+            _ => Self::Fatal(e),
+        }
+    }
+
+    /// `true` for the [`Retryable`](Self::Retryable) arm.
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Self::Retryable { .. })
+    }
+
+    /// The underlying I/O error.
+    #[must_use]
+    pub fn source_io(&self) -> &io::Error {
+        match self {
+            Self::Retryable { source, .. } => source,
+            Self::Fatal(e) => e,
+        }
+    }
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Retryable { kind, source } => write!(f, "retryable ({kind:?}): {source}"),
+            Self::Fatal(e) => write!(f, "fatal: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// Retry/deadline policy for [`ResilientClient`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (so `max_retries = 3` allows
+    /// four tries total).
+    pub max_retries: u32,
+    /// Per-request socket read/write deadline; `None` blocks forever.
+    pub deadline: Option<Duration>,
+    /// First backoff delay; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Seed for the backoff jitter (deterministic for tests).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            deadline: Some(Duration::from_secs(1)),
+            backoff_base: Duration::from_millis(20),
+            backoff_cap: Duration::from_secs(1),
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry number `attempt` (0-based): exponential
+    /// with full lower-half jitter, `d/2 + U(0, d/2)` where
+    /// `d = min(base · 2^attempt, cap)`.
+    fn backoff(&self, attempt: u32, rng: &mut StdRng) -> Duration {
+        let base = self.backoff_base.as_nanos() as u64;
+        let cap = self.backoff_cap.as_nanos() as u64;
+        let d = base.saturating_mul(1u64 << attempt.min(20)).min(cap.max(1));
+        let jitter: f64 = rng.gen();
+        Duration::from_nanos(d / 2 + ((d / 2) as f64 * jitter) as u64)
+    }
+}
+
+/// A [`Client`] wrapped in deadlines, bounded exponential backoff with
+/// jitter, and automatic reconnect-and-replay.
+///
+/// Replaying a `BATCH` verbatim is safe because the request is
+/// idempotent: labels are immutable and answers are pure reads, so a
+/// request that died mid-flight can be re-asked without double effects.
+/// Every absorbed failure increments the process-global
+/// `plserve_retries_total` counter and the [`retries`](Self::retries)
+/// tally.
+#[derive(Debug)]
+pub struct ResilientClient {
+    addrs: Vec<SocketAddr>,
+    policy: RetryPolicy,
+    client: Option<Client>,
+    rng: StdRng,
+    retries: u64,
+}
+
+impl ResilientClient {
+    /// Resolves `addr` and connects (with retries per `policy`).
+    pub fn connect(addr: impl ToSocketAddrs, policy: RetryPolicy) -> Result<Self, ClientError> {
+        let addrs: Vec<SocketAddr> = addr
+            .to_socket_addrs()
+            .map_err(ClientError::classify)?
+            .collect();
+        if addrs.is_empty() {
+            return Err(ClientError::Fatal(bad_data("no addresses resolved")));
+        }
+        let rng = StdRng::seed_from_u64(policy.seed);
+        let mut this = Self {
+            addrs,
+            policy,
+            client: None,
+            rng,
+            retries: 0,
+        };
+        this.with_retries(|_| Ok(()))?;
+        Ok(this)
+    }
+
+    /// Failures absorbed by the retry loop so far.
+    #[must_use]
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// The active retry policy.
+    #[must_use]
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// Vertex count of the served labeling (from the most recent
+    /// handshake).
+    pub fn n(&mut self) -> Result<u32, ClientError> {
+        self.with_retries(|c| Ok(c.n()))
+    }
+
+    /// Negotiated protocol version of the current connection.
+    pub fn version(&mut self) -> Result<u8, ClientError> {
+        self.with_retries(|c| Ok(c.version()))
+    }
+
+    /// Sends one batch, replaying on transient failures. Transport
+    /// errors replay the whole batch (inside [`with_retries`]); an
+    /// [`Answer::Overloaded`] in an otherwise healthy reply re-asks
+    /// only the shed queries — settled answers are kept, so one
+    /// overloaded shard cannot force the rest of a large batch to
+    /// re-roll its luck every round. Both are sound because the batch
+    /// is idempotent.
+    ///
+    /// [`with_retries`]: Self::with_retries
+    pub fn batch(&mut self, queries: &[Query]) -> Result<Vec<Answer>, ClientError> {
+        let mut answers: Vec<Option<Answer>> = vec![None; queries.len()];
+        let mut pending: Vec<usize> = (0..queries.len()).collect();
+        let mut round = 0u32;
+        loop {
+            let subset: Vec<Query> = pending.iter().map(|&i| queries[i]).collect();
+            let got = self.with_retries(|c| c.batch(&subset))?;
+            let mut still_pending = Vec::new();
+            for (&slot, answer) in pending.iter().zip(got) {
+                if answer.is_retryable() {
+                    still_pending.push(slot);
+                } else {
+                    answers[slot] = Some(answer);
+                }
+            }
+            if still_pending.is_empty() {
+                return Ok(answers
+                    .into_iter()
+                    .map(|a| a.expect("every slot settled"))
+                    .collect());
+            }
+            if round >= self.policy.max_retries {
+                return Err(ClientError::Retryable {
+                    kind: RetryKind::Overloaded,
+                    source: io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "server overloaded for {} of {} queries after {round} re-asks",
+                            still_pending.len(),
+                            queries.len()
+                        ),
+                    ),
+                });
+            }
+            pending = still_pending;
+            round += 1;
+            self.note_retry(round - 1);
+        }
+    }
+
+    /// Single adjacency query with retries.
+    pub fn adjacent(&mut self, u: u32, v: u32) -> Result<bool, ClientError> {
+        match self.batch(&[Query::adjacent(u, v)])?[0] {
+            Answer::Adjacent => Ok(true),
+            Answer::NotAdjacent => Ok(false),
+            other => Err(ClientError::Fatal(bad_data(format!(
+                "unexpected answer {other:?}"
+            )))),
+        }
+    }
+
+    /// Fetches a stats snapshot with retries.
+    pub fn stats(&mut self) -> Result<Snapshot, ClientError> {
+        self.with_retries(Client::stats)
+    }
+
+    /// Fetches the shard-liveness report with retries (needs v3).
+    pub fn health(&mut self) -> Result<HealthReport, ClientError> {
+        self.with_retries(Client::health)
+    }
+
+    /// Best-effort orderly close.
+    pub fn goodbye(mut self) {
+        if let Some(client) = self.client.take() {
+            let _ = client.goodbye();
+        }
+    }
+
+    /// Runs `op` against a live connection, reconnecting and replaying
+    /// on retryable failures, with backoff between attempts.
+    fn with_retries<T>(
+        &mut self,
+        mut op: impl FnMut(&mut Client) -> io::Result<T>,
+    ) -> Result<T, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            let result = self
+                .ensure_connected()
+                .and_then(|client| op(client).map_err(ClientError::classify));
+            let err = match result {
+                Ok(v) => return Ok(v),
+                Err(e) => e,
+            };
+            // Anything that failed leaves the stream in an unknown
+            // framing state; only a fresh connection is trustworthy.
+            self.client = None;
+            if !err.is_retryable() || attempt >= self.policy.max_retries {
+                return Err(err);
+            }
+            self.note_retry(attempt);
+            attempt += 1;
+        }
+    }
+
+    /// Books one absorbed failure (tally, global counter, trace event)
+    /// and sleeps the backoff for `attempt`.
+    fn note_retry(&mut self, attempt: u32) {
+        self.retries += 1;
+        pl_obs::global().counter("plserve_retries_total").inc();
+        pl_obs::event!("client.retry", attempt);
+        std::thread::sleep(self.policy.backoff(attempt, &mut self.rng));
+    }
+
+    fn ensure_connected(&mut self) -> Result<&mut Client, ClientError> {
+        if self.client.is_none() {
+            let client = Client::connect(&self.addrs[..]).map_err(ClientError::classify)?;
+            client
+                .set_io_deadline(self.policy.deadline)
+                .map_err(ClientError::classify)?;
+            self.client = Some(client);
+        }
+        Ok(self.client.as_mut().expect("just connected"))
+    }
+}
+
 pub mod loadgen {
     //! Multi-connection load generator.
 
@@ -181,7 +564,7 @@ pub mod loadgen {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    use super::{Answer, Client, Query};
+    use super::{Answer, Client, Query, ResilientClient, RetryPolicy};
 
     /// Vertex-selection distribution for generated queries.
     #[derive(Debug, Clone, Copy, PartialEq)]
@@ -211,6 +594,12 @@ pub mod loadgen {
         /// in degree-descending order, making the hot set the hubs).
         /// Must be a permutation of `0..n` when present.
         pub hot_order: Option<Vec<u32>>,
+        /// When set, workers use [`ResilientClient`] with this policy
+        /// (worker `i` jitters from `policy.seed + i`): transient
+        /// failures are retried, and batches that exhaust their retries
+        /// are counted in [`LoadReport::failed`] instead of aborting
+        /// the run. `None` keeps the original fail-fast behaviour.
+        pub retry: Option<RetryPolicy>,
     }
 
     impl Default for LoadgenConfig {
@@ -222,6 +611,7 @@ pub mod loadgen {
                 skew: Skew::Uniform,
                 seed: 0x1abe1,
                 hot_order: None,
+                retry: None,
             }
         }
     }
@@ -240,6 +630,29 @@ pub mod loadgen {
         pub elapsed_secs: f64,
         /// Client-side aggregate throughput.
         pub qps: f64,
+        /// Transient failures absorbed by the retry loops (0 without
+        /// [`LoadgenConfig::retry`]).
+        pub retries: u64,
+        /// Queries abandoned after exhausting their retries (0 without
+        /// [`LoadgenConfig::retry`], where any failure aborts instead).
+        pub failed: u64,
+        /// 99th-percentile client-observed batch round-trip, ns
+        /// (histogram bucket upper edge; 0 if nothing completed).
+        pub p99_batch_ns: u64,
+    }
+
+    impl LoadReport {
+        /// Fraction of issued queries that eventually succeeded,
+        /// in `[0, 1]` (1.0 when nothing was issued).
+        #[must_use]
+        pub fn success_rate(&self) -> f64 {
+            let attempted = self.queries + self.failed;
+            if attempted == 0 {
+                1.0
+            } else {
+                self.queries as f64 / attempted as f64
+            }
+        }
     }
 
     /// Rank sampler: inverse-CDF over `P(r) ∝ (r+1)^{-s}`, or uniform.
@@ -299,6 +712,129 @@ pub mod loadgen {
             .collect()
     }
 
+    /// Per-run shared tallies, bumped by every worker.
+    struct Tallies {
+        queries: AtomicU64,
+        adjacent_true: AtomicU64,
+        mismatches: AtomicU64,
+        retries: AtomicU64,
+        failed: AtomicU64,
+        batch_latency: pl_obs::Histogram,
+    }
+
+    /// Checks one answered batch into the tallies; `Err` on an answer
+    /// the workload should never see (out of range, malformed, ...).
+    fn tally_batch(
+        tallies: &Tallies,
+        batch: &[Query],
+        answers: &[Answer],
+        reference: Option<&pl_graph::Graph>,
+    ) -> std::io::Result<()> {
+        for (q, a) in batch.iter().zip(answers) {
+            match a {
+                Answer::Adjacent => {
+                    tallies.adjacent_true.fetch_add(1, Ordering::Relaxed);
+                }
+                Answer::NotAdjacent => {}
+                other => return Err(super::bad_data(format!("unexpected answer {other:?}"))),
+            }
+            if let Some(g) = reference {
+                let expected = g.has_edge(q.u, q.v);
+                let got = *a == Answer::Adjacent;
+                if expected != got {
+                    tallies.mismatches.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        tallies
+            .queries
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Original fail-fast worker: any error aborts the run.
+    fn worker_failfast(
+        addr: std::net::SocketAddr,
+        config: &LoadgenConfig,
+        conn_idx: usize,
+        tallies: &Tallies,
+        reference: Option<&pl_graph::Graph>,
+    ) -> std::io::Result<()> {
+        let mut client = Client::connect(addr)?;
+        let sampler = VertexSampler::new(client.n(), config.skew);
+        let mut rng = StdRng::seed_from_u64(config.seed + conn_idx as u64);
+        let mut remaining = config.requests_per_conn;
+        while remaining > 0 {
+            let len = remaining.min(config.batch);
+            let batch = generate_batch(&sampler, config.hot_order.as_deref(), &mut rng, len);
+            let t0 = Instant::now();
+            let answers = client.batch(&batch)?;
+            tallies.batch_latency.record(t0.elapsed().as_nanos() as u64);
+            tally_batch(tallies, &batch, &answers, reference)?;
+            remaining -= len;
+        }
+        client.goodbye()
+    }
+
+    /// Resilient worker: transient failures retry inside
+    /// [`ResilientClient`]; a batch that exhausts its retries is
+    /// counted as failed and the run continues. Only fatal errors
+    /// abort.
+    fn worker_resilient(
+        addr: std::net::SocketAddr,
+        config: &LoadgenConfig,
+        policy: &RetryPolicy,
+        conn_idx: usize,
+        tallies: &Tallies,
+        reference: Option<&pl_graph::Graph>,
+    ) -> std::io::Result<()> {
+        let policy = RetryPolicy {
+            seed: policy.seed.wrapping_add(conn_idx as u64),
+            ..policy.clone()
+        };
+        let mut client = ResilientClient::connect(addr, policy)
+            .map_err(|e| std::io::Error::new(e.source_io().kind(), e.to_string()))?;
+        let n = client
+            .n()
+            .map_err(|e| std::io::Error::new(e.source_io().kind(), e.to_string()))?;
+        let sampler = VertexSampler::new(n, config.skew);
+        let mut rng = StdRng::seed_from_u64(config.seed + conn_idx as u64);
+        let mut remaining = config.requests_per_conn;
+        let result = loop {
+            if remaining == 0 {
+                break Ok(());
+            }
+            let len = remaining.min(config.batch);
+            remaining -= len;
+            let batch = generate_batch(&sampler, config.hot_order.as_deref(), &mut rng, len);
+            let t0 = Instant::now();
+            match client.batch(&batch) {
+                Ok(answers) => {
+                    tallies.batch_latency.record(t0.elapsed().as_nanos() as u64);
+                    if tally_batch(tallies, &batch, &answers, reference).is_err() {
+                        // An impossible answer is a correctness bug,
+                        // not load noise — surface it as a mismatch so
+                        // verified runs fail loudly.
+                        tallies
+                            .mismatches
+                            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                    }
+                }
+                Err(e) if e.is_retryable() => {
+                    tallies.failed.fetch_add(len as u64, Ordering::Relaxed);
+                }
+                Err(e) => {
+                    break Err(std::io::Error::new(e.source_io().kind(), e.to_string()));
+                }
+            }
+        };
+        tallies
+            .retries
+            .fetch_add(client.retries(), Ordering::Relaxed);
+        client.goodbye();
+        result
+    }
+
     fn run_inner(
         addr: std::net::SocketAddr,
         config: &LoadgenConfig,
@@ -306,50 +842,26 @@ pub mod loadgen {
     ) -> std::io::Result<LoadReport> {
         assert!(config.connections >= 1, "need at least one connection");
         assert!(config.batch >= 1, "need a positive batch size");
-        let queries = AtomicU64::new(0);
-        let adjacent_true = AtomicU64::new(0);
-        let mismatches = AtomicU64::new(0);
+        let tallies = Tallies {
+            queries: AtomicU64::new(0),
+            adjacent_true: AtomicU64::new(0),
+            mismatches: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            batch_latency: pl_obs::Histogram::default(),
+        };
         let started = Instant::now();
         let result: std::io::Result<()> = std::thread::scope(|scope| {
             let mut workers = Vec::with_capacity(config.connections);
             for conn_idx in 0..config.connections {
-                let queries = &queries;
-                let adjacent_true = &adjacent_true;
-                let mismatches = &mismatches;
+                let tallies = &tallies;
                 workers.push(scope.spawn(move || -> std::io::Result<()> {
-                    let mut client = Client::connect(addr)?;
-                    let sampler = VertexSampler::new(client.n(), config.skew);
-                    let mut rng = StdRng::seed_from_u64(config.seed + conn_idx as u64);
-                    let mut remaining = config.requests_per_conn;
-                    while remaining > 0 {
-                        let len = remaining.min(config.batch);
-                        let batch =
-                            generate_batch(&sampler, config.hot_order.as_deref(), &mut rng, len);
-                        let answers = client.batch(&batch)?;
-                        for (q, a) in batch.iter().zip(&answers) {
-                            match a {
-                                Answer::Adjacent => {
-                                    adjacent_true.fetch_add(1, Ordering::Relaxed);
-                                }
-                                Answer::NotAdjacent => {}
-                                other => {
-                                    return Err(super::bad_data(format!(
-                                        "unexpected answer {other:?}"
-                                    )))
-                                }
-                            }
-                            if let Some(g) = reference {
-                                let expected = g.has_edge(q.u, q.v);
-                                let got = *a == Answer::Adjacent;
-                                if expected != got {
-                                    mismatches.fetch_add(1, Ordering::Relaxed);
-                                }
-                            }
+                    match &config.retry {
+                        Some(policy) => {
+                            worker_resilient(addr, config, policy, conn_idx, tallies, reference)
                         }
-                        queries.fetch_add(len as u64, Ordering::Relaxed);
-                        remaining -= len;
+                        None => worker_failfast(addr, config, conn_idx, tallies, reference),
                     }
-                    client.goodbye()
                 }));
             }
             for w in workers {
@@ -359,13 +871,16 @@ pub mod loadgen {
         });
         result?;
         let elapsed_secs = started.elapsed().as_secs_f64();
-        let total = queries.load(Ordering::Relaxed);
+        let total = tallies.queries.load(Ordering::Relaxed);
         Ok(LoadReport {
             queries: total,
-            adjacent_true: adjacent_true.load(Ordering::Relaxed),
-            mismatches: mismatches.load(Ordering::Relaxed),
+            adjacent_true: tallies.adjacent_true.load(Ordering::Relaxed),
+            mismatches: tallies.mismatches.load(Ordering::Relaxed),
             elapsed_secs,
             qps: total as f64 / elapsed_secs.max(1e-9),
+            retries: tallies.retries.load(Ordering::Relaxed),
+            failed: tallies.failed.load(Ordering::Relaxed),
+            p99_batch_ns: tallies.batch_latency.snapshot().quantile_ns(0.99),
         })
     }
 

@@ -19,7 +19,14 @@
 //!   snapshotted on demand (`STATS`) and at shutdown, and renderable
 //!   as Prometheus text via [`ServerHandle::prometheus_text`].
 //! * [`client`] — blocking client plus a multi-connection load
-//!   generator with uniform and Zipf-skewed query mixes.
+//!   generator with uniform and Zipf-skewed query mixes, and
+//!   [`ResilientClient`]: deadlines, bounded backoff with jitter, and
+//!   reconnect-and-replay over the [`ClientError`] retryable/fatal
+//!   taxonomy.
+//! * [`fault`] — the deterministic fault-injection harness
+//!   ([`FaultPlan`]): seeded per-connection delays, drops, truncations,
+//!   byte flips, and simulated store errors, for chaos testing the
+//!   whole request path (see RELIABILITY.md).
 //! * [`format`] — thin re-exports of the codec layer
 //!   ([`pl_labeling::codec`]): the scheme tag, tagged container, and
 //!   decoder dispatch now live with the labels, not the server.
@@ -28,6 +35,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod fault;
 pub mod format;
 pub mod metrics;
 pub mod protocol;
@@ -35,9 +43,10 @@ pub mod server;
 pub mod store;
 
 pub use client::loadgen::{LoadReport, LoadgenConfig, Skew};
-pub use client::Client;
+pub use client::{Client, ClientError, ResilientClient, RetryKind, RetryPolicy};
+pub use fault::{FaultKind, FaultPlan};
 pub use format::{SchemeTag, TaggedLabeling};
 pub use metrics::Snapshot;
-pub use protocol::{Answer, Query, QueryKind};
+pub use protocol::{Answer, HealthReport, Query, QueryKind};
 pub use server::{serve, serve_with, ServeOptions, ServerHandle};
 pub use store::{LabelStore, QueryPath, StoreConfig};

@@ -12,7 +12,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use pl_obs::registry::Counter;
+use pl_obs::registry::{Counter, Gauge};
 use pl_obs::MetricsRegistry;
 
 /// Power-of-two latency histogram (see [`pl_obs::Histogram`]).
@@ -40,6 +40,16 @@ pub struct Metrics {
     /// Queries at or over the slow-query threshold
     /// (`plserve_slow_queries_total`).
     pub slow_queries: Arc<Counter>,
+    /// Connections refused at the cap with an `OVERLOADED` frame
+    /// (`plserve_shed_total`).
+    pub shed: Arc<Counter>,
+    /// Idle connections reaped by the server (`plserve_idle_reaped_total`).
+    pub idle_reaped: Arc<Counter>,
+    /// Connections closed for stalling mid-frame past the read deadline
+    /// (`plserve_deadline_closes_total`).
+    pub deadline_closes: Arc<Counter>,
+    /// Currently open connections (`plserve_open_conns`).
+    pub open_conns: Arc<Gauge>,
     /// Per-query decode latency (`plserve_query_latency_ns`).
     pub query_latency: Arc<LatencyHistogram>,
 }
@@ -57,15 +67,25 @@ impl Metrics {
             bytes_out: registry.counter("plserve_bytes_out_total"),
             protocol_errors: registry.counter("plserve_protocol_errors_total"),
             slow_queries: registry.counter("plserve_slow_queries_total"),
+            shed: registry.counter("plserve_shed_total"),
+            idle_reaped: registry.counter("plserve_idle_reaped_total"),
+            deadline_closes: registry.counter("plserve_deadline_closes_total"),
+            open_conns: registry.gauge("plserve_open_conns"),
             query_latency: registry.histogram("plserve_query_latency_ns"),
         }
     }
 
     /// Immutable snapshot of all counters; `elapsed` is measured against
     /// `started` for the QPS figure, `shard_cache` carries the store's
-    /// per-shard `(hits, misses)` pairs.
+    /// per-shard `(hits, misses)` pairs, `faults_injected` the fault
+    /// harness's total (0 when no plan is active).
     #[must_use]
-    pub fn snapshot(&self, started: Instant, shard_cache: &[(u64, u64)]) -> Snapshot {
+    pub fn snapshot(
+        &self,
+        started: Instant,
+        shard_cache: &[(u64, u64)],
+        faults_injected: u64,
+    ) -> Snapshot {
         let adj = self.adj_queries.get();
         let dist = self.dist_queries.get();
         let secs = started.elapsed().as_secs_f64().max(1e-9);
@@ -89,6 +109,9 @@ impl Metrics {
             qps_milli: (((adj + dist) as f64 / secs) * 1000.0) as u64,
             slow_queries: self.slow_queries.get(),
             shard_cache: shard_cache.to_vec(),
+            faults_injected,
+            shed: self.shed.get(),
+            open_conns: self.open_conns.get().max(0) as u64,
         }
     }
 }
@@ -100,14 +123,21 @@ const V1_FIELDS: usize = 12;
 /// per-shard pairs.
 const V2_FIXED_FIELDS: usize = 18;
 
+/// Number of `u64` fields version 3 appends *after* the per-shard pairs
+/// (faults injected, shed, open connections). Deliberately odd, so a v3
+/// body can never be mistaken for a v2 body with extra shard pairs.
+const V3_TRAILER_FIELDS: usize = 3;
+
 /// A point-in-time copy of [`Metrics`], also the payload of the wire
 /// `STATS` reply.
 ///
-/// Two wire layouts exist: version 1 is the original twelve fixed
+/// Three wire layouts exist: version 1 is the original twelve fixed
 /// `u64`s; version 2 appends p90/p999, min/max, the slow-query count,
-/// and the per-shard cache pairs. [`from_bytes`](Self::from_bytes)
-/// tells them apart by length (96 bytes is v1; v2 is at least 152 and
-/// grows by 16 per shard, so the lengths can never collide).
+/// and the per-shard cache pairs; version 3 appends three resilience
+/// fields after the shard pairs. [`from_bytes`](Self::from_bytes) tells
+/// them apart by length against the declared shard count (96 bytes is
+/// v1; v2 is exactly `18 + 2s` words; v3 is `18 + 2s + 3` words — the
+/// odd trailer keeps the lengths disjoint).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Snapshot {
     pub adj_queries: u64,
@@ -139,6 +169,12 @@ pub struct Snapshot {
     pub slow_queries: u64,
     /// Per-shard decode-cache `(hits, misses)` (v2; empty from v1).
     pub shard_cache: Vec<(u64, u64)>,
+    /// Faults injected by the chaos harness (v3; 0 from v1/v2).
+    pub faults_injected: u64,
+    /// Connections shed at the connection cap (v3; 0 from v1/v2).
+    pub shed: u64,
+    /// Connections open when the snapshot was taken (v3; 0 from v1/v2).
+    pub open_conns: u64,
 }
 
 impl Snapshot {
@@ -172,6 +208,18 @@ impl Snapshot {
         }
         let mut out = Vec::with_capacity(fields.len() * 8);
         for f in fields {
+            out.extend_from_slice(&f.to_le_bytes());
+        }
+        out
+    }
+
+    /// Serializes the version-3 `STATS` reply body: the v2 layout plus a
+    /// three-word resilience trailer (faults injected, shed, open
+    /// connections) after the per-shard pairs.
+    #[must_use]
+    pub fn to_bytes_v3(&self) -> Vec<u8> {
+        let mut out = self.to_bytes();
+        for f in [self.faults_injected, self.shed, self.open_conns] {
             out.extend_from_slice(&f.to_le_bytes());
         }
         out
@@ -236,10 +284,18 @@ impl Snapshot {
         let expected = shard_count
             .checked_mul(2)
             .and_then(|x| x.checked_add(V2_FIXED_FIELDS))?;
-        if words.len() != expected {
+        // A v2 body is exactly `expected` words; a v3 body carries the
+        // three-word trailer. Any other length is malformed. (The two
+        // cannot collide: a v2 body's length always matches its declared
+        // shard count exactly, and the trailer is odd-sized.)
+        let (faults_injected, shed, open_conns) = if words.len() == expected {
+            (0, 0, 0)
+        } else if words.len() == expected + V3_TRAILER_FIELDS {
+            (words[expected], words[expected + 1], words[expected + 2])
+        } else {
             return None;
-        }
-        let shard_cache = words[V2_FIXED_FIELDS..]
+        };
+        let shard_cache = words[V2_FIXED_FIELDS..expected]
             .chunks_exact(2)
             .map(|p| (p[0], p[1]))
             .collect();
@@ -262,6 +318,9 @@ impl Snapshot {
             qps_milli: words[15],
             slow_queries: words[16],
             shard_cache,
+            faults_injected,
+            shed,
+            open_conns,
         })
     }
 
@@ -333,6 +392,11 @@ impl std::fmt::Display for Snapshot {
             )?;
         }
         writeln!(f, "slow queries: {}", self.slow_queries)?;
+        writeln!(
+            f,
+            "resilience: {} faults injected, {} conns shed, {} conns open",
+            self.faults_injected, self.shed, self.open_conns
+        )?;
         write!(
             f,
             "wire: {} bytes in, {} bytes out, {} protocol errors",
@@ -381,6 +445,9 @@ mod tests {
             qps_milli: 12_500,
             slow_queries: 1,
             shard_cache: vec![(4, 1), (5, 5), (0, 0)],
+            faults_injected: 17,
+            shed: 3,
+            open_conns: 2,
         }
     }
 
@@ -389,7 +456,20 @@ mod tests {
         let s = sample_snapshot();
         let bytes = s.to_bytes();
         assert_eq!(bytes.len(), (18 + 2 * 3) * 8);
-        assert_eq!(Snapshot::from_bytes(&bytes), Some(s.clone()));
+        let parsed = Snapshot::from_bytes(&bytes).expect("v2 parses");
+        // The v2 layout drops the resilience trailer.
+        assert_eq!(parsed.faults_injected, 0);
+        assert_eq!(parsed.shed, 0);
+        assert_eq!(parsed.open_conns, 0);
+        assert_eq!(
+            parsed,
+            Snapshot {
+                faults_injected: 0,
+                shed: 0,
+                open_conns: 0,
+                ..s.clone()
+            }
+        );
         assert_eq!(Snapshot::from_bytes(&bytes[..bytes.len() - 1]), None);
         assert_eq!(Snapshot::from_bytes(&bytes[..bytes.len() - 16]), None);
         assert!((s.qps() - 12.5).abs() < 1e-9);
@@ -398,6 +478,32 @@ mod tests {
         assert!((rates[0] - 0.8).abs() < 1e-9);
         assert!((rates[1] - 0.5).abs() < 1e-9);
         assert!(rates[2].abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_round_trips_v3() {
+        let s = sample_snapshot();
+        let bytes = s.to_bytes_v3();
+        assert_eq!(bytes.len(), (18 + 2 * 3 + 3) * 8);
+        assert_eq!(Snapshot::from_bytes(&bytes), Some(s.clone()));
+        // Truncating the trailer down to the v2 length still parses (as
+        // v2, zeroing the trailer); any partial trailer is rejected.
+        let v2_len = bytes.len() - 3 * 8;
+        assert!(Snapshot::from_bytes(&bytes[..v2_len]).is_some());
+        assert_eq!(Snapshot::from_bytes(&bytes[..v2_len + 8]), None);
+        assert_eq!(Snapshot::from_bytes(&bytes[..v2_len + 16]), None);
+    }
+
+    #[test]
+    fn snapshot_v3_trailer_cannot_masquerade_as_shards() {
+        // A v3 body reinterpreted with a larger shard count would need
+        // an even number of extra words; the trailer is three. Claiming
+        // one more shard over a v3 body must fail.
+        let s = sample_snapshot();
+        let mut bytes = s.to_bytes_v3();
+        let idx = (V2_FIXED_FIELDS - 1) * 8;
+        bytes[idx..idx + 8].copy_from_slice(&4u64.to_le_bytes());
+        assert_eq!(Snapshot::from_bytes(&bytes), None);
     }
 
     #[test]
@@ -435,11 +541,17 @@ mod tests {
         let m = Metrics::new(&reg);
         m.adj_queries.add(10);
         m.query_latency.record(500);
+        m.shed.add(2);
+        m.open_conns.set(5);
         let s = m.snapshot(
             Instant::now() - std::time::Duration::from_secs(1),
             &[(3, 0), (0, 1)],
+            7,
         );
         assert_eq!(s.adj_queries, 10);
+        assert_eq!(s.faults_injected, 7);
+        assert_eq!(s.shed, 2);
+        assert_eq!(s.open_conns, 5);
         assert!(s.qps() > 1.0, "ten queries over ~1s");
         assert_eq!(s.cache_hits, 3);
         assert_eq!(s.cache_misses, 1);

@@ -22,8 +22,13 @@ use crate::metrics::Snapshot;
 
 /// Newest protocol version this build speaks. Version 2 added the
 /// extended STATS reply (p90/p999, min/max, slow queries, per-shard
-/// cache counters) and the `TRACE_DUMP` opcode.
-pub const VERSION: u8 = 2;
+/// cache counters) and the `TRACE_DUMP` opcode. Version 3 adds the
+/// resilience surface: checksummed `BATCH_REPLY` bodies (so corrupted
+/// response bytes are *detected* instead of silently mis-answering),
+/// the per-query `ANS_OVERLOADED` status, the pre-handshake
+/// `OVERLOADED` shed frame, the `HEALTH` opcode, and three extra
+/// STATS fields (faults injected, connections shed, open connections).
+pub const VERSION: u8 = 3;
 
 /// Oldest protocol version this build still accepts. Version-1 sessions
 /// get the original twelve-field STATS reply.
@@ -51,6 +56,8 @@ pub mod opcode {
     pub const GOODBYE: u8 = 0x03;
     /// Drain the server's trace rings (v2+): reply is `TRACE_REPLY`.
     pub const TRACE_DUMP: u8 = 0x04;
+    /// Ask for shard liveness (v3+): reply is `HEALTH_REPLY`.
+    pub const HEALTH: u8 = 0x05;
     /// Handshake accepted: version + scheme tag + vertex count.
     pub const HELLO_OK: u8 = 0x80;
     /// Answers, one per query, in order.
@@ -62,6 +69,11 @@ pub mod opcode {
     /// Drained trace events as UTF-8 JSONL (possibly truncated to the
     /// frame cap at a line boundary).
     pub const TRACE_REPLY: u8 = 0x84;
+    /// Sent *instead of* `HELLO_OK` when the server sheds the
+    /// connection at its cap (v3); the server closes after sending it.
+    pub const OVERLOADED: u8 = 0x85;
+    /// Shard-liveness report (v3): status byte + per-shard flags.
+    pub const HEALTH_REPLY: u8 = 0x86;
     /// Fatal per-connection error, body is a UTF-8 message.
     pub const ERROR: u8 = 0x8F;
 }
@@ -124,12 +136,25 @@ pub enum Answer {
     /// A label involved in the query was corrupt; the query fails but
     /// the connection (and server) stay up.
     MalformedLabel,
+    /// The server could not serve this query right now (shard-store I/O
+    /// error or shedding); the query is safe to retry. v3 wire status;
+    /// on older sessions it degrades to [`Answer::MalformedLabel`].
+    Overloaded,
+}
+
+impl Answer {
+    /// `true` for transient statuses a client may retry verbatim.
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Self::Overloaded)
+    }
 }
 
 const ANS_NOT_ADJACENT: u8 = 0;
 const ANS_ADJACENT: u8 = 1;
 const ANS_DISTANCE: u8 = 2;
 const ANS_UNREACHABLE: u8 = 3;
+const ANS_OVERLOADED: u8 = 0xFB;
 const ANS_MALFORMED: u8 = 0xFC;
 const ANS_OUT_OF_RANGE: u8 = 0xFD;
 const ANS_UNSUPPORTED: u8 = 0xFE;
@@ -147,6 +172,9 @@ pub enum ProtocolError {
     Malformed(&'static str),
     /// An opcode that makes no sense in the current state.
     UnexpectedOpcode(u8),
+    /// A v3 checksummed body failed verification — the frame was
+    /// corrupted in flight; safe to retry.
+    ChecksumMismatch,
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -157,6 +185,7 @@ impl std::fmt::Display for ProtocolError {
             Self::UnsupportedVersion(v) => write!(f, "unsupported protocol version {v}"),
             Self::Malformed(what) => write!(f, "malformed frame: {what}"),
             Self::UnexpectedOpcode(op) => write!(f, "unexpected opcode {op:#04x}"),
+            Self::ChecksumMismatch => write!(f, "reply checksum mismatch (corrupted in flight)"),
         }
     }
 }
@@ -327,10 +356,27 @@ pub fn parse_batch(body: &[u8]) -> Result<Vec<Query>, ProtocolError> {
     Ok(queries)
 }
 
-/// Builds a BATCH_REPLY body.
+/// FNV-1a (32-bit) over `bytes` — the v3 reply checksum. One flipped
+/// byte anywhere in a checksummed body changes the digest, so response
+/// corruption surfaces as a parse error the client can retry instead of
+/// a silently wrong answer.
 #[must_use]
-pub fn encode_batch_reply(answers: &[Answer]) -> Vec<u8> {
-    let mut b = Vec::with_capacity(3 + answers.len() * 5);
+pub fn checksum(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811C_9DC5;
+    for &b in bytes {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Builds a BATCH_REPLY body in the layout of the session's negotiated
+/// `version`. v3 appends a 4-byte FNV-1a checksum of everything before
+/// it; on v1/v2 sessions [`Answer::Overloaded`] (a v3 status) degrades
+/// to the closest legacy status, `ANS_MALFORMED`.
+#[must_use]
+pub fn encode_batch_reply(answers: &[Answer], version: u8) -> Vec<u8> {
+    let mut b = Vec::with_capacity(3 + answers.len() * 5 + 4);
     b.push(opcode::BATCH_REPLY);
     b.extend_from_slice(&(answers.len() as u16).to_le_bytes());
     for a in answers {
@@ -345,13 +391,36 @@ pub fn encode_batch_reply(answers: &[Answer]) -> Vec<u8> {
             Answer::OutOfRange => b.push(ANS_OUT_OF_RANGE),
             Answer::Unsupported => b.push(ANS_UNSUPPORTED),
             Answer::MalformedLabel => b.push(ANS_MALFORMED),
+            Answer::Overloaded => b.push(if version >= 3 {
+                ANS_OVERLOADED
+            } else {
+                ANS_MALFORMED
+            }),
         }
+    }
+    if version >= 3 {
+        let sum = checksum(&b);
+        b.extend_from_slice(&sum.to_le_bytes());
     }
     b
 }
 
-/// Parses a BATCH_REPLY body.
-pub fn parse_batch_reply(body: &[u8]) -> Result<Vec<Answer>, ProtocolError> {
+/// Parses a BATCH_REPLY body in the layout of the session's negotiated
+/// `version`; v3 verifies and strips the trailing checksum first.
+pub fn parse_batch_reply(body: &[u8], version: u8) -> Result<Vec<Answer>, ProtocolError> {
+    let body = if version >= 3 {
+        if body.len() < 7 || body[0] != opcode::BATCH_REPLY {
+            return Err(ProtocolError::Malformed("batch reply header"));
+        }
+        let (payload, sum) = body.split_at(body.len() - 4);
+        let declared = u32::from_le_bytes(sum.try_into().expect("4 bytes"));
+        if checksum(payload) != declared {
+            return Err(ProtocolError::ChecksumMismatch);
+        }
+        payload
+    } else {
+        body
+    };
     if body.len() < 3 || body[0] != opcode::BATCH_REPLY {
         return Err(ProtocolError::Malformed("batch reply header"));
     }
@@ -377,6 +446,7 @@ pub fn parse_batch_reply(body: &[u8]) -> Result<Vec<Answer>, ProtocolError> {
             ANS_OUT_OF_RANGE => Answer::OutOfRange,
             ANS_UNSUPPORTED => Answer::Unsupported,
             ANS_MALFORMED => Answer::MalformedLabel,
+            ANS_OVERLOADED => Answer::Overloaded,
             _ => return Err(ProtocolError::Malformed("answer status")),
         });
     }
@@ -386,16 +456,59 @@ pub fn parse_batch_reply(body: &[u8]) -> Result<Vec<Answer>, ProtocolError> {
     Ok(answers)
 }
 
+/// A server's shard-liveness report, the payload of `HEALTH_REPLY`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Every shard live?
+    pub healthy: bool,
+    /// Per-shard liveness flags, in shard order.
+    pub shards: Vec<bool>,
+}
+
+/// Builds a HEALTH_REPLY body from per-shard liveness flags.
+#[must_use]
+pub fn encode_health_reply(shards: &[bool]) -> Vec<u8> {
+    let healthy = shards.iter().all(|&s| s);
+    let mut b = Vec::with_capacity(4 + shards.len());
+    b.push(opcode::HEALTH_REPLY);
+    b.push(u8::from(healthy));
+    b.extend_from_slice(&(shards.len() as u16).to_le_bytes());
+    b.extend(shards.iter().map(|&s| u8::from(s)));
+    b
+}
+
+/// Parses a HEALTH_REPLY body.
+pub fn parse_health_reply(body: &[u8]) -> Result<HealthReport, ProtocolError> {
+    if body.len() < 4 || body[0] != opcode::HEALTH_REPLY {
+        return Err(ProtocolError::Malformed("health reply header"));
+    }
+    let count = u16::from_le_bytes(body[2..4].try_into().expect("2 bytes")) as usize;
+    let flags = &body[4..];
+    if flags.len() != count || flags.iter().any(|&f| f > 1) {
+        return Err(ProtocolError::Malformed("health reply body"));
+    }
+    let shards: Vec<bool> = flags.iter().map(|&f| f == 1).collect();
+    let healthy = body[1] == 1;
+    if healthy != shards.iter().all(|&s| s) {
+        return Err(ProtocolError::Malformed("health status inconsistent"));
+    }
+    Ok(HealthReport { healthy, shards })
+}
+
 /// Builds a STATS_REPLY body in the layout of the session's negotiated
-/// `version`: v1 sessions get the original twelve-field reply, v2+ the
-/// extended layout with quantiles, min/max, and per-shard counters.
+/// `version`: v1 sessions get the original twelve-field reply, v2 the
+/// extended layout with quantiles, min/max, and per-shard counters, and
+/// v3+ appends the resilience fields (faults injected, shed, open
+/// connections).
 #[must_use]
 pub fn encode_stats_reply(s: &Snapshot, version: u8) -> Vec<u8> {
     let mut b = vec![opcode::STATS_REPLY];
     if version <= 1 {
         b.extend_from_slice(&s.to_bytes_v1());
-    } else {
+    } else if version == 2 {
         b.extend_from_slice(&s.to_bytes());
+    } else {
+        b.extend_from_slice(&s.to_bytes_v3());
     }
     b
 }
@@ -455,14 +568,18 @@ mod tests {
         };
         let v1 = encode_stats_reply(&s, 1);
         let v2 = encode_stats_reply(&s, 2);
+        let v3 = encode_stats_reply(&s, 3);
         assert_eq!(v1.len(), 1 + 12 * 8);
         assert!(v2.len() > v1.len());
-        // Both parse; the v1 reply loses the extended fields.
+        assert_eq!(v3.len(), v2.len() + 3 * 8);
+        // All parse; older layouts lose the newer fields.
         let from_v1 = parse_stats_reply(&v1).unwrap();
         assert_eq!(from_v1.adj_queries, 7);
         assert_eq!(from_v1.p90_ns, 0);
         let from_v2 = parse_stats_reply(&v2).unwrap();
         assert_eq!(from_v2.p90_ns, 1234);
+        let from_v3 = parse_stats_reply(&v3).unwrap();
+        assert_eq!(from_v3.p90_ns, 1234);
     }
 
     #[test]
@@ -485,10 +602,82 @@ mod tests {
             Answer::OutOfRange,
             Answer::Unsupported,
         ];
+        for version in [1, 2, 3] {
+            assert_eq!(
+                parse_batch_reply(&encode_batch_reply(&answers, version), version).unwrap(),
+                answers,
+                "version {version}"
+            );
+        }
+    }
+
+    #[test]
+    fn overloaded_answer_is_version_gated() {
+        let answers = vec![Answer::Adjacent, Answer::Overloaded];
+        let v3 = encode_batch_reply(&answers, 3);
+        assert_eq!(parse_batch_reply(&v3, 3).unwrap(), answers);
+        // On a v2 session the v3-only status degrades to MalformedLabel.
+        let v2 = encode_batch_reply(&answers, 2);
         assert_eq!(
-            parse_batch_reply(&encode_batch_reply(&answers)).unwrap(),
-            answers
+            parse_batch_reply(&v2, 2).unwrap(),
+            vec![Answer::Adjacent, Answer::MalformedLabel]
         );
+    }
+
+    #[test]
+    fn every_single_byte_flip_of_a_v3_reply_is_detected() {
+        let answers = vec![
+            Answer::Adjacent,
+            Answer::NotAdjacent,
+            Answer::Distance(7),
+            Answer::Adjacent,
+        ];
+        let body = encode_batch_reply(&answers, 3);
+        for pos in 0..body.len() {
+            for bit in 0..8 {
+                let mut corrupted = body.clone();
+                corrupted[pos] ^= 1 << bit;
+                assert!(
+                    parse_batch_reply(&corrupted, 3).is_err(),
+                    "flip of byte {pos} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn v2_reply_without_checksum_is_rejected_by_v3_parse() {
+        let answers = vec![Answer::Adjacent];
+        let v2 = encode_batch_reply(&answers, 2);
+        assert!(parse_batch_reply(&v2, 3).is_err());
+    }
+
+    #[test]
+    fn health_reply_round_trip() {
+        let all_up = encode_health_reply(&[true, true, true]);
+        assert_eq!(
+            parse_health_reply(&all_up).unwrap(),
+            HealthReport {
+                healthy: true,
+                shards: vec![true, true, true],
+            }
+        );
+        let degraded = encode_health_reply(&[true, false]);
+        let report = parse_health_reply(&degraded).unwrap();
+        assert!(!report.healthy);
+        assert_eq!(report.shards, vec![true, false]);
+        assert!(parse_health_reply(&[]).is_err());
+        // Inconsistent status byte vs flags is rejected.
+        let mut lying = encode_health_reply(&[false]);
+        lying[1] = 1;
+        assert!(parse_health_reply(&lying).is_err());
+    }
+
+    #[test]
+    fn checksum_changes_on_any_input_change() {
+        assert_ne!(checksum(b"hello"), checksum(b"hellp"));
+        assert_ne!(checksum(b""), checksum(b"\0"));
+        assert_eq!(checksum(b"abc"), checksum(b"abc"));
     }
 
     #[test]
@@ -525,8 +714,10 @@ mod tests {
             let _ = parse_hello(&body);
             let _ = parse_hello_ok(&body);
             let _ = parse_batch(&body);
-            let _ = parse_batch_reply(&body);
+            let _ = parse_batch_reply(&body, 2);
+            let _ = parse_batch_reply(&body, 3);
             let _ = parse_stats_reply(&body);
+            let _ = parse_health_reply(&body);
         }
 
         #[test]

@@ -7,6 +7,29 @@
 //! quiet window to drain bytes still in flight, and only then close.
 //! `shutdown` joins all threads and returns the final metrics snapshot.
 //!
+//! ## Degradation under load and failure
+//!
+//! The server degrades gracefully rather than wedging (see
+//! RELIABILITY.md):
+//!
+//! - [`ServeOptions::max_conns`] caps concurrent connections; excess
+//!   accepts are *shed* — answered with a single `OVERLOADED` frame and
+//!   closed, counted in `plserve_shed_total` — instead of queueing
+//!   unboundedly behind a stuck hub connection.
+//! - [`ServeOptions::idle_timeout`] reaps connections that have sent
+//!   nothing for too long; [`ServeOptions::stall_timeout`] bounds both a
+//!   peer that stalls mid-frame and a peer that stops reading its
+//!   replies (it doubles as the socket write timeout). Both replace the
+//!   bare `POLL` read timeout as real per-connection deadlines.
+//! - Finished connection threads are reaped every accept-loop pass, so
+//!   the handle vector stays bounded by the number of *live*
+//!   connections ([`ServerHandle::conn_handle_count`]).
+//! - A [`FaultPlan`] ([`ServeOptions::fault_plan`]) turns on the
+//!   deterministic fault-injection harness of [`crate::fault`] for
+//!   chaos testing: injected read/write delays, dropped and truncated
+//!   reply frames, flipped reply bytes (protocol v3 checksums catch
+//!   them), and simulated shard-store errors.
+//!
 //! ## Observability
 //!
 //! Every server owns a [`MetricsRegistry`] (per-instance, so parallel
@@ -17,22 +40,26 @@
 //! [`ServeOptions::slow_query_ns`] increments
 //! `plserve_slow_queries_total` and records a `serve.slow_query` trace
 //! event carrying the vertex pair and the shard/cache provenance.
+//! Resilience events land in `plserve_faults_injected_total{kind}`,
+//! `plserve_shed_total`, `plserve_idle_reaped_total`,
+//! `plserve_deadline_closes_total`, and the `plserve_open_conns` gauge.
 //! [`ServerHandle::prometheus_text`] renders the registry (plus derived
 //! per-shard hit ratios and the process-global encode metrics) in
 //! Prometheus text format — `plab serve --prom` exposes it over HTTP.
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use pl_obs::MetricsRegistry;
 
+use crate::fault::{FaultCounters, FaultInjector, FaultKind, FaultPlan};
 use crate::metrics::{Metrics, Snapshot};
 use crate::protocol::{
-    encode_batch_reply, encode_hello_ok, encode_stats_reply, opcode, parse_batch, parse_hello,
-    write_frame, Answer, FrameBuffer, QueryKind, MAX_FRAME,
+    encode_batch_reply, encode_health_reply, encode_hello_ok, encode_stats_reply, opcode,
+    parse_batch, parse_hello, write_frame, Answer, FrameBuffer, QueryKind, MAX_FRAME,
 };
 use crate::store::{LabelStore, StoreError};
 
@@ -55,24 +82,55 @@ pub struct ServeOptions {
     /// `plserve_slow_queries_total` and logged as `serve.slow_query`
     /// trace events. `None` disables the slow-query log.
     pub slow_query_ns: Option<u64>,
+    /// Maximum concurrent connections; further accepts are shed with an
+    /// `OVERLOADED` frame (`plserve_shed_total`). `None` means no cap.
+    pub max_conns: Option<usize>,
+    /// Fault-injection plan for chaos testing; `None` (or an all-zero
+    /// plan) serves faithfully.
+    pub fault_plan: Option<FaultPlan>,
+    /// Connections that send no bytes for this long are reaped
+    /// (`plserve_idle_reaped_total`). `None` lets idle connections live
+    /// until shutdown.
+    pub idle_timeout: Option<Duration>,
+    /// Deadline for a peer stalled mid-frame, and the socket write
+    /// timeout for a peer that stops reading replies
+    /// (`plserve_deadline_closes_total`). `None` disables both.
+    pub stall_timeout: Option<Duration>,
 }
 
 /// Everything a connection thread needs, behind one `Arc`.
 struct Shared {
     store: Arc<LabelStore>,
     metrics: Metrics,
+    faults: FaultCounters,
     registry: Arc<MetricsRegistry>,
     /// Slow-query threshold; `u64::MAX` disables.
     slow_query_ns: u64,
+    /// Connection cap; `usize::MAX` disables.
+    max_conns: usize,
+    fault_plan: Option<FaultPlan>,
+    idle_timeout: Option<Duration>,
+    stall_timeout: Option<Duration>,
+    /// Connections currently being served (authoritative for shedding).
+    live_conns: AtomicUsize,
+    /// Join handles currently held by the accept loop (diagnostic; see
+    /// [`ServerHandle::conn_handle_count`]).
+    conn_handles: AtomicUsize,
+    /// Monotonic connection ids, feeding per-connection fault streams.
+    conn_seq: AtomicU64,
     shutdown: AtomicBool,
     started: Instant,
 }
 
 impl Shared {
-    /// Snapshot with the store's per-shard cache counters folded in.
+    /// Snapshot with the store's per-shard cache counters and the fault
+    /// harness's running total folded in.
     fn snapshot(&self) -> Snapshot {
-        self.metrics
-            .snapshot(self.started, &self.store.shard_cache_counts())
+        self.metrics.snapshot(
+            self.started,
+            &self.store.shard_cache_counts(),
+            self.faults.total(),
+        )
     }
 
     /// Prometheus text: the server registry, derived per-shard hit
@@ -97,6 +155,17 @@ impl Shared {
             p.registry(pl_obs::global());
         }
         p.finish()
+    }
+}
+
+/// Decrements the live-connection accounting when a connection thread
+/// exits, however it exits.
+struct ConnGuard<'a>(&'a Shared);
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        self.0.live_conns.fetch_sub(1, Ordering::SeqCst);
+        self.0.metrics.open_conns.add(-1);
     }
 }
 
@@ -125,6 +194,21 @@ impl ServerHandle {
     #[must_use]
     pub fn registry(&self) -> Arc<MetricsRegistry> {
         Arc::clone(&self.shared.registry)
+    }
+
+    /// Connections currently being served.
+    #[must_use]
+    pub fn live_connections(&self) -> usize {
+        self.shared.live_conns.load(Ordering::SeqCst)
+    }
+
+    /// Join handles the accept loop is currently holding. Finished
+    /// handles are reaped every loop pass, so this stays bounded by the
+    /// live-connection count (plus at most one poll interval of lag)
+    /// rather than growing with every connection ever accepted.
+    #[must_use]
+    pub fn conn_handle_count(&self) -> usize {
+        self.shared.conn_handles.load(Ordering::SeqCst)
     }
 
     /// Current metrics in Prometheus text format (server registry,
@@ -175,8 +259,16 @@ pub fn serve_with(
     let shared = Arc::new(Shared {
         store,
         metrics: Metrics::new(&registry),
+        faults: FaultCounters::new(&registry),
         registry,
         slow_query_ns: options.slow_query_ns.unwrap_or(u64::MAX),
+        max_conns: options.max_conns.unwrap_or(usize::MAX),
+        fault_plan: options.fault_plan.filter(FaultPlan::is_active),
+        idle_timeout: options.idle_timeout,
+        stall_timeout: options.stall_timeout,
+        live_conns: AtomicUsize::new(0),
+        conn_handles: AtomicUsize::new(0),
+        conn_seq: AtomicU64::new(0),
         shutdown: AtomicBool::new(false),
         started: Instant::now(),
     });
@@ -192,19 +284,37 @@ pub fn serve_with(
 fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
     while !shared.shutdown.load(Ordering::SeqCst) {
+        // Reap finished connection threads every pass — not only when
+        // accepts are quiet — so the handle vector tracks live
+        // connections instead of every connection ever accepted.
+        conns.retain(|c| !c.is_finished());
+        shared.conn_handles.store(conns.len(), Ordering::SeqCst);
         match listener.accept() {
-            Ok((stream, _)) => {
+            Ok((mut stream, _)) => {
+                // The cap is checked (and the slot claimed) here in the
+                // accept loop, not in the connection thread, so two
+                // racing accepts cannot both squeeze past the limit.
+                if shared.live_conns.load(Ordering::SeqCst) >= shared.max_conns {
+                    shared.metrics.shed.inc();
+                    pl_obs::event!("serve.shed");
+                    // Best effort: tell the peer why before closing.
+                    let _ = write_frame(&mut stream, &[opcode::OVERLOADED]);
+                    continue;
+                }
+                shared.live_conns.fetch_add(1, Ordering::SeqCst);
+                shared.metrics.open_conns.add(1);
                 shared.metrics.connections.inc();
                 pl_obs::event!("serve.accept");
+                let conn_id = shared.conn_seq.fetch_add(1, Ordering::SeqCst);
                 let conn_shared = Arc::clone(shared);
                 conns.push(std::thread::spawn(move || {
+                    let _guard = ConnGuard(&conn_shared);
                     // Per-connection I/O errors just end that connection.
-                    let _ = serve_connection(stream, &conn_shared);
+                    let _ = serve_connection(stream, &conn_shared, conn_id);
                 }));
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
                 std::thread::sleep(POLL);
-                conns.retain(|c| !c.is_finished());
             }
             Err(_) => std::thread::sleep(POLL),
         }
@@ -212,34 +322,59 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     for c in conns {
         let _ = c.join();
     }
+    shared.conn_handles.store(0, Ordering::SeqCst);
 }
 
-fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
+fn serve_connection(
+    mut stream: TcpStream,
+    shared: &Arc<Shared>,
+    conn_id: u64,
+) -> std::io::Result<()> {
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(POLL))?;
+    stream.set_write_timeout(shared.stall_timeout)?;
+    let mut injector = shared
+        .fault_plan
+        .as_ref()
+        .map(|plan| FaultInjector::new(plan, conn_id));
     let mut fb = FrameBuffer::new();
     let mut read_buf = [0u8; 16 * 1024];
     // Negotiated protocol version; `None` until the handshake.
     let mut session_version: Option<u8> = None;
     let mut quiet_since: Option<Instant> = None;
+    let mut last_activity = Instant::now();
     loop {
         match stream.read(&mut read_buf) {
             Ok(0) => return Ok(()), // peer closed
             Ok(len) => {
                 quiet_since = None;
+                last_activity = Instant::now();
                 shared.metrics.bytes_in.add(len as u64);
+                if let Some(inj) = injector.as_mut() {
+                    if inj.roll(FaultKind::ReadDelay) {
+                        shared.faults.record(FaultKind::ReadDelay);
+                        pl_obs::event!("serve.fault.read_delay", conn_id);
+                        std::thread::sleep(inj.delay());
+                    }
+                }
                 fb.push(&read_buf[..len]);
                 loop {
                     match fb.next_frame() {
                         Ok(Some(body)) => {
-                            if !process_frame(&body, &mut session_version, shared, &mut stream)? {
+                            if !process_frame(
+                                &body,
+                                &mut session_version,
+                                shared,
+                                &mut stream,
+                                &mut injector,
+                            )? {
                                 return stream.flush();
                             }
                         }
                         Ok(None) => break,
                         Err(e) => {
                             shared.metrics.protocol_errors.inc();
-                            send_error(&mut stream, shared, &e.to_string())?;
+                            send_error(&mut stream, shared, &mut injector, &e.to_string())?;
                             return stream.flush();
                         }
                     }
@@ -253,6 +388,23 @@ fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) -> std::io::Res
                     if since.elapsed() >= DRAIN_QUIET {
                         return stream.flush();
                     }
+                } else if fb.pending() > 0 {
+                    // Mid-frame stall: the peer sent a partial frame and
+                    // went quiet. A hub client wedged here used to hold
+                    // its thread forever.
+                    if let Some(stall) = shared.stall_timeout {
+                        if last_activity.elapsed() >= stall {
+                            shared.metrics.deadline_closes.inc();
+                            pl_obs::event!("serve.deadline_close", conn_id);
+                            return stream.flush();
+                        }
+                    }
+                } else if let Some(idle) = shared.idle_timeout {
+                    if last_activity.elapsed() >= idle {
+                        shared.metrics.idle_reaped.inc();
+                        pl_obs::event!("serve.idle_reap", conn_id);
+                        return stream.flush();
+                    }
                 }
             }
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
@@ -262,8 +414,22 @@ fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) -> std::io::Res
 }
 
 /// Answers one query, recording latency, the slow-query log, and trace
-/// provenance.
-fn answer_query(shared: &Shared, kind: QueryKind, u: u32, v: u32) -> Answer {
+/// provenance. A `store_err` fault replaces the store read with
+/// [`Answer::Overloaded`], which the client treats as retryable.
+fn answer_query(
+    shared: &Shared,
+    injector: &mut Option<FaultInjector>,
+    kind: QueryKind,
+    u: u32,
+    v: u32,
+) -> Answer {
+    if let Some(inj) = injector.as_mut() {
+        if inj.roll(FaultKind::StoreErr) {
+            shared.faults.record(FaultKind::StoreErr);
+            pl_obs::event!("serve.fault.store_err", u, v);
+            return Answer::Overloaded;
+        }
+    }
     let t0 = Instant::now();
     let (answer, path) = match kind {
         QueryKind::Adjacent => {
@@ -311,6 +477,7 @@ fn process_frame(
     session_version: &mut Option<u8>,
     shared: &Arc<Shared>,
     stream: &mut TcpStream,
+    injector: &mut Option<FaultInjector>,
 ) -> std::io::Result<bool> {
     let op = body.first().copied();
     let Some(version) = *session_version else {
@@ -319,18 +486,18 @@ fn process_frame(
                 Ok(v) => {
                     *session_version = Some(v);
                     let reply = encode_hello_ok(v, shared.store.tag().as_u8(), shared.store.n());
-                    send(stream, shared, &reply)?;
+                    send(stream, shared, injector, &reply)?;
                     Ok(true)
                 }
                 Err(e) => {
                     shared.metrics.protocol_errors.inc();
-                    send_error(stream, shared, &e.to_string())?;
+                    send_error(stream, shared, injector, &e.to_string())?;
                     Ok(false)
                 }
             },
             _ => {
                 shared.metrics.protocol_errors.inc();
-                send_error(stream, shared, "expected HELLO")?;
+                send_error(stream, shared, injector, "expected HELLO")?;
                 Ok(false)
             }
         };
@@ -341,24 +508,41 @@ fn process_frame(
                 let _batch_span = pl_obs::span!("serve.batch", queries.len());
                 let mut answers = Vec::with_capacity(queries.len());
                 for q in &queries {
-                    answers.push(answer_query(shared, q.kind, q.u, q.v));
+                    answers.push(answer_query(shared, injector, q.kind, q.u, q.v));
                 }
                 shared.metrics.batches.inc();
-                send(stream, shared, &encode_batch_reply(&answers))?;
+                send(
+                    stream,
+                    shared,
+                    injector,
+                    &encode_batch_reply(&answers, version),
+                )?;
                 Ok(true)
             }
             Err(e) => {
                 shared.metrics.protocol_errors.inc();
-                send_error(stream, shared, &e.to_string())?;
+                send_error(stream, shared, injector, &e.to_string())?;
                 Ok(false)
             }
         },
         Some(opcode::STATS) => {
-            send(
-                stream,
-                shared,
-                &encode_stats_reply(&shared.snapshot(), version),
-            )?;
+            let reply = encode_stats_reply(&shared.snapshot(), version);
+            send(stream, shared, injector, &reply)?;
+            Ok(true)
+        }
+        Some(opcode::HEALTH) => {
+            if version < 3 {
+                shared.metrics.protocol_errors.inc();
+                send_error(
+                    stream,
+                    shared,
+                    injector,
+                    "HEALTH requires protocol version 3",
+                )?;
+                return Ok(false);
+            }
+            let reply = encode_health_reply(&shared.store.shard_health());
+            send(stream, shared, injector, &reply)?;
             Ok(true)
         }
         Some(opcode::TRACE_DUMP) => {
@@ -377,29 +561,93 @@ fn process_frame(
                     .map_or(0, |p| p + 1)
             };
             body.extend_from_slice(&bytes[..take]);
-            send(stream, shared, &body)?;
+            send(stream, shared, injector, &body)?;
             Ok(true)
         }
         Some(opcode::GOODBYE) => {
-            send(stream, shared, &[opcode::GOODBYE_OK])?;
+            send(stream, shared, injector, &[opcode::GOODBYE_OK])?;
             Ok(false)
         }
         _ => {
             shared.metrics.protocol_errors.inc();
-            send_error(stream, shared, "unknown opcode")?;
+            send_error(stream, shared, injector, "unknown opcode")?;
             Ok(false)
         }
     }
 }
 
-fn send(stream: &mut TcpStream, shared: &Shared, body: &[u8]) -> std::io::Result<()> {
+/// Writes one reply frame, applying write-side faults when a plan is
+/// active. Rolls happen in a fixed order (write_delay, drop, truncate,
+/// flip) so a given `(seed, conn_id)` replays the same fault sequence.
+///
+/// Byte flips are confined to `BATCH_REPLY` bodies: that is the surface
+/// protocol v3 checksums, so an injected flip is always *detectable*
+/// corruption (the client re-asks) rather than a silently wrong
+/// handshake parameter.
+fn send(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    injector: &mut Option<FaultInjector>,
+    body: &[u8],
+) -> std::io::Result<()> {
+    if let Some(inj) = injector.as_mut() {
+        if inj.roll(FaultKind::WriteDelay) {
+            shared.faults.record(FaultKind::WriteDelay);
+            pl_obs::event!("serve.fault.write_delay");
+            std::thread::sleep(inj.delay());
+        }
+        if inj.roll(FaultKind::Drop) {
+            shared.faults.record(FaultKind::Drop);
+            pl_obs::event!("serve.fault.drop");
+            // Close without replying: the peer sees EOF mid-request.
+            return Err(std::io::Error::new(
+                ErrorKind::ConnectionAborted,
+                "injected connection drop",
+            ));
+        }
+        if inj.roll(FaultKind::Truncate) && !body.is_empty() {
+            shared.faults.record(FaultKind::Truncate);
+            pl_obs::event!("serve.fault.truncate");
+            // Promise the full frame, deliver part of it, close. The
+            // peer's frame reassembly stalls and its deadline fires.
+            let keep = inj.truncate_at(body.len());
+            let mut partial = Vec::with_capacity(4 + keep);
+            partial.extend_from_slice(&(body.len() as u32).to_le_bytes());
+            partial.extend_from_slice(&body[..keep]);
+            stream.write_all(&partial)?;
+            stream.flush()?;
+            shared.metrics.bytes_out.add(partial.len() as u64);
+            return Err(std::io::Error::new(
+                ErrorKind::ConnectionAborted,
+                "injected frame truncation",
+            ));
+        }
+        if inj.roll(FaultKind::Flip) && body.first() == Some(&opcode::BATCH_REPLY) && body.len() > 1
+        {
+            shared.faults.record(FaultKind::Flip);
+            pl_obs::event!("serve.fault.flip");
+            let mut corrupted = body.to_vec();
+            // Never byte 0: a flipped opcode would change the frame's
+            // meaning before the checksum is even consulted.
+            let pos = 1 + inj.flip_position(body.len() - 1);
+            corrupted[pos] ^= 1 << (pos % 8);
+            write_frame(stream, &corrupted)?;
+            shared.metrics.bytes_out.add(4 + corrupted.len() as u64);
+            return Ok(());
+        }
+    }
     write_frame(stream, body)?;
     shared.metrics.bytes_out.add(4 + body.len() as u64);
     Ok(())
 }
 
-fn send_error(stream: &mut TcpStream, shared: &Shared, msg: &str) -> std::io::Result<()> {
+fn send_error(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    injector: &mut Option<FaultInjector>,
+    msg: &str,
+) -> std::io::Result<()> {
     let mut body = vec![opcode::ERROR];
     body.extend_from_slice(msg.as_bytes());
-    send(stream, shared, &body)
+    send(stream, shared, injector, &body)
 }

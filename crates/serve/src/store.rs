@@ -254,6 +254,16 @@ impl LabelStore {
         self.shard_misses.iter().map(|c| c.get()).sum()
     }
 
+    /// Per-shard liveness, in shard order: a shard is unhealthy if its
+    /// cache mutex was poisoned by a panicking connection thread. Labels
+    /// themselves are immutable, so an unhealthy shard still answers
+    /// queries — this feeds the wire `HEALTH` reply so operators see the
+    /// degradation.
+    #[must_use]
+    pub fn shard_health(&self) -> Vec<bool> {
+        self.caches.iter().map(|m| !m.is_poisoned()).collect()
+    }
+
     /// Per-shard `(hits, misses)` pairs, in shard order.
     #[must_use]
     pub fn shard_cache_counts(&self) -> Vec<(u64, u64)> {
@@ -331,7 +341,13 @@ impl LabelStore {
     /// corrupt (fat flag set, body short).
     fn decoded_fat(&self, u: u32, label: LabelRef<'_>) -> Option<(Arc<DecodedFat>, bool)> {
         let shard_idx = u as usize % self.caches.len();
-        let mut cache = self.caches[shard_idx].lock().expect("cache mutex poisoned");
+        // A poisoned shard (a connection thread panicked mid-insert) is
+        // reported through `shard_health`, but the cache map itself is
+        // never left torn — keep answering rather than cascading the
+        // panic into every thread that touches this shard.
+        let mut cache = self.caches[shard_idx]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(hit) = cache.get(u) {
             self.shard_hits[shard_idx].inc();
             return Some((Arc::clone(hit), true));

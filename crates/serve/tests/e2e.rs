@@ -56,6 +56,7 @@ fn serves_chung_lu_over_tcp_with_verified_answers() {
         skew: Skew::Zipf(1.2),
         seed: 7,
         hot_order: Some(vertices_by_degree_desc(&g)),
+        retry: None,
     };
     let report = loadgen::run_verified(addr, &config, &g).expect("load run");
     assert_eq!(report.queries, 20_000);
@@ -115,7 +116,8 @@ fn shutdown_drains_in_flight_requests() {
     );
 
     let reply = read_frame(&mut stream).expect("reply survives shutdown");
-    let answers = parse_batch_reply(&reply).expect("well-formed reply");
+    let answers =
+        parse_batch_reply(&reply, pl_serve::protocol::VERSION).expect("well-formed reply");
     assert_eq!(answers.len(), 500, "no response may be dropped");
 }
 
@@ -316,6 +318,7 @@ fn observability_surface_end_to_end() {
             registry: Some(Arc::clone(&registry)),
             // Threshold 0: every query is "slow", so the log must fire.
             slow_query_ns: Some(0),
+            ..ServeOptions::default()
         },
     )
     .expect("bind");
@@ -328,6 +331,7 @@ fn observability_surface_end_to_end() {
         skew: Skew::Zipf(1.2),
         seed: 11,
         hot_order: Some(vertices_by_degree_desc(&g)),
+        retry: None,
     };
     loadgen::run(handle.addr(), &config).expect("load run");
 

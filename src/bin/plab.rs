@@ -11,8 +11,12 @@
 //! plab query   <labels.plab> --stdin          # one "u v" pair per line
 //! plab serve   <labels.plab> [--addr HOST:PORT] [--shards S] [--cache C]
 //!              [--duration SECS] [--prom HOST:PORT] [--trace] [--slow-us U]
+//!              [--max-conns N] [--idle-ms MS] [--stall-ms MS]
+//!              [--fault-plan SPEC]             # chaos testing
 //! plab loadgen <HOST:PORT> [--connections N] [--requests R] [--batch B]
-//!              [--skew uniform|zipf:S] [--seed X]
+//!              [--skew uniform|zipf:S] [--seed X] [--retries N]
+//!              [--deadline-ms MS] [--backoff-ms MS] [--verify graph.el]
+//! plab health  <HOST:PORT>                    # shard liveness (v3)
 //! plab stats   <HOST:PORT> [--prom]           # live server metrics
 //! plab trace   <HOST:PORT> [--out FILE]       # drain server trace ring
 //! ```
@@ -27,6 +31,12 @@
 //! remotely by `plab trace`), `encode --trace FILE` writes the encode
 //! pipeline's phase spans as JSONL, and `stats <HOST:PORT> --prom`
 //! renders a server's STATS snapshot in Prometheus text form.
+//!
+//! Resilience (see RELIABILITY.md): `serve --fault-plan` turns on the
+//! deterministic chaos harness, `--max-conns` sheds excess connections,
+//! `--idle-ms`/`--stall-ms` set the connection deadlines, and `loadgen
+//! --retries --deadline-ms` drives the retrying client — with `--verify`
+//! the run exits nonzero if any answer disagrees with the graph.
 
 use std::fs;
 use std::io::BufRead;
@@ -41,7 +51,7 @@ use pl_labeling::scheme::AdjacencyScheme;
 use pl_labeling::threshold::encode_with_stats_threads;
 use pl_labeling::{Labeling, PowerLawScheme, SparseScheme};
 use pl_serve::client::loadgen::{self, LoadgenConfig, Skew};
-use pl_serve::{Client, LabelStore, StoreConfig};
+use pl_serve::{Client, FaultPlan, LabelStore, ResilientClient, RetryPolicy, StoreConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -55,6 +65,7 @@ fn main() -> ExitCode {
         Some("query") => cmd_query(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("loadgen") => cmd_loadgen(&args[1..]),
+        Some("health") => cmd_health(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             eprintln!("{}", USAGE);
@@ -85,8 +96,12 @@ const USAGE: &str = "usage:
   plab query   <labels.plab> --stdin
   plab serve   <labels.plab> [--addr HOST:PORT] [--shards S] [--cache C]
                [--duration SECS] [--prom HOST:PORT] [--trace] [--slow-us U]
+               [--max-conns N] [--idle-ms MS] [--stall-ms MS]
+               [--fault-plan seed=S,drop=P,flip=P,truncate=P,store_err=P,...]
   plab loadgen <HOST:PORT> [--connections N] [--requests R] [--batch B]
-               [--skew uniform|zipf:S] [--seed X]
+               [--skew uniform|zipf:S] [--seed X] [--retries N]
+               [--deadline-ms MS] [--backoff-ms MS] [--verify graph.el]
+  plab health  <HOST:PORT>
   plab trace   <HOST:PORT> [--out FILE]";
 
 /// Minimal flag parser: `--key value` pairs plus positional arguments.
@@ -268,9 +283,12 @@ fn snapshot_prom(s: &pl_serve::Snapshot) -> String {
         ("plserve_slow_queries_total", s.slow_queries),
         ("plserve_cache_hits_total", s.cache_hits),
         ("plserve_cache_misses_total", s.cache_misses),
+        ("plserve_faults_injected_total", s.faults_injected),
+        ("plserve_shed_total", s.shed),
     ] {
         p.counter(name, &no_labels, v);
     }
+    p.gauge("plserve_open_conns", &no_labels, s.open_conns as i64);
     for (q, v) in [
         ("0.5", s.p50_ns),
         ("0.9", s.p90_ns),
@@ -522,6 +540,17 @@ fn cmd_serve(raw: &[String]) -> Result<(), String> {
     let cache: usize = args.get_parsed("cache", 1024)?;
     let duration: u64 = args.get_parsed("duration", 0)?;
     let slow_us: u64 = args.get_parsed("slow-us", 0)?;
+    let max_conns: usize = args.get_parsed("max-conns", 0)?;
+    let idle_ms: u64 = args.get_parsed("idle-ms", 0)?;
+    let stall_ms: u64 = args.get_parsed("stall-ms", 0)?;
+    let fault_plan = match args.get("fault-plan") {
+        Some(spec) => {
+            let plan = FaultPlan::parse(spec).map_err(|e| format!("--fault-plan: {e}"))?;
+            eprintln!("chaos mode: injecting faults ({plan})");
+            Some(plan)
+        }
+        None => None,
+    };
     if args.get("trace").is_some_and(|v| v != "false") {
         pl_obs::set_tracing(true);
         eprintln!("tracing on (drain with `plab trace {addr}`)");
@@ -547,6 +576,10 @@ fn cmd_serve(raw: &[String]) -> Result<(), String> {
     let options = pl_serve::ServeOptions {
         registry: Some(registry),
         slow_query_ns: (slow_us > 0).then_some(slow_us * 1_000),
+        max_conns: (max_conns > 0).then_some(max_conns),
+        fault_plan,
+        idle_timeout: (idle_ms > 0).then(|| std::time::Duration::from_millis(idle_ms)),
+        stall_timeout: (stall_ms > 0).then(|| std::time::Duration::from_millis(stall_ms)),
     };
     let handle =
         pl_serve::serve_with(store, addr, options).map_err(|e| format!("binding {addr}: {e}"))?;
@@ -609,6 +642,36 @@ fn cmd_loadgen(raw: &[String]) -> Result<(), String> {
             None => return Err(format!("unknown skew {other:?}")),
         },
     };
+    // Any retry-shaped flag opts the run into the resilient workers;
+    // omitting them all keeps the original fail-fast behaviour.
+    let retries: u32 = args.get_parsed("retries", 0)?;
+    let deadline_ms: u64 = args.get_parsed("deadline-ms", 0)?;
+    let backoff_ms: u64 = args.get_parsed("backoff-ms", 0)?;
+    let retry = (retries > 0 || deadline_ms > 0 || backoff_ms > 0).then(|| {
+        let defaults = RetryPolicy::default();
+        RetryPolicy {
+            max_retries: if retries > 0 {
+                retries
+            } else {
+                defaults.max_retries
+            },
+            deadline: if deadline_ms > 0 {
+                Some(std::time::Duration::from_millis(deadline_ms))
+            } else {
+                defaults.deadline
+            },
+            backoff_base: if backoff_ms > 0 {
+                std::time::Duration::from_millis(backoff_ms)
+            } else {
+                defaults.backoff_base
+            },
+            ..defaults
+        }
+    });
+    let reference = match args.get("verify") {
+        Some(path) => Some(load_graph(path)?),
+        None => None,
+    };
     let config = LoadgenConfig {
         connections: args.get_parsed("connections", 4)?,
         requests_per_conn: args.get_parsed("requests", 10_000)?,
@@ -616,14 +679,78 @@ fn cmd_loadgen(raw: &[String]) -> Result<(), String> {
         skew,
         seed: args.get_parsed("seed", 0x1abe1)?,
         hot_order: None,
+        retry: retry.clone(),
     };
-    let report = loadgen::run(addr, &config).map_err(|e| format!("load run failed: {e}"))?;
+    let report = match &reference {
+        Some(g) => loadgen::run_verified(addr, &config, g),
+        None => loadgen::run(addr, &config),
+    }
+    .map_err(|e| format!("load run failed: {e}"))?;
     println!(
         "{} queries over {} connections in {:.3}s: {:.0} qps ({} adjacent)",
         report.queries, config.connections, report.elapsed_secs, report.qps, report.adjacent_true
     );
-    let mut client = Client::connect(addr).map_err(|e| format!("stats connection: {e}"))?;
-    let stats = client.stats().map_err(|e| format!("fetching stats: {e}"))?;
+    if retry.is_some() {
+        println!(
+            "resilience: {} retries absorbed, {} queries failed, {:.2}% success, p99 batch {:.3}ms",
+            report.retries,
+            report.failed,
+            report.success_rate() * 100.0,
+            report.p99_batch_ns as f64 / 1e6
+        );
+    }
+    if reference.is_some() {
+        println!(
+            "verified against reference graph: {} mismatches",
+            report.mismatches
+        );
+    }
+    // Fetch closing stats with retries when resilience is on: under an
+    // injected-fault plan a bare connection may itself be dropped.
+    let stats = match retry {
+        Some(policy) => {
+            let mut client = ResilientClient::connect(addr, policy)
+                .map_err(|e| format!("stats connection: {e}"))?;
+            let stats = client.stats().map_err(|e| format!("fetching stats: {e}"))?;
+            client.goodbye();
+            stats
+        }
+        None => {
+            let mut client = Client::connect(addr).map_err(|e| format!("stats connection: {e}"))?;
+            let stats = client.stats().map_err(|e| format!("fetching stats: {e}"))?;
+            client.goodbye().ok();
+            stats
+        }
+    };
     println!("--- server stats ---\n{stats}");
+    if report.mismatches > 0 {
+        return Err(format!(
+            "{} answers disagreed with the reference graph",
+            report.mismatches
+        ));
+    }
     Ok(())
+}
+
+/// `plab health <HOST:PORT>`: the server's shard-liveness report
+/// (protocol v3). Exit code is the health status, so scripts can gate
+/// on it directly.
+fn cmd_health(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let addr = args.positional.first().ok_or("missing server address")?;
+    let addr: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|_| format!("bad server address {addr:?}"))?;
+    let mut client = Client::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+    let report = client.health().map_err(|e| format!("health check: {e}"))?;
+    for (i, up) in report.shards.iter().enumerate() {
+        println!("shard {i}: {}", if *up { "ok" } else { "POISONED" });
+    }
+    client.goodbye().ok();
+    if report.healthy {
+        println!("healthy ({} shards)", report.shards.len());
+        Ok(())
+    } else {
+        Err("server reports unhealthy shards".into())
+    }
 }
