@@ -4,7 +4,7 @@
 #   ci.sh quick   fmt + clippy + offline-dep check + unit tests
 #                 (the fast pre-push loop; targets < 2 minutes warm)
 #   ci.sh full    quick tier + release build + workspace tests + the
-#                 encode/query, observability, and chaos smokes
+#                 encode/query, observability, chaos, and cluster smokes
 #
 # No argument means `full` (the historical behaviour). Every step is
 # wall-clock timed; a summary table prints at the end, and the script
@@ -185,6 +185,70 @@ chaos_smoke() {
     wait "$chaos_pid"
 }
 
+# Cluster smoke: a 3-backend / 2-replica local cluster behind the
+# scatter-gather router; the verifying loadgen runs against the router
+# while one backend is SIGKILLed mid-run. Replication must absorb the
+# loss: exit 0, zero mismatches, and a failover counter that moved.
+cluster_smoke() {
+    local plab=target/release/plab
+    "$plab" gen --model chung-lu --n 2000 --alpha 2.5 --avg-degree 5 --seed 13 \
+        --out "$smoke_dir/k.el"
+    "$plab" encode --scheme tau:8 "$smoke_dir/k.el" --out "$smoke_dir/k.plab"
+    "$plab" cluster launch "$smoke_dir/k.plab" --backends 3 --replicas 2 --seed 13 \
+        --addr 127.0.0.1:7441 --prom 127.0.0.1:7442 --duration 30 \
+        --dir "$smoke_dir/cluster" 2> "$smoke_dir/cluster_launch.log" &
+    serve_pids+=($!)
+    local launch_pid=$!
+    # Wait for the router to come up (the launcher prints each backend
+    # first, router last).
+    local try
+    for try in $(seq 1 50); do
+        grep -q 'router listening on' "$smoke_dir/cluster_launch.log" && break
+        sleep 0.2
+    done
+    grep -q 'router listening on' "$smoke_dir/cluster_launch.log" \
+        || { echo "ci: cluster router never came up" >&2; return 1; }
+    # First pass: all three backends alive.
+    "$plab" loadgen 127.0.0.1:7441 --connections 2 --requests 1500 --batch 32 \
+        --skew zipf:1.2 --retries 3 --deadline-ms 400 --verify "$smoke_dir/k.el" \
+        > "$smoke_dir/cluster_loadgen1.out" \
+        || { echo "ci: cluster loadgen failed with all backends alive" >&2; return 1; }
+    grep -q 'verified against reference graph: 0 mismatches' "$smoke_dir/cluster_loadgen1.out" \
+        || { echo "ci: cluster loadgen (pre-kill) reported mismatches" >&2; return 1; }
+    # SIGKILL one backend (pid printed by the launcher), then verify again:
+    # the surviving replica of every vertex must keep answers exact.
+    local victim
+    victim="$(sed -n 's/^backend 0: pid \([0-9]*\) .*/\1/p' "$smoke_dir/cluster_launch.log")"
+    [ -n "$victim" ] \
+        || { echo "ci: could not find backend 0's pid in the launch log" >&2; return 1; }
+    kill -9 "$victim"
+    "$plab" loadgen 127.0.0.1:7441 --connections 2 --requests 1500 --batch 32 \
+        --skew zipf:1.2 --retries 3 --deadline-ms 400 --verify "$smoke_dir/k.el" \
+        > "$smoke_dir/cluster_loadgen2.out" \
+        || { echo "ci: cluster loadgen failed after killing a backend" >&2; return 1; }
+    grep -q 'verified against reference graph: 0 mismatches' "$smoke_dir/cluster_loadgen2.out" \
+        || { echo "ci: cluster loadgen (post-kill) reported mismatches" >&2; return 1; }
+    # The router's scrape surface must show the failover machinery moved.
+    cluster_scrape() {
+        if command -v curl > /dev/null; then
+            curl -sf "http://127.0.0.1:7442/metrics"
+        else
+            exec 3<> /dev/tcp/127.0.0.1/7442
+            printf 'GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n' >&3
+            cat <&3
+            exec 3>&-
+        fi
+    }
+    cluster_scrape > "$smoke_dir/cluster.prom" \
+        || { echo "ci: could not scrape the router" >&2; return 1; }
+    grep '^plcluster_failover_total' "$smoke_dir/cluster.prom" \
+        | awk '{ s += $2 } END { exit !(s > 0) }' \
+        || { echo "ci: router reported no failovers despite a dead backend" >&2; return 1; }
+    grep -q '^plcluster_fanout_total' "$smoke_dir/cluster.prom" \
+        || { echo "ci: router scrape lacks plcluster_fanout_total" >&2; return 1; }
+    wait "$launch_pid"
+}
+
 run_step "cargo fmt --check"      cargo fmt --all --check
 run_step "cargo clippy -D warnings" cargo clippy --workspace --all-targets -- -D warnings
 run_step "offline dep check"      offline_deps
@@ -196,6 +260,7 @@ if [ "$TIER" = full ]; then
     run_step "encode/query smoke"     encode_query_smoke
     run_step "observability smoke"    observability_smoke
     run_step "chaos smoke"            chaos_smoke
+    run_step "cluster smoke"          cluster_smoke
 fi
 
 print_summary

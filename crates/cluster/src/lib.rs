@@ -1,0 +1,51 @@
+//! pl-cluster: distributed label serving.
+//!
+//! The labels of Theorems 3/4 are tiny and self-contained — adjacency is
+//! answered from two labels alone, no graph in sight — which makes a
+//! labeling a natural unit to partition and replicate. This crate turns
+//! one `.plab` file into a serving *cluster*:
+//!
+//! * [`partition`] — a deterministic rendezvous (HRW) vertex
+//!   partitioner over [`pl_hash`]'s universal hash family: every vertex
+//!   ranks all backends by a seeded score and is *owned* by the top `R`
+//!   (the replication factor). No directory service, no state — any
+//!   party with the seed computes the same assignment.
+//! * [`map`] — the serializable [`ClusterMap`]: epoch-numbered,
+//!   FNV-checksummed description of the partitioning plus the
+//!   backend-address list, small enough to hand to every router.
+//! * [`split`] — cuts a threshold labeling into per-partition PLL2
+//!   sub-stores: owned vertices keep their full, bit-identical label;
+//!   every other vertex shrinks to a *prelude stub* (id width + scheme
+//!   id + fat flag). Stubs are what make one-sided decoding work: a
+//!   thin owned label scans its own neighbour list for the stub's
+//!   scheme id, and a fat owned bitmap is tested against it.
+//! * [`router`] — a scatter-gather front-end that *is* a wire-protocol
+//!   server: clients connect to it exactly as to a single backend.
+//!   Downward it speaks the same protocol through [`pl_serve`]'s
+//!   resilient client, fanning each `BATCH` out per-partition and
+//!   re-asking per-query failures (`NOT_OWNED`, overload, dead
+//!   backend) along the HRW candidate list `owners(u) ∪ owners(v)`,
+//!   with quarantine and seeded-backoff re-probing for unhealthy
+//!   backends.
+//! * [`launch`] — a local process group: split, spawn one `plab serve
+//!   --partial` child per backend, start the router in-process, drain
+//!   and kill on shutdown. This is what `plab cluster launch` runs and
+//!   what CI chaos-tests by SIGKILLing a backend mid-load.
+//!
+//! With `R ≥ 2` the candidate list survives any single backend death:
+//! the killed backend owned at most one of each endpoint's replica
+//! slots, so a live owner of `u` and a live owner of `v` both remain —
+//! and between them every fat/thin case of the threshold decoder is
+//! answerable (see `pl_serve::store`'s partial-store docs).
+
+pub mod launch;
+pub mod map;
+pub mod partition;
+pub mod router;
+pub mod split;
+
+pub use launch::{launch, ClusterHandle, LaunchOptions};
+pub use map::{ClusterMap, MapError};
+pub use partition::Partitioner;
+pub use router::{route, RouterConfig, RouterHandle};
+pub use split::{split_all, split_one, SplitError, SplitReport};

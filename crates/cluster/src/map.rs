@@ -1,0 +1,245 @@
+//! The serializable cluster map.
+//!
+//! A [`ClusterMap`] is everything a router (or a re-splitting tool)
+//! needs to reconstruct the assignment: the HRW seed, the replication
+//! factor, the vertex count and scheme tag of the labeling it was cut
+//! from, and the backend-address list whose *indices* are the backend
+//! ids the partitioner scores. It is epoch-numbered so a future
+//! rebalancer can fence stale maps, and FNV-checksummed so a truncated
+//! or bit-flipped file is rejected instead of silently mis-routing.
+//!
+//! Wire layout (all integers little-endian), followed by an FNV-1a-32
+//! checksum of every preceding byte:
+//!
+//! ```text
+//! "PLCM" | ver u8 | epoch u64 | seed u64 | replicas u32 | n u32
+//!        | tag u8 | backends u16 | backends × (len u16, utf-8 bytes)
+//!        | checksum u32
+//! ```
+
+use std::path::Path;
+
+use pl_serve::protocol::checksum;
+
+use crate::partition::Partitioner;
+
+/// File magic, first four bytes of a serialized map.
+pub const MAP_MAGIC: [u8; 4] = *b"PLCM";
+
+/// Serialization version this build writes and accepts.
+pub const MAP_VERSION: u8 = 1;
+
+/// The cluster topology: partitioning parameters plus the
+/// backend-address list (index = backend id).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterMap {
+    /// Fencing token: a rebalancer bumps this; routers prefer the
+    /// highest epoch they have seen.
+    pub epoch: u64,
+    /// HRW seed the assignment derives from.
+    pub seed: u64,
+    /// Owners per vertex.
+    pub replicas: u32,
+    /// Vertex count of the labeling this map was cut from.
+    pub n: u32,
+    /// Scheme tag byte of that labeling (see `pl_serve::SchemeTag`).
+    pub tag: u8,
+    /// Backend addresses; the vector index is the backend id.
+    pub backends: Vec<String>,
+}
+
+/// Why a serialized map was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapError {
+    /// Too short, bad magic, bad version, or a malformed field.
+    Malformed(&'static str),
+    /// The trailing FNV checksum did not match.
+    Checksum,
+}
+
+impl std::fmt::Display for MapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Malformed(what) => write!(f, "malformed cluster map: {what}"),
+            Self::Checksum => write!(f, "cluster map checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+impl ClusterMap {
+    /// The partitioner this map describes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map has no backends.
+    #[must_use]
+    pub fn partitioner(&self) -> Partitioner {
+        Partitioner::new(self.seed, self.backends.len(), self.replicas as usize)
+    }
+
+    /// Serializes the map (layout in the module docs).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(36 + self.backends.len() * 24);
+        b.extend_from_slice(&MAP_MAGIC);
+        b.push(MAP_VERSION);
+        b.extend_from_slice(&self.epoch.to_le_bytes());
+        b.extend_from_slice(&self.seed.to_le_bytes());
+        b.extend_from_slice(&self.replicas.to_le_bytes());
+        b.extend_from_slice(&self.n.to_le_bytes());
+        b.push(self.tag);
+        let count = u16::try_from(self.backends.len()).expect("more than u16::MAX backends");
+        b.extend_from_slice(&count.to_le_bytes());
+        for addr in &self.backends {
+            let len = u16::try_from(addr.len()).expect("backend address over 64 KiB");
+            b.extend_from_slice(&len.to_le_bytes());
+            b.extend_from_slice(addr.as_bytes());
+        }
+        let sum = checksum(&b);
+        b.extend_from_slice(&sum.to_le_bytes());
+        b
+    }
+
+    /// Parses a serialized map. Total on untrusted input: every failure
+    /// is a [`MapError`], never a panic or an oversized allocation.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, MapError> {
+        // Fixed header (32 bytes) plus the trailing checksum (4).
+        if bytes.len() < 36 {
+            return Err(MapError::Malformed("too short"));
+        }
+        let (body, sum) = bytes.split_at(bytes.len() - 4);
+        let declared = u32::from_le_bytes(sum.try_into().expect("4 bytes"));
+        if checksum(body) != declared {
+            return Err(MapError::Checksum);
+        }
+        if body[..4] != MAP_MAGIC {
+            return Err(MapError::Malformed("bad magic"));
+        }
+        if body[4] != MAP_VERSION {
+            return Err(MapError::Malformed("unsupported map version"));
+        }
+        let epoch = u64::from_le_bytes(body[5..13].try_into().expect("8 bytes"));
+        let seed = u64::from_le_bytes(body[13..21].try_into().expect("8 bytes"));
+        let replicas = u32::from_le_bytes(body[21..25].try_into().expect("4 bytes"));
+        let n = u32::from_le_bytes(body[25..29].try_into().expect("4 bytes"));
+        let tag = body[29];
+        let count = u16::from_le_bytes(body[30..32].try_into().expect("2 bytes")) as usize;
+        let mut backends = Vec::with_capacity(count.min(1024));
+        let mut pos = 32;
+        for _ in 0..count {
+            let len_bytes = body
+                .get(pos..pos + 2)
+                .ok_or(MapError::Malformed("truncated address length"))?;
+            let len = u16::from_le_bytes(len_bytes.try_into().expect("2 bytes")) as usize;
+            pos += 2;
+            let raw = body
+                .get(pos..pos + len)
+                .ok_or(MapError::Malformed("truncated address"))?;
+            pos += len;
+            let addr =
+                std::str::from_utf8(raw).map_err(|_| MapError::Malformed("address not utf-8"))?;
+            backends.push(addr.to_string());
+        }
+        if pos != body.len() {
+            return Err(MapError::Malformed("trailing bytes"));
+        }
+        Ok(Self {
+            epoch,
+            seed,
+            replicas,
+            n,
+            tag,
+            backends,
+        })
+    }
+
+    /// Writes the serialized map to `path`.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Reads and parses a map from `path`.
+    pub fn load(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let bytes = std::fs::read(path)?;
+        Self::from_bytes(&bytes)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> ClusterMap {
+        ClusterMap {
+            epoch: 3,
+            seed: 0xFEED,
+            replicas: 2,
+            n: 10_000,
+            tag: 1,
+            backends: vec![
+                "127.0.0.1:7411".into(),
+                "127.0.0.1:7412".into(),
+                "127.0.0.1:7413".into(),
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let m = sample();
+        assert_eq!(ClusterMap::from_bytes(&m.to_bytes()), Ok(m.clone()));
+        let empty = ClusterMap {
+            backends: vec![],
+            ..m
+        };
+        assert_eq!(ClusterMap::from_bytes(&empty.to_bytes()), Ok(empty));
+    }
+
+    #[test]
+    fn every_byte_flip_is_rejected() {
+        let bytes = sample().to_bytes();
+        for pos in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut corrupt = bytes.clone();
+                corrupt[pos] ^= 1 << bit;
+                assert!(
+                    ClusterMap::from_bytes(&corrupt).is_err(),
+                    "flip of byte {pos} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncations_are_rejected() {
+        let bytes = sample().to_bytes();
+        for keep in 0..bytes.len() {
+            assert!(
+                ClusterMap::from_bytes(&bytes[..keep]).is_err(),
+                "len {keep}"
+            );
+        }
+    }
+
+    #[test]
+    fn save_load_round_trips() {
+        let path = std::env::temp_dir().join(format!("pl-map-{}.plcm", std::process::id()));
+        let m = sample();
+        m.save(&path).expect("save");
+        let loaded = ClusterMap::load(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded, m);
+        assert_eq!(loaded.partitioner().backends(), 3);
+    }
+
+    proptest! {
+        #[test]
+        fn parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = ClusterMap::from_bytes(&bytes);
+        }
+    }
+}

@@ -1,0 +1,727 @@
+//! The scatter-gather router.
+//!
+//! Upward the router *is* a wire-protocol server — `plab loadgen`, the
+//! blocking client, and every existing tool connect to it unchanged.
+//! Downward it speaks the same protocol to the backends through
+//! [`pl_serve::ResilientClient`], so transport-level trouble (dropped
+//! connections, truncated frames, checksum-failing flipped bytes) is
+//! already retried against the *same* backend before the router ever
+//! sees it.
+//!
+//! What the router adds is **replica failover**. Each query `{u, v}`
+//! carries its HRW candidate list `owners(u) ∪ owners(v)`; the query is
+//! first sent to its foremost live candidate (batched per backend —
+//! the scatter), and any slot that comes back `NOT_OWNED` (the partial
+//! store could not answer one-sidedly), `OVERLOADED` (the backend's own
+//! retries were exhausted), or on a dead connection advances to its
+//! next candidate for the following round. A query whose candidates are
+//! exhausted answers `OVERLOADED` upward — never a wrong answer.
+//!
+//! Backends that fail are **quarantined**: skipped when ordering
+//! candidates (still usable as a last resort) and re-probed by a
+//! background prober with `HEALTH`, paced by the retry policy's seeded
+//! exponential backoff, so a SIGKILLed backend stops eating a connect
+//! timeout per batch within one round-trip of dying.
+//!
+//! Observability (`pl-obs` registry, scrapeable via
+//! [`RouterHandle::prometheus_text`]):
+//! `plcluster_fanout_total{partition}`, `plcluster_failover_total{backend}`,
+//! `plcluster_quarantine_total{backend}`, per-backend round-trip
+//! histograms `plcluster_backend_ns{backend}`, and the batch histogram
+//! `plcluster_batch_ns`. A `STATS` request upward returns the *merged*
+//! cluster snapshot: counters summed across live backends, latency
+//! quantiles from the router's own observations, and the per-"shard"
+//! slots repurposed to carry per-backend cache counters.
+
+use std::collections::HashMap;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pl_obs::hist::Histogram;
+use pl_obs::registry::Counter;
+use pl_obs::MetricsRegistry;
+use pl_serve::metrics::Snapshot;
+use pl_serve::protocol::{
+    self, encode_batch_reply, encode_health_reply, encode_hello_ok, encode_stats_reply, opcode,
+    parse_batch, parse_hello, write_frame, Answer, FrameBuffer, ProtocolError, Query, MAX_FRAME,
+};
+use pl_serve::{ClientError, ResilientClient, RetryPolicy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::map::ClusterMap;
+use crate::partition::Partitioner;
+
+/// Accept-loop poll interval and per-connection read timeout.
+const POLL: Duration = Duration::from_millis(20);
+
+/// Router tuning.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Downward transport policy (per-backend retries, deadline) — also
+    /// the source of the quarantine re-probe backoff.
+    pub retry: RetryPolicy,
+    /// How often the prober wakes to re-check quarantined backends.
+    pub probe_interval: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            retry: RetryPolicy {
+                max_retries: 2,
+                deadline: Some(Duration::from_millis(500)),
+                backoff_base: Duration::from_millis(5),
+                backoff_cap: Duration::from_millis(100),
+                seed: 0xC105,
+            },
+            probe_interval: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Health state of one backend.
+struct BackendState {
+    addr: String,
+    /// Skipped when ordering candidates; re-probed by the prober.
+    quarantined: AtomicBool,
+    /// Consecutive failed probes/serves — the backoff exponent.
+    strikes: AtomicU64,
+    /// Earliest next probe, in ns since router start.
+    next_probe_ns: AtomicU64,
+}
+
+struct Shared {
+    map: ClusterMap,
+    part: Partitioner,
+    config: RouterConfig,
+    backends: Vec<BackendState>,
+    registry: Arc<MetricsRegistry>,
+    /// Sub-batches sent to each partition (`plcluster_fanout_total`).
+    fanout: Vec<Arc<Counter>>,
+    /// Queries moved *off* each backend (`plcluster_failover_total`).
+    failover: Vec<Arc<Counter>>,
+    /// Quarantine entries per backend.
+    quarantines: Vec<Arc<Counter>>,
+    /// Downward round-trip ns per backend.
+    backend_ns: Vec<Arc<Histogram>>,
+    /// Upward batch service time, ns.
+    batch_ns: Arc<Histogram>,
+    batches: Arc<Counter>,
+    queries: Arc<Counter>,
+    /// Queries whose whole candidate list failed (answered Overloaded).
+    exhausted: Arc<Counter>,
+    connections: Arc<Counter>,
+    shutdown: AtomicBool,
+    started: Instant,
+}
+
+impl Shared {
+    fn now_ns(&self) -> u64 {
+        self.started.elapsed().as_nanos() as u64
+    }
+
+    fn quarantine(&self, b: u32) {
+        let state = &self.backends[b as usize];
+        if !state.quarantined.swap(true, Ordering::Relaxed) {
+            self.quarantines[b as usize].inc();
+        }
+        let strikes = state.strikes.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut rng = StdRng::seed_from_u64(self.config.retry.seed ^ u64::from(b) ^ strikes);
+        let delay = self
+            .config
+            .retry
+            .backoff(strikes.min(u64::from(u32::MAX)) as u32, &mut rng);
+        state
+            .next_probe_ns
+            .store(self.now_ns() + delay.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    fn mark_healthy(&self, b: u32) {
+        let state = &self.backends[b as usize];
+        state.quarantined.store(false, Ordering::Relaxed);
+        state.strikes.store(0, Ordering::Relaxed);
+    }
+
+    fn is_quarantined(&self, b: u32) -> bool {
+        self.backends[b as usize]
+            .quarantined
+            .load(Ordering::Relaxed)
+    }
+
+    /// Per-backend liveness flags, the upward HEALTH payload.
+    fn liveness(&self) -> Vec<bool> {
+        (0..self.backends.len() as u32)
+            .map(|b| !self.is_quarantined(b))
+            .collect()
+    }
+}
+
+/// A handle to a running router; dropping it does *not* stop the
+/// router — call [`shutdown`](Self::shutdown).
+pub struct RouterHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    prober_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl RouterHandle {
+    /// The bound upward address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The router's metrics registry (the `plcluster_*` families).
+    #[must_use]
+    pub fn registry(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.shared.registry)
+    }
+
+    /// Renders the router registry as Prometheus text.
+    #[must_use]
+    pub fn prometheus_text(&self) -> String {
+        pl_obs::prom::render(&self.shared.registry)
+    }
+
+    /// A boxed renderer for [`pl_obs::http::expose`].
+    #[must_use]
+    pub fn prometheus_renderer(&self) -> Arc<dyn Fn() -> String + Send + Sync> {
+        let shared = Arc::clone(&self.shared);
+        Arc::new(move || pl_obs::prom::render(&shared.registry))
+    }
+
+    /// Per-backend liveness as the router currently believes it.
+    #[must_use]
+    pub fn backend_liveness(&self) -> Vec<bool> {
+        self.shared.liveness()
+    }
+
+    /// Queries that exhausted their whole candidate list.
+    #[must_use]
+    pub fn exhausted(&self) -> u64 {
+        self.shared.exhausted.get()
+    }
+
+    /// Signals shutdown, joins the accept loop and prober, and returns
+    /// the router's own merged view of its counters.
+    pub fn shutdown(self) -> Snapshot {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread {
+            t.join().ok();
+        }
+        if let Some(t) = self.prober_thread {
+            t.join().ok();
+        }
+        router_snapshot(&self.shared)
+    }
+}
+
+/// The router's own counters as a wire snapshot (no backend merge —
+/// that needs live connections; see the upward `STATS` path).
+fn router_snapshot(shared: &Shared) -> Snapshot {
+    let h = shared.batch_ns.snapshot();
+    let uptime = shared.started.elapsed().as_secs_f64().max(1e-9);
+    let queries = shared.queries.get();
+    Snapshot {
+        adj_queries: queries,
+        batches: shared.batches.get(),
+        connections: shared.connections.get(),
+        p50_ns: h.quantile_ns(0.50),
+        p90_ns: h.quantile_ns(0.90),
+        p99_ns: h.quantile_ns(0.99),
+        p999_ns: h.quantile_ns(0.999),
+        min_ns: h.min,
+        max_ns: h.max,
+        qps_milli: (queries as f64 / uptime * 1_000.0) as u64,
+        shard_cache: shared
+            .fanout
+            .iter()
+            .zip(&shared.failover)
+            .map(|(f, o)| (f.get(), o.get()))
+            .collect(),
+        ..Snapshot::default()
+    }
+}
+
+/// Starts a router for `map`, listening upward on `addr`.
+pub fn route(
+    map: ClusterMap,
+    addr: impl ToSocketAddrs,
+    config: RouterConfig,
+) -> std::io::Result<RouterHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let bound = listener.local_addr()?;
+    let registry = Arc::new(MetricsRegistry::new());
+    let per_backend_counter = |name: &str| -> Vec<Arc<Counter>> {
+        (0..map.backends.len())
+            .map(|b| registry.counter_with(name, &[("backend", &b.to_string())]))
+            .collect()
+    };
+    let fanout = (0..map.backends.len())
+        .map(|b| registry.counter_with("plcluster_fanout_total", &[("partition", &b.to_string())]))
+        .collect();
+    let failover = per_backend_counter("plcluster_failover_total");
+    let quarantines = per_backend_counter("plcluster_quarantine_total");
+    let backend_ns = (0..map.backends.len())
+        .map(|b| registry.histogram_with("plcluster_backend_ns", &[("backend", &b.to_string())]))
+        .collect();
+    let part = map.partitioner();
+    let shared = Arc::new(Shared {
+        backends: map
+            .backends
+            .iter()
+            .map(|addr| BackendState {
+                addr: addr.clone(),
+                quarantined: AtomicBool::new(false),
+                strikes: AtomicU64::new(0),
+                next_probe_ns: AtomicU64::new(0),
+            })
+            .collect(),
+        part,
+        config,
+        registry: Arc::clone(&registry),
+        fanout,
+        failover,
+        quarantines,
+        backend_ns,
+        batch_ns: registry.histogram("plcluster_batch_ns"),
+        batches: registry.counter("plcluster_batches_total"),
+        queries: registry.counter("plcluster_queries_total"),
+        exhausted: registry.counter("plcluster_exhausted_total"),
+        connections: registry.counter("plcluster_connections_total"),
+        shutdown: AtomicBool::new(false),
+        started: Instant::now(),
+        map,
+    });
+
+    let accept_shared = Arc::clone(&shared);
+    let accept_thread = std::thread::Builder::new()
+        .name("plcluster-accept".into())
+        .spawn(move || accept_loop(&listener, &accept_shared))
+        .expect("spawn accept loop");
+    let prober_shared = Arc::clone(&shared);
+    let prober_thread = std::thread::Builder::new()
+        .name("plcluster-probe".into())
+        .spawn(move || prober_loop(&prober_shared))
+        .expect("spawn prober");
+    Ok(RouterHandle {
+        addr: bound,
+        shared,
+        accept_thread: Some(accept_thread),
+        prober_thread: Some(prober_thread),
+    })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.connections.inc();
+                let conn_shared = Arc::clone(shared);
+                if let Ok(h) = std::thread::Builder::new()
+                    .name("plcluster-conn".into())
+                    .spawn(move || serve_connection(stream, &conn_shared))
+                {
+                    handles.push(h);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL);
+            }
+            Err(_) => std::thread::sleep(POLL),
+        }
+        handles.retain(|h| !h.is_finished());
+    }
+    for h in handles {
+        h.join().ok();
+    }
+}
+
+/// Background health prober: quarantined backends whose backoff expired
+/// get a `HEALTH` round-trip; success lifts the quarantine, failure
+/// doubles the pause (seeded jitter included, via the retry policy).
+fn prober_loop(shared: &Arc<Shared>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(shared.config.probe_interval.min(POLL * 5));
+        let now = shared.now_ns();
+        for b in 0..shared.backends.len() as u32 {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let state = &shared.backends[b as usize];
+            if !state.quarantined.load(Ordering::Relaxed)
+                || state.next_probe_ns.load(Ordering::Relaxed) > now
+            {
+                continue;
+            }
+            if probe(shared, &state.addr) {
+                shared.mark_healthy(b);
+            } else {
+                shared.quarantine(b);
+            }
+        }
+    }
+}
+
+/// One health probe: connect, HELLO, HEALTH, all under a short deadline.
+fn probe(shared: &Shared, addr: &str) -> bool {
+    let deadline = shared
+        .config
+        .retry
+        .deadline
+        .unwrap_or(Duration::from_millis(500));
+    let Ok(mut client) = pl_serve::Client::connect(addr) else {
+        return false;
+    };
+    if client.set_io_deadline(Some(deadline)).is_err() {
+        return false;
+    }
+    client.health().map(|r| r.healthy).unwrap_or(false)
+}
+
+/// Lazily connected downward clients, one per backend, owned by one
+/// upward connection's thread.
+struct Downstream {
+    clients: HashMap<u32, ResilientClient>,
+}
+
+impl Downstream {
+    fn new() -> Self {
+        Self {
+            clients: HashMap::new(),
+        }
+    }
+
+    fn take(&mut self, shared: &Shared, b: u32) -> Result<ResilientClient, ClientError> {
+        if let Some(c) = self.clients.remove(&b) {
+            return Ok(c);
+        }
+        ResilientClient::connect(
+            &shared.backends[b as usize].addr,
+            shared.config.retry.clone(),
+        )
+    }
+
+    fn put(&mut self, b: u32, client: ResilientClient) {
+        self.clients.insert(b, client);
+    }
+}
+
+/// One round of the scatter: the pending queries grouped per backend,
+/// each group sent as its own BATCH on that backend's connection,
+/// concurrently.
+#[allow(clippy::type_complexity)]
+fn scatter_round(
+    shared: &Shared,
+    down: &mut Downstream,
+    groups: Vec<(u32, Vec<(usize, Query)>)>,
+) -> Vec<(u32, Vec<(usize, Query)>, Result<Vec<Answer>, ClientError>)> {
+    // Pull each group's client out of the per-connection pool so every
+    // scoped thread owns its connection exclusively.
+    let work: Vec<(
+        u32,
+        Vec<(usize, Query)>,
+        Result<ResilientClient, ClientError>,
+    )> = groups
+        .into_iter()
+        .map(|(b, queries)| {
+            let client = down.take(shared, b);
+            (b, queries, client)
+        })
+        .collect();
+    let results: Vec<(
+        u32,
+        Vec<(usize, Query)>,
+        Result<Vec<Answer>, ClientError>,
+        Option<ResilientClient>,
+    )> = std::thread::scope(|scope| {
+        let threads: Vec<_> = work
+            .into_iter()
+            .map(|(b, queries, client)| {
+                scope.spawn(move || {
+                    let mut client = match client {
+                        Ok(c) => c,
+                        Err(e) => return (b, queries, Err(e), None),
+                    };
+                    shared.fanout[b as usize].inc();
+                    let batch: Vec<Query> = queries.iter().map(|&(_, q)| q).collect();
+                    let t0 = Instant::now();
+                    let out = client.batch(&batch);
+                    shared.backend_ns[b as usize].record(t0.elapsed().as_nanos() as u64);
+                    match out {
+                        Ok(answers) => (b, queries, Ok(answers), Some(client)),
+                        Err(e) => (b, queries, Err(e), None),
+                    }
+                })
+            })
+            .collect();
+        threads
+            .into_iter()
+            .map(|t| t.join().expect("scatter thread panicked"))
+            .collect()
+    });
+    results
+        .into_iter()
+        .map(|(b, queries, out, client)| {
+            match (&out, client) {
+                (Ok(_), Some(c)) => {
+                    down.put(b, c);
+                    shared.mark_healthy(b);
+                }
+                _ => shared.quarantine(b),
+            }
+            (b, queries, out)
+        })
+        .collect()
+}
+
+/// Answers one upward BATCH: scatter along each query's candidate list,
+/// gather in request order, failing over per query until its list is
+/// exhausted.
+fn answer_batch(shared: &Shared, down: &mut Downstream, queries: &[Query]) -> Vec<Answer> {
+    shared.batches.inc();
+    shared.queries.add(queries.len() as u64);
+    let t0 = Instant::now();
+    // Candidate lists in HRW order, live backends first (stable, so the
+    // HRW preference is kept within each liveness class).
+    let candidates: Vec<Vec<u32>> = queries
+        .iter()
+        .map(|q| {
+            let cand = shared.part.candidates(q.u, q.v);
+            let (live, dead): (Vec<u32>, Vec<u32>) =
+                cand.into_iter().partition(|&b| !shared.is_quarantined(b));
+            live.into_iter().chain(dead).collect()
+        })
+        .collect();
+    let mut next_candidate = vec![0usize; queries.len()];
+    let mut answers: Vec<Option<Answer>> = vec![None; queries.len()];
+    let max_rounds = candidates.iter().map(Vec::len).max().unwrap_or(0);
+    for _round in 0..=max_rounds {
+        let mut groups: HashMap<u32, Vec<(usize, Query)>> = HashMap::new();
+        for (i, q) in queries.iter().enumerate() {
+            if answers[i].is_some() {
+                continue;
+            }
+            match candidates[i].get(next_candidate[i]) {
+                Some(&b) => groups.entry(b).or_default().push((i, *q)),
+                None => {
+                    shared.exhausted.inc();
+                    answers[i] = Some(Answer::Overloaded);
+                }
+            }
+        }
+        if groups.is_empty() {
+            break;
+        }
+        let mut groups: Vec<_> = groups.into_iter().collect();
+        groups.sort_unstable_by_key(|(b, _)| *b);
+        for (b, queries, out) in scatter_round(shared, down, groups) {
+            match out {
+                Ok(got) => {
+                    for ((i, _), answer) in queries.iter().zip(got) {
+                        match answer {
+                            // The partial store couldn't answer there, or
+                            // the backend's own retries ran dry: move the
+                            // query to its next candidate.
+                            Answer::NotOwned | Answer::Overloaded => {
+                                shared.failover[b as usize].inc();
+                                next_candidate[*i] += 1;
+                            }
+                            settled => answers[*i] = Some(settled),
+                        }
+                    }
+                }
+                Err(_) => {
+                    // The whole connection failed (backend dead?): every
+                    // query in the group fails over.
+                    for (i, _) in &queries {
+                        shared.failover[b as usize].inc();
+                        next_candidate[*i] += 1;
+                    }
+                }
+            }
+        }
+    }
+    shared.batch_ns.record(t0.elapsed().as_nanos() as u64);
+    answers
+        .into_iter()
+        .map(|a| a.unwrap_or(Answer::Overloaded))
+        .collect()
+}
+
+/// Merged cluster STATS: counters summed over reachable backends,
+/// quantiles from the router's own batch histogram, per-backend cache
+/// counters in the per-shard slots.
+fn merged_stats(shared: &Shared, down: &mut Downstream) -> Snapshot {
+    let mut merged = router_snapshot(shared);
+    merged.adj_queries = 0;
+    merged.shard_cache.clear();
+    for b in 0..shared.backends.len() as u32 {
+        let Ok(mut client) = down.take(shared, b) else {
+            merged.shard_cache.push((0, 0));
+            continue;
+        };
+        match client.stats() {
+            Ok(s) => {
+                merged.adj_queries += s.adj_queries;
+                merged.dist_queries += s.dist_queries;
+                merged.connections += s.connections;
+                merged.cache_hits += s.cache_hits;
+                merged.cache_misses += s.cache_misses;
+                merged.bytes_in += s.bytes_in;
+                merged.bytes_out += s.bytes_out;
+                merged.protocol_errors += s.protocol_errors;
+                merged.slow_queries += s.slow_queries;
+                merged.faults_injected += s.faults_injected;
+                merged.shed += s.shed;
+                merged.open_conns += s.open_conns;
+                merged.shard_cache.push((s.cache_hits, s.cache_misses));
+                down.put(b, client);
+            }
+            Err(_) => {
+                merged.shard_cache.push((0, 0));
+                shared.quarantine(b);
+            }
+        }
+    }
+    merged
+}
+
+fn send_frame(stream: &mut TcpStream, body: &[u8]) -> std::io::Result<()> {
+    debug_assert!(body.len() <= MAX_FRAME);
+    write_frame(stream, body)?;
+    stream.flush()
+}
+
+fn send_error(stream: &mut TcpStream, msg: &str) {
+    let mut body = vec![opcode::ERROR];
+    body.extend_from_slice(msg.as_bytes());
+    send_frame(stream, &body).ok();
+}
+
+/// One upward connection: handshake, then BATCH / STATS / HEALTH /
+/// GOODBYE until the peer leaves or shutdown drains it.
+fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    stream.set_read_timeout(Some(POLL)).ok();
+    stream.set_nodelay(true).ok();
+    let mut frames = FrameBuffer::new();
+    let mut buf = [0u8; 16 * 1024];
+    let mut down = Downstream::new();
+    let mut version: Option<u8> = None;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let read = match stream.read(&mut buf) {
+            Ok(0) => return,
+            Ok(k) => k,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        };
+        frames.push(&buf[..read]);
+        loop {
+            let body = match frames.next_frame() {
+                Ok(Some(b)) => b,
+                Ok(None) => break,
+                Err(e) => {
+                    send_error(&mut stream, &e.to_string());
+                    return;
+                }
+            };
+            match process_frame(&mut stream, shared, &mut down, &mut version, &body) {
+                Ok(true) => {}
+                Ok(false) | Err(_) => return,
+            }
+        }
+    }
+}
+
+/// Handles one upward frame; `Ok(false)` closes the connection cleanly.
+fn process_frame(
+    stream: &mut TcpStream,
+    shared: &Arc<Shared>,
+    down: &mut Downstream,
+    version: &mut Option<u8>,
+    body: &[u8],
+) -> Result<bool, ProtocolError> {
+    let op = body.first().copied();
+    let Some(v) = *version else {
+        // First frame must be HELLO.
+        match parse_hello(body) {
+            Ok(negotiated) => {
+                *version = Some(negotiated);
+                send_frame(
+                    stream,
+                    &encode_hello_ok(negotiated, shared.map.tag, shared.map.n),
+                )
+                .map_err(|_| ProtocolError::Malformed("write"))?;
+                return Ok(true);
+            }
+            Err(e) => {
+                send_error(stream, &format!("router rejected handshake: {e}"));
+                return Ok(false);
+            }
+        }
+    };
+    match op {
+        Some(opcode::BATCH) => {
+            let queries = parse_batch(body)?;
+            let answers = answer_batch(shared, down, &queries);
+            send_frame(stream, &encode_batch_reply(&answers, v))
+                .map_err(|_| ProtocolError::Malformed("write"))?;
+            Ok(true)
+        }
+        Some(opcode::STATS) => {
+            let merged = merged_stats(shared, down);
+            send_frame(stream, &encode_stats_reply(&merged, v))
+                .map_err(|_| ProtocolError::Malformed("write"))?;
+            Ok(true)
+        }
+        Some(opcode::HEALTH) => {
+            if v < 3 {
+                send_error(stream, "HEALTH needs protocol v3");
+                return Ok(false);
+            }
+            send_frame(stream, &encode_health_reply(&shared.liveness()))
+                .map_err(|_| ProtocolError::Malformed("write"))?;
+            Ok(true)
+        }
+        Some(opcode::TRACE_DUMP) => {
+            if v < 2 {
+                send_error(stream, "TRACE_DUMP needs protocol v2");
+                return Ok(false);
+            }
+            // The router keeps no trace rings; an empty dump is valid.
+            send_frame(stream, &[opcode::TRACE_REPLY])
+                .map_err(|_| ProtocolError::Malformed("write"))?;
+            Ok(true)
+        }
+        Some(opcode::GOODBYE) => {
+            send_frame(stream, &[opcode::GOODBYE_OK]).ok();
+            Ok(false)
+        }
+        Some(other) => {
+            send_error(stream, &format!("unexpected opcode {other:#04x}"));
+            Ok(false)
+        }
+        None => {
+            send_error(stream, "empty frame");
+            Ok(false)
+        }
+    }
+}
+
+// Re-exported for the `plab cluster stats` pretty-printer.
+pub use protocol::HealthReport;

@@ -1,0 +1,263 @@
+//! End-to-end cluster tests: real sockets, in-process backends.
+//!
+//! The backends are `pl_serve` servers over partial sub-stores cut by
+//! [`pl_cluster::split_all`]; the router is started on top and queried
+//! through the ordinary [`pl_serve::Client`] / loadgen — exactly the
+//! zero-client-changes contract the router promises. The kill test is
+//! the acceptance core: with `R = 2`, shutting one backend down
+//! mid-workload must not produce a single wrong answer.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use pl_cluster::{route, split_all, ClusterMap, Partitioner, RouterConfig};
+use pl_labeling::scheme::AdjacencyScheme;
+use pl_labeling::ThresholdScheme;
+use pl_serve::client::loadgen::{self, LoadgenConfig, Skew};
+use pl_serve::{
+    Client, LabelStore, Query, RetryPolicy, SchemeTag, ServeOptions, ServerHandle, StoreConfig,
+    TaggedLabeling,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SEED: u64 = 0xC1E2E;
+
+fn power_law(n: usize, seed: u64) -> pl_graph::Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    pl_gen::chung_lu_power_law(n, 2.5, 4.0, &mut rng)
+}
+
+fn encode(g: &pl_graph::Graph, tau: usize) -> TaggedLabeling {
+    TaggedLabeling {
+        tag: SchemeTag::Threshold,
+        labeling: ThresholdScheme::with_tau(tau).encode(g),
+    }
+}
+
+/// Backends over partial sub-stores + the map pointing at them.
+fn spin_backends(
+    tagged: &TaggedLabeling,
+    backends: usize,
+    replicas: usize,
+    fault_plan: Option<&str>,
+) -> (Vec<ServerHandle>, ClusterMap) {
+    let part = Partitioner::new(SEED, backends, replicas);
+    let (parts, _) = split_all(tagged, &part).expect("split");
+    let handles: Vec<ServerHandle> = parts
+        .into_iter()
+        .map(|sub| {
+            let store = Arc::new(LabelStore::new(sub, StoreConfig::default()).with_partial(true));
+            pl_serve::serve_with(
+                store,
+                "127.0.0.1:0",
+                ServeOptions {
+                    fault_plan: fault_plan.map(|s| pl_serve::FaultPlan::parse(s).expect("plan")),
+                    ..ServeOptions::default()
+                },
+            )
+            .expect("bind backend")
+        })
+        .collect();
+    let map = ClusterMap {
+        epoch: 1,
+        seed: SEED,
+        replicas: replicas as u32,
+        n: tagged.labeling.len() as u32,
+        tag: tagged.tag as u8,
+        backends: handles.iter().map(|h| h.addr().to_string()).collect(),
+    };
+    (handles, map)
+}
+
+fn router_config() -> RouterConfig {
+    RouterConfig {
+        retry: RetryPolicy {
+            max_retries: 3,
+            deadline: Some(Duration::from_millis(400)),
+            backoff_base: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(40),
+            seed: SEED,
+        },
+        probe_interval: Duration::from_millis(50),
+    }
+}
+
+#[test]
+fn router_answers_like_a_single_server() {
+    let g = power_law(300, 5);
+    let tagged = encode(&g, 5);
+    let (backends, map) = spin_backends(&tagged, 3, 2, None);
+    let router = route(map, "127.0.0.1:0", router_config()).expect("router");
+
+    let mut client = Client::connect(router.addr()).expect("connect via router");
+    assert_eq!(client.n(), 300);
+    assert_eq!(client.tag(), SchemeTag::Threshold as u8);
+
+    // Every pair of a vertex sample, in batches, vs graph truth.
+    let mut rng = StdRng::seed_from_u64(7);
+    let queries: Vec<Query> = (0..2_000)
+        .map(|_| Query::adjacent(rng.gen_range(0..300), rng.gen_range(0..300)))
+        .collect();
+    for chunk in queries.chunks(64) {
+        let answers = client.batch(chunk).expect("batch");
+        for (q, a) in chunk.iter().zip(answers) {
+            let want = if g.has_edge(q.u, q.v) {
+                pl_serve::Answer::Adjacent
+            } else {
+                pl_serve::Answer::NotAdjacent
+            };
+            assert_eq!(a, want, "({}, {}) through router", q.u, q.v);
+        }
+    }
+
+    // Out-of-range ids answer per-query statuses, not errors.
+    let answers = client
+        .batch(&[Query::adjacent(0, 300), Query::adjacent(500, 600)])
+        .expect("oor batch");
+    assert_eq!(answers[0], pl_serve::Answer::OutOfRange);
+    assert_eq!(answers[1], pl_serve::Answer::OutOfRange);
+
+    // HEALTH reports one flag per backend; STATS merges their counters.
+    let health = client.health().expect("health");
+    assert!(health.healthy);
+    assert_eq!(health.shards.len(), 3);
+    let stats = client.stats().expect("stats");
+    assert!(stats.adj_queries >= 2_000, "merged adj_queries: {stats}");
+    assert_eq!(stats.shard_cache.len(), 3, "one slot per backend");
+
+    client.goodbye().expect("goodbye");
+    let snap = router.shutdown();
+    assert!(snap.batches > 0);
+    for b in backends {
+        b.shutdown();
+    }
+}
+
+#[test]
+fn killing_one_backend_loses_no_answers_with_two_replicas() {
+    let g = power_law(400, 9);
+    let tagged = encode(&g, 6);
+    let (mut backends, map) = spin_backends(&tagged, 3, 2, None);
+    let router = route(map, "127.0.0.1:0", router_config()).expect("router");
+
+    // Warm: prove the cluster answers before the kill.
+    let report = loadgen::run_verified(
+        router.addr(),
+        &LoadgenConfig {
+            connections: 2,
+            requests_per_conn: 40,
+            batch: 32,
+            skew: Skew::Uniform,
+            seed: 0xA,
+            hot_order: None,
+            retry: Some(RetryPolicy::default()),
+        },
+        &g,
+    )
+    .expect("warm loadgen");
+    assert_eq!(report.mismatches, 0);
+    assert_eq!(report.failed, 0);
+
+    // Kill backend 0 outright, then hammer the router again: every
+    // query must still answer correctly via the surviving replicas.
+    backends.remove(0).shutdown();
+    let report = loadgen::run_verified(
+        router.addr(),
+        &LoadgenConfig {
+            connections: 4,
+            requests_per_conn: 60,
+            batch: 32,
+            skew: Skew::Zipf(1.1),
+            seed: 0xB,
+            hot_order: None,
+            retry: Some(RetryPolicy::default()),
+        },
+        &g,
+    )
+    .expect("post-kill loadgen");
+    assert_eq!(report.mismatches, 0, "wrong answers after backend kill");
+    assert_eq!(
+        report.failed,
+        0,
+        "failed queries after backend kill (success {:.2}%)",
+        report.success_rate() * 100.0
+    );
+
+    // The failover counter moved and the metrics surface shows it.
+    let prom = router.prometheus_text();
+    assert!(
+        prom.contains("plcluster_failover_total"),
+        "missing family in:\n{prom}"
+    );
+    let failovers: u64 = router
+        .registry()
+        .samples()
+        .iter()
+        .filter(|s| s.name == "plcluster_failover_total")
+        .map(|s| match s.value {
+            pl_obs::registry::MetricValue::Counter(c) => c,
+            _ => 0,
+        })
+        .sum();
+    assert!(failovers > 0, "no failovers counted despite a dead backend");
+
+    // The dead backend lands in quarantine, visible via HEALTH.
+    let mut deadline = 100;
+    let degraded = loop {
+        let live = router.backend_liveness();
+        if !live[0] || deadline == 0 {
+            break !live[0];
+        }
+        deadline -= 1;
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(degraded, "backend 0 never quarantined");
+
+    let snap = router.shutdown();
+    assert!(snap.batches > 0);
+    for b in backends {
+        b.shutdown();
+    }
+}
+
+#[test]
+fn chaos_flips_on_survivors_stay_correct() {
+    // Byte flips + truncations on every backend: the router's resilient
+    // downward clients must absorb them (checksum catch + replay), so
+    // zero wrong answers reach the upward client.
+    let g = power_law(250, 13);
+    let tagged = encode(&g, 5);
+    let plan = "seed=3,flip=0.05,truncate=0.03,drop=0.02,delay_ms=1";
+    let (backends, map) = spin_backends(&tagged, 3, 2, Some(plan));
+    let router = route(map, "127.0.0.1:0", router_config()).expect("router");
+
+    let report = loadgen::run_verified(
+        router.addr(),
+        &LoadgenConfig {
+            connections: 3,
+            requests_per_conn: 50,
+            batch: 24,
+            skew: Skew::Zipf(1.2),
+            seed: 0xC,
+            hot_order: None,
+            retry: Some(RetryPolicy::default()),
+        },
+        &g,
+    )
+    .expect("chaos loadgen");
+    assert_eq!(report.mismatches, 0, "corruption reached a client");
+    assert!(
+        report.success_rate() > 0.99,
+        "success {:.2}%",
+        report.success_rate() * 100.0
+    );
+
+    let faults: u64 = backends.iter().map(|b| b.snapshot().faults_injected).sum();
+    assert!(faults > 0, "no faults injected — chaos plan inert");
+
+    router.shutdown();
+    for b in backends {
+        b.shutdown();
+    }
+}

@@ -1,0 +1,81 @@
+//! Crate-level smoke test: the whole `pl-routing` surface exercised the
+//! way `examples/compact_routing.rs` drives it, at test-friendly scale.
+//!
+//! (Historical note: an early roadmap item listed this crate as an
+//! empty stub. It has long been a complete implementation with property
+//! tests; this smoke test pins the public API end to end so the claim
+//! can never silently become true again.)
+
+use pl_graph::traversal::bfs_distances;
+use pl_graph::view::largest_component;
+use pl_routing::RoutedNetwork;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn routes_are_valid_walks_with_bounded_stretch() {
+    let mut rng = StdRng::seed_from_u64(29);
+    let g0 = pl_gen::chung_lu_power_law(2_000, 2.2, 5.0, &mut rng);
+    let giant = largest_component(&g0);
+    let g = &giant.graph;
+    let n = g.vertex_count() as u32;
+    assert!(n > 500, "giant component unexpectedly small: {n}");
+
+    let k = 16;
+    let net = RoutedNetwork::build(g, k);
+    assert_eq!(net.landmarks().len(), k);
+    assert!(
+        net.address_bits() <= 64 + 4 * (32 - n.leading_zeros() as usize),
+        "addresses not O(log n): {} bits",
+        net.address_bits()
+    );
+
+    let mut checked = 0u32;
+    for _ in 0..8 {
+        let u = rng.gen_range(0..n);
+        let truth = bfs_distances(g, u);
+        for _ in 0..25 {
+            let v = rng.gen_range(0..n);
+            if u == v {
+                continue;
+            }
+            let path = net.route(u, v).expect("connected pair must route");
+            // A route is a real walk: endpoints right, every hop an edge.
+            assert_eq!(path.first(), Some(&u));
+            assert_eq!(path.last(), Some(&v));
+            for w in path.windows(2) {
+                assert!(
+                    g.has_edge(w[0], w[1]),
+                    "{} -> {} is not an edge",
+                    w[0],
+                    w[1]
+                );
+            }
+            // Never shorter than the truth; landmark routing keeps the
+            // detour within an additive 2·ecc-ish bound — assert a loose
+            // multiplicative 5× + 2 envelope to stay seed-robust.
+            let routed = net.routed_distance(u, v).expect("connected");
+            let true_d = truth[v as usize];
+            assert!(routed >= true_d, "routed {routed} beats BFS {true_d}");
+            assert!(
+                u64::from(routed) <= 5 * u64::from(true_d) + 2,
+                "stretch blow-up: routed {routed} vs true {true_d}"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 100, "too few pairs checked: {checked}");
+
+    // Addresses and next_hop agree with route(): replaying hops lands
+    // on the destination.
+    let (u, v) = (0u32, n - 1);
+    let dest = net.address(v);
+    let mut cur = u;
+    for _ in 0..n {
+        if cur == v {
+            break;
+        }
+        cur = net.next_hop(cur, &dest).expect("giant component");
+    }
+    assert_eq!(cur, v, "next_hop replay never arrived");
+}

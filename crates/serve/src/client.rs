@@ -358,8 +358,10 @@ impl Default for RetryPolicy {
 impl RetryPolicy {
     /// The delay before retry number `attempt` (0-based): exponential
     /// with full lower-half jitter, `d/2 + U(0, d/2)` where
-    /// `d = min(base · 2^attempt, cap)`.
-    fn backoff(&self, attempt: u32, rng: &mut StdRng) -> Duration {
+    /// `d = min(base · 2^attempt, cap)`. Public because the cluster
+    /// router reuses it for quarantine re-probe pacing (and the property
+    /// tests pin the bounds the router depends on).
+    pub fn backoff(&self, attempt: u32, rng: &mut StdRng) -> Duration {
         let base = self.backoff_base.as_nanos() as u64;
         let cap = self.backoff_cap.as_nanos() as u64;
         let d = base.saturating_mul(1u64 << attempt.min(20)).min(cap.max(1));

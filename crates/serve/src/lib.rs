@@ -49,4 +49,4 @@ pub use format::{SchemeTag, TaggedLabeling};
 pub use metrics::Snapshot;
 pub use protocol::{Answer, HealthReport, Query, QueryKind};
 pub use server::{serve, serve_with, ServeOptions, ServerHandle};
-pub use store::{LabelStore, QueryPath, StoreConfig};
+pub use store::{LabelStore, QueryPath, StoreConfig, StoreError};

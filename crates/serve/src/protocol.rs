@@ -28,7 +28,12 @@ use crate::metrics::Snapshot;
 /// the per-query `ANS_OVERLOADED` status, the pre-handshake
 /// `OVERLOADED` shed frame, the `HEALTH` opcode, and three extra
 /// STATS fields (faults injected, connections shed, open connections).
-pub const VERSION: u8 = 3;
+/// Version 4 adds the per-query `ANS_NOT_OWNED` status for partial
+/// (cluster-partitioned) stores: the backend holds a stub for one of
+/// the queried vertices and cannot answer locally, so a router should
+/// re-ask a replica that owns the other endpoint. Frame layouts are
+/// otherwise identical to v3.
+pub const VERSION: u8 = 4;
 
 /// Oldest protocol version this build still accepts. Version-1 sessions
 /// get the original twelve-field STATS reply.
@@ -140,6 +145,13 @@ pub enum Answer {
     /// error or shedding); the query is safe to retry. v3 wire status;
     /// on older sessions it degrades to [`Answer::MalformedLabel`].
     Overloaded,
+    /// A partial (cluster-partitioned) store holds only a stub for one
+    /// of the queried vertices and cannot answer locally; a router
+    /// should re-ask a replica owning the other endpoint. Retrying the
+    /// *same* backend is useless, so this is not
+    /// [retryable](Answer::is_retryable). v4 wire status; on older
+    /// sessions it degrades to [`Answer::MalformedLabel`].
+    NotOwned,
 }
 
 impl Answer {
@@ -154,6 +166,7 @@ const ANS_NOT_ADJACENT: u8 = 0;
 const ANS_ADJACENT: u8 = 1;
 const ANS_DISTANCE: u8 = 2;
 const ANS_UNREACHABLE: u8 = 3;
+const ANS_NOT_OWNED: u8 = 0xFA;
 const ANS_OVERLOADED: u8 = 0xFB;
 const ANS_MALFORMED: u8 = 0xFC;
 const ANS_OUT_OF_RANGE: u8 = 0xFD;
@@ -396,6 +409,11 @@ pub fn encode_batch_reply(answers: &[Answer], version: u8) -> Vec<u8> {
             } else {
                 ANS_MALFORMED
             }),
+            Answer::NotOwned => b.push(if version >= 4 {
+                ANS_NOT_OWNED
+            } else {
+                ANS_MALFORMED
+            }),
         }
     }
     if version >= 3 {
@@ -447,6 +465,7 @@ pub fn parse_batch_reply(body: &[u8], version: u8) -> Result<Vec<Answer>, Protoc
             ANS_UNSUPPORTED => Answer::Unsupported,
             ANS_MALFORMED => Answer::MalformedLabel,
             ANS_OVERLOADED => Answer::Overloaded,
+            ANS_NOT_OWNED => Answer::NotOwned,
             _ => return Err(ProtocolError::Malformed("answer status")),
         });
     }
@@ -602,13 +621,28 @@ mod tests {
             Answer::OutOfRange,
             Answer::Unsupported,
         ];
-        for version in [1, 2, 3] {
+        for version in [1, 2, 3, 4] {
             assert_eq!(
                 parse_batch_reply(&encode_batch_reply(&answers, version), version).unwrap(),
                 answers,
                 "version {version}"
             );
         }
+    }
+
+    #[test]
+    fn not_owned_answer_is_version_gated() {
+        let answers = vec![Answer::NotOwned, Answer::Adjacent];
+        let v4 = encode_batch_reply(&answers, 4);
+        assert_eq!(parse_batch_reply(&v4, 4).unwrap(), answers);
+        // On a v3 session the v4-only status degrades to MalformedLabel.
+        let v3 = encode_batch_reply(&answers, 3);
+        assert_eq!(
+            parse_batch_reply(&v3, 3).unwrap(),
+            vec![Answer::MalformedLabel, Answer::Adjacent]
+        );
+        // NotOwned is a routing signal, not a same-backend retry signal.
+        assert!(!Answer::NotOwned.is_retryable());
     }
 
     #[test]
@@ -716,6 +750,7 @@ mod tests {
             let _ = parse_batch(&body);
             let _ = parse_batch_reply(&body, 2);
             let _ = parse_batch_reply(&body, 3);
+            let _ = parse_batch_reply(&body, 4);
             let _ = parse_stats_reply(&body);
             let _ = parse_health_reply(&body);
         }

@@ -440,6 +440,7 @@ fn answer_query(
                 Err(StoreError::OutOfRange) => (Answer::OutOfRange, None),
                 Err(StoreError::Unsupported) => (Answer::Unsupported, None),
                 Err(StoreError::Malformed) => (Answer::MalformedLabel, None),
+                Err(StoreError::NotOwned) => (Answer::NotOwned, None),
             }
         }
         QueryKind::Distance => {
@@ -450,6 +451,7 @@ fn answer_query(
                 Err(StoreError::OutOfRange) => (Answer::OutOfRange, None),
                 Err(StoreError::Unsupported) => (Answer::Unsupported, None),
                 Err(StoreError::Malformed) => (Answer::MalformedLabel, None),
+                Err(StoreError::NotOwned) => (Answer::NotOwned, None),
             }
         }
     };

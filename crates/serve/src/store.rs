@@ -25,6 +25,21 @@
 //! label that declares more content than it carries answers
 //! [`StoreError::Malformed`] for that query instead of killing the
 //! connection thread.
+//!
+//! # Partial stores
+//!
+//! A store marked [partial](LabelStore::with_partial) holds a cluster
+//! partition cut by `plab cluster split`: vertices this backend *owns*
+//! carry their full, bit-identical label, while every other vertex
+//! carries only a prelude stub (id width + scheme id + fat flag, nothing
+//! after). A stub is enough to answer from the *other* endpoint's side —
+//! a thin owned label scans its own neighbour list for the stub's scheme
+//! id, and a fat owned bitmap is tested against it — so the partial
+//! query path tries both sides with checked reads and only reports
+//! [`StoreError::NotOwned`] when neither endpoint's content is present
+//! (fat–fat with both bitmaps missing, or a thin endpoint stubbed with
+//! the other endpoint fat). The router turns `NotOwned` into a re-ask at
+//! a replica owning the other endpoint.
 
 use std::sync::{Arc, Mutex};
 
@@ -66,6 +81,10 @@ pub enum StoreError {
     /// A label involved in the query was corrupt (declared more content
     /// than it carries). The store stays up; only this query fails.
     Malformed,
+    /// A [partial](LabelStore::with_partial) store holds only prelude
+    /// stubs for the queried pair's decodable sides; the query must be
+    /// re-asked at a backend owning one of the endpoints.
+    NotOwned,
 }
 
 /// A fat label's adjacency bitmap, decoded into words for O(1) bit tests.
@@ -123,6 +142,24 @@ fn peek_threshold(l: LabelRef<'_>) -> Option<(u64, bool)> {
     Some((id, fat))
 }
 
+/// Checked scan of a thin threshold label's neighbour list for scheme id
+/// `target`; `None` if the label is a prelude stub (or truncated) so the
+/// list is unreadable. Mirrors the unchecked decoder's short-circuit on
+/// a match.
+fn thin_contains(l: LabelRef<'_>, target: u64) -> Option<bool> {
+    let mut r = l.reader();
+    let w = r.try_read_bits(6)? as usize;
+    let _id = r.try_read_bits(w)?;
+    let _fat = r.try_read_bit()?;
+    let deg = r.try_read_gamma()? - 1;
+    for _ in 0..deg {
+        if r.try_read_bits(w)? == target {
+            return Some(true);
+        }
+    }
+    Some(false)
+}
+
 /// How one adjacency query was answered — the provenance attached to
 /// slow-query trace events.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -166,6 +203,10 @@ pub struct LabelStore {
     shard_hits: Vec<Arc<Counter>>,
     /// Per-shard miss counters, likewise.
     shard_misses: Vec<Arc<Counter>>,
+    /// Cluster-partition sub-store: non-owned vertices are prelude
+    /// stubs, and unanswerable queries report [`StoreError::NotOwned`]
+    /// instead of [`StoreError::Malformed`].
+    partial: bool,
 }
 
 impl std::fmt::Debug for LabelStore {
@@ -221,7 +262,24 @@ impl LabelStore {
             n,
             shard_hits: shard_counter("plserve_cache_hits_total"),
             shard_misses: shard_counter("plserve_cache_misses_total"),
+            partial: false,
         }
+    }
+
+    /// Marks the store as a cluster-partition sub-store (see the module
+    /// docs): the threshold query path tries both endpoints with checked
+    /// reads and reports [`StoreError::NotOwned`] where a full store
+    /// would report [`StoreError::Malformed`].
+    #[must_use]
+    pub fn with_partial(mut self, partial: bool) -> Self {
+        self.partial = partial;
+        self
+    }
+
+    /// Is this a cluster-partition sub-store?
+    #[must_use]
+    pub fn is_partial(&self) -> bool {
+        self.partial
     }
 
     /// Vertex count.
@@ -318,11 +376,37 @@ impl LabelStore {
             return Ok((false, QueryPath::ThinScan));
         }
         if fat_a && fat_b {
-            let (decoded, hit) = self.decoded_fat(u, la).ok_or(StoreError::Malformed)?;
-            let shard = (u as usize % self.caches.len()) as u32;
-            return Ok((decoded.test(idb), QueryPath::FatFat { shard, hit }));
+            if !self.partial {
+                let (decoded, hit) = self.decoded_fat(u, la).ok_or(StoreError::Malformed)?;
+                let shard = (u as usize % self.caches.len()) as u32;
+                return Ok((decoded.test(idb), QueryPath::FatFat { shard, hit }));
+            }
+            // Partial store: either owned bitmap answers a fat–fat pair.
+            for (w, lw, other_id) in [(u, la, idb), (v, lb, ida)] {
+                if let Some((decoded, hit)) = self.decoded_fat(w, lw) {
+                    let shard = (w as usize % self.caches.len()) as u32;
+                    return Ok((decoded.test(other_id), QueryPath::FatFat { shard, hit }));
+                }
+            }
+            return Err(StoreError::NotOwned);
         }
-        Ok((ThresholdDecoder.adjacent(la, lb), QueryPath::ThinScan))
+        if !self.partial {
+            return Ok((ThresholdDecoder.adjacent(la, lb), QueryPath::ThinScan));
+        }
+        // Partial store: a thin endpoint whose list is present answers
+        // one-sidedly (the other endpoint's stub carries the scheme id
+        // the scan looks for).
+        if !fat_a {
+            if let Some(edge) = thin_contains(la, idb) {
+                return Ok((edge, QueryPath::ThinScan));
+            }
+        }
+        if !fat_b {
+            if let Some(edge) = thin_contains(lb, ida) {
+                return Ok((edge, QueryPath::ThinScan));
+            }
+        }
+        Err(StoreError::NotOwned)
     }
 
     /// Answers "what is dist(u, v)?"; `Ok(None)` means beyond the
@@ -603,6 +687,106 @@ mod tests {
         w.write_bit(false);
         w.write_gamma(1);
         w.into()
+    }
+
+    /// A prelude stub as written by `plab cluster split`: id width,
+    /// scheme id, fat flag — and nothing after.
+    fn stub(id: u64, fat: bool) -> Label {
+        let mut w = BitWriter::new();
+        w.write_bits(6, 6);
+        w.write_bits(id, 6);
+        w.write_bit(fat);
+        w.into()
+    }
+
+    #[test]
+    fn partial_store_answers_from_either_side_and_reports_not_owned() {
+        // Scheme ids: 0 = fat hub, 1 = fat, 2 = thin with neighbour 0.
+        let fat_hub = {
+            let mut w = BitWriter::new();
+            w.write_bits(6, 6);
+            w.write_bits(0, 6);
+            w.write_bit(true);
+            w.write_gamma(3); // k = 2
+            w.write_bit(false); // not adjacent to fat id 0 (itself)
+            w.write_bit(true); // adjacent to fat id 1
+            Label::from(w)
+        };
+        let thin2 = {
+            let mut w = BitWriter::new();
+            w.write_bits(6, 6);
+            w.write_bits(2, 6);
+            w.write_bit(false);
+            w.write_gamma(2); // degree 1
+            w.write_bits(0, 6); // neighbour scheme id 0
+            Label::from(w)
+        };
+        // This partition owns vertex 0 only; 1 and 2 are stubs.
+        let store = LabelStore::new(
+            TaggedLabeling {
+                tag: SchemeTag::Threshold,
+                labeling: Labeling::new(vec![fat_hub, stub(1, true), thin2.clone()]),
+            },
+            StoreConfig::default(),
+        )
+        .with_partial(true);
+        assert!(store.is_partial());
+        // Fat–fat: vertex 0's owned bitmap answers both orientations.
+        assert_eq!(store.adjacent(0, 1), Ok(true));
+        assert_eq!(store.adjacent(1, 0), Ok(true));
+        // Thin side stubbed, fat side owned: a thin–fat pair needs the
+        // thin list, which lives elsewhere.
+        let store2 = LabelStore::new(
+            TaggedLabeling {
+                tag: SchemeTag::Threshold,
+                labeling: Labeling::new(vec![fat_hub_clone(), stub(1, true), stub(2, false)]),
+            },
+            StoreConfig::default(),
+        )
+        .with_partial(true);
+        assert_eq!(store2.adjacent(0, 2), Err(StoreError::NotOwned));
+        assert_eq!(store2.adjacent(2, 0), Err(StoreError::NotOwned));
+        // ...but a partition owning the thin endpoint answers it.
+        let store3 = LabelStore::new(
+            TaggedLabeling {
+                tag: SchemeTag::Threshold,
+                labeling: Labeling::new(vec![stub(0, true), stub(1, true), thin2]),
+            },
+            StoreConfig::default(),
+        )
+        .with_partial(true);
+        assert_eq!(store3.adjacent(0, 2), Ok(true));
+        assert_eq!(store3.adjacent(2, 0), Ok(true));
+        assert_eq!(store3.adjacent(2, 1), Ok(false));
+        // Fat–fat with both bitmaps stubbed is unanswerable here.
+        assert_eq!(store3.adjacent(0, 1), Err(StoreError::NotOwned));
+        // Same scheme id short-circuits before ownership matters.
+        assert_eq!(store3.adjacent(0, 0), Ok(false));
+    }
+
+    fn fat_hub_clone() -> Label {
+        let mut w = BitWriter::new();
+        w.write_bits(6, 6);
+        w.write_bits(0, 6);
+        w.write_bit(true);
+        w.write_gamma(3);
+        w.write_bit(false);
+        w.write_bit(true);
+        Label::from(w)
+    }
+
+    #[test]
+    fn full_store_keeps_strict_malformed_semantics() {
+        // The same stubbed labeling on a *full* store is corruption.
+        let store = LabelStore::new(
+            TaggedLabeling {
+                tag: SchemeTag::Threshold,
+                labeling: Labeling::new(vec![stub(0, true), stub(1, true)]),
+            },
+            StoreConfig::default(),
+        );
+        assert!(!store.is_partial());
+        assert_eq!(store.adjacent(0, 1), Err(StoreError::Malformed));
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Property tests pinning [`RetryPolicy::backoff`]'s contract.
+//!
+//! The cluster router schedules quarantine re-probes with this exact
+//! function, so the bounds are load-bearing beyond the retry loop: a
+//! delay above the cap would stall failover recovery, and jitter
+//! escaping the documented `[d/2, d)` band would re-synchronise the
+//! thundering herd the jitter exists to break up.
+
+use std::time::Duration;
+
+use pl_serve::RetryPolicy;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The documented nominal delay: `d = min(base · 2^min(attempt, 20),
+/// max(cap, 1))`, reimplemented independently of the crate so a drift
+/// in either copy fails here.
+fn nominal_ns(base: Duration, cap: Duration, attempt: u32) -> u64 {
+    let base = base.as_nanos() as u64;
+    let cap = (cap.as_nanos() as u64).max(1);
+    base.saturating_mul(1u64 << attempt.min(20)).min(cap)
+}
+
+fn policy(base_ms: u64, cap_ms: u64, seed: u64) -> RetryPolicy {
+    RetryPolicy {
+        max_retries: 3,
+        deadline: None,
+        backoff_base: Duration::from_millis(base_ms),
+        backoff_cap: Duration::from_millis(cap_ms),
+        seed,
+    }
+}
+
+proptest! {
+    /// Every delay, for every seed, sits in the documented band:
+    /// at least half the nominal delay, strictly below the full one
+    /// (equal only in the degenerate `d ≤ 1` case), and therefore
+    /// always bounded by the cap.
+    #[test]
+    fn jitter_stays_in_the_lower_half_band(
+        base_ms in 0u64..5_000,
+        cap_ms in 0u64..5_000,
+        attempt in 0u32..64,
+        seed in any::<u64>(),
+    ) {
+        let p = policy(base_ms, cap_ms, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let delay = p.backoff(attempt, &mut rng).as_nanos() as u64;
+        let d = nominal_ns(p.backoff_base, p.backoff_cap, attempt);
+        prop_assert!(delay >= d / 2, "delay {delay} below d/2 = {}", d / 2);
+        if d >= 2 {
+            prop_assert!(delay < d, "delay {delay} reached nominal {d}");
+        } else {
+            prop_assert_eq!(delay, 0, "degenerate d = {} must collapse to 0", d);
+        }
+        prop_assert!(delay <= (p.backoff_cap.as_nanos() as u64).max(1),
+            "delay {delay} above cap");
+    }
+
+    /// The nominal envelope is monotone in the attempt number and
+    /// saturates exactly at the cap: an observed delay can never shrink
+    /// its upper bound as failures accumulate, and never outgrow the cap
+    /// no matter how many strikes a backend takes (the router leans on
+    /// this for re-probe pacing after long outages).
+    #[test]
+    fn envelope_is_monotone_and_cap_saturating(
+        base_ms in 1u64..2_000,
+        cap_ms in 1u64..2_000,
+        seed in any::<u64>(),
+    ) {
+        let p = policy(base_ms, cap_ms, seed);
+        let cap = (p.backoff_cap.as_nanos() as u64).max(1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut prev_env = 0u64;
+        for attempt in 0..70 {
+            let env = nominal_ns(p.backoff_base, p.backoff_cap, attempt);
+            prop_assert!(env >= prev_env, "envelope shrank at attempt {attempt}");
+            prop_assert!(env <= cap);
+            let delay = p.backoff(attempt, &mut rng).as_nanos() as u64;
+            prop_assert!(delay <= cap, "attempt {attempt}: delay {delay} above cap {cap}");
+            prev_env = env;
+        }
+        // 2^20 × any positive base overshoots any cap in range: the
+        // tail of the sequence is pinned to the cap exactly.
+        prop_assert_eq!(nominal_ns(p.backoff_base, p.backoff_cap, 69), cap);
+    }
+
+    /// Same seed, same delays — the jitter is deterministic, which the
+    /// tests (and reproducible chaos runs) rely on.
+    #[test]
+    fn backoff_is_deterministic_per_seed(
+        base_ms in 0u64..2_000,
+        cap_ms in 0u64..2_000,
+        seed in any::<u64>(),
+    ) {
+        let p = policy(base_ms, cap_ms, seed);
+        let run = |s: u64| -> Vec<Duration> {
+            let mut rng = StdRng::seed_from_u64(s);
+            (0..16).map(|a| p.backoff(a, &mut rng)).collect()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}

@@ -363,7 +363,8 @@ fn health_reports_shard_liveness_and_is_version_gated() {
     let handle = pl_serve::serve(store, "127.0.0.1:0").expect("bind");
 
     let mut v3 = Client::connect(handle.addr()).expect("v3 connect");
-    assert_eq!(v3.version(), 3);
+    assert_eq!(v3.version(), pl_serve::protocol::VERSION);
+    assert!(v3.version() >= 3, "HEALTH needs a v3+ session");
     let report = v3.health().expect("health");
     assert!(report.healthy);
     assert_eq!(report.shards, vec![true, true, true]);

@@ -13,6 +13,13 @@
 //!              [--duration SECS] [--prom HOST:PORT] [--trace] [--slow-us U]
 //!              [--max-conns N] [--idle-ms MS] [--stall-ms MS]
 //!              [--fault-plan SPEC]             # chaos testing
+//!              [--partial]                     # cluster sub-store mode
+//! plab cluster split  <labels.plab> --backends B [--replicas R] [--seed S]
+//!                     [--out DIR]             # cut per-partition stores
+//! plab cluster launch <labels.plab> --backends B [--replicas R] [--seed S]
+//!                     [--addr HOST:PORT] [--prom HOST:PORT] [--dir DIR]
+//!                     [--duration SECS] [--fault-plan SPEC]
+//! plab cluster stats  <HOST:PORT>             # merged stats via router
 //! plab loadgen <HOST:PORT> [--connections N] [--requests R] [--batch B]
 //!              [--skew uniform|zipf:S] [--seed X] [--retries N]
 //!              [--deadline-ms MS] [--backoff-ms MS] [--verify graph.el]
@@ -42,6 +49,7 @@ use std::fs;
 use std::io::BufRead;
 use std::process::ExitCode;
 
+use pl_cluster::{split_all, ClusterMap, LaunchOptions, Partitioner, RouterConfig};
 use pl_graph::Graph;
 use pl_labeling::baseline::{AdjListScheme, MoonScheme};
 use pl_labeling::codec::{decode_adjacent, SchemeTag, TaggedLabeling};
@@ -64,6 +72,7 @@ fn main() -> ExitCode {
         Some("encode") => cmd_encode(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("cluster") => cmd_cluster(&args[1..]),
         Some("loadgen") => cmd_loadgen(&args[1..]),
         Some("health") => cmd_health(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
@@ -98,6 +107,13 @@ const USAGE: &str = "usage:
                [--duration SECS] [--prom HOST:PORT] [--trace] [--slow-us U]
                [--max-conns N] [--idle-ms MS] [--stall-ms MS]
                [--fault-plan seed=S,drop=P,flip=P,truncate=P,store_err=P,...]
+               [--partial]
+  plab cluster split  <labels.plab> --backends B [--replicas R] [--seed S]
+               [--out DIR]
+  plab cluster launch <labels.plab> --backends B [--replicas R] [--seed S]
+               [--addr HOST:PORT] [--prom HOST:PORT] [--dir DIR]
+               [--duration SECS] [--fault-plan SPEC]
+  plab cluster stats  <HOST:PORT>
   plab loadgen <HOST:PORT> [--connections N] [--requests R] [--batch B]
                [--skew uniform|zipf:S] [--seed X] [--retries N]
                [--deadline-ms MS] [--backoff-ms MS] [--verify graph.el]
@@ -555,20 +571,25 @@ fn cmd_serve(raw: &[String]) -> Result<(), String> {
         pl_obs::set_tracing(true);
         eprintln!("tracing on (drain with `plab trace {addr}`)");
     }
+    let partial = args.get("partial").is_some_and(|v| v != "false");
     let tagged = load_labeling(path)?;
     let registry = std::sync::Arc::new(pl_obs::MetricsRegistry::new());
-    let store = std::sync::Arc::new(LabelStore::with_registry(
-        tagged,
-        StoreConfig {
-            shards,
-            cache_capacity: cache,
-        },
-        &registry,
-    ));
+    let store = std::sync::Arc::new(
+        LabelStore::with_registry(
+            tagged,
+            StoreConfig {
+                shards,
+                cache_capacity: cache,
+            },
+            &registry,
+        )
+        .with_partial(partial),
+    );
     eprintln!(
-        "serving {} labels ({} scheme) on {} with {} shards, cache {}",
+        "serving {} labels ({} scheme{}) on {} with {} shards, cache {}",
         store.n(),
         store.tag().name(),
+        if partial { ", partial" } else { "" },
         addr,
         store.shard_count(),
         cache
@@ -604,6 +625,154 @@ fn cmd_serve(raw: &[String]) -> Result<(), String> {
     std::thread::sleep(std::time::Duration::from_secs(duration));
     let final_stats = handle.shutdown();
     eprintln!("--- final stats ---\n{final_stats}");
+    Ok(())
+}
+
+/// `plab cluster <split|launch|stats>`: the distributed serving front
+/// end (see `crates/cluster`). `split` cuts per-partition sub-stores,
+/// `launch` runs a local backends-plus-router process group, `stats`
+/// prints a router's merged snapshot.
+fn cmd_cluster(raw: &[String]) -> Result<(), String> {
+    match raw.first().map(String::as_str) {
+        Some("split") => cluster_split(&raw[1..]),
+        Some("launch") => cluster_launch(&raw[1..]),
+        Some("stats") => cluster_stats(&raw[1..]),
+        _ => Err(format!(
+            "expected `plab cluster <split|launch|stats>`\n{USAGE}"
+        )),
+    }
+}
+
+/// Shared `--backends/--replicas/--seed` parsing for the cluster verbs.
+fn cluster_shape(args: &Args) -> Result<(usize, usize, u64), String> {
+    let backends: usize = args.get_parsed("backends", 0)?;
+    if backends == 0 {
+        return Err("missing or zero --backends".into());
+    }
+    let replicas: usize = args.get_parsed("replicas", 2)?;
+    if replicas == 0 {
+        return Err("--replicas must be at least 1".into());
+    }
+    let seed: u64 = args.get_parsed("seed", 1)?;
+    Ok((backends, replicas, seed))
+}
+
+fn cluster_split(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let path = args.positional.first().ok_or("missing labeling file")?;
+    let (backends, replicas, seed) = cluster_shape(&args)?;
+    let dir = std::path::PathBuf::from(args.get("out").unwrap_or("."));
+    fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let tagged = load_labeling(path)?;
+    let part = Partitioner::new(seed, backends, replicas);
+    let (parts, reports) = split_all(&tagged, &part).map_err(|e| e.to_string())?;
+    let full_bits = tagged.labeling.total_bits() as u64;
+    for (b, (sub, report)) in parts.iter().zip(&reports).enumerate() {
+        let out = dir.join(format!("part_{b}.plab"));
+        sub.save(&out)
+            .map_err(|e| format!("writing {}: {e}", out.display()))?;
+        eprintln!(
+            "backend {b}: {} owned + {} stubbed, {} bits ({:.1}% of full) -> {}",
+            report.owned,
+            report.stubbed,
+            report.bits,
+            report.bits as f64 / full_bits.max(1) as f64 * 100.0,
+            out.display()
+        );
+    }
+    // Epoch-0 map: the assignment parameters without live addresses;
+    // `cluster launch` writes the epoch-1 map with real ones.
+    let map = ClusterMap {
+        epoch: 0,
+        seed,
+        replicas: part.replicas() as u32,
+        n: u32::try_from(tagged.labeling.len()).map_err(|_| "labeling too large".to_string())?,
+        tag: tagged.tag as u8,
+        backends: vec![String::new(); backends],
+    };
+    let map_path = dir.join("cluster.plcm");
+    map.save(&map_path)
+        .map_err(|e| format!("writing {}: {e}", map_path.display()))?;
+    eprintln!("map (epoch 0) -> {}", map_path.display());
+    Ok(())
+}
+
+fn cluster_launch(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let path = args.positional.first().ok_or("missing labeling file")?;
+    let (backends, replicas, seed) = cluster_shape(&args)?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7400");
+    let dir = args.get("dir").unwrap_or("cluster-data");
+    let duration: u64 = args.get_parsed("duration", 0)?;
+    let fault_plan = match args.get("fault-plan") {
+        Some(spec) => {
+            // Validated here so a typo fails fast instead of as an
+            // opaque "backend exited before binding".
+            let plan = FaultPlan::parse(spec).map_err(|e| format!("--fault-plan: {e}"))?;
+            eprintln!("chaos mode: backends injecting faults ({plan})");
+            Some(spec.to_string())
+        }
+        None => None,
+    };
+    let tagged = load_labeling(path)?;
+    let exe = std::env::current_exe().map_err(|e| format!("resolving own binary: {e}"))?;
+    let opts = LaunchOptions {
+        exe,
+        dir: dir.into(),
+        backends,
+        replicas,
+        seed,
+        router_addr: addr.to_string(),
+        fault_plan,
+        config: RouterConfig::default(),
+    };
+    let handle = pl_cluster::launch(&tagged, &opts)?;
+    for ((b, child, addr), report) in handle.children.iter().zip(&handle.reports) {
+        eprintln!(
+            "backend {b}: pid {} addr {} ({} owned + {} stubbed)",
+            child.id(),
+            addr,
+            report.owned,
+            report.stubbed
+        );
+    }
+    eprintln!(
+        "router listening on {} ({} backends, {} replicas, epoch {})",
+        handle.router.addr(),
+        handle.map.backends.len(),
+        handle.map.replicas,
+        handle.map.epoch
+    );
+    let _prom_handle = match args.get("prom") {
+        Some(prom_addr) => {
+            let h = pl_obs::http::expose(prom_addr, handle.router.prometheus_renderer())
+                .map_err(|e| format!("binding prometheus endpoint {prom_addr}: {e}"))?;
+            eprintln!("prometheus metrics on http://{}/metrics", h.addr());
+            Some(h)
+        }
+        None => None,
+    };
+    if duration == 0 {
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+    std::thread::sleep(std::time::Duration::from_secs(duration));
+    let final_stats = handle.shutdown();
+    eprintln!("--- final router stats ---\n{final_stats}");
+    Ok(())
+}
+
+fn cluster_stats(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let addr = args.positional.first().ok_or("missing router address")?;
+    let addr: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|_| format!("bad router address {addr:?}"))?;
+    let mut client = Client::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+    let stats = client.stats().map_err(|e| format!("stats: {e}"))?;
+    println!("{stats}");
+    client.goodbye().ok();
     Ok(())
 }
 
