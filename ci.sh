@@ -4,7 +4,8 @@
 #   ci.sh quick   fmt + clippy + offline-dep check + unit tests
 #                 (the fast pre-push loop; targets < 2 minutes warm)
 #   ci.sh full    quick tier + release build + workspace tests + the
-#                 encode/query, observability, chaos, and cluster smokes
+#                 encode/query, observability, chaos, cluster, and
+#                 router front-end smokes
 #
 # No argument means `full` (the historical behaviour). Every step is
 # wall-clock timed; a summary table prints at the end, and the script
@@ -249,9 +250,75 @@ cluster_smoke() {
     wait "$launch_pid"
 }
 
+# Router front-end smoke: the router serves through the shared pl-wire
+# front-end, so `--max-conns` and `--fault-plan` must work on it exactly
+# as on `plab serve`. Two held raw connections fill a cap of 2, a third
+# must be shed at accept, and router-side injected faults must be
+# absorbed by the retrying loadgen — both counters visible over the
+# router's own STATS.
+router_front_smoke() {
+    local plab=target/release/plab
+    "$plab" cluster launch "$smoke_dir/k.plab" --backends 2 --replicas 2 --seed 17 \
+        --addr 127.0.0.1:7451 --duration 30 --max-conns 2 \
+        --fault-plan "seed=7,flip=0.02" \
+        --dir "$smoke_dir/cluster_front" 2> "$smoke_dir/front_launch.log" &
+    serve_pids+=($!)
+    local front_pid=$!
+    local try
+    for try in $(seq 1 50); do
+        grep -q 'router listening on' "$smoke_dir/front_launch.log" && break
+        sleep 0.2
+    done
+    grep -q 'router listening on' "$smoke_dir/front_launch.log" \
+        || { echo "ci: front-end cluster router never came up" >&2; return 1; }
+    # Claim both slots with idle connections, then poke a third: the
+    # router must shed it at accept (slot claimed before handshake).
+    exec 8<> /dev/tcp/127.0.0.1/7451
+    exec 9<> /dev/tcp/127.0.0.1/7451
+    (exec 7<> /dev/tcp/127.0.0.1/7451) 2> /dev/null
+    sleep 0.5
+    exec 8>&- 8<&- 9>&- 9<&-
+    # With the slots free again, verified load through the faulty router
+    # must still end with zero mismatches (retries absorb the flips).
+    "$plab" loadgen 127.0.0.1:7451 --connections 2 --requests 1000 --batch 32 \
+        --skew zipf:1.2 --retries 5 --deadline-ms 400 --verify "$smoke_dir/k.el" \
+        > "$smoke_dir/front_loadgen.out" \
+        || { echo "ci: loadgen failed against the capped+faulty router" >&2; return 1; }
+    grep -q 'verified against reference graph: 0 mismatches' "$smoke_dir/front_loadgen.out" \
+        || { echo "ci: front-end loadgen reported mismatches" >&2; return 1; }
+    # The stats fetch can itself draw an injected fault; retry a few times.
+    for try in $(seq 1 20); do
+        if "$plab" stats 127.0.0.1:7451 --prom > "$smoke_dir/front.prom" 2> /dev/null; then
+            break
+        fi
+        sleep 0.1
+    done
+    grep '^plserve_shed_total' "$smoke_dir/front.prom" \
+        | awk '{ exit !($2 > 0) }' \
+        || { echo "ci: router shed counter did not move under --max-conns 2" >&2; return 1; }
+    grep '^plserve_faults_injected_total' "$smoke_dir/front.prom" \
+        | awk '{ exit !($2 > 0) }' \
+        || { echo "ci: router fault counter did not move under --fault-plan" >&2; return 1; }
+    wait "$front_pid"
+}
+
+# Dep hygiene: the cluster crate must take its transport from pl-wire —
+# never from pl-serve's internals (serve's protocol/fault/metrics
+# modules are compatibility re-export shims over pl-wire, not a layer
+# other crates may build on).
+dep_hygiene() {
+    cargo tree -p pl-cluster --edges normal | grep -q 'pl-wire' \
+        || { echo "ci: pl-cluster lost its pl-wire dependency" >&2; return 1; }
+    if grep -rEn 'pl_serve::(protocol|fault|metrics|server)\b' crates/cluster/src; then
+        echo "ci: pl-cluster reaches pl-serve transport shims instead of pl-wire" >&2
+        return 1
+    fi
+}
+
 run_step "cargo fmt --check"      cargo fmt --all --check
 run_step "cargo clippy -D warnings" cargo clippy --workspace --all-targets -- -D warnings
 run_step "offline dep check"      offline_deps
+run_step "dep hygiene"            dep_hygiene
 run_step "unit tests"             cargo test -q
 
 if [ "$TIER" = full ]; then
@@ -261,6 +328,7 @@ if [ "$TIER" = full ]; then
     run_step "observability smoke"    observability_smoke
     run_step "chaos smoke"            chaos_smoke
     run_step "cluster smoke"          cluster_smoke
+    run_step "router front-end smoke" router_front_smoke
 fi
 
 print_summary

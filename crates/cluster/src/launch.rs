@@ -19,10 +19,12 @@ use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
 use pl_serve::TaggedLabeling;
+use pl_wire::fault::FaultPlan;
+use pl_wire::FrontendOptions;
 
 use crate::map::ClusterMap;
 use crate::partition::Partitioner;
-use crate::router::{route, RouterConfig, RouterHandle};
+use crate::router::{route_with, RouterConfig, RouterHandle};
 use crate::split::{split_all, SplitReport};
 
 /// What to launch.
@@ -45,6 +47,16 @@ pub struct LaunchOptions {
     pub fault_plan: Option<String>,
     /// Router tuning.
     pub config: RouterConfig,
+    /// Router-side connection cap; excess upward connections are shed
+    /// with `OVERLOADED` by the shared front-end.
+    pub max_conns: Option<usize>,
+    /// Router-side idle-connection reap deadline.
+    pub idle_timeout: Option<Duration>,
+    /// Router-side mid-frame stall (and write) deadline.
+    pub stall_timeout: Option<Duration>,
+    /// Fault plan injected at the *router's* front-end (the backends
+    /// get [`fault_plan`](Self::fault_plan) via their CLI flag).
+    pub router_fault_plan: Option<FaultPlan>,
 }
 
 /// A running cluster: the router handle plus the backend children.
@@ -61,7 +73,7 @@ pub struct ClusterHandle {
 
 impl ClusterHandle {
     /// Drains the router, then kills and reaps every backend child.
-    pub fn shutdown(self) -> pl_serve::Snapshot {
+    pub fn shutdown(self) -> pl_wire::Snapshot {
         let stats = self.router.shutdown();
         for (_, mut child, _) in self.children {
             child.kill().ok();
@@ -168,7 +180,14 @@ pub fn launch(tagged: &TaggedLabeling, opts: &LaunchOptions) -> Result<ClusterHa
     map.save(opts.dir.join("cluster.plcm"))
         .map_err(|e| format!("writing cluster.plcm: {e}"))?;
 
-    match route(map.clone(), &opts.router_addr, opts.config.clone()) {
+    let front = FrontendOptions {
+        registry: None,
+        max_conns: opts.max_conns,
+        fault_plan: opts.router_fault_plan.clone(),
+        idle_timeout: opts.idle_timeout,
+        stall_timeout: opts.stall_timeout,
+    };
+    match route_with(map.clone(), &opts.router_addr, opts.config.clone(), front) {
         Ok(router) => Ok(ClusterHandle {
             children,
             router,

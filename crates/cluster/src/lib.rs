@@ -19,14 +19,16 @@
 //!   id + fat flag). Stubs are what make one-sided decoding work: a
 //!   thin owned label scans its own neighbour list for the stub's
 //!   scheme id, and a fat owned bitmap is tested against it.
-//! * [`router`] — a scatter-gather front-end that *is* a wire-protocol
-//!   server: clients connect to it exactly as to a single backend.
-//!   Downward it speaks the same protocol through [`pl_serve`]'s
-//!   resilient client, fanning each `BATCH` out per-partition and
-//!   re-asking per-query failures (`NOT_OWNED`, overload, dead
-//!   backend) along the HRW candidate list `owners(u) ∪ owners(v)`,
-//!   with quarantine and seeded-backoff re-probing for unhealthy
-//!   backends.
+//! * [`router`] — a scatter-gather engine behind the *shared*
+//!   [`pl_wire::frontend`] transport: clients connect to it exactly as
+//!   to a single backend, and the router inherits shedding, idle/stall
+//!   deadlines, drain-on-shutdown, and fault injection from the same
+//!   hardened front-end `pl_serve` uses. Downward it speaks the same
+//!   protocol through [`pl_serve`]'s resilient client, fanning each
+//!   `BATCH` out per-partition and re-asking per-query failures
+//!   (`NOT_OWNED`, overload, dead backend) along the HRW candidate
+//!   list `owners(u) ∪ owners(v)`, with quarantine and seeded-backoff
+//!   re-probing for unhealthy backends.
 //! * [`launch`] — a local process group: split, spawn one `plab serve
 //!   --partial` child per backend, start the router in-process, drain
 //!   and kill on shutdown. This is what `plab cluster launch` runs and
@@ -47,5 +49,5 @@ pub mod split;
 pub use launch::{launch, ClusterHandle, LaunchOptions};
 pub use map::{ClusterMap, MapError};
 pub use partition::Partitioner;
-pub use router::{route, RouterConfig, RouterHandle};
+pub use router::{route, route_with, RouterConfig, RouterEngine, RouterHandle};
 pub use split::{split_all, split_one, SplitError, SplitReport};

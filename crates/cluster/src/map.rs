@@ -19,7 +19,7 @@
 
 use std::path::Path;
 
-use pl_serve::protocol::checksum;
+use pl_wire::protocol::checksum;
 
 use crate::partition::Partitioner;
 

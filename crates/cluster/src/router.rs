@@ -2,6 +2,13 @@
 //!
 //! Upward the router *is* a wire-protocol server — `plab loadgen`, the
 //! blocking client, and every existing tool connect to it unchanged.
+//! The upward transport is not the router's own: it is the shared
+//! hardened front-end of [`pl_wire::frontend`], the same accept loop,
+//! handshake, shedding, deadlines, drain-on-shutdown, and fault
+//! injection that `pl_serve` uses, parameterized here over
+//! [`RouterEngine`]. The router itself is *only* an engine: candidate
+//! chains, failover, quarantine, and stat merging.
+//!
 //! Downward it speaks the same protocol to the backends through
 //! [`pl_serve::ResilientClient`], so transport-level trouble (dropped
 //! connections, truncated frames, checksum-failing flipped bytes) is
@@ -28,14 +35,16 @@
 //! `plcluster_fanout_total{partition}`, `plcluster_failover_total{backend}`,
 //! `plcluster_quarantine_total{backend}`, per-backend round-trip
 //! histograms `plcluster_backend_ns{backend}`, and the batch histogram
-//! `plcluster_batch_ns`. A `STATS` request upward returns the *merged*
-//! cluster snapshot: counters summed across live backends, latency
-//! quantiles from the router's own observations, and the per-"shard"
-//! slots repurposed to carry per-backend cache counters.
+//! `plcluster_batch_ns` — plus, because the front-end's instruments
+//! land in the same registry, the full `plserve_*` transport families
+//! (sheds, faults, deadline closes, bytes). A `STATS` request upward
+//! returns the *merged* cluster snapshot: counters summed across live
+//! backends, latency quantiles from the router's own observations, the
+//! per-"shard" slots repurposed to carry per-backend cache counters,
+//! and the router front-end's own shed/fault counters folded in.
 
 use std::collections::HashMap;
-use std::io::{Read as _, Write as _};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -43,19 +52,16 @@ use std::time::{Duration, Instant};
 use pl_obs::hist::Histogram;
 use pl_obs::registry::Counter;
 use pl_obs::MetricsRegistry;
-use pl_serve::metrics::Snapshot;
-use pl_serve::protocol::{
-    self, encode_batch_reply, encode_health_reply, encode_hello_ok, encode_stats_reply, opcode,
-    parse_batch, parse_hello, write_frame, Answer, FrameBuffer, ProtocolError, Query, MAX_FRAME,
-};
 use pl_serve::{ClientError, ResilientClient, RetryPolicy};
+use pl_wire::frontend::{self, FrontStats, FrontendHandle, FrontendOptions, QueryEngine};
+use pl_wire::{Answer, Query, Snapshot};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::map::ClusterMap;
 use crate::partition::Partitioner;
 
-/// Accept-loop poll interval and per-connection read timeout.
+/// Prober pacing floor (the front-end has its own accept-loop poll).
 const POLL: Duration = Duration::from_millis(20);
 
 /// Router tuning.
@@ -160,12 +166,66 @@ impl Shared {
     }
 }
 
+/// The router as a [`QueryEngine`]: the shared front-end owns the
+/// upward transport, this engine owns candidate chains, failover, and
+/// stat merging. Its per-connection session is the [`Downstream`]
+/// client pool, so each upward connection keeps its own lazily dialed
+/// backend connections, exactly as before the front-end was extracted.
+pub struct RouterEngine {
+    shared: Arc<Shared>,
+}
+
+impl QueryEngine for RouterEngine {
+    type Session = Downstream;
+
+    fn new_session(&self) -> Downstream {
+        self.shared.connections.inc();
+        Downstream::new()
+    }
+
+    fn scheme_tag(&self) -> u8 {
+        self.shared.map.tag
+    }
+
+    fn n(&self) -> u32 {
+        self.shared.map.n
+    }
+
+    fn answer_batch(&self, session: &mut Downstream, queries: &[Query], answers: &mut Vec<Answer>) {
+        answers.extend(answer_batch(&self.shared, session, queries));
+    }
+
+    fn health(&self) -> Vec<bool> {
+        self.shared.liveness()
+    }
+
+    /// The router keeps no trace rings; an empty dump is valid.
+    fn trace_jsonl(&self) -> String {
+        String::new()
+    }
+
+    fn wire_stats(&self, session: &mut Downstream, front: &FrontStats) -> Snapshot {
+        let mut merged = merged_stats(&self.shared, session);
+        // Fold in the router front-end's own transport counters so a
+        // client asking the *router* for STATS sees router-side sheds
+        // and injected faults, not only the backends' sums.
+        merged.faults_injected += front.faults.total();
+        merged.shed += front.metrics.shed.get();
+        merged.protocol_errors += front.metrics.protocol_errors.get();
+        merged.open_conns += front.metrics.open_conns.get().max(0) as u64;
+        merged
+    }
+
+    fn local_snapshot(&self, _front: &FrontStats) -> Snapshot {
+        router_snapshot(&self.shared)
+    }
+}
+
 /// A handle to a running router; dropping it does *not* stop the
 /// router — call [`shutdown`](Self::shutdown).
 pub struct RouterHandle {
-    addr: SocketAddr,
+    front: FrontendHandle<RouterEngine>,
     shared: Arc<Shared>,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
     prober_thread: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -173,10 +233,11 @@ impl RouterHandle {
     /// The bound upward address.
     #[must_use]
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.front.addr()
     }
 
-    /// The router's metrics registry (the `plcluster_*` families).
+    /// The router's metrics registry (the `plcluster_*` families, plus
+    /// the shared front-end's `plserve_*` transport families).
     #[must_use]
     pub fn registry(&self) -> Arc<MetricsRegistry> {
         Arc::clone(&self.shared.registry)
@@ -207,17 +268,15 @@ impl RouterHandle {
         self.shared.exhausted.get()
     }
 
-    /// Signals shutdown, joins the accept loop and prober, and returns
-    /// the router's own merged view of its counters.
+    /// Signals shutdown, drains the front-end and joins the prober, and
+    /// returns the router's own merged view of its counters.
     pub fn shutdown(self) -> Snapshot {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        if let Some(t) = self.accept_thread {
-            t.join().ok();
-        }
+        let snap = self.front.shutdown();
         if let Some(t) = self.prober_thread {
             t.join().ok();
         }
-        router_snapshot(&self.shared)
+        snap
     }
 }
 
@@ -248,16 +307,30 @@ fn router_snapshot(shared: &Shared) -> Snapshot {
     }
 }
 
-/// Starts a router for `map`, listening upward on `addr`.
+/// Starts a router for `map`, listening upward on `addr`, with default
+/// transport options (no shedding cap, no deadlines, no faults).
 pub fn route(
     map: ClusterMap,
     addr: impl ToSocketAddrs,
     config: RouterConfig,
 ) -> std::io::Result<RouterHandle> {
-    let listener = TcpListener::bind(addr)?;
-    listener.set_nonblocking(true)?;
-    let bound = listener.local_addr()?;
-    let registry = Arc::new(MetricsRegistry::new());
+    route_with(map, addr, config, FrontendOptions::default())
+}
+
+/// Starts a router with explicit front-end transport options. The
+/// router inherits shedding (`max_conns`), idle/stall deadlines, and
+/// fault injection from the shared front-end — the same hardening as
+/// the single-node server, configured the same way.
+pub fn route_with(
+    map: ClusterMap,
+    addr: impl ToSocketAddrs,
+    config: RouterConfig,
+    front: FrontendOptions,
+) -> std::io::Result<RouterHandle> {
+    let registry = front
+        .registry
+        .clone()
+        .unwrap_or_else(|| Arc::new(MetricsRegistry::new()));
     let per_backend_counter = |name: &str| -> Vec<Arc<Counter>> {
         (0..map.backends.len())
             .map(|b| registry.counter_with(name, &[("backend", &b.to_string())]))
@@ -300,48 +373,26 @@ pub fn route(
         map,
     });
 
-    let accept_shared = Arc::clone(&shared);
-    let accept_thread = std::thread::Builder::new()
-        .name("plcluster-accept".into())
-        .spawn(move || accept_loop(&listener, &accept_shared))
-        .expect("spawn accept loop");
+    let engine = Arc::new(RouterEngine {
+        shared: Arc::clone(&shared),
+    });
+    let front = frontend::bind(
+        engine,
+        addr,
+        FrontendOptions {
+            registry: Some(Arc::clone(&registry)),
+            ..front
+        },
+    )?;
     let prober_shared = Arc::clone(&shared);
     let prober_thread = std::thread::Builder::new()
         .name("plcluster-probe".into())
-        .spawn(move || prober_loop(&prober_shared))
-        .expect("spawn prober");
+        .spawn(move || prober_loop(&prober_shared))?;
     Ok(RouterHandle {
-        addr: bound,
+        front,
         shared,
-        accept_thread: Some(accept_thread),
         prober_thread: Some(prober_thread),
     })
-}
-
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
-    let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
-    while !shared.shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                shared.connections.inc();
-                let conn_shared = Arc::clone(shared);
-                if let Ok(h) = std::thread::Builder::new()
-                    .name("plcluster-conn".into())
-                    .spawn(move || serve_connection(stream, &conn_shared))
-                {
-                    handles.push(h);
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(POLL);
-            }
-            Err(_) => std::thread::sleep(POLL),
-        }
-        handles.retain(|h| !h.is_finished());
-    }
-    for h in handles {
-        h.join().ok();
-    }
 }
 
 /// Background health prober: quarantined backends whose backoff expired
@@ -387,8 +438,8 @@ fn probe(shared: &Shared, addr: &str) -> bool {
 }
 
 /// Lazily connected downward clients, one per backend, owned by one
-/// upward connection's thread.
-struct Downstream {
+/// upward connection's thread (it is the [`RouterEngine`] session).
+pub struct Downstream {
     clients: HashMap<u32, ResilientClient>,
 }
 
@@ -594,134 +645,5 @@ fn merged_stats(shared: &Shared, down: &mut Downstream) -> Snapshot {
     merged
 }
 
-fn send_frame(stream: &mut TcpStream, body: &[u8]) -> std::io::Result<()> {
-    debug_assert!(body.len() <= MAX_FRAME);
-    write_frame(stream, body)?;
-    stream.flush()
-}
-
-fn send_error(stream: &mut TcpStream, msg: &str) {
-    let mut body = vec![opcode::ERROR];
-    body.extend_from_slice(msg.as_bytes());
-    send_frame(stream, &body).ok();
-}
-
-/// One upward connection: handshake, then BATCH / STATS / HEALTH /
-/// GOODBYE until the peer leaves or shutdown drains it.
-fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
-    stream.set_read_timeout(Some(POLL)).ok();
-    stream.set_nodelay(true).ok();
-    let mut frames = FrameBuffer::new();
-    let mut buf = [0u8; 16 * 1024];
-    let mut down = Downstream::new();
-    let mut version: Option<u8> = None;
-    loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        let read = match stream.read(&mut buf) {
-            Ok(0) => return,
-            Ok(k) => k,
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue;
-            }
-            Err(_) => return,
-        };
-        frames.push(&buf[..read]);
-        loop {
-            let body = match frames.next_frame() {
-                Ok(Some(b)) => b,
-                Ok(None) => break,
-                Err(e) => {
-                    send_error(&mut stream, &e.to_string());
-                    return;
-                }
-            };
-            match process_frame(&mut stream, shared, &mut down, &mut version, &body) {
-                Ok(true) => {}
-                Ok(false) | Err(_) => return,
-            }
-        }
-    }
-}
-
-/// Handles one upward frame; `Ok(false)` closes the connection cleanly.
-fn process_frame(
-    stream: &mut TcpStream,
-    shared: &Arc<Shared>,
-    down: &mut Downstream,
-    version: &mut Option<u8>,
-    body: &[u8],
-) -> Result<bool, ProtocolError> {
-    let op = body.first().copied();
-    let Some(v) = *version else {
-        // First frame must be HELLO.
-        match parse_hello(body) {
-            Ok(negotiated) => {
-                *version = Some(negotiated);
-                send_frame(
-                    stream,
-                    &encode_hello_ok(negotiated, shared.map.tag, shared.map.n),
-                )
-                .map_err(|_| ProtocolError::Malformed("write"))?;
-                return Ok(true);
-            }
-            Err(e) => {
-                send_error(stream, &format!("router rejected handshake: {e}"));
-                return Ok(false);
-            }
-        }
-    };
-    match op {
-        Some(opcode::BATCH) => {
-            let queries = parse_batch(body)?;
-            let answers = answer_batch(shared, down, &queries);
-            send_frame(stream, &encode_batch_reply(&answers, v))
-                .map_err(|_| ProtocolError::Malformed("write"))?;
-            Ok(true)
-        }
-        Some(opcode::STATS) => {
-            let merged = merged_stats(shared, down);
-            send_frame(stream, &encode_stats_reply(&merged, v))
-                .map_err(|_| ProtocolError::Malformed("write"))?;
-            Ok(true)
-        }
-        Some(opcode::HEALTH) => {
-            if v < 3 {
-                send_error(stream, "HEALTH needs protocol v3");
-                return Ok(false);
-            }
-            send_frame(stream, &encode_health_reply(&shared.liveness()))
-                .map_err(|_| ProtocolError::Malformed("write"))?;
-            Ok(true)
-        }
-        Some(opcode::TRACE_DUMP) => {
-            if v < 2 {
-                send_error(stream, "TRACE_DUMP needs protocol v2");
-                return Ok(false);
-            }
-            // The router keeps no trace rings; an empty dump is valid.
-            send_frame(stream, &[opcode::TRACE_REPLY])
-                .map_err(|_| ProtocolError::Malformed("write"))?;
-            Ok(true)
-        }
-        Some(opcode::GOODBYE) => {
-            send_frame(stream, &[opcode::GOODBYE_OK]).ok();
-            Ok(false)
-        }
-        Some(other) => {
-            send_error(stream, &format!("unexpected opcode {other:#04x}"));
-            Ok(false)
-        }
-        None => {
-            send_error(stream, "empty frame");
-            Ok(false)
-        }
-    }
-}
-
 // Re-exported for the `plab cluster stats` pretty-printer.
-pub use protocol::HealthReport;
+pub use pl_wire::protocol::HealthReport;

@@ -118,7 +118,8 @@ impl Client {
     /// Sends one batch and reads the matching reply (answers in query
     /// order).
     pub fn batch(&mut self, queries: &[Query]) -> io::Result<Vec<Answer>> {
-        write_frame(&mut self.stream, &encode_batch(queries))?;
+        let body = encode_batch(queries).map_err(|e| bad_data(e.to_string()))?;
+        write_frame(&mut self.stream, &body)?;
         let reply = read_frame(&mut self.stream)?;
         match reply.first() {
             Some(&opcode::BATCH_REPLY) => {

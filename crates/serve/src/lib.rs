@@ -9,24 +9,29 @@
 //!   immutable labels mean lock-free reads, and each shard keeps a small
 //!   LRU of decoded fat-label bitmaps (the hubs — exactly the vertices a
 //!   power-law workload hammers).
-//! * [`protocol`] — a length-prefixed binary wire format: versioned
-//!   handshake, batched adjacency/distance queries, stats, orderly
-//!   goodbye. All parsers are total on untrusted bytes.
-//! * [`server`] — `std::net` thread-per-connection server with
-//!   cooperative graceful shutdown that drains in-flight requests.
-//! * [`metrics`] — [`pl_obs`]-backed counters and power-of-two latency
-//!   histograms in a per-server [`pl_obs::MetricsRegistry`],
-//!   snapshotted on demand (`STATS`) and at shutdown, and renderable
-//!   as Prometheus text via [`ServerHandle::prometheus_text`].
+//! * [`protocol`] — re-export shim over [`pl_wire::protocol`], the
+//!   length-prefixed binary wire format: versioned handshake, batched
+//!   adjacency/distance queries, stats, orderly goodbye. All parsers
+//!   are total on untrusted bytes.
+//! * [`server`] — the shared hardened [`pl_wire::frontend`] TCP
+//!   front-end (thread-per-connection, shedding, deadlines, graceful
+//!   drain) over a [`server::StoreEngine`] answering batches
+//!   shard-grouped.
+//! * [`metrics`] — re-export shim over [`pl_wire::stats`]:
+//!   [`pl_obs`]-backed counters and power-of-two latency histograms in
+//!   a per-server [`pl_obs::MetricsRegistry`], snapshotted on demand
+//!   (`STATS`) and at shutdown, and renderable as Prometheus text via
+//!   [`ServerHandle::prometheus_text`].
 //! * [`client`] — blocking client plus a multi-connection load
 //!   generator with uniform and Zipf-skewed query mixes, and
 //!   [`ResilientClient`]: deadlines, bounded backoff with jitter, and
 //!   reconnect-and-replay over the [`ClientError`] retryable/fatal
 //!   taxonomy.
-//! * [`fault`] — the deterministic fault-injection harness
-//!   ([`FaultPlan`]): seeded per-connection delays, drops, truncations,
-//!   byte flips, and simulated store errors, for chaos testing the
-//!   whole request path (see RELIABILITY.md).
+//! * [`fault`] — re-export shim over [`pl_wire::fault`], the
+//!   deterministic fault-injection harness ([`FaultPlan`]): seeded
+//!   per-connection delays, drops, truncations, byte flips, and
+//!   simulated store errors, for chaos testing the whole request path
+//!   (see RELIABILITY.md).
 //! * [`format`] — thin re-exports of the codec layer
 //!   ([`pl_labeling::codec`]): the scheme tag, tagged container, and
 //!   decoder dispatch now live with the labels, not the server.
@@ -48,5 +53,5 @@ pub use fault::{FaultKind, FaultPlan};
 pub use format::{SchemeTag, TaggedLabeling};
 pub use metrics::Snapshot;
 pub use protocol::{Answer, HealthReport, Query, QueryKind};
-pub use server::{serve, serve_with, ServeOptions, ServerHandle};
-pub use store::{LabelStore, QueryPath, StoreConfig, StoreError};
+pub use server::{serve, serve_with, ServeOptions, ServerHandle, StoreEngine};
+pub use store::{BatchOutcome, LabelStore, QueryPath, StoreConfig, StoreError};

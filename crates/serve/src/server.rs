@@ -1,15 +1,19 @@
-//! The TCP server: thread-per-connection over a shared [`LabelStore`].
+//! The TCP server: the shared [`pl_wire`] front-end over a
+//! [`LabelStore`] engine.
 //!
-//! The accept loop and every connection thread poll a shared shutdown
-//! flag between socket operations (reads carry a short timeout), so
-//! [`ServerHandle::shutdown`] is cooperative: connections finish
-//! answering every fully received frame, then linger through a short
-//! quiet window to drain bytes still in flight, and only then close.
-//! `shutdown` joins all threads and returns the final metrics snapshot.
+//! Since PR 6 the transport — accept loop, per-connection lifecycle,
+//! HELLO negotiation, `--max-conns` shedding, idle/stall deadlines,
+//! drain-on-shutdown, and fault injection — lives in
+//! [`pl_wire::frontend`] and is shared with the `pl-cluster` router.
+//! This module supplies only the engine: [`StoreEngine`] implements
+//! [`QueryEngine`] by answering batches against the store, grouping a
+//! batch's fat-cache lookups by shard
+//! ([`LabelStore::adjacent_batch_traced`]) so each touched shard lock
+//! is taken once per batch instead of once per query.
 //!
 //! ## Degradation under load and failure
 //!
-//! The server degrades gracefully rather than wedging (see
+//! The front-end degrades gracefully rather than wedging (see
 //! RELIABILITY.md):
 //!
 //! - [`ServeOptions::max_conns`] caps concurrent connections; excess
@@ -19,8 +23,7 @@
 //! - [`ServeOptions::idle_timeout`] reaps connections that have sent
 //!   nothing for too long; [`ServeOptions::stall_timeout`] bounds both a
 //!   peer that stalls mid-frame and a peer that stops reading its
-//!   replies (it doubles as the socket write timeout). Both replace the
-//!   bare `POLL` read timeout as real per-connection deadlines.
+//!   replies (it doubles as the socket write timeout).
 //! - Finished connection threads are reaped every accept-loop pass, so
 //!   the handle vector stays bounded by the number of *live*
 //!   connections ([`ServerHandle::conn_handle_count`]).
@@ -47,28 +50,17 @@
 //! per-shard hit ratios and the process-global encode metrics) in
 //! Prometheus text format — `plab serve --prom` exposes it over HTTP.
 
-use std::io::{ErrorKind, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use pl_obs::MetricsRegistry;
+use pl_wire::frontend::{self, FrontStats, FrontendHandle, FrontendOptions, QueryEngine};
 
-use crate::fault::{FaultCounters, FaultInjector, FaultKind, FaultPlan};
+use crate::fault::FaultPlan;
 use crate::metrics::{Metrics, Snapshot};
-use crate::protocol::{
-    encode_batch_reply, encode_health_reply, encode_hello_ok, encode_stats_reply, opcode,
-    parse_batch, parse_hello, write_frame, Answer, FrameBuffer, QueryKind, MAX_FRAME,
-};
-use crate::store::{LabelStore, StoreError};
-
-/// Poll interval for the accept loop and connection read timeout.
-const POLL: Duration = Duration::from_millis(20);
-
-/// After shutdown is signalled, a connection closes once it has seen no
-/// new bytes for this long — frames already on the wire still get served.
-const DRAIN_QUIET: Duration = Duration::from_millis(150);
+use crate::protocol::{Answer, Query, QueryKind};
+use crate::store::{BatchOutcome, LabelStore, StoreError};
 
 /// Server tuning knobs beyond the store itself.
 #[derive(Debug, Clone, Default)]
@@ -98,108 +90,178 @@ pub struct ServeOptions {
     pub stall_timeout: Option<Duration>,
 }
 
-/// Everything a connection thread needs, behind one `Arc`.
-struct Shared {
+/// [`LabelStore`] as a [`QueryEngine`]: answers batches shard-grouped,
+/// records per-query latency and the slow-query log.
+pub struct StoreEngine {
     store: Arc<LabelStore>,
     metrics: Metrics,
-    faults: FaultCounters,
-    registry: Arc<MetricsRegistry>,
     /// Slow-query threshold; `u64::MAX` disables.
     slow_query_ns: u64,
-    /// Connection cap; `usize::MAX` disables.
-    max_conns: usize,
-    fault_plan: Option<FaultPlan>,
-    idle_timeout: Option<Duration>,
-    stall_timeout: Option<Duration>,
-    /// Connections currently being served (authoritative for shedding).
-    live_conns: AtomicUsize,
-    /// Join handles currently held by the accept loop (diagnostic; see
-    /// [`ServerHandle::conn_handle_count`]).
-    conn_handles: AtomicUsize,
-    /// Monotonic connection ids, feeding per-connection fault streams.
-    conn_seq: AtomicU64,
-    shutdown: AtomicBool,
-    started: Instant,
 }
 
-impl Shared {
-    /// Snapshot with the store's per-shard cache counters and the fault
-    /// harness's running total folded in.
-    fn snapshot(&self) -> Snapshot {
-        self.metrics.snapshot(
-            self.started,
-            &self.store.shard_cache_counts(),
-            self.faults.total(),
-        )
-    }
+/// Per-connection scratch for [`StoreEngine`]: reused across batches so
+/// the steady-state answer path allocates nothing.
+#[derive(Default)]
+pub struct StoreSession {
+    pairs: Vec<(u32, u32)>,
+    slots: Vec<usize>,
+    outcomes: Vec<BatchOutcome>,
+}
 
-    /// Prometheus text: the server registry, derived per-shard hit
-    /// ratios, and the process-global registry (encode-phase timings
-    /// and label-size histograms), deduplicated if they are the same.
-    fn prometheus_text(&self) -> String {
-        let mut p = pl_obs::prom::PromText::new();
-        p.registry(&self.registry);
-        for (i, &(h, m)) in self.store.shard_cache_counts().iter().enumerate() {
-            let ratio = if h + m == 0 {
-                0.0
-            } else {
-                h as f64 / (h + m) as f64
-            };
-            p.gauge_f64(
-                "plserve_cache_hit_ratio",
-                &vec![("shard".to_string(), i.to_string())],
-                ratio,
+fn store_error_answer(e: StoreError) -> Answer {
+    match e {
+        StoreError::OutOfRange => Answer::OutOfRange,
+        StoreError::Unsupported => Answer::Unsupported,
+        StoreError::Malformed => Answer::MalformedLabel,
+        StoreError::NotOwned => Answer::NotOwned,
+    }
+}
+
+impl StoreEngine {
+    /// Records one query's latency and, at or over the threshold, the
+    /// slow-query counter and trace event. The span window is
+    /// reconstructed only on the (rare) slow branch so the hot path
+    /// stays at two clock reads.
+    fn record_latency(&self, u: u32, v: u32, ns: u64, path_word: u64) {
+        self.metrics.query_latency.record(ns);
+        if ns >= self.slow_query_ns {
+            self.metrics.slow_queries.inc();
+            let end = pl_obs::trace::now_ns();
+            pl_obs::trace::record_complete(
+                "serve.slow_query",
+                end.saturating_sub(ns),
+                ns,
+                (u64::from(u) << 32) | u64::from(v),
+                path_word,
             );
         }
-        if !std::ptr::eq(self.registry.as_ref(), pl_obs::global()) {
-            p.registry(pl_obs::global());
-        }
-        p.finish()
     }
 }
 
-/// Decrements the live-connection accounting when a connection thread
-/// exits, however it exits.
-struct ConnGuard<'a>(&'a Shared);
+impl QueryEngine for StoreEngine {
+    type Session = StoreSession;
 
-impl Drop for ConnGuard<'_> {
-    fn drop(&mut self) {
-        self.0.live_conns.fetch_sub(1, Ordering::SeqCst);
-        self.0.metrics.open_conns.add(-1);
+    fn new_session(&self) -> StoreSession {
+        StoreSession::default()
     }
+
+    fn scheme_tag(&self) -> u8 {
+        self.store.tag().as_u8()
+    }
+
+    fn n(&self) -> u32 {
+        self.store.n()
+    }
+
+    fn answer_batch(&self, s: &mut StoreSession, queries: &[Query], answers: &mut Vec<Answer>) {
+        answers.clear();
+        answers.resize(queries.len(), Answer::Overloaded);
+        s.pairs.clear();
+        s.slots.clear();
+        for (i, q) in queries.iter().enumerate() {
+            match q.kind {
+                QueryKind::Adjacent => {
+                    self.metrics.adj_queries.inc();
+                    s.pairs.push((q.u, q.v));
+                    s.slots.push(i);
+                }
+                QueryKind::Distance => {
+                    self.metrics.dist_queries.inc();
+                    let t0 = Instant::now();
+                    let answer = match self.store.distance(q.u, q.v) {
+                        Ok(Some(d)) => Answer::Distance(d),
+                        Ok(None) => Answer::Unreachable,
+                        Err(e) => store_error_answer(e),
+                    };
+                    self.record_latency(q.u, q.v, t0.elapsed().as_nanos() as u64, u64::MAX);
+                    answers[i] = answer;
+                }
+            }
+        }
+        self.store.adjacent_batch_traced(&s.pairs, &mut s.outcomes);
+        for ((&(u, v), &slot), outcome) in s.pairs.iter().zip(&s.slots).zip(&s.outcomes) {
+            let (answer, path) = match outcome.result {
+                Ok((true, p)) => (Answer::Adjacent, Some(p)),
+                Ok((false, p)) => (Answer::NotAdjacent, Some(p)),
+                Err(e) => (store_error_answer(e), None),
+            };
+            self.record_latency(u, v, outcome.ns, path.map_or(u64::MAX, |p| p.as_u64()));
+            answers[slot] = answer;
+        }
+    }
+
+    fn health(&self) -> Vec<bool> {
+        self.store.shard_health()
+    }
+
+    fn wire_stats(&self, _s: &mut StoreSession, front: &FrontStats) -> Snapshot {
+        self.local_snapshot(front)
+    }
+
+    fn local_snapshot(&self, front: &FrontStats) -> Snapshot {
+        front.metrics.snapshot(
+            front.started,
+            &self.store.shard_cache_counts(),
+            front.faults.total(),
+        )
+    }
+}
+
+/// Prometheus text: the server registry, derived per-shard hit
+/// ratios, and the process-global registry (encode-phase timings
+/// and label-size histograms), deduplicated if they are the same.
+fn prometheus_text(registry: &MetricsRegistry, store: &LabelStore) -> String {
+    let mut p = pl_obs::prom::PromText::new();
+    p.registry(registry);
+    for (i, &(h, m)) in store.shard_cache_counts().iter().enumerate() {
+        let ratio = if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        };
+        p.gauge_f64(
+            "plserve_cache_hit_ratio",
+            &vec![("shard".to_string(), i.to_string())],
+            ratio,
+        );
+    }
+    if !std::ptr::eq(registry, pl_obs::global()) {
+        p.registry(pl_obs::global());
+    }
+    p.finish()
 }
 
 /// A running server. Dropping the handle without calling
 /// [`shutdown`](Self::shutdown) aborts rather than drains.
 pub struct ServerHandle {
-    addr: SocketAddr,
-    shared: Arc<Shared>,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
+    front: FrontendHandle<StoreEngine>,
+    store: Arc<LabelStore>,
+    registry: Arc<MetricsRegistry>,
 }
 
 impl ServerHandle {
     /// The bound address (useful with port 0).
     #[must_use]
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.front.addr()
     }
 
     /// A live metrics snapshot.
     #[must_use]
     pub fn snapshot(&self) -> Snapshot {
-        self.shared.snapshot()
+        self.front.snapshot()
     }
 
     /// The registry this server's instruments live in.
     #[must_use]
     pub fn registry(&self) -> Arc<MetricsRegistry> {
-        Arc::clone(&self.shared.registry)
+        Arc::clone(&self.registry)
     }
 
     /// Connections currently being served.
     #[must_use]
     pub fn live_connections(&self) -> usize {
-        self.shared.live_conns.load(Ordering::SeqCst)
+        self.front.live_connections()
     }
 
     /// Join handles the accept loop is currently holding. Finished
@@ -208,7 +270,7 @@ impl ServerHandle {
     /// rather than growing with every connection ever accepted.
     #[must_use]
     pub fn conn_handle_count(&self) -> usize {
-        self.shared.conn_handles.load(Ordering::SeqCst)
+        self.front.conn_handle_count()
     }
 
     /// Current metrics in Prometheus text format (server registry,
@@ -216,25 +278,22 @@ impl ServerHandle {
     /// metrics).
     #[must_use]
     pub fn prometheus_text(&self) -> String {
-        self.shared.prometheus_text()
+        prometheus_text(&self.registry, &self.store)
     }
 
     /// A closure rendering [`prometheus_text`](Self::prometheus_text)
     /// on demand — plug it straight into [`pl_obs::http::expose`].
     #[must_use]
     pub fn prometheus_renderer(&self) -> pl_obs::http::RenderFn {
-        let shared = Arc::clone(&self.shared);
-        Arc::new(move || shared.prometheus_text())
+        let registry = Arc::clone(&self.registry);
+        let store = Arc::clone(&self.store);
+        Arc::new(move || prometheus_text(&registry, &store))
     }
 
     /// Signals shutdown, waits for every connection to drain, and
     /// returns the final metrics snapshot.
-    pub fn shutdown(mut self) -> Snapshot {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
-        self.shared.snapshot()
+    pub fn shutdown(self) -> Snapshot {
+        self.front.shutdown()
     }
 }
 
@@ -250,406 +309,28 @@ pub fn serve_with(
     addr: &str,
     options: ServeOptions,
 ) -> std::io::Result<ServerHandle> {
-    let listener = TcpListener::bind(addr)?;
-    listener.set_nonblocking(true)?;
-    let addr = listener.local_addr()?;
     let registry = options
         .registry
         .unwrap_or_else(|| Arc::new(MetricsRegistry::new()));
-    let shared = Arc::new(Shared {
-        store,
+    let engine = Arc::new(StoreEngine {
+        store: Arc::clone(&store),
         metrics: Metrics::new(&registry),
-        faults: FaultCounters::new(&registry),
-        registry,
         slow_query_ns: options.slow_query_ns.unwrap_or(u64::MAX),
-        max_conns: options.max_conns.unwrap_or(usize::MAX),
-        fault_plan: options.fault_plan.filter(FaultPlan::is_active),
-        idle_timeout: options.idle_timeout,
-        stall_timeout: options.stall_timeout,
-        live_conns: AtomicUsize::new(0),
-        conn_handles: AtomicUsize::new(0),
-        conn_seq: AtomicU64::new(0),
-        shutdown: AtomicBool::new(false),
-        started: Instant::now(),
     });
-    let accept_shared = Arc::clone(&shared);
-    let accept_thread = std::thread::spawn(move || accept_loop(&listener, &accept_shared));
-    Ok(ServerHandle {
+    let front = frontend::bind(
+        engine,
         addr,
-        shared,
-        accept_thread: Some(accept_thread),
-    })
-}
-
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
-    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
-    while !shared.shutdown.load(Ordering::SeqCst) {
-        // Reap finished connection threads every pass — not only when
-        // accepts are quiet — so the handle vector tracks live
-        // connections instead of every connection ever accepted.
-        conns.retain(|c| !c.is_finished());
-        shared.conn_handles.store(conns.len(), Ordering::SeqCst);
-        match listener.accept() {
-            Ok((mut stream, _)) => {
-                // The cap is checked (and the slot claimed) here in the
-                // accept loop, not in the connection thread, so two
-                // racing accepts cannot both squeeze past the limit.
-                if shared.live_conns.load(Ordering::SeqCst) >= shared.max_conns {
-                    shared.metrics.shed.inc();
-                    pl_obs::event!("serve.shed");
-                    // Best effort: tell the peer why before closing.
-                    let _ = write_frame(&mut stream, &[opcode::OVERLOADED]);
-                    continue;
-                }
-                shared.live_conns.fetch_add(1, Ordering::SeqCst);
-                shared.metrics.open_conns.add(1);
-                shared.metrics.connections.inc();
-                pl_obs::event!("serve.accept");
-                let conn_id = shared.conn_seq.fetch_add(1, Ordering::SeqCst);
-                let conn_shared = Arc::clone(shared);
-                conns.push(std::thread::spawn(move || {
-                    let _guard = ConnGuard(&conn_shared);
-                    // Per-connection I/O errors just end that connection.
-                    let _ = serve_connection(stream, &conn_shared, conn_id);
-                }));
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                std::thread::sleep(POLL);
-            }
-            Err(_) => std::thread::sleep(POLL),
-        }
-    }
-    for c in conns {
-        let _ = c.join();
-    }
-    shared.conn_handles.store(0, Ordering::SeqCst);
-}
-
-fn serve_connection(
-    mut stream: TcpStream,
-    shared: &Arc<Shared>,
-    conn_id: u64,
-) -> std::io::Result<()> {
-    stream.set_nodelay(true)?;
-    stream.set_read_timeout(Some(POLL))?;
-    stream.set_write_timeout(shared.stall_timeout)?;
-    let mut injector = shared
-        .fault_plan
-        .as_ref()
-        .map(|plan| FaultInjector::new(plan, conn_id));
-    let mut fb = FrameBuffer::new();
-    let mut read_buf = [0u8; 16 * 1024];
-    // Negotiated protocol version; `None` until the handshake.
-    let mut session_version: Option<u8> = None;
-    let mut quiet_since: Option<Instant> = None;
-    let mut last_activity = Instant::now();
-    loop {
-        match stream.read(&mut read_buf) {
-            Ok(0) => return Ok(()), // peer closed
-            Ok(len) => {
-                quiet_since = None;
-                last_activity = Instant::now();
-                shared.metrics.bytes_in.add(len as u64);
-                if let Some(inj) = injector.as_mut() {
-                    if inj.roll(FaultKind::ReadDelay) {
-                        shared.faults.record(FaultKind::ReadDelay);
-                        pl_obs::event!("serve.fault.read_delay", conn_id);
-                        std::thread::sleep(inj.delay());
-                    }
-                }
-                fb.push(&read_buf[..len]);
-                loop {
-                    match fb.next_frame() {
-                        Ok(Some(body)) => {
-                            if !process_frame(
-                                &body,
-                                &mut session_version,
-                                shared,
-                                &mut stream,
-                                &mut injector,
-                            )? {
-                                return stream.flush();
-                            }
-                        }
-                        Ok(None) => break,
-                        Err(e) => {
-                            shared.metrics.protocol_errors.inc();
-                            send_error(&mut stream, shared, &mut injector, &e.to_string())?;
-                            return stream.flush();
-                        }
-                    }
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    // Drain: keep listening for DRAIN_QUIET in case a
-                    // request is still in flight, then close.
-                    let since = *quiet_since.get_or_insert_with(Instant::now);
-                    if since.elapsed() >= DRAIN_QUIET {
-                        return stream.flush();
-                    }
-                } else if fb.pending() > 0 {
-                    // Mid-frame stall: the peer sent a partial frame and
-                    // went quiet. A hub client wedged here used to hold
-                    // its thread forever.
-                    if let Some(stall) = shared.stall_timeout {
-                        if last_activity.elapsed() >= stall {
-                            shared.metrics.deadline_closes.inc();
-                            pl_obs::event!("serve.deadline_close", conn_id);
-                            return stream.flush();
-                        }
-                    }
-                } else if let Some(idle) = shared.idle_timeout {
-                    if last_activity.elapsed() >= idle {
-                        shared.metrics.idle_reaped.inc();
-                        pl_obs::event!("serve.idle_reap", conn_id);
-                        return stream.flush();
-                    }
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
-        }
-    }
-}
-
-/// Answers one query, recording latency, the slow-query log, and trace
-/// provenance. A `store_err` fault replaces the store read with
-/// [`Answer::Overloaded`], which the client treats as retryable.
-fn answer_query(
-    shared: &Shared,
-    injector: &mut Option<FaultInjector>,
-    kind: QueryKind,
-    u: u32,
-    v: u32,
-) -> Answer {
-    if let Some(inj) = injector.as_mut() {
-        if inj.roll(FaultKind::StoreErr) {
-            shared.faults.record(FaultKind::StoreErr);
-            pl_obs::event!("serve.fault.store_err", u, v);
-            return Answer::Overloaded;
-        }
-    }
-    let t0 = Instant::now();
-    let (answer, path) = match kind {
-        QueryKind::Adjacent => {
-            shared.metrics.adj_queries.inc();
-            match shared.store.adjacent_traced(u, v) {
-                Ok((true, p)) => (Answer::Adjacent, Some(p)),
-                Ok((false, p)) => (Answer::NotAdjacent, Some(p)),
-                Err(StoreError::OutOfRange) => (Answer::OutOfRange, None),
-                Err(StoreError::Unsupported) => (Answer::Unsupported, None),
-                Err(StoreError::Malformed) => (Answer::MalformedLabel, None),
-                Err(StoreError::NotOwned) => (Answer::NotOwned, None),
-            }
-        }
-        QueryKind::Distance => {
-            shared.metrics.dist_queries.inc();
-            match shared.store.distance(u, v) {
-                Ok(Some(d)) => (Answer::Distance(d), None),
-                Ok(None) => (Answer::Unreachable, None),
-                Err(StoreError::OutOfRange) => (Answer::OutOfRange, None),
-                Err(StoreError::Unsupported) => (Answer::Unsupported, None),
-                Err(StoreError::Malformed) => (Answer::MalformedLabel, None),
-                Err(StoreError::NotOwned) => (Answer::NotOwned, None),
-            }
-        }
-    };
-    let ns = t0.elapsed().as_nanos() as u64;
-    shared.metrics.query_latency.record(ns);
-    if ns >= shared.slow_query_ns {
-        shared.metrics.slow_queries.inc();
-        // Reconstruct the span window only on the (rare) slow branch so
-        // the hot path stays at two clock reads.
-        let end = pl_obs::trace::now_ns();
-        pl_obs::trace::record_complete(
-            "serve.slow_query",
-            end.saturating_sub(ns),
-            ns,
-            (u64::from(u) << 32) | u64::from(v),
-            path.map_or(u64::MAX, |p| p.as_u64()),
-        );
-    }
-    answer
-}
-
-/// Handles one frame; returns `false` when the connection should close.
-fn process_frame(
-    body: &[u8],
-    session_version: &mut Option<u8>,
-    shared: &Arc<Shared>,
-    stream: &mut TcpStream,
-    injector: &mut Option<FaultInjector>,
-) -> std::io::Result<bool> {
-    let op = body.first().copied();
-    let Some(version) = *session_version else {
-        return match op {
-            Some(opcode::HELLO) => match parse_hello(body) {
-                Ok(v) => {
-                    *session_version = Some(v);
-                    let reply = encode_hello_ok(v, shared.store.tag().as_u8(), shared.store.n());
-                    send(stream, shared, injector, &reply)?;
-                    Ok(true)
-                }
-                Err(e) => {
-                    shared.metrics.protocol_errors.inc();
-                    send_error(stream, shared, injector, &e.to_string())?;
-                    Ok(false)
-                }
-            },
-            _ => {
-                shared.metrics.protocol_errors.inc();
-                send_error(stream, shared, injector, "expected HELLO")?;
-                Ok(false)
-            }
-        };
-    };
-    match op {
-        Some(opcode::BATCH) => match parse_batch(body) {
-            Ok(queries) => {
-                let _batch_span = pl_obs::span!("serve.batch", queries.len());
-                let mut answers = Vec::with_capacity(queries.len());
-                for q in &queries {
-                    answers.push(answer_query(shared, injector, q.kind, q.u, q.v));
-                }
-                shared.metrics.batches.inc();
-                send(
-                    stream,
-                    shared,
-                    injector,
-                    &encode_batch_reply(&answers, version),
-                )?;
-                Ok(true)
-            }
-            Err(e) => {
-                shared.metrics.protocol_errors.inc();
-                send_error(stream, shared, injector, &e.to_string())?;
-                Ok(false)
-            }
+        FrontendOptions {
+            registry: Some(Arc::clone(&registry)),
+            max_conns: options.max_conns,
+            fault_plan: options.fault_plan,
+            idle_timeout: options.idle_timeout,
+            stall_timeout: options.stall_timeout,
         },
-        Some(opcode::STATS) => {
-            let reply = encode_stats_reply(&shared.snapshot(), version);
-            send(stream, shared, injector, &reply)?;
-            Ok(true)
-        }
-        Some(opcode::HEALTH) => {
-            if version < 3 {
-                shared.metrics.protocol_errors.inc();
-                send_error(
-                    stream,
-                    shared,
-                    injector,
-                    "HEALTH requires protocol version 3",
-                )?;
-                return Ok(false);
-            }
-            let reply = encode_health_reply(&shared.store.shard_health());
-            send(stream, shared, injector, &reply)?;
-            Ok(true)
-        }
-        Some(opcode::TRACE_DUMP) => {
-            let jsonl = pl_obs::trace::drain_jsonl();
-            let mut body = Vec::with_capacity(jsonl.len().min(MAX_FRAME) + 1);
-            body.push(opcode::TRACE_REPLY);
-            // Truncate to the frame cap at a line boundary.
-            let budget = MAX_FRAME - 1;
-            let bytes = jsonl.as_bytes();
-            let take = if bytes.len() <= budget {
-                bytes.len()
-            } else {
-                bytes[..budget]
-                    .iter()
-                    .rposition(|&b| b == b'\n')
-                    .map_or(0, |p| p + 1)
-            };
-            body.extend_from_slice(&bytes[..take]);
-            send(stream, shared, injector, &body)?;
-            Ok(true)
-        }
-        Some(opcode::GOODBYE) => {
-            send(stream, shared, injector, &[opcode::GOODBYE_OK])?;
-            Ok(false)
-        }
-        _ => {
-            shared.metrics.protocol_errors.inc();
-            send_error(stream, shared, injector, "unknown opcode")?;
-            Ok(false)
-        }
-    }
-}
-
-/// Writes one reply frame, applying write-side faults when a plan is
-/// active. Rolls happen in a fixed order (write_delay, drop, truncate,
-/// flip) so a given `(seed, conn_id)` replays the same fault sequence.
-///
-/// Byte flips are confined to `BATCH_REPLY` bodies: that is the surface
-/// protocol v3 checksums, so an injected flip is always *detectable*
-/// corruption (the client re-asks) rather than a silently wrong
-/// handshake parameter.
-fn send(
-    stream: &mut TcpStream,
-    shared: &Shared,
-    injector: &mut Option<FaultInjector>,
-    body: &[u8],
-) -> std::io::Result<()> {
-    if let Some(inj) = injector.as_mut() {
-        if inj.roll(FaultKind::WriteDelay) {
-            shared.faults.record(FaultKind::WriteDelay);
-            pl_obs::event!("serve.fault.write_delay");
-            std::thread::sleep(inj.delay());
-        }
-        if inj.roll(FaultKind::Drop) {
-            shared.faults.record(FaultKind::Drop);
-            pl_obs::event!("serve.fault.drop");
-            // Close without replying: the peer sees EOF mid-request.
-            return Err(std::io::Error::new(
-                ErrorKind::ConnectionAborted,
-                "injected connection drop",
-            ));
-        }
-        if inj.roll(FaultKind::Truncate) && !body.is_empty() {
-            shared.faults.record(FaultKind::Truncate);
-            pl_obs::event!("serve.fault.truncate");
-            // Promise the full frame, deliver part of it, close. The
-            // peer's frame reassembly stalls and its deadline fires.
-            let keep = inj.truncate_at(body.len());
-            let mut partial = Vec::with_capacity(4 + keep);
-            partial.extend_from_slice(&(body.len() as u32).to_le_bytes());
-            partial.extend_from_slice(&body[..keep]);
-            stream.write_all(&partial)?;
-            stream.flush()?;
-            shared.metrics.bytes_out.add(partial.len() as u64);
-            return Err(std::io::Error::new(
-                ErrorKind::ConnectionAborted,
-                "injected frame truncation",
-            ));
-        }
-        if inj.roll(FaultKind::Flip) && body.first() == Some(&opcode::BATCH_REPLY) && body.len() > 1
-        {
-            shared.faults.record(FaultKind::Flip);
-            pl_obs::event!("serve.fault.flip");
-            let mut corrupted = body.to_vec();
-            // Never byte 0: a flipped opcode would change the frame's
-            // meaning before the checksum is even consulted.
-            let pos = 1 + inj.flip_position(body.len() - 1);
-            corrupted[pos] ^= 1 << (pos % 8);
-            write_frame(stream, &corrupted)?;
-            shared.metrics.bytes_out.add(4 + corrupted.len() as u64);
-            return Ok(());
-        }
-    }
-    write_frame(stream, body)?;
-    shared.metrics.bytes_out.add(4 + body.len() as u64);
-    Ok(())
-}
-
-fn send_error(
-    stream: &mut TcpStream,
-    shared: &Shared,
-    injector: &mut Option<FaultInjector>,
-    msg: &str,
-) -> std::io::Result<()> {
-    let mut body = vec![opcode::ERROR];
-    body.extend_from_slice(msg.as_bytes());
-    send(stream, shared, injector, &body)
+    )?;
+    Ok(ServerHandle {
+        front,
+        store,
+        registry,
+    })
 }

@@ -105,7 +105,7 @@ fn shutdown_drains_in_flight_requests() {
     let queries: Vec<Query> = (0..500)
         .map(|i| Query::adjacent(i, (i + 1) % 2_000))
         .collect();
-    write_frame(&mut stream, &encode_batch(&queries)).expect("send batch");
+    write_frame(&mut stream, &encode_batch(&queries).expect("encode batch")).expect("send batch");
 
     // Shutdown blocks until every connection drains; the batch above is
     // in flight and must be answered, not dropped.

@@ -1,0 +1,886 @@
+//! The length-prefixed binary wire protocol.
+//!
+//! Every frame is a `u32` little-endian body length followed by the body;
+//! the first body byte is the opcode. A session is:
+//!
+//! ```text
+//! client → HELLO("PLSV", version)
+//! server → HELLO_OK(version, scheme tag, n)
+//! client → BATCH(count, count × (kind, u, v)) | STATS   (any number, any order)
+//! server → BATCH_REPLY(count × answer)       | STATS_REPLY(snapshot)
+//! client → GOODBYE
+//! server → GOODBYE_OK, close
+//! ```
+//!
+//! Frames are capped at [`MAX_FRAME`] bytes so a hostile length prefix
+//! cannot drive an allocation; every parser here returns
+//! [`ProtocolError`] on malformed input, never panics.
+
+use std::io::{IoSlice, Read, Write};
+
+use crate::stats::Snapshot;
+
+/// Newest protocol version this build speaks. Version 2 added the
+/// extended STATS reply (p90/p999, min/max, slow queries, per-shard
+/// cache counters) and the `TRACE_DUMP` opcode. Version 3 adds the
+/// resilience surface: checksummed `BATCH_REPLY` bodies (so corrupted
+/// response bytes are *detected* instead of silently mis-answering),
+/// the per-query `ANS_OVERLOADED` status, the pre-handshake
+/// `OVERLOADED` shed frame, the `HEALTH` opcode, and three extra
+/// STATS fields (faults injected, connections shed, open connections).
+/// Version 4 adds the per-query `ANS_NOT_OWNED` status for partial
+/// (cluster-partitioned) stores: the backend holds a stub for one of
+/// the queried vertices and cannot answer locally, so a router should
+/// re-ask a replica that owns the other endpoint. Frame layouts are
+/// otherwise identical to v3.
+pub const VERSION: u8 = 4;
+
+/// Oldest protocol version this build still accepts. Version-1 sessions
+/// get the original twelve-field STATS reply.
+pub const MIN_VERSION: u8 = 1;
+
+/// Handshake magic, first bytes of the HELLO body after the opcode.
+pub const MAGIC: [u8; 4] = *b"PLSV";
+
+/// Hard cap on frame body size; larger length prefixes are rejected
+/// before any allocation.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Most queries a single BATCH may carry (fits the `u16` count field).
+pub const MAX_BATCH: usize = u16::MAX as usize;
+
+/// Frame opcodes. Requests have the high bit clear, replies set.
+pub mod opcode {
+    /// Client handshake: magic + version.
+    pub const HELLO: u8 = 0x00;
+    /// Batched queries.
+    pub const BATCH: u8 = 0x01;
+    /// Request a metrics snapshot.
+    pub const STATS: u8 = 0x02;
+    /// Orderly close; server replies `GOODBYE_OK` after draining.
+    pub const GOODBYE: u8 = 0x03;
+    /// Drain the server's trace rings (v2+): reply is `TRACE_REPLY`.
+    pub const TRACE_DUMP: u8 = 0x04;
+    /// Ask for shard liveness (v3+): reply is `HEALTH_REPLY`.
+    pub const HEALTH: u8 = 0x05;
+    /// Handshake accepted: version + scheme tag + vertex count.
+    pub const HELLO_OK: u8 = 0x80;
+    /// Answers, one per query, in order.
+    pub const BATCH_REPLY: u8 = 0x81;
+    /// Serialized [`Snapshot`].
+    pub const STATS_REPLY: u8 = 0x82;
+    /// Acknowledges `GOODBYE`; the server closes after sending it.
+    pub const GOODBYE_OK: u8 = 0x83;
+    /// Drained trace events as UTF-8 JSONL (possibly truncated to the
+    /// frame cap at a line boundary).
+    pub const TRACE_REPLY: u8 = 0x84;
+    /// Sent *instead of* `HELLO_OK` when the server sheds the
+    /// connection at its cap (v3); the server closes after sending it.
+    pub const OVERLOADED: u8 = 0x85;
+    /// Shard-liveness report (v3): status byte + per-shard flags.
+    pub const HEALTH_REPLY: u8 = 0x86;
+    /// Fatal per-connection error, body is a UTF-8 message.
+    pub const ERROR: u8 = 0x8F;
+}
+
+/// What a single query asks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum QueryKind {
+    /// "Is {u, v} an edge?"
+    Adjacent = 0,
+    /// "What is dist(u, v)?" (bounded-distance schemes only).
+    Distance = 1,
+}
+
+/// One query in a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Query {
+    pub kind: QueryKind,
+    pub u: u32,
+    pub v: u32,
+}
+
+impl Query {
+    /// An adjacency query.
+    #[must_use]
+    pub fn adjacent(u: u32, v: u32) -> Self {
+        Self {
+            kind: QueryKind::Adjacent,
+            u,
+            v,
+        }
+    }
+
+    /// A distance query.
+    #[must_use]
+    pub fn distance(u: u32, v: u32) -> Self {
+        Self {
+            kind: QueryKind::Distance,
+            u,
+            v,
+        }
+    }
+}
+
+/// The server's answer to one [`Query`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Answer {
+    /// Adjacency: the pair is not an edge.
+    NotAdjacent,
+    /// Adjacency: the pair is an edge.
+    Adjacent,
+    /// Distance: the exact distance.
+    Distance(u32),
+    /// Distance: beyond the scheme's bound `f` (or disconnected).
+    Unreachable,
+    /// A vertex id was `≥ n`.
+    OutOfRange,
+    /// The loaded scheme cannot answer this query kind.
+    Unsupported,
+    /// A label involved in the query was corrupt; the query fails but
+    /// the connection (and server) stay up.
+    MalformedLabel,
+    /// The server could not serve this query right now (shard-store I/O
+    /// error or shedding); the query is safe to retry. v3 wire status;
+    /// on older sessions it degrades to [`Answer::MalformedLabel`].
+    Overloaded,
+    /// A partial (cluster-partitioned) store holds only a stub for one
+    /// of the queried vertices and cannot answer locally; a router
+    /// should re-ask a replica owning the other endpoint. Retrying the
+    /// *same* backend is useless, so this is not
+    /// [retryable](Answer::is_retryable). v4 wire status; on older
+    /// sessions it degrades to [`Answer::MalformedLabel`].
+    NotOwned,
+}
+
+impl Answer {
+    /// `true` for transient statuses a client may retry verbatim.
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Self::Overloaded)
+    }
+}
+
+const ANS_NOT_ADJACENT: u8 = 0;
+const ANS_ADJACENT: u8 = 1;
+const ANS_DISTANCE: u8 = 2;
+const ANS_UNREACHABLE: u8 = 3;
+const ANS_NOT_OWNED: u8 = 0xFA;
+const ANS_OVERLOADED: u8 = 0xFB;
+const ANS_MALFORMED: u8 = 0xFC;
+const ANS_OUT_OF_RANGE: u8 = 0xFD;
+const ANS_UNSUPPORTED: u8 = 0xFE;
+
+/// Malformed or unexpected wire input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// Length prefix exceeded [`MAX_FRAME`].
+    FrameTooLarge(u32),
+    /// HELLO magic mismatch.
+    BadMagic,
+    /// Peer speaks a version this build does not.
+    UnsupportedVersion(u8),
+    /// Opcode valid but body malformed.
+    Malformed(&'static str),
+    /// An opcode that makes no sense in the current state.
+    UnexpectedOpcode(u8),
+    /// A v3 checksummed body failed verification — the frame was
+    /// corrupted in flight; safe to retry.
+    ChecksumMismatch,
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::FrameTooLarge(len) => write!(f, "frame of {len} bytes exceeds cap {MAX_FRAME}"),
+            Self::BadMagic => write!(f, "bad handshake magic"),
+            Self::UnsupportedVersion(v) => write!(f, "unsupported protocol version {v}"),
+            Self::Malformed(what) => write!(f, "malformed frame: {what}"),
+            Self::UnexpectedOpcode(op) => write!(f, "unexpected opcode {op:#04x}"),
+            Self::ChecksumMismatch => write!(f, "reply checksum mismatch (corrupted in flight)"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Writes one frame (length prefix + body).
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> std::io::Result<()> {
+    debug_assert!(body.len() <= MAX_FRAME);
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)
+}
+
+/// Writes one frame with a single vectored syscall for header + body
+/// (falling back to plain continuation writes on short writes), so the
+/// hot reply path never copies the body into a combined buffer and
+/// never issues two syscalls for one frame on a healthy socket.
+pub fn write_frame_vectored(w: &mut impl Write, body: &[u8]) -> std::io::Result<()> {
+    debug_assert!(body.len() <= MAX_FRAME);
+    let len = (body.len() as u32).to_le_bytes();
+    let total = 4 + body.len();
+    let mut written = 0;
+    while written < total {
+        let result = if written < 4 {
+            w.write_vectored(&[IoSlice::new(&len[written..]), IoSlice::new(body)])
+        } else {
+            w.write(&body[written - 4..])
+        };
+        match result {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "failed to write whole frame",
+                ))
+            }
+            Ok(n) => written += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Blocking read of one frame body. Used by the client, which always
+/// expects a reply; the server side uses [`FrameBuffer`] instead so it
+/// can poll for shutdown.
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len);
+    if len as usize > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            ProtocolError::FrameTooLarge(len).to_string(),
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    Ok(body)
+}
+
+/// Incremental frame reassembly for non-blocking reads: feed raw socket
+/// bytes with [`push`](Self::push), pull complete frame bodies with
+/// [`next_frame`](Self::next_frame).
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+}
+
+impl FrameBuffer {
+    /// A fresh, empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends bytes read from the socket.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete frame body, if one has fully arrived.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, ProtocolError> {
+        let mut body = Vec::new();
+        Ok(self.next_frame_into(&mut body)?.then_some(body))
+    }
+
+    /// Allocation-free variant of [`next_frame`](Self::next_frame):
+    /// copies the next complete frame body into `out` (cleared first)
+    /// and returns `true`, or returns `false` when no full frame has
+    /// arrived yet. Reusing one `out` buffer across frames amortises
+    /// the allocation a `Vec`-returning pop would make per frame.
+    pub fn next_frame_into(&mut self, out: &mut Vec<u8>) -> Result<bool, ProtocolError> {
+        if self.buf.len() < 4 {
+            return Ok(false);
+        }
+        let len = u32::from_le_bytes(self.buf[..4].try_into().expect("4 bytes"));
+        if len as usize > MAX_FRAME {
+            return Err(ProtocolError::FrameTooLarge(len));
+        }
+        let total = 4 + len as usize;
+        if self.buf.len() < total {
+            return Ok(false);
+        }
+        out.clear();
+        out.extend_from_slice(&self.buf[4..total]);
+        self.buf.drain(..total);
+        Ok(true)
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// Builds a HELLO body offering [`VERSION`].
+#[must_use]
+pub fn encode_hello() -> Vec<u8> {
+    encode_hello_version(VERSION)
+}
+
+/// Builds a HELLO body offering an explicit `version` (the client's
+/// downgrade path when talking to an older server).
+#[must_use]
+pub fn encode_hello_version(version: u8) -> Vec<u8> {
+    let mut b = vec![opcode::HELLO];
+    b.extend_from_slice(&MAGIC);
+    b.push(version);
+    b
+}
+
+/// Parses a HELLO body (opcode byte included) and returns the version,
+/// which must be within `MIN_VERSION..=VERSION`.
+pub fn parse_hello(body: &[u8]) -> Result<u8, ProtocolError> {
+    if body.len() != 6 || body[0] != opcode::HELLO {
+        return Err(ProtocolError::Malformed("hello"));
+    }
+    if body[1..5] != MAGIC {
+        return Err(ProtocolError::BadMagic);
+    }
+    let version = body[5];
+    if !(MIN_VERSION..=VERSION).contains(&version) {
+        return Err(ProtocolError::UnsupportedVersion(version));
+    }
+    Ok(version)
+}
+
+/// Builds a HELLO_OK body carrying the negotiated session `version`.
+#[must_use]
+pub fn encode_hello_ok(version: u8, tag: u8, n: u32) -> Vec<u8> {
+    let mut b = Vec::new();
+    encode_hello_ok_into(version, tag, n, &mut b);
+    b
+}
+
+/// [`encode_hello_ok`] into a reusable buffer (cleared first).
+pub fn encode_hello_ok_into(version: u8, tag: u8, n: u32, out: &mut Vec<u8>) {
+    out.clear();
+    out.extend_from_slice(&[opcode::HELLO_OK, version, tag]);
+    out.extend_from_slice(&n.to_le_bytes());
+}
+
+/// Parses a HELLO_OK body into `(version, scheme tag, n)`.
+pub fn parse_hello_ok(body: &[u8]) -> Result<(u8, u8, u32), ProtocolError> {
+    if body.len() != 7 || body[0] != opcode::HELLO_OK {
+        return Err(ProtocolError::Malformed("hello_ok"));
+    }
+    let n = u32::from_le_bytes(body[3..7].try_into().expect("4 bytes"));
+    Ok((body[1], body[2], n))
+}
+
+/// Builds a BATCH body.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::Malformed`] if `queries.len() > MAX_BATCH`
+/// (the count would not fit the `u16` field), so a buggy caller gets a
+/// wire-level error instead of a panic killing its thread.
+pub fn encode_batch(queries: &[Query]) -> Result<Vec<u8>, ProtocolError> {
+    if queries.len() > MAX_BATCH {
+        return Err(ProtocolError::Malformed("batch too large"));
+    }
+    let mut b = Vec::with_capacity(3 + queries.len() * 9);
+    b.push(opcode::BATCH);
+    b.extend_from_slice(&(queries.len() as u16).to_le_bytes());
+    for q in queries {
+        b.push(q.kind as u8);
+        b.extend_from_slice(&q.u.to_le_bytes());
+        b.extend_from_slice(&q.v.to_le_bytes());
+    }
+    Ok(b)
+}
+
+/// Parses a BATCH body.
+pub fn parse_batch(body: &[u8]) -> Result<Vec<Query>, ProtocolError> {
+    if body.len() < 3 || body[0] != opcode::BATCH {
+        return Err(ProtocolError::Malformed("batch header"));
+    }
+    let count = u16::from_le_bytes(body[1..3].try_into().expect("2 bytes")) as usize;
+    let entries = &body[3..];
+    if entries.len() != count * 9 {
+        return Err(ProtocolError::Malformed("batch length"));
+    }
+    let mut queries = Vec::with_capacity(count);
+    for e in entries.chunks_exact(9) {
+        let kind = match e[0] {
+            0 => QueryKind::Adjacent,
+            1 => QueryKind::Distance,
+            _ => return Err(ProtocolError::Malformed("query kind")),
+        };
+        queries.push(Query {
+            kind,
+            u: u32::from_le_bytes(e[1..5].try_into().expect("4 bytes")),
+            v: u32::from_le_bytes(e[5..9].try_into().expect("4 bytes")),
+        });
+    }
+    Ok(queries)
+}
+
+/// FNV-1a (32-bit) over `bytes` — the v3 reply checksum. One flipped
+/// byte anywhere in a checksummed body changes the digest, so response
+/// corruption surfaces as a parse error the client can retry instead of
+/// a silently wrong answer.
+#[must_use]
+pub fn checksum(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811C_9DC5;
+    for &b in bytes {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Builds a BATCH_REPLY body in the layout of the session's negotiated
+/// `version`. v3 appends a 4-byte FNV-1a checksum of everything before
+/// it; on v1/v2 sessions [`Answer::Overloaded`] (a v3 status) degrades
+/// to the closest legacy status, `ANS_MALFORMED`.
+#[must_use]
+pub fn encode_batch_reply(answers: &[Answer], version: u8) -> Vec<u8> {
+    let mut b = Vec::with_capacity(3 + answers.len() * 5 + 4);
+    encode_batch_reply_into(answers, version, &mut b);
+    b
+}
+
+/// [`encode_batch_reply`] into a reusable buffer (cleared first).
+pub fn encode_batch_reply_into(answers: &[Answer], version: u8, b: &mut Vec<u8>) {
+    b.clear();
+    b.push(opcode::BATCH_REPLY);
+    b.extend_from_slice(&(answers.len() as u16).to_le_bytes());
+    for a in answers {
+        match a {
+            Answer::NotAdjacent => b.push(ANS_NOT_ADJACENT),
+            Answer::Adjacent => b.push(ANS_ADJACENT),
+            Answer::Distance(d) => {
+                b.push(ANS_DISTANCE);
+                b.extend_from_slice(&d.to_le_bytes());
+            }
+            Answer::Unreachable => b.push(ANS_UNREACHABLE),
+            Answer::OutOfRange => b.push(ANS_OUT_OF_RANGE),
+            Answer::Unsupported => b.push(ANS_UNSUPPORTED),
+            Answer::MalformedLabel => b.push(ANS_MALFORMED),
+            Answer::Overloaded => b.push(if version >= 3 {
+                ANS_OVERLOADED
+            } else {
+                ANS_MALFORMED
+            }),
+            Answer::NotOwned => b.push(if version >= 4 {
+                ANS_NOT_OWNED
+            } else {
+                ANS_MALFORMED
+            }),
+        }
+    }
+    if version >= 3 {
+        let sum = checksum(b);
+        b.extend_from_slice(&sum.to_le_bytes());
+    }
+}
+
+/// Parses a BATCH_REPLY body in the layout of the session's negotiated
+/// `version`; v3 verifies and strips the trailing checksum first.
+pub fn parse_batch_reply(body: &[u8], version: u8) -> Result<Vec<Answer>, ProtocolError> {
+    let body = if version >= 3 {
+        if body.len() < 7 || body[0] != opcode::BATCH_REPLY {
+            return Err(ProtocolError::Malformed("batch reply header"));
+        }
+        let (payload, sum) = body.split_at(body.len() - 4);
+        let declared = u32::from_le_bytes(sum.try_into().expect("4 bytes"));
+        if checksum(payload) != declared {
+            return Err(ProtocolError::ChecksumMismatch);
+        }
+        payload
+    } else {
+        body
+    };
+    if body.len() < 3 || body[0] != opcode::BATCH_REPLY {
+        return Err(ProtocolError::Malformed("batch reply header"));
+    }
+    let count = u16::from_le_bytes(body[1..3].try_into().expect("2 bytes")) as usize;
+    let mut answers = Vec::with_capacity(count.min(MAX_BATCH));
+    let mut pos = 3;
+    for _ in 0..count {
+        let status = *body
+            .get(pos)
+            .ok_or(ProtocolError::Malformed("truncated reply"))?;
+        pos += 1;
+        answers.push(match status {
+            ANS_NOT_ADJACENT => Answer::NotAdjacent,
+            ANS_ADJACENT => Answer::Adjacent,
+            ANS_DISTANCE => {
+                let d = body
+                    .get(pos..pos + 4)
+                    .ok_or(ProtocolError::Malformed("truncated distance"))?;
+                pos += 4;
+                Answer::Distance(u32::from_le_bytes(d.try_into().expect("4 bytes")))
+            }
+            ANS_UNREACHABLE => Answer::Unreachable,
+            ANS_OUT_OF_RANGE => Answer::OutOfRange,
+            ANS_UNSUPPORTED => Answer::Unsupported,
+            ANS_MALFORMED => Answer::MalformedLabel,
+            ANS_OVERLOADED => Answer::Overloaded,
+            ANS_NOT_OWNED => Answer::NotOwned,
+            _ => return Err(ProtocolError::Malformed("answer status")),
+        });
+    }
+    if pos != body.len() {
+        return Err(ProtocolError::Malformed("trailing reply bytes"));
+    }
+    Ok(answers)
+}
+
+/// A server's shard-liveness report, the payload of `HEALTH_REPLY`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Every shard live?
+    pub healthy: bool,
+    /// Per-shard liveness flags, in shard order.
+    pub shards: Vec<bool>,
+}
+
+/// Builds a HEALTH_REPLY body from per-shard liveness flags.
+#[must_use]
+pub fn encode_health_reply(shards: &[bool]) -> Vec<u8> {
+    let mut b = Vec::with_capacity(4 + shards.len());
+    encode_health_reply_into(shards, &mut b);
+    b
+}
+
+/// [`encode_health_reply`] into a reusable buffer (cleared first).
+pub fn encode_health_reply_into(shards: &[bool], b: &mut Vec<u8>) {
+    let healthy = shards.iter().all(|&s| s);
+    b.clear();
+    b.push(opcode::HEALTH_REPLY);
+    b.push(u8::from(healthy));
+    b.extend_from_slice(&(shards.len() as u16).to_le_bytes());
+    b.extend(shards.iter().map(|&s| u8::from(s)));
+}
+
+/// Parses a HEALTH_REPLY body.
+pub fn parse_health_reply(body: &[u8]) -> Result<HealthReport, ProtocolError> {
+    if body.len() < 4 || body[0] != opcode::HEALTH_REPLY {
+        return Err(ProtocolError::Malformed("health reply header"));
+    }
+    let count = u16::from_le_bytes(body[2..4].try_into().expect("2 bytes")) as usize;
+    let flags = &body[4..];
+    if flags.len() != count || flags.iter().any(|&f| f > 1) {
+        return Err(ProtocolError::Malformed("health reply body"));
+    }
+    let shards: Vec<bool> = flags.iter().map(|&f| f == 1).collect();
+    let healthy = body[1] == 1;
+    if healthy != shards.iter().all(|&s| s) {
+        return Err(ProtocolError::Malformed("health status inconsistent"));
+    }
+    Ok(HealthReport { healthy, shards })
+}
+
+/// Builds a STATS_REPLY body in the layout of the session's negotiated
+/// `version`: v1 sessions get the original twelve-field reply, v2 the
+/// extended layout with quantiles, min/max, and per-shard counters, and
+/// v3+ appends the resilience fields (faults injected, shed, open
+/// connections).
+#[must_use]
+pub fn encode_stats_reply(s: &Snapshot, version: u8) -> Vec<u8> {
+    let mut b = Vec::new();
+    encode_stats_reply_into(s, version, &mut b);
+    b
+}
+
+/// [`encode_stats_reply`] into a reusable buffer (cleared first).
+pub fn encode_stats_reply_into(s: &Snapshot, version: u8, b: &mut Vec<u8>) {
+    b.clear();
+    b.push(opcode::STATS_REPLY);
+    if version <= 1 {
+        b.extend_from_slice(&s.to_bytes_v1());
+    } else if version == 2 {
+        b.extend_from_slice(&s.to_bytes());
+    } else {
+        b.extend_from_slice(&s.to_bytes_v3());
+    }
+}
+
+/// Parses a STATS_REPLY body.
+pub fn parse_stats_reply(body: &[u8]) -> Result<Snapshot, ProtocolError> {
+    if body.first() != Some(&opcode::STATS_REPLY) {
+        return Err(ProtocolError::Malformed("stats reply header"));
+    }
+    Snapshot::from_bytes(&body[1..]).ok_or(ProtocolError::Malformed("stats reply body"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn hello_round_trip() {
+        assert_eq!(parse_hello(&encode_hello()), Ok(VERSION));
+        assert_eq!(parse_hello(&[]), Err(ProtocolError::Malformed("hello")));
+        let mut bad = encode_hello();
+        bad[2] = b'X';
+        assert_eq!(parse_hello(&bad), Err(ProtocolError::BadMagic));
+        let mut wrong_version = encode_hello();
+        wrong_version[5] = 99;
+        assert_eq!(
+            parse_hello(&wrong_version),
+            Err(ProtocolError::UnsupportedVersion(99))
+        );
+        let mut too_old = encode_hello();
+        too_old[5] = 0;
+        assert_eq!(
+            parse_hello(&too_old),
+            Err(ProtocolError::UnsupportedVersion(0))
+        );
+        // Every version in the supported range is accepted.
+        for v in MIN_VERSION..=VERSION {
+            assert_eq!(parse_hello(&encode_hello_version(v)), Ok(v));
+        }
+    }
+
+    #[test]
+    fn hello_ok_round_trip() {
+        let body = encode_hello_ok(VERSION, 1, 54_321);
+        assert_eq!(parse_hello_ok(&body), Ok((VERSION, 1, 54_321)));
+        let v1 = encode_hello_ok(1, 1, 54_321);
+        assert_eq!(parse_hello_ok(&v1), Ok((1, 1, 54_321)));
+    }
+
+    #[test]
+    fn stats_reply_is_version_gated() {
+        let s = Snapshot {
+            adj_queries: 7,
+            p90_ns: 1234,
+            ..Snapshot::default()
+        };
+        let v1 = encode_stats_reply(&s, 1);
+        let v2 = encode_stats_reply(&s, 2);
+        let v3 = encode_stats_reply(&s, 3);
+        assert_eq!(v1.len(), 1 + 12 * 8);
+        assert!(v2.len() > v1.len());
+        assert_eq!(v3.len(), v2.len() + 3 * 8);
+        // All parse; older layouts lose the newer fields.
+        let from_v1 = parse_stats_reply(&v1).unwrap();
+        assert_eq!(from_v1.adj_queries, 7);
+        assert_eq!(from_v1.p90_ns, 0);
+        let from_v2 = parse_stats_reply(&v2).unwrap();
+        assert_eq!(from_v2.p90_ns, 1234);
+        let from_v3 = parse_stats_reply(&v3).unwrap();
+        assert_eq!(from_v3.p90_ns, 1234);
+    }
+
+    #[test]
+    fn batch_round_trip() {
+        let queries = vec![
+            Query::adjacent(0, 7),
+            Query::distance(u32::MAX, 3),
+            Query::adjacent(5, 5),
+        ];
+        assert_eq!(
+            parse_batch(&encode_batch(&queries).unwrap()).unwrap(),
+            queries
+        );
+    }
+
+    #[test]
+    fn oversized_batch_is_a_wire_error_not_a_panic() {
+        let queries = vec![Query::adjacent(0, 0); MAX_BATCH + 1];
+        assert_eq!(
+            encode_batch(&queries),
+            Err(ProtocolError::Malformed("batch too large"))
+        );
+        let exactly_max = vec![Query::adjacent(0, 0); MAX_BATCH];
+        assert!(encode_batch(&exactly_max).is_ok());
+    }
+
+    #[test]
+    fn into_encoders_match_their_allocating_twins() {
+        let answers = vec![Answer::Adjacent, Answer::Distance(9), Answer::Overloaded];
+        let snap = Snapshot {
+            adj_queries: 3,
+            shard_cache: vec![(1, 2)],
+            ..Snapshot::default()
+        };
+        // Pre-fill each buffer with junk: `_into` must clear first.
+        let mut buf = vec![0xAA; 32];
+        for version in [1, 2, 3, 4] {
+            encode_batch_reply_into(&answers, version, &mut buf);
+            assert_eq!(buf, encode_batch_reply(&answers, version));
+            encode_stats_reply_into(&snap, version, &mut buf);
+            assert_eq!(buf, encode_stats_reply(&snap, version));
+        }
+        encode_hello_ok_into(3, 1, 77, &mut buf);
+        assert_eq!(buf, encode_hello_ok(3, 1, 77));
+        encode_health_reply_into(&[true, false], &mut buf);
+        assert_eq!(buf, encode_health_reply(&[true, false]));
+    }
+
+    #[test]
+    fn vectored_frame_write_matches_plain() {
+        for body in [&[][..], &[7][..], &[1, 2, 3, 4, 5][..]] {
+            let mut plain = Vec::new();
+            write_frame(&mut plain, body).unwrap();
+            let mut vectored = Vec::new();
+            write_frame_vectored(&mut vectored, body).unwrap();
+            assert_eq!(plain, vectored);
+        }
+    }
+
+    #[test]
+    fn batch_reply_round_trip() {
+        let answers = vec![
+            Answer::NotAdjacent,
+            Answer::Adjacent,
+            Answer::Distance(42),
+            Answer::Unreachable,
+            Answer::OutOfRange,
+            Answer::Unsupported,
+        ];
+        for version in [1, 2, 3, 4] {
+            assert_eq!(
+                parse_batch_reply(&encode_batch_reply(&answers, version), version).unwrap(),
+                answers,
+                "version {version}"
+            );
+        }
+    }
+
+    #[test]
+    fn not_owned_answer_is_version_gated() {
+        let answers = vec![Answer::NotOwned, Answer::Adjacent];
+        let v4 = encode_batch_reply(&answers, 4);
+        assert_eq!(parse_batch_reply(&v4, 4).unwrap(), answers);
+        // On a v3 session the v4-only status degrades to MalformedLabel.
+        let v3 = encode_batch_reply(&answers, 3);
+        assert_eq!(
+            parse_batch_reply(&v3, 3).unwrap(),
+            vec![Answer::MalformedLabel, Answer::Adjacent]
+        );
+        // NotOwned is a routing signal, not a same-backend retry signal.
+        assert!(!Answer::NotOwned.is_retryable());
+    }
+
+    #[test]
+    fn overloaded_answer_is_version_gated() {
+        let answers = vec![Answer::Adjacent, Answer::Overloaded];
+        let v3 = encode_batch_reply(&answers, 3);
+        assert_eq!(parse_batch_reply(&v3, 3).unwrap(), answers);
+        // On a v2 session the v3-only status degrades to MalformedLabel.
+        let v2 = encode_batch_reply(&answers, 2);
+        assert_eq!(
+            parse_batch_reply(&v2, 2).unwrap(),
+            vec![Answer::Adjacent, Answer::MalformedLabel]
+        );
+    }
+
+    #[test]
+    fn every_single_byte_flip_of_a_v3_reply_is_detected() {
+        let answers = vec![
+            Answer::Adjacent,
+            Answer::NotAdjacent,
+            Answer::Distance(7),
+            Answer::Adjacent,
+        ];
+        let body = encode_batch_reply(&answers, 3);
+        for pos in 0..body.len() {
+            for bit in 0..8 {
+                let mut corrupted = body.clone();
+                corrupted[pos] ^= 1 << bit;
+                assert!(
+                    parse_batch_reply(&corrupted, 3).is_err(),
+                    "flip of byte {pos} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn v2_reply_without_checksum_is_rejected_by_v3_parse() {
+        let answers = vec![Answer::Adjacent];
+        let v2 = encode_batch_reply(&answers, 2);
+        assert!(parse_batch_reply(&v2, 3).is_err());
+    }
+
+    #[test]
+    fn health_reply_round_trip() {
+        let all_up = encode_health_reply(&[true, true, true]);
+        assert_eq!(
+            parse_health_reply(&all_up).unwrap(),
+            HealthReport {
+                healthy: true,
+                shards: vec![true, true, true],
+            }
+        );
+        let degraded = encode_health_reply(&[true, false]);
+        let report = parse_health_reply(&degraded).unwrap();
+        assert!(!report.healthy);
+        assert_eq!(report.shards, vec![true, false]);
+        assert!(parse_health_reply(&[]).is_err());
+        // Inconsistent status byte vs flags is rejected.
+        let mut lying = encode_health_reply(&[false]);
+        lying[1] = 1;
+        assert!(parse_health_reply(&lying).is_err());
+    }
+
+    #[test]
+    fn checksum_changes_on_any_input_change() {
+        assert_ne!(checksum(b"hello"), checksum(b"hellp"));
+        assert_ne!(checksum(b""), checksum(b"\0"));
+        assert_eq!(checksum(b"abc"), checksum(b"abc"));
+    }
+
+    #[test]
+    fn frame_buffer_reassembles_split_frames() {
+        let mut fb = FrameBuffer::new();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &[1, 2, 3]).unwrap();
+        write_frame(&mut wire, &[4]).unwrap();
+        // Feed one byte at a time.
+        let mut frames = Vec::new();
+        for &b in &wire {
+            fb.push(&[b]);
+            while let Some(f) = fb.next_frame().unwrap() {
+                frames.push(f);
+            }
+        }
+        assert_eq!(frames, vec![vec![1, 2, 3], vec![4]]);
+        assert_eq!(fb.pending(), 0);
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_without_allocating() {
+        let mut fb = FrameBuffer::new();
+        fb.push(&u32::MAX.to_le_bytes());
+        assert_eq!(fb.next_frame(), Err(ProtocolError::FrameTooLarge(u32::MAX)));
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(read_frame(&mut wire.as_slice()).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn parsers_never_panic_on_random_bytes(body in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let _ = parse_hello(&body);
+            let _ = parse_hello_ok(&body);
+            let _ = parse_batch(&body);
+            let _ = parse_batch_reply(&body, 2);
+            let _ = parse_batch_reply(&body, 3);
+            let _ = parse_batch_reply(&body, 4);
+            let _ = parse_stats_reply(&body);
+            let _ = parse_health_reply(&body);
+        }
+
+        #[test]
+        fn batch_round_trips_random(
+            raw in proptest::collection::vec((0u8..2, any::<u32>(), any::<u32>()), 0..64),
+        ) {
+            let queries: Vec<Query> = raw
+                .iter()
+                .map(|&(k, u, v)| if k == 0 { Query::adjacent(u, v) } else { Query::distance(u, v) })
+                .collect();
+            prop_assert_eq!(parse_batch(&encode_batch(&queries).unwrap()).unwrap(), queries);
+        }
+    }
+}

@@ -19,6 +19,7 @@
 //! plab cluster launch <labels.plab> --backends B [--replicas R] [--seed S]
 //!                     [--addr HOST:PORT] [--prom HOST:PORT] [--dir DIR]
 //!                     [--duration SECS] [--fault-plan SPEC]
+//!                     [--max-conns N] [--idle-ms MS] [--stall-ms MS]
 //! plab cluster stats  <HOST:PORT>             # merged stats via router
 //! plab loadgen <HOST:PORT> [--connections N] [--requests R] [--batch B]
 //!              [--skew uniform|zipf:S] [--seed X] [--retries N]
@@ -113,6 +114,7 @@ const USAGE: &str = "usage:
   plab cluster launch <labels.plab> --backends B [--replicas R] [--seed S]
                [--addr HOST:PORT] [--prom HOST:PORT] [--dir DIR]
                [--duration SECS] [--fault-plan SPEC]
+               [--max-conns N] [--idle-ms MS] [--stall-ms MS]
   plab cluster stats  <HOST:PORT>
   plab loadgen <HOST:PORT> [--connections N] [--requests R] [--batch B]
                [--skew uniform|zipf:S] [--seed X] [--retries N]
@@ -704,15 +706,21 @@ fn cluster_launch(raw: &[String]) -> Result<(), String> {
     let addr = args.get("addr").unwrap_or("127.0.0.1:7400");
     let dir = args.get("dir").unwrap_or("cluster-data");
     let duration: u64 = args.get_parsed("duration", 0)?;
-    let fault_plan = match args.get("fault-plan") {
+    let max_conns: usize = args.get_parsed("max-conns", 0)?;
+    let idle_ms: u64 = args.get_parsed("idle-ms", 0)?;
+    let stall_ms: u64 = args.get_parsed("stall-ms", 0)?;
+    // One --fault-plan drives chaos end to end: the raw spec is
+    // forwarded to every backend's CLI, and the parsed plan is injected
+    // at the router's own front-end too.
+    let (fault_plan, router_fault_plan) = match args.get("fault-plan") {
         Some(spec) => {
             // Validated here so a typo fails fast instead of as an
             // opaque "backend exited before binding".
             let plan = FaultPlan::parse(spec).map_err(|e| format!("--fault-plan: {e}"))?;
-            eprintln!("chaos mode: backends injecting faults ({plan})");
-            Some(spec.to_string())
+            eprintln!("chaos mode: backends and router injecting faults ({plan})");
+            (Some(spec.to_string()), Some(plan))
         }
-        None => None,
+        None => (None, None),
     };
     let tagged = load_labeling(path)?;
     let exe = std::env::current_exe().map_err(|e| format!("resolving own binary: {e}"))?;
@@ -725,6 +733,10 @@ fn cluster_launch(raw: &[String]) -> Result<(), String> {
         router_addr: addr.to_string(),
         fault_plan,
         config: RouterConfig::default(),
+        max_conns: (max_conns > 0).then_some(max_conns),
+        idle_timeout: (idle_ms > 0).then(|| std::time::Duration::from_millis(idle_ms)),
+        stall_timeout: (stall_ms > 0).then(|| std::time::Duration::from_millis(stall_ms)),
+        router_fault_plan,
     };
     let handle = pl_cluster::launch(&tagged, &opts)?;
     for ((b, child, addr), report) in handle.children.iter().zip(&handle.reports) {
