@@ -4,8 +4,8 @@
 #   ci.sh quick   fmt + clippy + offline-dep check + unit tests
 #                 (the fast pre-push loop; targets < 2 minutes warm)
 #   ci.sh full    quick tier + release build + workspace tests + the
-#                 encode/query, observability, chaos, cluster, and
-#                 router front-end smokes
+#                 encode/query, observability, chaos, cluster, router
+#                 front-end, and distributed-tracing smokes
 #
 # No argument means `full` (the historical behaviour). Every step is
 # wall-clock timed; a summary table prints at the end, and the script
@@ -302,6 +302,48 @@ router_front_smoke() {
     wait "$front_pid"
 }
 
+# Tracing smoke: a 3×2 cluster launched with --trace, one traced probe
+# batch through the router over protocol v5, then the router's merged
+# cluster-wide TRACE_DUMP. The probe's trace id must appear both on a
+# router-origin line and on at least one backend-origin line — that is
+# wire propagation across real process boundaries, which the in-process
+# tests cannot see — and --explain must render the per-hop breakdown.
+tracing_smoke() {
+    local plab=target/release/plab
+    "$plab" cluster launch "$smoke_dir/k.plab" --backends 3 --replicas 2 --seed 19 \
+        --addr 127.0.0.1:7461 --duration 30 --trace \
+        --dir "$smoke_dir/cluster_trace" 2> "$smoke_dir/trace_launch.log" &
+    serve_pids+=($!)
+    local trace_pid=$!
+    local try
+    for try in $(seq 1 50); do
+        grep -q 'router listening on' "$smoke_dir/trace_launch.log" && break
+        sleep 0.2
+    done
+    grep -q 'router listening on' "$smoke_dir/trace_launch.log" \
+        || { echo "ci: tracing cluster router never came up" >&2; return 1; }
+    # One command: traced probe batch, merged cluster drain, explain.
+    "$plab" trace --cluster 127.0.0.1:7461 --probe --explain probe \
+        --out "$smoke_dir/merged_trace.jsonl" \
+        > "$smoke_dir/trace_explain.out" 2> "$smoke_dir/trace_probe.log" \
+        || { echo "ci: traced probe through the router failed" >&2
+             cat "$smoke_dir/trace_probe.log" >&2; return 1; }
+    local hex
+    hex="$(sed -n 's/^probe trace id: \([0-9a-f]*\)$/\1/p' "$smoke_dir/trace_probe.log")"
+    [ -n "$hex" ] || { echo "ci: probe did not print a trace id" >&2; return 1; }
+    grep "\"trace\":\"$hex\"" "$smoke_dir/merged_trace.jsonl" \
+        | grep -q '"origin":"router"' \
+        || { echo "ci: merged trace lacks a router-origin span for probe $hex" >&2; return 1; }
+    grep "\"trace\":\"$hex\"" "$smoke_dir/merged_trace.jsonl" \
+        | grep -q '"origin":"b' \
+        || { echo "ci: merged trace lacks a backend-origin span for probe $hex" >&2; return 1; }
+    grep -q 'router.scatter' "$smoke_dir/trace_explain.out" \
+        || { echo "ci: --explain output lacks the router.scatter hop" >&2; return 1; }
+    grep -q 'per-hop decomposition' "$smoke_dir/trace_explain.out" \
+        || { echo "ci: --explain output lacks the per-hop decomposition" >&2; return 1; }
+    wait "$trace_pid"
+}
+
 # Dep hygiene: the cluster crate must take its transport from pl-wire —
 # never from pl-serve's internals (serve's protocol/fault/metrics
 # modules are compatibility re-export shims over pl-wire, not a layer
@@ -329,6 +371,7 @@ if [ "$TIER" = full ]; then
     run_step "chaos smoke"            chaos_smoke
     run_step "cluster smoke"          cluster_smoke
     run_step "router front-end smoke" router_front_smoke
+    run_step "tracing smoke"          tracing_smoke
 fi
 
 print_summary

@@ -57,6 +57,10 @@ pub struct LaunchOptions {
     /// Fault plan injected at the *router's* front-end (the backends
     /// get [`fault_plan`](Self::fault_plan) via their CLI flag).
     pub router_fault_plan: Option<FaultPlan>,
+    /// Enable trace rings cluster-wide: the router process turns its own
+    /// tracing on and every backend is spawned with `--trace`, so a
+    /// traced batch yields spans on both sides of the wire.
+    pub trace: bool,
 }
 
 /// A running cluster: the router handle plus the backend children.
@@ -150,6 +154,9 @@ pub fn launch(tagged: &TaggedLabeling, opts: &LaunchOptions) -> Result<ClusterHa
         if let Some(plan) = &opts.fault_plan {
             cmd.arg("--fault-plan").arg(plan);
         }
+        if opts.trace {
+            cmd.arg("--trace");
+        }
         let mut child = cmd
             .spawn()
             .map_err(|e| format!("spawning backend {b}: {e}"))?;
@@ -180,12 +187,16 @@ pub fn launch(tagged: &TaggedLabeling, opts: &LaunchOptions) -> Result<ClusterHa
     map.save(opts.dir.join("cluster.plcm"))
         .map_err(|e| format!("writing cluster.plcm: {e}"))?;
 
+    if opts.trace {
+        pl_obs::set_tracing(true);
+    }
     let front = FrontendOptions {
         registry: None,
         max_conns: opts.max_conns,
         fault_plan: opts.router_fault_plan.clone(),
         idle_timeout: opts.idle_timeout,
         stall_timeout: opts.stall_timeout,
+        max_version: None,
     };
     match route_with(map.clone(), &opts.router_addr, opts.config.clone(), front) {
         Ok(router) => Ok(ClusterHandle {

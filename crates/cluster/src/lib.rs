@@ -33,6 +33,10 @@
 //!   --partial` child per backend, start the router in-process, drain
 //!   and kill on shutdown. This is what `plab cluster launch` runs and
 //!   what CI chaos-tests by SIGKILLing a backend mid-load.
+//! * [`trace_merge`] — cluster-wide trace assembly: per-origin tagging
+//!   and the causal (parent-before-child) merge of router + backend
+//!   trace rings behind the router's `TRACE_DUMP` and
+//!   `plab trace --cluster` / `--explain` (protocol v5 trace context).
 //!
 //! With `R ≥ 2` the candidate list survives any single backend death:
 //! the killed backend owned at most one of each endpoint's replica
@@ -45,9 +49,11 @@ pub mod map;
 pub mod partition;
 pub mod router;
 pub mod split;
+pub mod trace_merge;
 
 pub use launch::{launch, ClusterHandle, LaunchOptions};
 pub use map::{ClusterMap, MapError};
 pub use partition::Partitioner;
 pub use router::{route, route_with, RouterConfig, RouterEngine, RouterHandle};
 pub use split::{split_all, split_one, SplitError, SplitReport};
+pub use trace_merge::{explain as explain_trace, merge as merge_traces, tag_origin};

@@ -51,15 +51,18 @@ use std::time::{Duration, Instant};
 
 use pl_obs::hist::Histogram;
 use pl_obs::registry::Counter;
+use pl_obs::trace::{self, TraceContext};
 use pl_obs::MetricsRegistry;
 use pl_serve::{ClientError, ResilientClient, RetryPolicy};
 use pl_wire::frontend::{self, FrontStats, FrontendHandle, FrontendOptions, QueryEngine};
+use pl_wire::protocol::trace_dump_flags;
 use pl_wire::{Answer, Query, Snapshot};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::map::ClusterMap;
 use crate::partition::Partitioner;
+use crate::trace_merge;
 
 /// Prober pacing floor (the front-end has its own accept-loop poll).
 const POLL: Duration = Duration::from_millis(20);
@@ -199,9 +202,14 @@ impl QueryEngine for RouterEngine {
         self.shared.liveness()
     }
 
-    /// The router keeps no trace rings; an empty dump is valid.
-    fn trace_jsonl(&self) -> String {
-        String::new()
+    /// A cluster-wide trace dump: the router's own rings tagged
+    /// `origin:"router"` plus every reachable backend's rings (dumped
+    /// over this session's pooled connections and tagged
+    /// `origin:"b{i}"`), merged causally by trace id. `snapshot`
+    /// propagates downward, so a non-consuming read consumes nothing
+    /// anywhere in the cluster.
+    fn trace_jsonl(&self, session: &mut Downstream, snapshot: bool) -> String {
+        cluster_trace_jsonl(&self.shared, session, snapshot)
     }
 
     fn wire_stats(&self, session: &mut Downstream, front: &FrontStats) -> Snapshot {
@@ -243,17 +251,19 @@ impl RouterHandle {
         Arc::clone(&self.shared.registry)
     }
 
-    /// Renders the router registry as Prometheus text.
+    /// Renders the router registry as Prometheus text, plus the
+    /// scrape-time `plcluster_cache_hit_ratio{backend}` gauges computed
+    /// from each reachable backend's STATS.
     #[must_use]
     pub fn prometheus_text(&self) -> String {
-        pl_obs::prom::render(&self.shared.registry)
+        prometheus_with_ratios(&self.shared)
     }
 
     /// A boxed renderer for [`pl_obs::http::expose`].
     #[must_use]
     pub fn prometheus_renderer(&self) -> Arc<dyn Fn() -> String + Send + Sync> {
         let shared = Arc::clone(&self.shared);
-        Arc::new(move || pl_obs::prom::render(&shared.registry))
+        Arc::new(move || prometheus_with_ratios(&shared))
     }
 
     /// Per-backend liveness as the router currently believes it.
@@ -278,6 +288,79 @@ impl RouterHandle {
         }
         snap
     }
+}
+
+/// Router registry as Prometheus text plus per-backend cache hit-ratio
+/// gauges. The ratios are computed *at scrape time* from each backend's
+/// STATS over a short-deadline throwaway connection; quarantined or
+/// unreachable backends are skipped (no sample) rather than reported as
+/// zero, so a dead backend cannot masquerade as a cold cache.
+fn prometheus_with_ratios(shared: &Shared) -> String {
+    let mut p = pl_obs::prom::PromText::new();
+    p.registry(&shared.registry);
+    let deadline = shared
+        .config
+        .retry
+        .deadline
+        .unwrap_or(Duration::from_millis(500));
+    for (b, state) in shared.backends.iter().enumerate() {
+        if shared.is_quarantined(b as u32) {
+            continue;
+        }
+        let Ok(mut client) = pl_serve::Client::connect(&state.addr) else {
+            continue;
+        };
+        if client.set_io_deadline(Some(deadline)).is_err() {
+            continue;
+        }
+        let Ok(s) = client.stats() else {
+            continue;
+        };
+        let total = s.cache_hits + s.cache_misses;
+        let ratio = if total == 0 {
+            0.0
+        } else {
+            s.cache_hits as f64 / total as f64
+        };
+        p.gauge_f64(
+            "plcluster_cache_hit_ratio",
+            &vec![("backend".to_string(), b.to_string())],
+            ratio,
+        );
+    }
+    p.finish()
+}
+
+/// The cluster-wide trace dump behind an upward `TRACE_DUMP`: the
+/// router's own rings plus each reachable backend's, origin-tagged and
+/// causally merged (see [`trace_merge`]). Backend dumps ride the
+/// session's pooled downward connections; a backend that fails the dump
+/// is quarantined exactly like a failed STATS dial.
+fn cluster_trace_jsonl(shared: &Shared, down: &mut Downstream, snapshot: bool) -> String {
+    let own = if snapshot {
+        trace::snapshot_jsonl()
+    } else {
+        trace::drain_jsonl()
+    };
+    let mut streams = vec![("router".to_string(), own)];
+    let flags = if snapshot {
+        trace_dump_flags::SNAPSHOT
+    } else {
+        0
+    };
+    for b in 0..shared.backends.len() as u32 {
+        let Ok(mut client) = down.take(shared, b) else {
+            continue;
+        };
+        match client.trace_dump_with(flags) {
+            Ok(jsonl) => {
+                streams.push((format!("b{b}"), jsonl));
+                down.put(b, client);
+            }
+            Err(_) => shared.quarantine(b),
+        }
+    }
+    trace_merge::merge(&streams)
 }
 
 /// The router's own counters as a wire snapshot (no backend merge —
@@ -473,6 +556,7 @@ fn scatter_round(
     shared: &Shared,
     down: &mut Downstream,
     groups: Vec<(u32, Vec<(usize, Query)>)>,
+    ctx: Option<TraceContext>,
 ) -> Vec<(u32, Vec<(usize, Query)>, Result<Vec<Answer>, ClientError>)> {
     // Pull each group's client out of the per-connection pool so every
     // scoped thread owns its connection exclusively.
@@ -497,15 +581,23 @@ fn scatter_round(
             .into_iter()
             .map(|(b, queries, client)| {
                 scope.spawn(move || {
+                    // TLS does not cross threads: the leg adopts the
+                    // batch's context, opens its own span, and forwards
+                    // the context (with the leg span as parent) on the
+                    // wire, so backend spans parent to this leg.
+                    let _ctx_guard = ctx.map(trace::adopt);
                     let mut client = match client {
                         Ok(c) => c,
                         Err(e) => return (b, queries, Err(e), None),
                     };
                     shared.fanout[b as usize].inc();
                     let batch: Vec<Query> = queries.iter().map(|&(_, q)| q).collect();
+                    let leg_span = pl_obs::span!("router.leg", u64::from(b), batch.len());
+                    let forward = trace::current();
                     let t0 = Instant::now();
-                    let out = client.batch(&batch);
+                    let out = client.batch_ctx(&batch, forward.as_ref());
                     shared.backend_ns[b as usize].record(t0.elapsed().as_nanos() as u64);
+                    drop(leg_span);
                     match out {
                         Ok(answers) => (b, queries, Ok(answers), Some(client)),
                         Err(e) => (b, queries, Err(e), None),
@@ -539,6 +631,11 @@ fn scatter_round(
 fn answer_batch(shared: &Shared, down: &mut Downstream, queries: &[Query]) -> Vec<Answer> {
     shared.batches.inc();
     shared.queries.add(queries.len() as u64);
+    // The scatter span parents every leg; capture the live context here
+    // (scatter span as parent) because thread-local trace state does
+    // not cross into the scoped leg threads.
+    let _scatter_span = pl_obs::span!("router.scatter", queries.len());
+    let ctx = trace::current();
     let t0 = Instant::now();
     // Candidate lists in HRW order, live backends first (stable, so the
     // HRW preference is kept within each liveness class).
@@ -573,7 +670,7 @@ fn answer_batch(shared: &Shared, down: &mut Downstream, queries: &[Query]) -> Ve
         }
         let mut groups: Vec<_> = groups.into_iter().collect();
         groups.sort_unstable_by_key(|(b, _)| *b);
-        for (b, queries, out) in scatter_round(shared, down, groups) {
+        for (b, queries, out) in scatter_round(shared, down, groups, ctx) {
             match out {
                 Ok(got) => {
                     for ((i, _), answer) in queries.iter().zip(got) {

@@ -1,0 +1,190 @@
+//! Distributed-tracing acceptance at the cluster layer: one traced
+//! batch through a 3×2 router must come back out of TRACE_DUMP as a
+//! single trace with an unbroken parent chain
+//! `client ctx → serve.batch → router.scatter → router.leg → serve.batch
+//! → store.adjacent`.
+//!
+//! The backends here are in-process (same trace rings as the router),
+//! so the *origin* tagging all says `router` — the multi-process origin
+//! split is exercised by the CI tracing smoke via `plab cluster
+//! launch`. What this test pins is the wire propagation and the parent
+//! links, which are process-independent.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use pl_cluster::{route, split_all, ClusterMap, Partitioner, RouterConfig};
+use pl_labeling::scheme::AdjacencyScheme;
+use pl_labeling::ThresholdScheme;
+use pl_obs::TraceContext;
+use pl_serve::{
+    Client, LabelStore, Query, RetryPolicy, SchemeTag, ServeOptions, ServerHandle, StoreConfig,
+    TaggedLabeling,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEED: u64 = 0x7ACE;
+
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let i = line.find(&pat)? + pat.len();
+    let rest = &line[i..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        stripped.find('"').map(|end| &stripped[..end])
+    } else {
+        rest.find([',', '}']).map(|end| rest[..end].trim())
+    }
+}
+
+fn spin_cluster(backends: usize, replicas: usize) -> (Vec<ServerHandle>, ClusterMap) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let g = pl_gen::chung_lu_power_law(300, 2.5, 4.0, &mut rng);
+    let tagged = TaggedLabeling {
+        tag: SchemeTag::Threshold,
+        labeling: ThresholdScheme::with_tau(5).encode(&g),
+    };
+    let part = Partitioner::new(SEED, backends, replicas);
+    let (parts, _) = split_all(&tagged, &part).expect("split");
+    let handles: Vec<ServerHandle> = parts
+        .into_iter()
+        .map(|sub| {
+            let store = Arc::new(LabelStore::new(sub, StoreConfig::default()).with_partial(true));
+            pl_serve::serve_with(store, "127.0.0.1:0", ServeOptions::default()).expect("bind")
+        })
+        .collect();
+    let map = ClusterMap {
+        epoch: 1,
+        seed: SEED,
+        replicas: replicas as u32,
+        n: tagged.labeling.len() as u32,
+        tag: tagged.tag as u8,
+        backends: handles.iter().map(|h| h.addr().to_string()).collect(),
+    };
+    (handles, map)
+}
+
+#[test]
+fn traced_batch_through_router_links_every_hop() {
+    let (backends, map) = spin_cluster(3, 2);
+    let config = RouterConfig {
+        retry: RetryPolicy {
+            max_retries: 3,
+            deadline: Some(Duration::from_millis(400)),
+            backoff_base: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(40),
+            seed: SEED,
+        },
+        probe_interval: Duration::from_millis(50),
+    };
+    let router = route(map, "127.0.0.1:0", config).expect("router");
+
+    let _ = pl_obs::trace::drain_jsonl();
+    pl_obs::set_tracing(true);
+    let ctx = TraceContext {
+        parent_span: 7,
+        ..TraceContext::root()
+    };
+    let mut client = Client::connect(router.addr()).expect("connect");
+    let queries = [
+        Query::adjacent(0, 1),
+        Query::adjacent(5, 9),
+        Query::adjacent(200, 100),
+    ];
+    let answers = client
+        .batch_ctx(&queries, Some(&ctx))
+        .expect("traced batch");
+    assert_eq!(answers.len(), 3);
+
+    // The router's TRACE_DUMP is the *merged* cluster stream.
+    let jsonl = client.trace_dump().expect("cluster dump");
+    pl_obs::set_tracing(false);
+
+    let hex = ctx.trace_hex();
+    let ours: Vec<&str> = jsonl
+        .lines()
+        .filter(|l| field(l, "trace") == Some(&hex))
+        .collect();
+    assert!(
+        ours.len() >= 4,
+        "expected the full span chain, got {} lines:\n{jsonl}",
+        ours.len()
+    );
+    assert!(
+        ours.iter().all(|l| field(l, "origin").is_some()),
+        "every merged line must be origin-tagged"
+    );
+
+    let find = |name: &str| -> Vec<&&str> {
+        ours.iter()
+            .filter(|l| field(l, "name") == Some(name))
+            .collect()
+    };
+    let batch_router = find("serve.batch");
+    let batch_router = batch_router
+        .iter()
+        .find(|l| field(l, "parent") == Some("7"))
+        .expect("router serve.batch parenting to the client context");
+    let router_batch_span = field(batch_router, "span").expect("span");
+
+    let scatters = find("router.scatter");
+    let scatter = scatters
+        .iter()
+        .find(|l| field(l, "parent") == Some(router_batch_span))
+        .expect("router.scatter parenting to serve.batch");
+    let scatter_span = field(scatter, "span").expect("span");
+
+    let legs = find("router.leg");
+    assert!(
+        !legs.is_empty()
+            && legs
+                .iter()
+                .all(|l| field(l, "parent") == Some(scatter_span)),
+        "every router.leg must parent to router.scatter"
+    );
+    let leg_spans: Vec<&str> = legs.iter().filter_map(|l| field(l, "span")).collect();
+
+    let backend_batches: Vec<&&str> = find("serve.batch")
+        .into_iter()
+        .filter(|l| leg_spans.contains(&field(l, "parent").unwrap_or("")))
+        .collect();
+    assert!(
+        !backend_batches.is_empty(),
+        "backend serve.batch must parent to a router.leg span:\n{jsonl}"
+    );
+    let backend_spans: Vec<&str> = backend_batches
+        .iter()
+        .filter_map(|l| field(l, "span"))
+        .collect();
+    assert!(
+        find("store.adjacent")
+            .iter()
+            .any(|l| backend_spans.contains(&field(l, "parent").unwrap_or(""))),
+        "store.adjacent must parent to a backend serve.batch:\n{jsonl}"
+    );
+
+    // Causal merge order: a parent never appears after its child.
+    let mut seen: Vec<&str> = vec![];
+    for l in &ours {
+        if let Some(span) = field(l, "span") {
+            seen.push(span);
+        }
+        if let Some(parent) = field(l, "parent") {
+            if parent != "0"
+                && parent != "7"
+                && ours.iter().any(|x| field(x, "span") == Some(parent))
+            {
+                assert!(
+                    seen.contains(&parent),
+                    "line with parent {parent} appeared before its parent:\n{jsonl}"
+                );
+            }
+        }
+    }
+
+    client.goodbye().ok();
+    router.shutdown();
+    for b in backends {
+        b.shutdown();
+    }
+}

@@ -14,8 +14,11 @@
 //! - [`trace`] — span-based structured tracing. [`span!`] opens an RAII
 //!   guard; events land in lock-free per-thread ring buffers and drain
 //!   as JSONL (`plab trace`, the `TRACE_DUMP` wire opcode, or
-//!   [`trace::drain_jsonl`]). Off by default; a disabled call site
-//!   costs one relaxed load.
+//!   [`trace::drain_jsonl`]; [`trace::snapshot_jsonl`] is the
+//!   non-consuming variant). Every event carries a propagatable
+//!   [`TraceContext`] (128-bit trace id + parent span id) adopted from
+//!   a remote caller via [`trace::adopt`]. Off by default; a disabled
+//!   call site costs one relaxed load.
 //! - [`prom`] + [`http`] — Prometheus text-format rendering and a
 //!   hand-rolled HTTP/1.1 scrape endpoint ([`http::expose`]) used as a
 //!   sidecar by `plab serve --prom`.
@@ -34,7 +37,7 @@ pub mod trace;
 
 pub use hist::{Histogram, HistogramSnapshot, BUCKETS};
 pub use registry::{global, Counter, Gauge, MetricSample, MetricValue, MetricsRegistry};
-pub use trace::{set_tracing, tracing_enabled, SpanGuard, TraceEvent};
+pub use trace::{set_tracing, tracing_enabled, SpanGuard, TraceContext, TraceEvent};
 
 /// Opens a trace span; returns `Option<SpanGuard>` recording on drop.
 ///

@@ -21,11 +21,13 @@ use std::time::Duration;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use pl_obs::TraceContext;
+
 use crate::metrics::Snapshot;
 use crate::protocol::{
-    encode_batch, encode_hello_version, opcode, parse_batch_reply, parse_health_reply,
-    parse_hello_ok, parse_stats_reply, read_frame, write_frame, Answer, HealthReport, Query,
-    MIN_VERSION, VERSION,
+    encode_batch_ctx, encode_hello_version, encode_trace_dump, opcode, parse_batch_reply,
+    parse_health_reply, parse_hello_ok, parse_stats_reply, read_frame, trace_dump_flags,
+    write_frame, Answer, HealthReport, Query, MIN_VERSION, VERSION,
 };
 
 fn bad_data(msg: impl Into<String>) -> io::Error {
@@ -118,7 +120,20 @@ impl Client {
     /// Sends one batch and reads the matching reply (answers in query
     /// order).
     pub fn batch(&mut self, queries: &[Query]) -> io::Result<Vec<Answer>> {
-        let body = encode_batch(queries).map_err(|e| bad_data(e.to_string()))?;
+        self.batch_ctx(queries, None)
+    }
+
+    /// [`batch`](Self::batch) with an optional trace context. On a v5+
+    /// session the context rides the `TRACE_CTX` extension so the
+    /// server's spans parent to the caller; on an older session it is
+    /// silently dropped — downgrade loses tracing, never the batch.
+    pub fn batch_ctx(
+        &mut self,
+        queries: &[Query],
+        ctx: Option<&TraceContext>,
+    ) -> io::Result<Vec<Answer>> {
+        let body =
+            encode_batch_ctx(queries, ctx, self.version).map_err(|e| bad_data(e.to_string()))?;
         write_frame(&mut self.stream, &body)?;
         let reply = read_frame(&mut self.stream)?;
         match reply.first() {
@@ -186,10 +201,26 @@ impl Client {
     /// Drains the server's trace ring buffers as JSONL (one event per
     /// line, possibly empty). Requires protocol version ≥ 2.
     pub fn trace_dump(&mut self) -> io::Result<String> {
+        self.trace_dump_with(0)
+    }
+
+    /// Non-consuming [`trace_dump`](Self::trace_dump): the server's
+    /// reader watermark stays put, so concurrent observers each see the
+    /// full stream. Requires protocol version ≥ 5.
+    pub fn trace_snapshot(&mut self) -> io::Result<String> {
+        self.trace_dump_with(trace_dump_flags::SNAPSHOT)
+    }
+
+    /// `TRACE_DUMP` with explicit flag bits (0 = the pre-v5 consuming
+    /// drain; flags require a v5 session).
+    pub fn trace_dump_with(&mut self, flags: u8) -> io::Result<String> {
         if self.version < 2 {
             return Err(bad_data("server too old for TRACE_DUMP (needs v2)"));
         }
-        write_frame(&mut self.stream, &[opcode::TRACE_DUMP])?;
+        if flags != 0 && self.version < 5 {
+            return Err(bad_data("server too old for TRACE_DUMP flags (needs v5)"));
+        }
+        write_frame(&mut self.stream, &encode_trace_dump(flags))?;
         let reply = read_frame(&mut self.stream)?;
         match reply.first() {
             Some(&opcode::TRACE_REPLY) => String::from_utf8(reply[1..].to_vec())
@@ -444,12 +475,23 @@ impl ResilientClient {
     ///
     /// [`with_retries`]: Self::with_retries
     pub fn batch(&mut self, queries: &[Query]) -> Result<Vec<Answer>, ClientError> {
+        self.batch_ctx(queries, None)
+    }
+
+    /// [`batch`](Self::batch) with an optional trace context; every
+    /// retry and per-query re-ask re-sends the same context, so a
+    /// replayed request stays attributable to the original trace.
+    pub fn batch_ctx(
+        &mut self,
+        queries: &[Query],
+        ctx: Option<&TraceContext>,
+    ) -> Result<Vec<Answer>, ClientError> {
         let mut answers: Vec<Option<Answer>> = vec![None; queries.len()];
         let mut pending: Vec<usize> = (0..queries.len()).collect();
         let mut round = 0u32;
         loop {
             let subset: Vec<Query> = pending.iter().map(|&i| queries[i]).collect();
-            let got = self.with_retries(|c| c.batch(&subset))?;
+            let got = self.with_retries(|c| c.batch_ctx(&subset, ctx))?;
             let mut still_pending = Vec::new();
             for (&slot, answer) in pending.iter().zip(got) {
                 if answer.is_retryable() {
@@ -502,6 +544,13 @@ impl ResilientClient {
     /// Fetches the shard-liveness report with retries (needs v3).
     pub fn health(&mut self) -> Result<HealthReport, ClientError> {
         self.with_retries(Client::health)
+    }
+
+    /// Drains (or, with [`trace_dump_flags::SNAPSHOT`], snapshots) the
+    /// server's trace rings as JSONL, with retries. The router's merged
+    /// cluster drain pulls each backend's ring through this.
+    pub fn trace_dump_with(&mut self, flags: u8) -> Result<String, ClientError> {
+        self.with_retries(|c| c.trace_dump_with(flags))
     }
 
     /// Best-effort orderly close.

@@ -88,6 +88,10 @@ pub struct ServeOptions {
     /// timeout for a peer that stops reading replies
     /// (`plserve_deadline_closes_total`). `None` disables both.
     pub stall_timeout: Option<Duration>,
+    /// Highest protocol version this server will negotiate; `None`
+    /// means the build's newest. Used by downgrade tests to stand in
+    /// for an older server binary.
+    pub max_version: Option<u8>,
 }
 
 /// [`LabelStore`] as a [`QueryEngine`]: answers batches shard-grouped,
@@ -326,6 +330,7 @@ pub fn serve_with(
             fault_plan: options.fault_plan,
             idle_timeout: options.idle_timeout,
             stall_timeout: options.stall_timeout,
+            max_version: options.max_version,
         },
     )?;
     Ok(ServerHandle {

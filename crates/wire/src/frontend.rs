@@ -41,8 +41,8 @@ use pl_obs::MetricsRegistry;
 use crate::fault::{FaultCounters, FaultInjector, FaultKind, FaultPlan};
 use crate::protocol::{
     encode_batch_reply_into, encode_health_reply_into, encode_hello_ok_into,
-    encode_stats_reply_into, opcode, parse_batch, parse_hello, write_frame_vectored, Answer,
-    FrameBuffer, Query, MAX_FRAME,
+    encode_stats_reply_into, opcode, parse_batch_ctx, parse_hello, parse_trace_dump,
+    trace_dump_flags, write_frame_vectored, Answer, FrameBuffer, Query, MAX_FRAME, VERSION,
 };
 use crate::stats::{Metrics, Snapshot};
 
@@ -86,9 +86,18 @@ pub trait QueryEngine: Send + Sync + 'static {
     fn health(&self) -> Vec<bool>;
 
     /// JSONL trace payload for TRACE_DUMP replies; the front-end
-    /// truncates it to the frame cap at a line boundary.
-    fn trace_jsonl(&self) -> String {
-        pl_obs::trace::drain_jsonl()
+    /// truncates it to the frame cap at a line boundary, keeping the
+    /// newest lines. `snapshot`
+    /// selects the non-consuming read (v5 `TRACE_DUMP` flag). A router
+    /// merges downstream backend rings here, which may use the
+    /// session's pooled connections.
+    fn trace_jsonl(&self, session: &mut Self::Session, snapshot: bool) -> String {
+        let _ = session;
+        if snapshot {
+            pl_obs::trace::snapshot_jsonl()
+        } else {
+            pl_obs::trace::drain_jsonl()
+        }
     }
 
     /// Snapshot answering a wire STATS request. A router merges
@@ -135,6 +144,12 @@ pub struct FrontendOptions {
     /// timeout for a peer that stops reading replies
     /// (`plserve_deadline_closes_total`). `None` disables both.
     pub stall_timeout: Option<Duration>,
+    /// Highest protocol version this front-end will negotiate; `None`
+    /// means the build's newest ([`VERSION`]). Capping below a client's
+    /// offer makes the handshake reject it, driving the client's
+    /// version-fallback loop — how the downgrade path is tested without
+    /// an old binary.
+    pub max_version: Option<u8>,
 }
 
 /// Everything a connection thread needs, behind one `Arc`.
@@ -144,6 +159,8 @@ struct FrontShared<E: QueryEngine> {
     registry: Arc<MetricsRegistry>,
     /// Connection cap; `usize::MAX` disables.
     max_conns: usize,
+    /// Highest negotiable protocol version.
+    max_version: u8,
     fault_plan: Option<FaultPlan>,
     idle_timeout: Option<Duration>,
     stall_timeout: Option<Duration>,
@@ -255,6 +272,7 @@ pub fn bind<E: QueryEngine>(
         },
         registry,
         max_conns: options.max_conns.unwrap_or(usize::MAX),
+        max_version: options.max_version.unwrap_or(VERSION).min(VERSION),
         fault_plan: options.fault_plan.filter(FaultPlan::is_active),
         idle_timeout: options.idle_timeout,
         stall_timeout: options.stall_timeout,
@@ -429,6 +447,14 @@ impl<E: QueryEngine> Conn<'_, E> {
         let Some(version) = self.version else {
             return match op {
                 Some(opcode::HELLO) => match parse_hello(body) {
+                    Ok(v) if v > self.shared.max_version => {
+                        // Version-capped front-end (downgrade testing):
+                        // reject so the client's fallback loop re-offers
+                        // an older version.
+                        self.shared.stats.metrics.protocol_errors.inc();
+                        self.send_error(stream, &format!("unsupported protocol version {v}"))?;
+                        Ok(false)
+                    }
                     Ok(v) => {
                         self.version = Some(v);
                         encode_hello_ok_into(
@@ -454,8 +480,13 @@ impl<E: QueryEngine> Conn<'_, E> {
             };
         };
         match op {
-            Some(opcode::BATCH) => match parse_batch(body) {
-                Ok(queries) => {
+            Some(opcode::BATCH) => match parse_batch_ctx(body, version) {
+                Ok((queries, ctx)) => {
+                    // Adopt the propagated context *before* opening the
+                    // span so serve.batch (and everything the engine
+                    // records on this thread) parents to the remote
+                    // caller and carries its trace id.
+                    let _ctx_guard = ctx.map(pl_obs::trace::adopt);
                     let _batch_span = pl_obs::span!("serve.batch", queries.len());
                     self.answer_with_faults(&queries);
                     self.shared.stats.metrics.batches.inc();
@@ -489,21 +520,40 @@ impl<E: QueryEngine> Conn<'_, E> {
                 Ok(true)
             }
             Some(opcode::TRACE_DUMP) => {
-                let jsonl = self.shared.engine.trace_jsonl();
+                let flags = match parse_trace_dump(body) {
+                    Ok(f) => f,
+                    Err(e) => {
+                        self.shared.stats.metrics.protocol_errors.inc();
+                        self.send_error(stream, &e.to_string())?;
+                        return Ok(false);
+                    }
+                };
+                if flags != 0 && version < 5 {
+                    self.shared.stats.metrics.protocol_errors.inc();
+                    self.send_error(stream, "TRACE_DUMP flags require protocol version 5")?;
+                    return Ok(false);
+                }
+                let snapshot = flags & trace_dump_flags::SNAPSHOT != 0;
+                let jsonl = self.shared.engine.trace_jsonl(&mut self.session, snapshot);
                 self.reply.clear();
                 self.reply.push(opcode::TRACE_REPLY);
-                // Truncate to the frame cap at a line boundary.
+                // Truncate to the frame cap at a line boundary, keeping
+                // the *newest* lines: a consuming drain has already
+                // emptied the rings, so whatever is cut here is gone,
+                // and the events worth keeping are the ones closest to
+                // now (the trace you just sent a probe for).
                 let budget = MAX_FRAME - 1;
                 let bytes = jsonl.as_bytes();
-                let take = if bytes.len() <= budget {
-                    bytes.len()
+                let from = if bytes.len() <= budget {
+                    0
                 } else {
-                    bytes[..budget]
+                    let cut = bytes.len() - budget;
+                    bytes[cut..]
                         .iter()
-                        .rposition(|&b| b == b'\n')
-                        .map_or(0, |p| p + 1)
+                        .position(|&b| b == b'\n')
+                        .map_or(bytes.len(), |p| cut + p + 1)
                 };
-                self.reply.extend_from_slice(&bytes[..take]);
+                self.reply.extend_from_slice(&bytes[from..]);
                 send(stream, &self.shared.stats, &mut self.injector, &self.reply)?;
                 Ok(true)
             }

@@ -18,6 +18,8 @@
 
 use std::io::{IoSlice, Read, Write};
 
+use pl_obs::TraceContext;
+
 use crate::stats::Snapshot;
 
 /// Newest protocol version this build speaks. Version 2 added the
@@ -31,9 +33,14 @@ use crate::stats::Snapshot;
 /// Version 4 adds the per-query `ANS_NOT_OWNED` status for partial
 /// (cluster-partitioned) stores: the backend holds a stub for one of
 /// the queried vertices and cannot answer locally, so a router should
-/// re-ask a replica that owns the other endpoint. Frame layouts are
-/// otherwise identical to v3.
-pub const VERSION: u8 = 4;
+/// re-ask a replica that owns the other endpoint. Version 5 adds
+/// distributed tracing: an optional `TRACE_CTX` extension trailer on
+/// `BATCH` frames (tag byte + 128-bit trace id + 64-bit parent span id)
+/// and an optional flag byte on `TRACE_DUMP` selecting a non-consuming
+/// snapshot drain. Both are strictly optional — a v5 client talking to
+/// a v4 server negotiates down and silently drops the context; it is
+/// never a hard failure. Frame layouts are otherwise identical to v4.
+pub const VERSION: u8 = 5;
 
 /// Oldest protocol version this build still accepts. Version-1 sessions
 /// get the original twelve-field STATS reply.
@@ -48,6 +55,26 @@ pub const MAX_FRAME: usize = 1 << 20;
 
 /// Most queries a single BATCH may carry (fits the `u16` count field).
 pub const MAX_BATCH: usize = u16::MAX as usize;
+
+/// Tag byte opening the optional v5 `TRACE_CTX` extension trailer on a
+/// `BATCH` body (`'T'`).
+pub const EXT_TRACE_CTX: u8 = 0x54;
+
+/// Total size of the `TRACE_CTX` trailer: tag byte + 128-bit trace id +
+/// 64-bit parent span id.
+pub const TRACE_CTX_LEN: usize = 1 + 8 + 8 + 8;
+
+/// Flag bits for the optional `TRACE_DUMP` flag byte (v5+). A bare
+/// one-byte `TRACE_DUMP` body keeps the pre-v5 behavior (consuming
+/// drain).
+pub mod trace_dump_flags {
+    /// Non-consuming snapshot: the reader watermark stays put, so two
+    /// concurrent drainers both see the full stream instead of
+    /// splitting it.
+    pub const SNAPSHOT: u8 = 0x01;
+    /// Every bit a v5 server understands; others are rejected.
+    pub const ALL: u8 = SNAPSHOT;
+}
 
 /// Frame opcodes. Requests have the high bit clear, replies set.
 pub mod opcode {
@@ -420,6 +447,95 @@ pub fn parse_batch(body: &[u8]) -> Result<Vec<Query>, ProtocolError> {
     Ok(queries)
 }
 
+/// Builds a BATCH body, appending the v5 `TRACE_CTX` extension trailer
+/// when the session `version` supports it and a context is supplied.
+/// On a pre-v5 session the context is *silently dropped* — downgrade
+/// loses tracing, never the batch.
+///
+/// # Errors
+///
+/// Same as [`encode_batch`]: `Malformed` when the count exceeds
+/// [`MAX_BATCH`].
+pub fn encode_batch_ctx(
+    queries: &[Query],
+    ctx: Option<&TraceContext>,
+    version: u8,
+) -> Result<Vec<u8>, ProtocolError> {
+    let mut b = encode_batch(queries)?;
+    if version >= 5 {
+        if let Some(ctx) = ctx.filter(|c| c.is_set()) {
+            b.reserve(TRACE_CTX_LEN);
+            b.push(EXT_TRACE_CTX);
+            b.extend_from_slice(&ctx.trace_hi.to_le_bytes());
+            b.extend_from_slice(&ctx.trace_lo.to_le_bytes());
+            b.extend_from_slice(&ctx.parent_span.to_le_bytes());
+        }
+    }
+    Ok(b)
+}
+
+/// Parses a BATCH body in the layout of the session's negotiated
+/// `version`. On v5+ sessions an optional trailing [`EXT_TRACE_CTX`]
+/// block yields the propagated context; pre-v5 sessions keep the strict
+/// exact-length check (any trailer is malformed, exactly as before).
+pub fn parse_batch_ctx(
+    body: &[u8],
+    version: u8,
+) -> Result<(Vec<Query>, Option<TraceContext>), ProtocolError> {
+    if version < 5 {
+        return Ok((parse_batch(body)?, None));
+    }
+    if body.len() < 3 || body[0] != opcode::BATCH {
+        return Err(ProtocolError::Malformed("batch header"));
+    }
+    let count = u16::from_le_bytes(body[1..3].try_into().expect("2 bytes")) as usize;
+    let entries_end = 3 + count * 9;
+    let ctx = match body.len() {
+        l if l == entries_end => None,
+        l if l == entries_end + TRACE_CTX_LEN => {
+            let ext = &body[entries_end..];
+            if ext[0] != EXT_TRACE_CTX {
+                return Err(ProtocolError::Malformed("batch extension tag"));
+            }
+            Some(TraceContext {
+                trace_hi: u64::from_le_bytes(ext[1..9].try_into().expect("8 bytes")),
+                trace_lo: u64::from_le_bytes(ext[9..17].try_into().expect("8 bytes")),
+                parent_span: u64::from_le_bytes(ext[17..25].try_into().expect("8 bytes")),
+            })
+        }
+        _ => return Err(ProtocolError::Malformed("batch length")),
+    };
+    let queries = parse_batch(&body[..entries_end])?;
+    Ok((queries, ctx))
+}
+
+/// Builds a TRACE_DUMP body. `flags == 0` emits the bare one-byte
+/// pre-v5 form; any flag bit appends the v5 flag byte.
+#[must_use]
+pub fn encode_trace_dump(flags: u8) -> Vec<u8> {
+    if flags == 0 {
+        vec![opcode::TRACE_DUMP]
+    } else {
+        vec![opcode::TRACE_DUMP, flags]
+    }
+}
+
+/// Parses a TRACE_DUMP body into its flag byte (0 when absent). Unknown
+/// flag bits are malformed so a future client cannot silently get the
+/// wrong drain semantics from an old server.
+pub fn parse_trace_dump(body: &[u8]) -> Result<u8, ProtocolError> {
+    match body {
+        [op] if *op == opcode::TRACE_DUMP => Ok(0),
+        [op, flags] if *op == opcode::TRACE_DUMP => {
+            if *flags & !trace_dump_flags::ALL != 0 {
+                return Err(ProtocolError::Malformed("trace dump flags"));
+            }
+            Ok(*flags)
+        }
+        _ => Err(ProtocolError::Malformed("trace dump")),
+    }
+}
+
 /// FNV-1a (32-bit) over `bytes` — the v3 reply checksum. One flipped
 /// byte anywhere in a checksummed body changes the digest, so response
 /// corruption surfaces as a parse error the client can retry instead of
@@ -685,6 +801,77 @@ mod tests {
     }
 
     #[test]
+    fn batch_ctx_round_trip_and_version_gating() {
+        let queries = vec![Query::adjacent(1, 2), Query::distance(3, 4)];
+        let ctx = TraceContext {
+            trace_hi: 0x1111_2222_3333_4444,
+            trace_lo: 0x5555_6666_7777_8888,
+            parent_span: 0x9999_AAAA_BBBB_CCCC,
+        };
+
+        // v5: context survives the round trip.
+        let v5 = encode_batch_ctx(&queries, Some(&ctx), 5).unwrap();
+        assert_eq!(
+            parse_batch_ctx(&v5, 5).unwrap(),
+            (queries.clone(), Some(ctx))
+        );
+
+        // v5 without a context is byte-identical to the plain encoding
+        // and parses everywhere.
+        let bare = encode_batch_ctx(&queries, None, 5).unwrap();
+        assert_eq!(bare, encode_batch(&queries).unwrap());
+        assert_eq!(parse_batch_ctx(&bare, 5).unwrap(), (queries.clone(), None));
+        assert_eq!(parse_batch(&bare).unwrap(), queries);
+
+        // Downgrade: encoding for a v4 session silently drops the
+        // context, and the result is the plain v4 batch.
+        let v4 = encode_batch_ctx(&queries, Some(&ctx), 4).unwrap();
+        assert_eq!(v4, encode_batch(&queries).unwrap());
+        assert_eq!(parse_batch_ctx(&v4, 4).unwrap(), (queries.clone(), None));
+
+        // An unset context is never shipped, even on v5.
+        let zero = TraceContext {
+            trace_hi: 0,
+            trace_lo: 0,
+            parent_span: 7,
+        };
+        let unset = encode_batch_ctx(&queries, Some(&zero), 5).unwrap();
+        assert_eq!(unset, encode_batch(&queries).unwrap());
+
+        // The pre-v5 strict length check still rejects the trailer.
+        assert_eq!(
+            parse_batch(&v5),
+            Err(ProtocolError::Malformed("batch length"))
+        );
+        assert_eq!(
+            parse_batch_ctx(&v5, 4),
+            Err(ProtocolError::Malformed("batch length"))
+        );
+
+        // Corrupt trailers are malformed, never mis-parsed.
+        let mut bad_tag = v5.clone();
+        let tag_at = bad_tag.len() - TRACE_CTX_LEN;
+        bad_tag[tag_at] = 0x55;
+        assert!(parse_batch_ctx(&bad_tag, 5).is_err());
+        let truncated = &v5[..v5.len() - 1];
+        assert!(parse_batch_ctx(truncated, 5).is_err());
+    }
+
+    #[test]
+    fn trace_dump_flags_round_trip() {
+        assert_eq!(encode_trace_dump(0), vec![opcode::TRACE_DUMP]);
+        assert_eq!(parse_trace_dump(&encode_trace_dump(0)), Ok(0));
+        let snap = encode_trace_dump(trace_dump_flags::SNAPSHOT);
+        assert_eq!(snap, vec![opcode::TRACE_DUMP, trace_dump_flags::SNAPSHOT]);
+        assert_eq!(parse_trace_dump(&snap), Ok(trace_dump_flags::SNAPSHOT));
+        // Unknown flag bits and junk bodies are malformed.
+        assert!(parse_trace_dump(&[opcode::TRACE_DUMP, 0x80]).is_err());
+        assert!(parse_trace_dump(&[opcode::BATCH]).is_err());
+        assert!(parse_trace_dump(&[]).is_err());
+        assert!(parse_trace_dump(&[opcode::TRACE_DUMP, 1, 2]).is_err());
+    }
+
+    #[test]
     fn oversized_batch_is_a_wire_error_not_a_panic() {
         let queries = vec![Query::adjacent(0, 0); MAX_BATCH + 1];
         assert_eq!(
@@ -705,7 +892,7 @@ mod tests {
         };
         // Pre-fill each buffer with junk: `_into` must clear first.
         let mut buf = vec![0xAA; 32];
-        for version in [1, 2, 3, 4] {
+        for version in [1, 2, 3, 4, 5] {
             encode_batch_reply_into(&answers, version, &mut buf);
             assert_eq!(buf, encode_batch_reply(&answers, version));
             encode_stats_reply_into(&snap, version, &mut buf);
@@ -738,7 +925,7 @@ mod tests {
             Answer::OutOfRange,
             Answer::Unsupported,
         ];
-        for version in [1, 2, 3, 4] {
+        for version in [1, 2, 3, 4, 5] {
             assert_eq!(
                 parse_batch_reply(&encode_batch_reply(&answers, version), version).unwrap(),
                 answers,
@@ -865,9 +1052,13 @@ mod tests {
             let _ = parse_hello(&body);
             let _ = parse_hello_ok(&body);
             let _ = parse_batch(&body);
+            let _ = parse_batch_ctx(&body, 4);
+            let _ = parse_batch_ctx(&body, 5);
+            let _ = parse_trace_dump(&body);
             let _ = parse_batch_reply(&body, 2);
             let _ = parse_batch_reply(&body, 3);
             let _ = parse_batch_reply(&body, 4);
+            let _ = parse_batch_reply(&body, 5);
             let _ = parse_stats_reply(&body);
             let _ = parse_health_reply(&body);
         }

@@ -1,0 +1,112 @@
+//! Golden-bytes tests for the protocol v5 additions: the `TRACE_CTX`
+//! extension trailer on `BATCH` and the `TRACE_DUMP` flag byte.
+//!
+//! Round-trip tests prove encode and parse agree with *each other*;
+//! only a byte-literal test proves they agree with the *protocol* — a
+//! matched encode/parse bug (reordered fields, flipped endianness, a
+//! swapped trace-id half) round-trips clean and would ship a silent
+//! wire break for every already-deployed peer. Each array below was
+//! written out by hand from the layout documented in `protocol.rs`; if
+//! an edit changes any of these bytes, it changes the protocol and must
+//! bump the version instead.
+
+use pl_obs::TraceContext;
+use pl_wire::protocol::{
+    encode_batch, encode_batch_ctx, encode_trace_dump, parse_batch, parse_batch_ctx,
+    parse_trace_dump, trace_dump_flags, ProtocolError,
+};
+use pl_wire::Query;
+
+const CTX: TraceContext = TraceContext {
+    trace_hi: 0x1122_3344_5566_7788,
+    trace_lo: 0x99AA_BBCC_DDEE_FF00,
+    parent_span: 0x0123_4567_89AB_CDEF,
+};
+
+/// BATCH on a v5 session with a trace context: the plain v1 entry
+/// layout, then `'T'` and three u64 LE words (trace hi, trace lo,
+/// parent span).
+#[test]
+fn batch_trace_ctx_v5_golden_bytes() {
+    let queries = [Query::adjacent(0x0102_0304, 0x0A0B_0C0D)];
+    #[rustfmt::skip]
+    let expected: &[u8] = &[
+        0x01,                   // opcode BATCH
+        0x01, 0x00,             // 1 query, u16 LE
+        0x00,                   // kind Adjacent
+        0x04, 0x03, 0x02, 0x01, // u = 0x01020304, u32 LE
+        0x0D, 0x0C, 0x0B, 0x0A, // v = 0x0A0B0C0D, u32 LE
+        0x54,                   // EXT_TRACE_CTX ('T')
+        0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11, // trace_hi LE
+        0x00, 0xFF, 0xEE, 0xDD, 0xCC, 0xBB, 0xAA, 0x99, // trace_lo LE
+        0xEF, 0xCD, 0xAB, 0x89, 0x67, 0x45, 0x23, 0x01, // parent_span LE
+    ];
+    assert_eq!(
+        encode_batch_ctx(&queries, Some(&CTX), 5).unwrap(),
+        expected,
+        "TRACE_CTX trailer layout drifted"
+    );
+    let (parsed, ctx) = parse_batch_ctx(expected, 5).unwrap();
+    assert_eq!(parsed, queries);
+    assert_eq!(ctx, Some(CTX));
+
+    // Without a context a v5 BATCH is byte-identical to every earlier
+    // version — the trailer is strictly pay-for-what-you-use.
+    assert_eq!(
+        encode_batch_ctx(&queries, None, 5).unwrap(),
+        encode_batch(&queries).unwrap()
+    );
+}
+
+/// Downgrade, pinned at the byte level: a v5 client talking to a v4
+/// session encodes the *pre-v5* bytes (context silently dropped, never
+/// a hard failure), and a v4 parser rejects the v5 trailer outright so
+/// a version-confused peer cannot smuggle one through.
+#[test]
+fn batch_trace_ctx_v4_downgrade_golden_bytes() {
+    let queries = [Query::adjacent(0x0102_0304, 0x0A0B_0C0D)];
+    #[rustfmt::skip]
+    let v4_expected: &[u8] = &[
+        0x01,                   // opcode BATCH
+        0x01, 0x00,             // 1 query, u16 LE
+        0x00,                   // kind Adjacent
+        0x04, 0x03, 0x02, 0x01, // u, u32 LE
+        0x0D, 0x0C, 0x0B, 0x0A, // v, u32 LE
+                                // no trailer: v4 never saw TRACE_CTX
+    ];
+    assert_eq!(
+        encode_batch_ctx(&queries, Some(&CTX), 4).unwrap(),
+        v4_expected
+    );
+    let (parsed, ctx) = parse_batch_ctx(v4_expected, 4).unwrap();
+    assert_eq!(parsed, queries);
+    assert_eq!(ctx, None);
+
+    // The v5 frame with the trailer is malformed on a v4 session (the
+    // strict exact-length check of parse_batch is unchanged).
+    let v5 = encode_batch_ctx(&queries, Some(&CTX), 5).unwrap();
+    assert!(matches!(
+        parse_batch(&v5),
+        Err(ProtocolError::Malformed("batch length"))
+    ));
+    assert!(matches!(
+        parse_batch_ctx(&v5, 4),
+        Err(ProtocolError::Malformed("batch length"))
+    ));
+}
+
+/// TRACE_DUMP: the bare pre-v5 body is one byte; the v5 snapshot form
+/// appends exactly one flag byte.
+#[test]
+fn trace_dump_golden_bytes() {
+    assert_eq!(encode_trace_dump(0), [0x04]);
+    assert_eq!(
+        encode_trace_dump(trace_dump_flags::SNAPSHOT),
+        [0x04, 0x01] // opcode TRACE_DUMP, SNAPSHOT flag
+    );
+    assert_eq!(parse_trace_dump(&[0x04]).unwrap(), 0);
+    assert_eq!(parse_trace_dump(&[0x04, 0x01]).unwrap(), 0x01);
+    // Unknown flag bits must be rejected, not ignored: a future client
+    // would otherwise silently get consuming-drain semantics.
+    assert!(parse_trace_dump(&[0x04, 0x02]).is_err());
+}

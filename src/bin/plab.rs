@@ -18,7 +18,7 @@
 //!                     [--out DIR]             # cut per-partition stores
 //! plab cluster launch <labels.plab> --backends B [--replicas R] [--seed S]
 //!                     [--addr HOST:PORT] [--prom HOST:PORT] [--dir DIR]
-//!                     [--duration SECS] [--fault-plan SPEC]
+//!                     [--duration SECS] [--fault-plan SPEC] [--trace]
 //!                     [--max-conns N] [--idle-ms MS] [--stall-ms MS]
 //! plab cluster stats  <HOST:PORT>             # merged stats via router
 //! plab loadgen <HOST:PORT> [--connections N] [--requests R] [--batch B]
@@ -26,7 +26,9 @@
 //!              [--deadline-ms MS] [--backoff-ms MS] [--verify graph.el]
 //! plab health  <HOST:PORT>                    # shard liveness (v3)
 //! plab stats   <HOST:PORT> [--prom]           # live server metrics
-//! plab trace   <HOST:PORT> [--out FILE]       # drain server trace ring
+//! plab trace   <HOST:PORT> [--snapshot] [--probe] [--out FILE]
+//! plab trace   --cluster <ROUTER> [--probe] [--explain ID|probe]
+//! plab trace   --in FILE --explain ID         # offline breakdown
 //! ```
 //!
 //! Graphs travel as plain edge lists (`n m` header plus `u v` lines);
@@ -38,7 +40,12 @@
 //! endpoint, `serve --trace` turns on the in-process trace ring (drained
 //! remotely by `plab trace`), `encode --trace FILE` writes the encode
 //! pipeline's phase spans as JSONL, and `stats <HOST:PORT> --prom`
-//! renders a server's STATS snapshot in Prometheus text form.
+//! renders a server's STATS snapshot in Prometheus text form. With
+//! protocol v5, `cluster launch --trace` enables tracing cluster-wide:
+//! a traced batch (`plab trace --probe`) carries its trace context
+//! across the router to every backend, and `plab trace --cluster
+//! <router>` returns the causally merged, origin-tagged span stream
+//! (`--explain` breaks one trace down hop by hop).
 //!
 //! Resilience (see RELIABILITY.md): `serve --fault-plan` turns on the
 //! deterministic chaos harness, `--max-conns` sheds excess connections,
@@ -113,14 +120,15 @@ const USAGE: &str = "usage:
                [--out DIR]
   plab cluster launch <labels.plab> --backends B [--replicas R] [--seed S]
                [--addr HOST:PORT] [--prom HOST:PORT] [--dir DIR]
-               [--duration SECS] [--fault-plan SPEC]
+               [--duration SECS] [--fault-plan SPEC] [--trace]
                [--max-conns N] [--idle-ms MS] [--stall-ms MS]
   plab cluster stats  <HOST:PORT>
   plab loadgen <HOST:PORT> [--connections N] [--requests R] [--batch B]
                [--skew uniform|zipf:S] [--seed X] [--retries N]
                [--deadline-ms MS] [--backoff-ms MS] [--verify graph.el]
   plab health  <HOST:PORT>
-  plab trace   <HOST:PORT> [--out FILE]";
+  plab trace   <HOST:PORT|--cluster ROUTER> [--snapshot] [--probe]
+               [--explain ID|probe] [--in FILE] [--out FILE]";
 
 /// Minimal flag parser: `--key value` pairs plus positional arguments.
 struct Args {
@@ -603,6 +611,7 @@ fn cmd_serve(raw: &[String]) -> Result<(), String> {
         fault_plan,
         idle_timeout: (idle_ms > 0).then(|| std::time::Duration::from_millis(idle_ms)),
         stall_timeout: (stall_ms > 0).then(|| std::time::Duration::from_millis(stall_ms)),
+        max_version: None,
     };
     let handle =
         pl_serve::serve_with(store, addr, options).map_err(|e| format!("binding {addr}: {e}"))?;
@@ -722,6 +731,10 @@ fn cluster_launch(raw: &[String]) -> Result<(), String> {
         }
         None => (None, None),
     };
+    let trace = args.get("trace").is_some_and(|v| v != "false");
+    if trace {
+        eprintln!("tracing on cluster-wide (drain with `plab trace --cluster {addr}`)");
+    }
     let tagged = load_labeling(path)?;
     let exe = std::env::current_exe().map_err(|e| format!("resolving own binary: {e}"))?;
     let opts = LaunchOptions {
@@ -737,6 +750,7 @@ fn cluster_launch(raw: &[String]) -> Result<(), String> {
         idle_timeout: (idle_ms > 0).then(|| std::time::Duration::from_millis(idle_ms)),
         stall_timeout: (stall_ms > 0).then(|| std::time::Duration::from_millis(stall_ms)),
         router_fault_plan,
+        trace,
     };
     let handle = pl_cluster::launch(&tagged, &opts)?;
     for ((b, child, addr), report) in handle.children.iter().zip(&handle.reports) {
@@ -789,21 +803,79 @@ fn cluster_stats(raw: &[String]) -> Result<(), String> {
 }
 
 /// `plab trace <HOST:PORT>`: drain the server's trace ring buffers over
-/// the wire and print (or save) the JSONL. Each call consumes the
-/// drained events; run it again for fresh ones.
+/// the wire and print (or save) the JSONL. A plain dump consumes the
+/// drained events; `--snapshot` (protocol v5) reads without consuming.
+/// Against a router the dump is already cluster-wide: the router merges
+/// its own rings with every backend's, origin-tagged (`--cluster` is
+/// accepted for clarity but the merge happens server-side). `--probe`
+/// first pushes one traced batch through the target so a fresh trace
+/// exists, and prints its trace id; `--explain ID` (or `--explain
+/// probe`) renders that trace as a causal span tree with the per-hop
+/// latency decomposition. `--in FILE` explains a previously saved dump
+/// without connecting anywhere.
 fn cmd_trace(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(raw)?;
-    let addr = args.positional.first().ok_or("missing server address")?;
-    let addr: std::net::SocketAddr = addr
-        .parse()
-        .map_err(|_| format!("bad server address {addr:?}"))?;
-    let mut client = Client::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
-    let jsonl = client
-        .trace_dump()
-        .map_err(|e| format!("trace dump: {e}"))?;
+    let snapshot = args.get("snapshot").is_some_and(|v| v != "false");
+    let probe = args.get("probe").is_some_and(|v| v != "false");
+    let mut explain_id = args.get("explain").map(str::to_string);
+
+    let jsonl = if let Some(path) = args.get("in") {
+        fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?
+    } else {
+        // `--cluster <router>` and a bare positional address are
+        // interchangeable: the router merges origins server-side, so
+        // the client-side dance is identical either way.
+        let addr = args
+            .positional
+            .first()
+            .map(String::as_str)
+            .or_else(|| args.get("cluster").filter(|v| *v != "true"))
+            .ok_or("missing server address")?;
+        let addr: std::net::SocketAddr = addr
+            .parse()
+            .map_err(|_| format!("bad server address {addr:?}"))?;
+        let mut client = Client::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+        if probe {
+            if client.version() < 5 {
+                return Err(format!(
+                    "--probe needs protocol v5, server speaks v{}",
+                    client.version()
+                ));
+            }
+            let ctx = pl_obs::TraceContext::root();
+            let queries = [pl_serve::Query::adjacent(0, 0)];
+            client
+                .batch_ctx(&queries, Some(&ctx))
+                .map_err(|e| format!("probe batch: {e}"))?;
+            eprintln!("probe trace id: {}", ctx.trace_hex());
+            if explain_id.as_deref() == Some("probe") {
+                explain_id = Some(ctx.trace_hex());
+            }
+        }
+        let out = if snapshot {
+            client
+                .trace_snapshot()
+                .map_err(|e| format!("trace snapshot: {e}"))?
+        } else {
+            client
+                .trace_dump()
+                .map_err(|e| format!("trace dump: {e}"))?
+        };
+        client.goodbye().ok();
+        out
+    };
     eprintln!("{} trace events", jsonl.lines().count());
+    if let Some(id) = explain_id {
+        match pl_cluster::explain_trace(&jsonl, &id) {
+            Some(text) => println!("{text}"),
+            None => return Err(format!("trace {id} not found in dump")),
+        }
+        if let Some(out) = args.get("out") {
+            emit(Some(out), &jsonl)?;
+        }
+        return Ok(());
+    }
     emit(args.get("out"), &jsonl)?;
-    client.goodbye().ok();
     Ok(())
 }
 
