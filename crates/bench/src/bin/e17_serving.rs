@@ -9,6 +9,7 @@
 //! contention), and the threshold scheme holds its throughput while
 //! shipping far smaller labels than the baseline.
 
+use std::fmt::Write as _;
 use std::sync::Arc;
 
 use pl_bench::{banner, f1, quick_mode, rng, Table};
@@ -74,6 +75,14 @@ fn run_one(
 
 fn main() {
     banner("E17", "serving throughput: shards x cache x skew");
+    // JSON report only on request: the smoke test runs this binary from
+    // the package dir, which must stay free of generated artifacts.
+    let out_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1).cloned())
+    };
     let alpha = 2.5;
     let (n, requests_per_conn) = if quick_mode() {
         (3_000, 1_500)
@@ -111,16 +120,7 @@ fn main() {
     };
     let skews = [Skew::Uniform, Skew::Zipf(1.2)];
 
-    let mut table = Table::new(&[
-        "scheme",
-        "shards",
-        "cache",
-        "skew",
-        "kqps",
-        "cache hit %",
-        "p50 ns",
-        "p99 ns",
-    ]);
+    let mut rows: Vec<(&str, usize, usize, String, RunResult)> = Vec::new();
     for &shards in shard_grid {
         for &cache in cache_grid {
             for skew in skews {
@@ -132,16 +132,7 @@ fn main() {
                     &hot_order,
                     requests_per_conn,
                 );
-                table.row(vec![
-                    "threshold".to_string(),
-                    shards.to_string(),
-                    cache.to_string(),
-                    skew_name(skew),
-                    f1(res.qps / 1_000.0),
-                    f1(res.hit_rate * 100.0),
-                    res.p50_ns.to_string(),
-                    res.p99_ns.to_string(),
-                ]);
+                rows.push(("threshold", shards, cache, skew_name(skew), res));
             }
         }
     }
@@ -156,19 +147,59 @@ fn main() {
             &hot_order,
             requests_per_conn,
         );
-        table.row(vec![
-            "adjlist".to_string(),
-            "4".to_string(),
-            cache_grid.last().expect("nonempty grid").to_string(),
+        rows.push((
+            "adjlist",
+            4,
+            *cache_grid.last().expect("nonempty grid"),
             skew_name(skew),
+            res,
+        ));
+    }
+
+    let mut table = Table::new(&[
+        "scheme",
+        "shards",
+        "cache",
+        "skew",
+        "kqps",
+        "cache hit %",
+        "p50 ns",
+        "p99 ns",
+    ]);
+    for (scheme, shards, cache, skew, res) in &rows {
+        table.row(vec![
+            (*scheme).to_string(),
+            shards.to_string(),
+            cache.to_string(),
+            skew.clone(),
             f1(res.qps / 1_000.0),
             f1(res.hit_rate * 100.0),
             res.p50_ns.to_string(),
             res.p99_ns.to_string(),
         ]);
     }
-
     table.print();
+
+    if let Some(out_path) = out_path {
+        let mut json = String::from("[\n");
+        for (i, (scheme, shards, cache, skew, res)) in rows.iter().enumerate() {
+            let sep = if i + 1 == rows.len() { "" } else { "," };
+            writeln!(
+                json,
+                "  {{\"scheme\": \"{scheme}\", \"shards\": {shards}, \"cache\": {cache}, \
+                 \"skew\": \"{skew}\", \"qps\": {:.0}, \"cache_hit_pct\": {:.1}, \
+                 \"p50_ns\": {}, \"p99_ns\": {}}}{sep}",
+                res.qps,
+                res.hit_rate * 100.0,
+                res.p50_ns,
+                res.p99_ns
+            )
+            .expect("write to String");
+        }
+        json.push_str("]\n");
+        std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+        println!("wrote {out_path}");
+    }
     println!(
         "\nexpected: cache hit rate near zero under uniform load and high under\n\
          zipf (the hot set is the fat hubs, which is what the per-shard LRU\n\

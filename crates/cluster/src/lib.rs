@@ -6,13 +6,23 @@
 //! one `.plab` file into a serving *cluster*:
 //!
 //! * [`partition`] — a deterministic rendezvous (HRW) vertex
-//!   partitioner over [`pl_hash`]'s universal hash family: every vertex
+//!   partitioner over a seeded universal hash family: every vertex
 //!   ranks all backends by a seeded score and is *owned* by the top `R`
 //!   (the replication factor). No directory service, no state — any
-//!   party with the seed computes the same assignment.
+//!   party with the seed computes the same assignment. Since the
+//!   reconfiguration work it lives in [`pl_serve::partition`] (backends
+//!   validate pushed maps themselves) and is re-exported here.
 //! * [`map`] — the serializable [`ClusterMap`]: epoch-numbered,
 //!   FNV-checksummed description of the partitioning plus the
-//!   backend-address list, small enough to hand to every router.
+//!   backend-address list, small enough to hand to every router (and,
+//!   since protocol v6, to push to every backend over `MAP_SET`).
+//!   Likewise re-exported from [`pl_serve::map`].
+//! * [`reconfig`] — the live-rebalance coordinator: takes the cluster
+//!   from epoch `E` to `E+1` without dropping a query by preparing the
+//!   new map everywhere, streaming re-owned labels into the gaining
+//!   backends while the router dual-routes against both maps, then
+//!   committing backends-first and shrinking the losers (see
+//!   RELIABILITY.md §Reconfiguration).
 //! * [`split`] — cuts a threshold labeling into per-partition PLL2
 //!   sub-stores: owned vertices keep their full, bit-identical label;
 //!   every other vertex shrinks to a *prelude stub* (id width + scheme
@@ -45,15 +55,20 @@
 //! answerable (see `pl_serve::store`'s partial-store docs).
 
 pub mod launch;
-pub mod map;
-pub mod partition;
+pub mod reconfig;
 pub mod router;
 pub mod split;
 pub mod trace_merge;
 
+// The map and partitioner moved down into pl-serve so backends can
+// validate pushed maps and compute ownership during reconfiguration;
+// the historical pl_cluster paths keep working through these shims.
+pub use pl_serve::{map, partition};
+
 pub use launch::{launch, ClusterHandle, LaunchOptions};
 pub use map::{ClusterMap, MapError};
 pub use partition::Partitioner;
+pub use reconfig::{rebalance, RebalanceAction, RebalanceOptions, ReconfigError, ReconfigReport};
 pub use router::{route, route_with, RouterConfig, RouterEngine, RouterHandle};
-pub use split::{split_all, split_one, SplitError, SplitReport};
+pub use split::{split_all, split_one, stub_all, SplitError, SplitReport};
 pub use trace_merge::{explain as explain_trace, merge as merge_traces, tag_origin};

@@ -46,7 +46,7 @@
 use std::collections::HashMap;
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
 use pl_obs::hist::Histogram;
@@ -55,7 +55,7 @@ use pl_obs::trace::{self, TraceContext};
 use pl_obs::MetricsRegistry;
 use pl_serve::{ClientError, ResilientClient, RetryPolicy};
 use pl_wire::frontend::{self, FrontStats, FrontendHandle, FrontendOptions, QueryEngine};
-use pl_wire::protocol::trace_dump_flags;
+use pl_wire::protocol::{trace_dump_flags, MapSetMode, MapSetRequest, MapSetStatus};
 use pl_wire::{Answer, Query, Snapshot};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -92,7 +92,10 @@ impl Default for RouterConfig {
     }
 }
 
-/// Health state of one backend.
+/// Health state and instruments of one backend, identified by its
+/// *slot* in the router's append-only backend table. Slots are stable
+/// across reconfigurations: a backend that survives an epoch change
+/// keeps its slot (and its counters); a joining backend gets a new one.
 struct BackendState {
     addr: String,
     /// Skipped when ordering candidates; re-probed by the prober.
@@ -101,22 +104,62 @@ struct BackendState {
     strikes: AtomicU64,
     /// Earliest next probe, in ns since router start.
     next_probe_ns: AtomicU64,
+    /// Sub-batches sent here (`plcluster_fanout_total{partition}`).
+    fanout: Arc<Counter>,
+    /// Queries moved *off* this backend (`plcluster_failover_total`).
+    failover: Arc<Counter>,
+    /// Quarantine entries (`plcluster_quarantine_total`).
+    quarantines: Arc<Counter>,
+    /// Downward round-trip ns (`plcluster_backend_ns`).
+    backend_ns: Arc<Histogram>,
+}
+
+impl BackendState {
+    fn new(addr: String, slot: usize, registry: &MetricsRegistry) -> Self {
+        let label = slot.to_string();
+        Self {
+            addr,
+            quarantined: AtomicBool::new(false),
+            strikes: AtomicU64::new(0),
+            next_probe_ns: AtomicU64::new(0),
+            fanout: registry.counter_with("plcluster_fanout_total", &[("partition", &label)]),
+            failover: registry.counter_with("plcluster_failover_total", &[("backend", &label)]),
+            quarantines: registry
+                .counter_with("plcluster_quarantine_total", &[("backend", &label)]),
+            backend_ns: registry.histogram_with("plcluster_backend_ns", &[("backend", &label)]),
+        }
+    }
+}
+
+/// One map's routing view: the parsed map, its serialized bytes (the
+/// `MAP_GET` payload), its partitioner, and the translation from map
+/// backend indices to backend-table slots.
+struct RouteView {
+    map: ClusterMap,
+    map_bytes: Vec<u8>,
+    part: Partitioner,
+    /// `ids[i]` is the table slot of the map's backend `i`.
+    ids: Vec<u32>,
+}
+
+/// The router's routing state: the committed map plus, during a
+/// reconfiguration window, the prepared next-epoch map. While `pending`
+/// is set the router *dual-routes*: each query tries the new map's
+/// owners first and falls back to the old owners on `NOT_OWNED` — so
+/// a vertex whose labels are still in flight keeps answering from its
+/// old owner, and one already migrated answers from its new owner.
+struct RouteState {
+    current: RouteView,
+    pending: Option<RouteView>,
 }
 
 struct Shared {
-    map: ClusterMap,
-    part: Partitioner,
+    route: RwLock<RouteState>,
+    /// Append-only backend table; candidate lists and `Downstream`
+    /// pools are keyed by slot, never by map index.
+    table: RwLock<Vec<Arc<BackendState>>>,
     config: RouterConfig,
-    backends: Vec<BackendState>,
     registry: Arc<MetricsRegistry>,
-    /// Sub-batches sent to each partition (`plcluster_fanout_total`).
-    fanout: Vec<Arc<Counter>>,
-    /// Queries moved *off* each backend (`plcluster_failover_total`).
-    failover: Vec<Arc<Counter>>,
-    /// Quarantine entries per backend.
-    quarantines: Vec<Arc<Counter>>,
-    /// Downward round-trip ns per backend.
-    backend_ns: Vec<Arc<Histogram>>,
     /// Upward batch service time, ns.
     batch_ns: Arc<Histogram>,
     batches: Arc<Counter>,
@@ -124,6 +167,14 @@ struct Shared {
     /// Queries whose whole candidate list failed (answered Overloaded).
     exhausted: Arc<Counter>,
     connections: Arc<Counter>,
+    /// Committed epoch bumps (`plcluster_reconfig_epochs_total`).
+    reconfig_epochs: Arc<Counter>,
+    /// Vertices whose ownership moved across committed epochs.
+    reconfig_moved: Arc<Counter>,
+    /// Queries routed during a dual-map window.
+    reconfig_dual: Arc<Counter>,
+    /// Prepared windows torn down by ABORT.
+    reconfig_rollbacks: Arc<Counter>,
     shutdown: AtomicBool,
     started: Instant,
 }
@@ -133,10 +184,40 @@ impl Shared {
         self.started.elapsed().as_nanos() as u64
     }
 
+    fn backend(&self, slot: u32) -> Arc<BackendState> {
+        Arc::clone(&self.table.read().expect("table lock poisoned")[slot as usize])
+    }
+
+    fn table_len(&self) -> usize {
+        self.table.read().expect("table lock poisoned").len()
+    }
+
+    /// The table slot serving `addr`, appending a fresh entry (with
+    /// fresh counters) the first time an address is seen.
+    fn slot_for(&self, addr: &str) -> u32 {
+        {
+            let table = self.table.read().expect("table lock poisoned");
+            if let Some(slot) = table.iter().position(|s| s.addr == addr) {
+                return slot as u32;
+            }
+        }
+        let mut table = self.table.write().expect("table lock poisoned");
+        if let Some(slot) = table.iter().position(|s| s.addr == addr) {
+            return slot as u32;
+        }
+        let slot = table.len();
+        table.push(Arc::new(BackendState::new(
+            addr.to_string(),
+            slot,
+            &self.registry,
+        )));
+        slot as u32
+    }
+
     fn quarantine(&self, b: u32) {
-        let state = &self.backends[b as usize];
+        let state = self.backend(b);
         if !state.quarantined.swap(true, Ordering::Relaxed) {
-            self.quarantines[b as usize].inc();
+            state.quarantines.inc();
         }
         let strikes = state.strikes.fetch_add(1, Ordering::Relaxed) + 1;
         let mut rng = StdRng::seed_from_u64(self.config.retry.seed ^ u64::from(b) ^ strikes);
@@ -150,22 +231,67 @@ impl Shared {
     }
 
     fn mark_healthy(&self, b: u32) {
-        let state = &self.backends[b as usize];
+        let state = self.backend(b);
         state.quarantined.store(false, Ordering::Relaxed);
         state.strikes.store(0, Ordering::Relaxed);
     }
 
     fn is_quarantined(&self, b: u32) -> bool {
-        self.backends[b as usize]
-            .quarantined
-            .load(Ordering::Relaxed)
+        self.backend(b).quarantined.load(Ordering::Relaxed)
     }
 
-    /// Per-backend liveness flags, the upward HEALTH payload.
+    /// Per-backend liveness flags in current-map order, the upward
+    /// HEALTH payload.
     fn liveness(&self) -> Vec<bool> {
-        (0..self.backends.len() as u32)
-            .map(|b| !self.is_quarantined(b))
+        let route = self.route.read().expect("route lock poisoned");
+        route
+            .current
+            .ids
+            .iter()
+            .map(|&slot| !self.is_quarantined(slot))
             .collect()
+    }
+
+    /// The table slots of the current map's backends, in map order.
+    fn current_slots(&self) -> Vec<u32> {
+        self.route
+            .read()
+            .expect("route lock poisoned")
+            .current
+            .ids
+            .clone()
+    }
+
+    /// One query's candidate slots. Outside a reconfiguration window
+    /// this is the current map's HRW candidate list translated to
+    /// slots; inside the window the pending map's candidates come
+    /// first (new owners may already hold the migrated labels) with
+    /// the current map's as fallback — `NOT_OWNED` failover walks from
+    /// new owners to old owners automatically.
+    fn candidate_slots(&self, u: u32, v: u32) -> Vec<u32> {
+        let route = self.route.read().expect("route lock poisoned");
+        let to_slots = |view: &RouteView| -> Vec<u32> {
+            view.part
+                .candidates(u, v)
+                .into_iter()
+                .map(|b| view.ids[b as usize])
+                .collect()
+        };
+        let mut slots = match route.pending.as_ref() {
+            Some(pending) => {
+                self.reconfig_dual.inc();
+                let mut out = to_slots(pending);
+                for slot in to_slots(&route.current) {
+                    if !out.contains(&slot) {
+                        out.push(slot);
+                    }
+                }
+                out
+            }
+            None => to_slots(&route.current),
+        };
+        slots.dedup();
+        slots
     }
 }
 
@@ -187,11 +313,23 @@ impl QueryEngine for RouterEngine {
     }
 
     fn scheme_tag(&self) -> u8 {
-        self.shared.map.tag
+        self.shared
+            .route
+            .read()
+            .expect("route lock poisoned")
+            .current
+            .map
+            .tag
     }
 
     fn n(&self) -> u32 {
-        self.shared.map.n
+        self.shared
+            .route
+            .read()
+            .expect("route lock poisoned")
+            .current
+            .map
+            .n
     }
 
     fn answer_batch(&self, session: &mut Downstream, queries: &[Query], answers: &mut Vec<Answer>) {
@@ -200,6 +338,95 @@ impl QueryEngine for RouterEngine {
 
     fn health(&self) -> Vec<bool> {
         self.shared.liveness()
+    }
+
+    fn map_payload(&self, _session: &mut Downstream) -> Option<Vec<u8>> {
+        Some(
+            self.shared
+                .route
+                .read()
+                .expect("route lock poisoned")
+                .current
+                .map_bytes
+                .clone(),
+        )
+    }
+
+    /// The router's side of the reconfiguration state machine:
+    /// `Prepare` opens the dual-routing window for an epoch-bumped map,
+    /// `Commit` retires the old map, `Abort` rolls the window back.
+    /// Routers never `Shrink` (they hold no labels).
+    fn map_install(&self, _session: &mut Downstream, req: &MapSetRequest) -> (MapSetStatus, u64) {
+        let shared = &self.shared;
+        let Ok(map) = ClusterMap::from_bytes(&req.map) else {
+            let route = shared.route.read().expect("route lock poisoned");
+            return (MapSetStatus::Failed, route.current.map.epoch);
+        };
+        match req.mode {
+            MapSetMode::Prepare => {
+                let _span = pl_obs::span!("router.reconfig", map.epoch, 0u64);
+                // Resolve slots before taking the route lock: slot_for
+                // may append to the table.
+                if map.backends.is_empty()
+                    || map.replicas == 0
+                    || map.replicas as usize > map.backends.len()
+                {
+                    let route = shared.route.read().expect("route lock poisoned");
+                    return (MapSetStatus::Failed, route.current.map.epoch);
+                }
+                let ids: Vec<u32> = map.backends.iter().map(|a| shared.slot_for(a)).collect();
+                let mut route = shared.route.write().expect("route lock poisoned");
+                if map.n != route.current.map.n || map.tag != route.current.map.tag {
+                    return (MapSetStatus::Failed, route.current.map.epoch);
+                }
+                if map.epoch <= route.current.map.epoch {
+                    return (MapSetStatus::Stale, route.current.map.epoch);
+                }
+                let epoch = map.epoch;
+                let part = map.partitioner();
+                route.pending = Some(RouteView {
+                    map,
+                    map_bytes: req.map.clone(),
+                    part,
+                    ids,
+                });
+                pl_obs::event!("router.reconfig.prepare", epoch);
+                (MapSetStatus::Prepared, epoch)
+            }
+            MapSetMode::Commit => {
+                let _span = pl_obs::span!("router.reconfig", map.epoch, 1u64);
+                let mut route = shared.route.write().expect("route lock poisoned");
+                if map.epoch <= route.current.map.epoch {
+                    return (MapSetStatus::Stale, route.current.map.epoch);
+                }
+                match route.pending.take() {
+                    Some(pending) if pending.map.epoch == map.epoch => {
+                        route.current = pending;
+                        shared.reconfig_epochs.inc();
+                        shared.reconfig_moved.add(req.moved);
+                        pl_obs::event!("router.reconfig.commit", map.epoch, req.moved);
+                        (MapSetStatus::Committed, map.epoch)
+                    }
+                    other => {
+                        route.pending = other;
+                        (MapSetStatus::Failed, route.current.map.epoch)
+                    }
+                }
+            }
+            MapSetMode::Abort => {
+                let _span = pl_obs::span!("router.reconfig", map.epoch, 2u64);
+                let mut route = shared.route.write().expect("route lock poisoned");
+                if route.pending.take().is_some() {
+                    shared.reconfig_rollbacks.inc();
+                    pl_obs::event!("router.reconfig.abort", map.epoch);
+                }
+                (MapSetStatus::Aborted, route.current.map.epoch)
+            }
+            MapSetMode::Shrink => {
+                let route = shared.route.read().expect("route lock poisoned");
+                (MapSetStatus::Unsupported, route.current.map.epoch)
+            }
+        }
     }
 
     /// A cluster-wide trace dump: the router's own rings tagged
@@ -278,6 +505,29 @@ impl RouterHandle {
         self.shared.exhausted.get()
     }
 
+    /// The committed cluster-map epoch the router is routing on.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.shared
+            .route
+            .read()
+            .expect("route lock poisoned")
+            .current
+            .map
+            .epoch
+    }
+
+    /// Whether a prepared (dual-routing) reconfiguration window is open.
+    #[must_use]
+    pub fn reconfiguring(&self) -> bool {
+        self.shared
+            .route
+            .read()
+            .expect("route lock poisoned")
+            .pending
+            .is_some()
+    }
+
     /// Signals shutdown, drains the front-end and joins the prober, and
     /// returns the router's own merged view of its counters.
     pub fn shutdown(self) -> Snapshot {
@@ -303,10 +553,11 @@ fn prometheus_with_ratios(shared: &Shared) -> String {
         .retry
         .deadline
         .unwrap_or(Duration::from_millis(500));
-    for (b, state) in shared.backends.iter().enumerate() {
-        if shared.is_quarantined(b as u32) {
+    for slot in shared.current_slots() {
+        if shared.is_quarantined(slot) {
             continue;
         }
+        let state = shared.backend(slot);
         let Ok(mut client) = pl_serve::Client::connect(&state.addr) else {
             continue;
         };
@@ -324,7 +575,7 @@ fn prometheus_with_ratios(shared: &Shared) -> String {
         };
         p.gauge_f64(
             "plcluster_cache_hit_ratio",
-            &vec![("backend".to_string(), b.to_string())],
+            &vec![("backend".to_string(), slot.to_string())],
             ratio,
         );
     }
@@ -348,7 +599,7 @@ fn cluster_trace_jsonl(shared: &Shared, down: &mut Downstream, snapshot: bool) -
     } else {
         0
     };
-    for b in 0..shared.backends.len() as u32 {
+    for b in shared.current_slots() {
         let Ok(mut client) = down.take(shared, b) else {
             continue;
         };
@@ -381,10 +632,12 @@ fn router_snapshot(shared: &Shared) -> Snapshot {
         max_ns: h.max,
         qps_milli: (queries as f64 / uptime * 1_000.0) as u64,
         shard_cache: shared
-            .fanout
-            .iter()
-            .zip(&shared.failover)
-            .map(|(f, o)| (f.get(), o.get()))
+            .current_slots()
+            .into_iter()
+            .map(|slot| {
+                let state = shared.backend(slot);
+                (state.fanout.get(), state.failover.get())
+            })
             .collect(),
         ..Snapshot::default()
     }
@@ -414,46 +667,39 @@ pub fn route_with(
         .registry
         .clone()
         .unwrap_or_else(|| Arc::new(MetricsRegistry::new()));
-    let per_backend_counter = |name: &str| -> Vec<Arc<Counter>> {
-        (0..map.backends.len())
-            .map(|b| registry.counter_with(name, &[("backend", &b.to_string())]))
-            .collect()
-    };
-    let fanout = (0..map.backends.len())
-        .map(|b| registry.counter_with("plcluster_fanout_total", &[("partition", &b.to_string())]))
-        .collect();
-    let failover = per_backend_counter("plcluster_failover_total");
-    let quarantines = per_backend_counter("plcluster_quarantine_total");
-    let backend_ns = (0..map.backends.len())
-        .map(|b| registry.histogram_with("plcluster_backend_ns", &[("backend", &b.to_string())]))
+    let table: Vec<Arc<BackendState>> = map
+        .backends
+        .iter()
+        .enumerate()
+        .map(|(slot, addr)| Arc::new(BackendState::new(addr.clone(), slot, &registry)))
         .collect();
     let part = map.partitioner();
+    let map_bytes = map.to_bytes();
+    let ids: Vec<u32> = (0..map.backends.len() as u32).collect();
     let shared = Arc::new(Shared {
-        backends: map
-            .backends
-            .iter()
-            .map(|addr| BackendState {
-                addr: addr.clone(),
-                quarantined: AtomicBool::new(false),
-                strikes: AtomicU64::new(0),
-                next_probe_ns: AtomicU64::new(0),
-            })
-            .collect(),
-        part,
+        route: RwLock::new(RouteState {
+            current: RouteView {
+                map,
+                map_bytes,
+                part,
+                ids,
+            },
+            pending: None,
+        }),
+        table: RwLock::new(table),
         config,
         registry: Arc::clone(&registry),
-        fanout,
-        failover,
-        quarantines,
-        backend_ns,
         batch_ns: registry.histogram("plcluster_batch_ns"),
         batches: registry.counter("plcluster_batches_total"),
         queries: registry.counter("plcluster_queries_total"),
         exhausted: registry.counter("plcluster_exhausted_total"),
         connections: registry.counter("plcluster_connections_total"),
+        reconfig_epochs: registry.counter("plcluster_reconfig_epochs_total"),
+        reconfig_moved: registry.counter("plcluster_reconfig_vertices_moved_total"),
+        reconfig_dual: registry.counter("plcluster_reconfig_dual_routed_total"),
+        reconfig_rollbacks: registry.counter("plcluster_reconfig_rollbacks_total"),
         shutdown: AtomicBool::new(false),
         started: Instant::now(),
-        map,
     });
 
     let engine = Arc::new(RouterEngine {
@@ -485,11 +731,11 @@ fn prober_loop(shared: &Arc<Shared>) {
     while !shared.shutdown.load(Ordering::SeqCst) {
         std::thread::sleep(shared.config.probe_interval.min(POLL * 5));
         let now = shared.now_ns();
-        for b in 0..shared.backends.len() as u32 {
+        for b in 0..shared.table_len() as u32 {
             if shared.shutdown.load(Ordering::SeqCst) {
                 return;
             }
-            let state = &shared.backends[b as usize];
+            let state = shared.backend(b);
             if !state.quarantined.load(Ordering::Relaxed)
                 || state.next_probe_ns.load(Ordering::Relaxed) > now
             {
@@ -537,10 +783,7 @@ impl Downstream {
         if let Some(c) = self.clients.remove(&b) {
             return Ok(c);
         }
-        ResilientClient::connect(
-            &shared.backends[b as usize].addr,
-            shared.config.retry.clone(),
-        )
+        ResilientClient::connect(&shared.backend(b).addr, shared.config.retry.clone())
     }
 
     fn put(&mut self, b: u32, client: ResilientClient) {
@@ -590,13 +833,14 @@ fn scatter_round(
                         Ok(c) => c,
                         Err(e) => return (b, queries, Err(e), None),
                     };
-                    shared.fanout[b as usize].inc();
+                    let state = shared.backend(b);
+                    state.fanout.inc();
                     let batch: Vec<Query> = queries.iter().map(|&(_, q)| q).collect();
                     let leg_span = pl_obs::span!("router.leg", u64::from(b), batch.len());
                     let forward = trace::current();
                     let t0 = Instant::now();
                     let out = client.batch_ctx(&batch, forward.as_ref());
-                    shared.backend_ns[b as usize].record(t0.elapsed().as_nanos() as u64);
+                    state.backend_ns.record(t0.elapsed().as_nanos() as u64);
                     drop(leg_span);
                     match out {
                         Ok(answers) => (b, queries, Ok(answers), Some(client)),
@@ -642,7 +886,7 @@ fn answer_batch(shared: &Shared, down: &mut Downstream, queries: &[Query]) -> Ve
     let candidates: Vec<Vec<u32>> = queries
         .iter()
         .map(|q| {
-            let cand = shared.part.candidates(q.u, q.v);
+            let cand = shared.candidate_slots(q.u, q.v);
             let (live, dead): (Vec<u32>, Vec<u32>) =
                 cand.into_iter().partition(|&b| !shared.is_quarantined(b));
             live.into_iter().chain(dead).collect()
@@ -679,7 +923,7 @@ fn answer_batch(shared: &Shared, down: &mut Downstream, queries: &[Query]) -> Ve
                             // the backend's own retries ran dry: move the
                             // query to its next candidate.
                             Answer::NotOwned | Answer::Overloaded => {
-                                shared.failover[b as usize].inc();
+                                shared.backend(b).failover.inc();
                                 next_candidate[*i] += 1;
                             }
                             settled => answers[*i] = Some(settled),
@@ -690,7 +934,7 @@ fn answer_batch(shared: &Shared, down: &mut Downstream, queries: &[Query]) -> Ve
                     // The whole connection failed (backend dead?): every
                     // query in the group fails over.
                     for (i, _) in &queries {
-                        shared.failover[b as usize].inc();
+                        shared.backend(b).failover.inc();
                         next_candidate[*i] += 1;
                     }
                 }
@@ -711,7 +955,7 @@ fn merged_stats(shared: &Shared, down: &mut Downstream) -> Snapshot {
     let mut merged = router_snapshot(shared);
     merged.adj_queries = 0;
     merged.shard_cache.clear();
-    for b in 0..shared.backends.len() as u32 {
+    for b in shared.current_slots() {
         let Ok(mut client) = down.take(shared, b) else {
             merged.shard_cache.push((0, 0));
             continue;

@@ -109,6 +109,46 @@ pub fn split_one(
     ))
 }
 
+/// Reduces *every* vertex to a prelude stub — the sub-store of a
+/// backend that owns nothing yet. A joining backend serves this store
+/// (answering `NotOwned` to everything, which the router fails over)
+/// until a reconfiguration streams its share of full labels in.
+pub fn stub_all(tagged: &TaggedLabeling) -> Result<(TaggedLabeling, SplitReport), SplitError> {
+    if tagged.tag != SchemeTag::Threshold {
+        return Err(SplitError::UnsupportedScheme(tagged.tag));
+    }
+    let mut builder = LabelingBuilder::new();
+    let mut report = SplitReport {
+        owned: 0,
+        stubbed: 0,
+        bits: 0,
+    };
+    for (v, label) in tagged.labeling.iter() {
+        let mut r = label.reader();
+        let stub = (|| {
+            let w = r.try_read_bits(6)? as usize;
+            let id = r.try_read_bits(w)?;
+            let fat = r.try_read_bit()?;
+            let mut wr = BitWriter::new();
+            wr.write_bits(w as u64, 6);
+            wr.write_bits(id, w);
+            wr.write_bit(fat);
+            Some(Label::from(wr))
+        })()
+        .ok_or(SplitError::Malformed(v))?;
+        report.stubbed += 1;
+        report.bits += stub.bit_len() as u64;
+        builder.push_label(&stub);
+    }
+    Ok((
+        TaggedLabeling {
+            tag: tagged.tag,
+            labeling: builder.finish(),
+        },
+        report,
+    ))
+}
+
 /// Cuts every backend's sub-store. `reports[b]` accounts for
 /// `parts[b]`.
 pub fn split_all(

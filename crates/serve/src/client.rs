@@ -25,9 +25,11 @@ use pl_obs::TraceContext;
 
 use crate::metrics::Snapshot;
 use crate::protocol::{
-    encode_batch_ctx, encode_hello_version, encode_trace_dump, opcode, parse_batch_reply,
-    parse_health_reply, parse_hello_ok, parse_stats_reply, read_frame, trace_dump_flags,
-    write_frame, Answer, HealthReport, Query, MIN_VERSION, VERSION,
+    encode_batch_ctx, encode_hello_version, encode_labels, encode_map_get, encode_map_set,
+    encode_trace_dump, opcode, parse_batch_reply, parse_health_reply, parse_hello_ok,
+    parse_labels_ok, parse_map_ok, parse_map_reply, parse_stats_reply, read_frame,
+    trace_dump_flags, write_frame, Answer, HealthReport, LabelsStatus, MapSetMode, MapSetStatus,
+    Query, MIN_VERSION, VERSION,
 };
 
 fn bad_data(msg: impl Into<String>) -> io::Error {
@@ -48,11 +50,23 @@ impl Client {
     /// protocol versions (down to [`MIN_VERSION`]) if the server
     /// rejects the current one.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        Self::connect_deadline(addr, None)
+    }
+
+    /// [`connect`](Self::connect) with the socket deadline applied
+    /// *before* the handshake bytes, so a stalled (rather than dead)
+    /// server cannot wedge the connect forever. The deadline stays in
+    /// force for subsequent requests, as with
+    /// [`set_io_deadline`](Self::set_io_deadline).
+    pub fn connect_deadline(
+        addr: impl ToSocketAddrs,
+        deadline: Option<Duration>,
+    ) -> io::Result<Self> {
         // Resolve once so version-fallback reconnects hit the same host.
         let addrs: Vec<_> = addr.to_socket_addrs()?.collect();
         let mut last_err = bad_data("no addresses resolved");
         for version in (MIN_VERSION..=VERSION).rev() {
-            match Self::connect_version(&addrs[..], version) {
+            match Self::connect_version_deadline(&addrs[..], version, deadline) {
                 Ok(client) => return Ok(client),
                 // Only an explicit rejection means "try an older
                 // version". A transport error (refused, reset, dropped
@@ -68,8 +82,18 @@ impl Client {
 
     /// Connects with one specific protocol version, no fallback.
     pub fn connect_version(addr: impl ToSocketAddrs, version: u8) -> io::Result<Self> {
+        Self::connect_version_deadline(addr, version, None)
+    }
+
+    fn connect_version_deadline(
+        addr: impl ToSocketAddrs,
+        version: u8,
+        deadline: Option<Duration>,
+    ) -> io::Result<Self> {
         let mut stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(deadline)?;
+        stream.set_write_timeout(deadline)?;
         write_frame(&mut stream, &encode_hello_version(version))?;
         let reply = read_frame(&mut stream)?;
         match reply.first() {
@@ -230,6 +254,81 @@ impl Client {
                 String::from_utf8_lossy(&reply[1..])
             ))),
             _ => Err(bad_data("unexpected trace reply")),
+        }
+    }
+
+    /// Fetches the peer's current serialized cluster map (`None` when
+    /// it serves no map yet). Requires protocol version ≥ 6.
+    pub fn map_get(&mut self) -> io::Result<Option<Vec<u8>>> {
+        if self.version < 6 {
+            return Err(bad_data("server too old for MAP_GET (needs v6)"));
+        }
+        write_frame(&mut self.stream, &encode_map_get())?;
+        let reply = read_frame(&mut self.stream)?;
+        match reply.first() {
+            Some(&opcode::MAP_REPLY) => {
+                parse_map_reply(&reply).map_err(|e| bad_data(e.to_string()))
+            }
+            Some(&opcode::ERROR) => Err(bad_data(format!(
+                "server error: {}",
+                String::from_utf8_lossy(&reply[1..])
+            ))),
+            _ => Err(bad_data("unexpected map reply")),
+        }
+    }
+
+    /// Pushes a map-state transition (`prepare`/`commit`/`abort`/
+    /// `shrink`) and returns the peer's verdict plus its current epoch.
+    /// `backend` is the receiver's index in the pushed map (or
+    /// [`crate::protocol::MAP_TARGET_ROUTER`]); `moved` is only
+    /// meaningful on a router commit. Requires protocol version ≥ 6.
+    pub fn map_set(
+        &mut self,
+        mode: MapSetMode,
+        backend: u32,
+        moved: u64,
+        map: &[u8],
+    ) -> io::Result<(MapSetStatus, u64)> {
+        if self.version < 6 {
+            return Err(bad_data("server too old for MAP_SET (needs v6)"));
+        }
+        let body =
+            encode_map_set(mode, backend, moved, map).map_err(|e| bad_data(e.to_string()))?;
+        write_frame(&mut self.stream, &body)?;
+        let reply = read_frame(&mut self.stream)?;
+        match reply.first() {
+            Some(&opcode::MAP_OK) => parse_map_ok(&reply).map_err(|e| bad_data(e.to_string())),
+            Some(&opcode::ERROR) => Err(bad_data(format!(
+                "server error: {}",
+                String::from_utf8_lossy(&reply[1..])
+            ))),
+            _ => Err(bad_data("unexpected map ok")),
+        }
+    }
+
+    /// Streams one frame of migrating labels for the staged epoch and
+    /// returns the peer's verdict plus its buffered-label count.
+    /// Requires protocol version ≥ 6.
+    pub fn push_labels(
+        &mut self,
+        epoch: u64,
+        entries: &[(u32, &[u8])],
+    ) -> io::Result<(LabelsStatus, u32)> {
+        if self.version < 6 {
+            return Err(bad_data("server too old for LABELS (needs v6)"));
+        }
+        let body = encode_labels(epoch, entries).map_err(|e| bad_data(e.to_string()))?;
+        write_frame(&mut self.stream, &body)?;
+        let reply = read_frame(&mut self.stream)?;
+        match reply.first() {
+            Some(&opcode::LABELS_OK) => {
+                parse_labels_ok(&reply).map_err(|e| bad_data(e.to_string()))
+            }
+            Some(&opcode::ERROR) => Err(bad_data(format!(
+                "server error: {}",
+                String::from_utf8_lossy(&reply[1..])
+            ))),
+            _ => Err(bad_data("unexpected labels ok")),
         }
     }
 
@@ -597,9 +696,9 @@ impl ResilientClient {
 
     fn ensure_connected(&mut self) -> Result<&mut Client, ClientError> {
         if self.client.is_none() {
-            let client = Client::connect(&self.addrs[..]).map_err(ClientError::classify)?;
-            client
-                .set_io_deadline(self.policy.deadline)
+            // The deadline covers the handshake too: a stalled server
+            // must not wedge the connect beyond the policy's budget.
+            let client = Client::connect_deadline(&self.addrs[..], self.policy.deadline)
                 .map_err(ClientError::classify)?;
             self.client = Some(client);
         }

@@ -27,6 +27,12 @@
 //!   [`ResilientClient`]: deadlines, bounded backoff with jitter, and
 //!   reconnect-and-replay over the [`ClientError`] retryable/fatal
 //!   taxonomy.
+//! * [`map`] / [`partition`] — the epoch-numbered, FNV-checksummed
+//!   [`ClusterMap`] and the deterministic HRW [`Partitioner`]. They
+//!   moved here from `pl-cluster` for protocol v6 live
+//!   reconfiguration: a backend receiving a `MAP_SET` push validates
+//!   the map and computes its own ownership locally
+//!   (`pl_cluster::{map, partition}` re-export them unchanged).
 //! * [`fault`] — re-export shim over [`pl_wire::fault`], the
 //!   deterministic fault-injection harness ([`FaultPlan`]): seeded
 //!   per-connection delays, drops, truncations, byte flips, and
@@ -42,7 +48,9 @@ pub mod cache;
 pub mod client;
 pub mod fault;
 pub mod format;
+pub mod map;
 pub mod metrics;
+pub mod partition;
 pub mod protocol;
 pub mod server;
 pub mod store;
@@ -51,7 +59,9 @@ pub use client::loadgen::{LoadReport, LoadgenConfig, Skew};
 pub use client::{Client, ClientError, ResilientClient, RetryKind, RetryPolicy};
 pub use fault::{FaultKind, FaultPlan};
 pub use format::{SchemeTag, TaggedLabeling};
+pub use map::{ClusterMap, MapError};
 pub use metrics::Snapshot;
+pub use partition::Partitioner;
 pub use protocol::{Answer, HealthReport, Query, QueryKind};
 pub use server::{serve, serve_with, ServeOptions, ServerHandle, StoreEngine};
 pub use store::{BatchOutcome, LabelStore, QueryPath, StoreConfig, StoreError};

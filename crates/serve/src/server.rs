@@ -50,14 +50,20 @@
 //! per-shard hit ratios and the process-global encode metrics) in
 //! Prometheus text format — `plab serve --prom` exposes it over HTTP.
 
+use std::collections::HashMap;
 use std::net::SocketAddr;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
+use pl_labeling::bits::BitWriter;
+use pl_labeling::{Label, LabelingBuilder};
 use pl_obs::MetricsRegistry;
 use pl_wire::frontend::{self, FrontStats, FrontendHandle, FrontendOptions, QueryEngine};
+use pl_wire::protocol::{LabelsStatus, MapSetMode, MapSetRequest, MapSetStatus};
 
 use crate::fault::FaultPlan;
+use crate::format::{SchemeTag, TaggedLabeling};
+use crate::map::ClusterMap;
 use crate::metrics::{Metrics, Snapshot};
 use crate::protocol::{Answer, Query, QueryKind};
 use crate::store::{BatchOutcome, LabelStore, StoreError};
@@ -96,11 +102,63 @@ pub struct ServeOptions {
 
 /// [`LabelStore`] as a [`QueryEngine`]: answers batches shard-grouped,
 /// records per-query latency and the slow-query log.
+///
+/// Since protocol v6 the store is *swappable*: a `MAP_SET` push stages
+/// an epoch-bumped [`ClusterMap`], `LABELS` pushes buffer re-owned
+/// vertices' full labels (verified byte-identical on arrival), and the
+/// commit rebuilds a replacement store off the serving path and swaps
+/// it in atomically — in-flight batches finish against the store they
+/// started on, so no query is ever dropped or answered from a
+/// half-built store.
 pub struct StoreEngine {
-    store: Arc<LabelStore>,
+    store: RwLock<Arc<LabelStore>>,
     metrics: Metrics,
     /// Slow-query threshold; `u64::MAX` disables.
     slow_query_ns: u64,
+    /// Registry rebuilt stores register their shard counters in;
+    /// families are get-or-create, so a swap reuses the existing
+    /// counters rather than forking them.
+    registry: Arc<MetricsRegistry>,
+    /// The v6 map-install state machine.
+    reconfig: Mutex<ReconfigState>,
+}
+
+/// The backend's view of cluster reconfiguration: the committed epoch
+/// plus an optional staged (prepared but uncommitted) map with the
+/// labels streamed in for it so far.
+#[derive(Default)]
+struct ReconfigState {
+    /// Committed epoch; 0 until the first map push.
+    epoch: u64,
+    /// Serialized current map, answering `MAP_GET`.
+    map: Option<Vec<u8>>,
+    /// This backend's index in the current map.
+    index: u32,
+    pending: Option<PendingMap>,
+}
+
+/// A prepared-but-uncommitted map push.
+struct PendingMap {
+    epoch: u64,
+    map_bytes: Vec<u8>,
+    /// This backend's index in the pending map.
+    index: u32,
+    /// Labels streamed in for the pending epoch, keyed by vertex.
+    labels: HashMap<u32, Vec<u8>>,
+}
+
+/// Reduces a label to its prelude stub (id width, scheme id, fat flag —
+/// nothing after). Total: a stub of a stub is the same stub.
+fn stub_label(label: pl_labeling::LabelRef<'_>) -> Option<Label> {
+    let mut r = label.reader();
+    let w = r.try_read_bits(6)? as usize;
+    let id = r.try_read_bits(w)?;
+    let fat = r.try_read_bit()?;
+    let mut wr = BitWriter::new();
+    wr.write_bits(w as u64, 6);
+    wr.write_bits(id, w);
+    wr.write_bit(fat);
+    Some(Label::from(wr))
 }
 
 /// Per-connection scratch for [`StoreEngine`]: reused across batches so
@@ -122,6 +180,180 @@ fn store_error_answer(e: StoreError) -> Answer {
 }
 
 impl StoreEngine {
+    /// The store currently serving queries.
+    #[must_use]
+    pub fn store(&self) -> Arc<LabelStore> {
+        Arc::clone(&self.store.read().expect("store lock poisoned"))
+    }
+
+    /// The committed reconfiguration epoch (0 until the first map push).
+    #[must_use]
+    pub fn reconfig_epoch(&self) -> u64 {
+        self.reconfig.lock().expect("reconfig lock poisoned").epoch
+    }
+
+    /// Stages an epoch-bumped map: semantic validation (parameters must
+    /// match the serving store), epoch fencing (must be newer than the
+    /// committed epoch), then buffer it for `LABELS` pushes.
+    fn prepare(&self, req: &MapSetRequest) -> (MapSetStatus, u64) {
+        let store = self.store();
+        let mut state = self.reconfig.lock().expect("reconfig lock poisoned");
+        let Ok(map) = ClusterMap::from_bytes(&req.map) else {
+            return (MapSetStatus::Failed, state.epoch);
+        };
+        if map.n != store.n()
+            || map.tag != store.tag().as_u8()
+            || (req.backend as usize) >= map.backends.len()
+            || map.replicas == 0
+        {
+            return (MapSetStatus::Failed, state.epoch);
+        }
+        if map.epoch <= state.epoch {
+            return (MapSetStatus::Stale, state.epoch);
+        }
+        let epoch = map.epoch;
+        // A newer prepare supersedes any staged one (its labels die
+        // with it — the coordinator restreams for the new epoch).
+        state.pending = Some(PendingMap {
+            epoch,
+            map_bytes: req.map.clone(),
+            index: req.backend,
+            labels: HashMap::new(),
+        });
+        (MapSetStatus::Prepared, epoch)
+    }
+
+    /// Commits the staged map: rebuilds the store with the pushed
+    /// labels merged (streamed-in labels override, every other vertex
+    /// keeps its current label bit for bit), swaps it in, and advances
+    /// the epoch. The rebuild runs against a snapshot of the current
+    /// store while that store keeps serving; only the final pointer
+    /// swap takes the write lock.
+    fn commit(&self, req: &MapSetRequest) -> (MapSetStatus, u64) {
+        let old = self.store();
+        let pending = {
+            let mut state = self.reconfig.lock().expect("reconfig lock poisoned");
+            let Ok(map) = ClusterMap::from_bytes(&req.map) else {
+                return (MapSetStatus::Failed, state.epoch);
+            };
+            if map.epoch <= state.epoch {
+                return (MapSetStatus::Stale, state.epoch);
+            }
+            match state.pending.take() {
+                Some(p) if p.epoch == map.epoch => p,
+                other => {
+                    state.pending = other;
+                    return (MapSetStatus::Failed, state.epoch);
+                }
+            }
+        };
+        let mut builder = LabelingBuilder::new();
+        for v in 0..old.n() {
+            if let Some(bytes) = pending.labels.get(&v) {
+                // Verified byte-identical on arrival; decode cannot fail.
+                let (label, _) = Label::from_bytes(bytes).expect("verified label");
+                builder.push_label(&label);
+            } else {
+                let current = old.label(v).expect("v < n");
+                builder.push_label(&current.to_label());
+            }
+        }
+        let rebuilt = Arc::new(
+            LabelStore::with_registry(
+                TaggedLabeling {
+                    tag: old.tag(),
+                    labeling: builder.finish(),
+                },
+                old.config(),
+                &self.registry,
+            )
+            .with_partial(old.is_partial()),
+        );
+        let mut state = self.reconfig.lock().expect("reconfig lock poisoned");
+        *self.store.write().expect("store lock poisoned") = rebuilt;
+        state.epoch = pending.epoch;
+        state.map = Some(pending.map_bytes);
+        state.index = pending.index;
+        (MapSetStatus::Committed, pending.epoch)
+    }
+
+    /// Post-commit cleanup on a losing backend: labels the *current*
+    /// map no longer assigns to this backend shrink back to prelude
+    /// stubs. Threshold labelings only — the same restriction as
+    /// splitting.
+    fn shrink(&self, req: &MapSetRequest) -> (MapSetStatus, u64) {
+        let old = self.store();
+        let (epoch, part, index) = {
+            let state = self.reconfig.lock().expect("reconfig lock poisoned");
+            let Ok(map) = ClusterMap::from_bytes(&req.map) else {
+                return (MapSetStatus::Failed, state.epoch);
+            };
+            if map.epoch != state.epoch {
+                return (MapSetStatus::Stale, state.epoch);
+            }
+            if old.tag() != SchemeTag::Threshold || (req.backend as usize) >= map.backends.len() {
+                return (MapSetStatus::Failed, state.epoch);
+            }
+            (state.epoch, map.partitioner(), req.backend)
+        };
+        let mut builder = LabelingBuilder::new();
+        for v in 0..old.n() {
+            let current = old.label(v).expect("v < n");
+            if part.owns(index, v) {
+                builder.push_label(&current.to_label());
+            } else {
+                let Some(stub) = stub_label(current) else {
+                    return (
+                        MapSetStatus::Failed,
+                        self.reconfig.lock().expect("reconfig lock poisoned").epoch,
+                    );
+                };
+                builder.push_label(&stub);
+            }
+        }
+        let rebuilt = Arc::new(
+            LabelStore::with_registry(
+                TaggedLabeling {
+                    tag: old.tag(),
+                    labeling: builder.finish(),
+                },
+                old.config(),
+                &self.registry,
+            )
+            .with_partial(true),
+        );
+        *self.store.write().expect("store lock poisoned") = rebuilt;
+        (MapSetStatus::Shrunk, epoch)
+    }
+
+    /// Buffers one `LABELS` frame for the staged epoch. All-or-nothing:
+    /// if any label fails verification the whole frame is discarded.
+    /// Verification is byte-identity — the label must decode, consume
+    /// every pushed byte, and re-encode to exactly the pushed bytes.
+    fn buffer_labels(&self, epoch: u64, entries: &[(u32, Vec<u8>)]) -> (LabelsStatus, u32) {
+        let n = self.store().n();
+        let mut state = self.reconfig.lock().expect("reconfig lock poisoned");
+        let Some(pending) = state.pending.as_mut() else {
+            return (LabelsStatus::WrongEpoch, 0);
+        };
+        if epoch != pending.epoch {
+            return (LabelsStatus::WrongEpoch, pending.labels.len() as u32);
+        }
+        for (v, bytes) in entries {
+            let verified = Label::from_bytes(bytes)
+                .ok()
+                .filter(|(label, used)| *used == bytes.len() && label.to_bytes() == *bytes)
+                .is_some();
+            if *v >= n || !verified {
+                return (LabelsStatus::Rejected, pending.labels.len() as u32);
+            }
+        }
+        for (v, bytes) in entries {
+            pending.labels.insert(*v, bytes.clone());
+        }
+        (LabelsStatus::Ok, pending.labels.len() as u32)
+    }
+
     /// Records one query's latency and, at or over the threshold, the
     /// slow-query counter and trace event. The span window is
     /// reconstructed only on the (rare) slow branch so the hot path
@@ -150,14 +382,18 @@ impl QueryEngine for StoreEngine {
     }
 
     fn scheme_tag(&self) -> u8 {
-        self.store.tag().as_u8()
+        self.store().tag().as_u8()
     }
 
     fn n(&self) -> u32 {
-        self.store.n()
+        self.store().n()
     }
 
     fn answer_batch(&self, s: &mut StoreSession, queries: &[Query], answers: &mut Vec<Answer>) {
+        // One store snapshot per batch: a mid-batch map commit swaps
+        // the engine's store, but this batch finishes coherently
+        // against the store it started on.
+        let store = self.store();
         answers.clear();
         answers.resize(queries.len(), Answer::Overloaded);
         s.pairs.clear();
@@ -172,7 +408,7 @@ impl QueryEngine for StoreEngine {
                 QueryKind::Distance => {
                     self.metrics.dist_queries.inc();
                     let t0 = Instant::now();
-                    let answer = match self.store.distance(q.u, q.v) {
+                    let answer = match store.distance(q.u, q.v) {
                         Ok(Some(d)) => Answer::Distance(d),
                         Ok(None) => Answer::Unreachable,
                         Err(e) => store_error_answer(e),
@@ -182,7 +418,7 @@ impl QueryEngine for StoreEngine {
                 }
             }
         }
-        self.store.adjacent_batch_traced(&s.pairs, &mut s.outcomes);
+        store.adjacent_batch_traced(&s.pairs, &mut s.outcomes);
         for ((&(u, v), &slot), outcome) in s.pairs.iter().zip(&s.slots).zip(&s.outcomes) {
             let (answer, path) = match outcome.result {
                 Ok((true, p)) => (Answer::Adjacent, Some(p)),
@@ -195,7 +431,37 @@ impl QueryEngine for StoreEngine {
     }
 
     fn health(&self) -> Vec<bool> {
-        self.store.shard_health()
+        self.store().shard_health()
+    }
+
+    fn map_payload(&self, _s: &mut StoreSession) -> Option<Vec<u8>> {
+        self.reconfig
+            .lock()
+            .expect("reconfig lock poisoned")
+            .map
+            .clone()
+    }
+
+    fn map_install(&self, _s: &mut StoreSession, req: &MapSetRequest) -> (MapSetStatus, u64) {
+        match req.mode {
+            MapSetMode::Prepare => self.prepare(req),
+            MapSetMode::Commit => self.commit(req),
+            MapSetMode::Abort => {
+                let mut state = self.reconfig.lock().expect("reconfig lock poisoned");
+                state.pending = None;
+                (MapSetStatus::Aborted, state.epoch)
+            }
+            MapSetMode::Shrink => self.shrink(req),
+        }
+    }
+
+    fn labels_install(
+        &self,
+        _s: &mut StoreSession,
+        epoch: u64,
+        entries: &[(u32, Vec<u8>)],
+    ) -> (LabelsStatus, u32) {
+        self.buffer_labels(epoch, entries)
     }
 
     fn wire_stats(&self, _s: &mut StoreSession, front: &FrontStats) -> Snapshot {
@@ -205,7 +471,7 @@ impl QueryEngine for StoreEngine {
     fn local_snapshot(&self, front: &FrontStats) -> Snapshot {
         front.metrics.snapshot(
             front.started,
-            &self.store.shard_cache_counts(),
+            &self.store().shard_cache_counts(),
             front.faults.total(),
         )
     }
@@ -239,7 +505,6 @@ fn prometheus_text(registry: &MetricsRegistry, store: &LabelStore) -> String {
 /// [`shutdown`](Self::shutdown) aborts rather than drains.
 pub struct ServerHandle {
     front: FrontendHandle<StoreEngine>,
-    store: Arc<LabelStore>,
     registry: Arc<MetricsRegistry>,
 }
 
@@ -282,16 +547,25 @@ impl ServerHandle {
     /// metrics).
     #[must_use]
     pub fn prometheus_text(&self) -> String {
-        prometheus_text(&self.registry, &self.store)
+        prometheus_text(&self.registry, &self.front.engine().store())
     }
 
     /// A closure rendering [`prometheus_text`](Self::prometheus_text)
     /// on demand — plug it straight into [`pl_obs::http::expose`].
+    /// Reads the engine's *current* store each render, so a
+    /// reconfiguration swap is reflected on the next scrape.
     #[must_use]
     pub fn prometheus_renderer(&self) -> pl_obs::http::RenderFn {
         let registry = Arc::clone(&self.registry);
-        let store = Arc::clone(&self.store);
-        Arc::new(move || prometheus_text(&registry, &store))
+        let engine = Arc::clone(self.front.engine());
+        Arc::new(move || prometheus_text(&registry, &engine.store()))
+    }
+
+    /// The committed reconfiguration epoch (0 until the first map
+    /// push).
+    #[must_use]
+    pub fn reconfig_epoch(&self) -> u64 {
+        self.front.engine().reconfig_epoch()
     }
 
     /// Signals shutdown, waits for every connection to drain, and
@@ -317,9 +591,11 @@ pub fn serve_with(
         .registry
         .unwrap_or_else(|| Arc::new(MetricsRegistry::new()));
     let engine = Arc::new(StoreEngine {
-        store: Arc::clone(&store),
+        store: RwLock::new(store),
         metrics: Metrics::new(&registry),
         slow_query_ns: options.slow_query_ns.unwrap_or(u64::MAX),
+        registry: Arc::clone(&registry),
+        reconfig: Mutex::new(ReconfigState::default()),
     });
     let front = frontend::bind(
         engine,
@@ -333,9 +609,5 @@ pub fn serve_with(
             max_version: options.max_version,
         },
     )?;
-    Ok(ServerHandle {
-        front,
-        store,
-        registry,
-    })
+    Ok(ServerHandle { front, registry })
 }

@@ -221,6 +221,9 @@ pub struct LabelStore {
     /// stubs, and unanswerable queries report [`StoreError::NotOwned`]
     /// instead of [`StoreError::Malformed`].
     partial: bool,
+    /// The config this store was built with, so a reconfiguration swap
+    /// can rebuild a replacement with identical sharding.
+    config: StoreConfig,
 }
 
 impl std::fmt::Debug for LabelStore {
@@ -277,7 +280,14 @@ impl LabelStore {
             shard_hits: shard_counter("plserve_cache_hits_total"),
             shard_misses: shard_counter("plserve_cache_misses_total"),
             partial: false,
+            config,
         }
+    }
+
+    /// The config this store was built with.
+    #[must_use]
+    pub fn config(&self) -> StoreConfig {
+        self.config
     }
 
     /// Marks the store as a cluster-partition sub-store (see the module

@@ -40,9 +40,11 @@ use pl_obs::MetricsRegistry;
 
 use crate::fault::{FaultCounters, FaultInjector, FaultKind, FaultPlan};
 use crate::protocol::{
-    encode_batch_reply_into, encode_health_reply_into, encode_hello_ok_into,
-    encode_stats_reply_into, opcode, parse_batch_ctx, parse_hello, parse_trace_dump,
-    trace_dump_flags, write_frame_vectored, Answer, FrameBuffer, Query, MAX_FRAME, VERSION,
+    encode_batch_reply_into, encode_health_reply_into, encode_hello_ok_into, encode_labels_ok,
+    encode_map_ok, encode_map_reply, encode_stats_reply_into, opcode, parse_batch_ctx, parse_hello,
+    parse_labels, parse_map_get, parse_map_set, parse_trace_dump, trace_dump_flags,
+    write_frame_vectored, Answer, FrameBuffer, LabelsStatus, MapSetRequest, MapSetStatus, Query,
+    MAX_FRAME, VERSION,
 };
 use crate::stats::{Metrics, Snapshot};
 
@@ -98,6 +100,41 @@ pub trait QueryEngine: Send + Sync + 'static {
         } else {
             pl_obs::trace::drain_jsonl()
         }
+    }
+
+    /// The engine's current serialized cluster map, answering a v6
+    /// `MAP_GET`. Engines that serve no cluster map (a standalone
+    /// backend before any map push, or a plain single-node server)
+    /// return `None`, which the front-end encodes as an empty
+    /// `MAP_REPLY`.
+    fn map_payload(&self, session: &mut Self::Session) -> Option<Vec<u8>> {
+        let _ = session;
+        None
+    }
+
+    /// Applies a v6 `MAP_SET` push (prepare/commit/abort/shrink an
+    /// epoch-bumped cluster map) and returns the verdict plus the
+    /// engine's current epoch afterwards. The blob arrives already
+    /// structurally validated (magic + self-checksum); semantic
+    /// validation — epoch ordering, map parameters — is the engine's.
+    /// The default refuses: reconfiguration is opt-in per engine.
+    fn map_install(&self, session: &mut Self::Session, req: &MapSetRequest) -> (MapSetStatus, u64) {
+        let _ = (session, req);
+        (MapSetStatus::Unsupported, 0)
+    }
+
+    /// Buffers a v6 `LABELS` migration push for the staged epoch and
+    /// returns the verdict plus the labels accepted so far this epoch.
+    /// The frame checksum has already been verified; per-label
+    /// byte-identity verification is the engine's. The default refuses.
+    fn labels_install(
+        &self,
+        session: &mut Self::Session,
+        epoch: u64,
+        entries: &[(u32, Vec<u8>)],
+    ) -> (LabelsStatus, u32) {
+        let _ = (session, epoch, entries);
+        (LabelsStatus::Unsupported, 0)
     }
 
     /// Snapshot answering a wire STATS request. A router merges
@@ -557,6 +594,65 @@ impl<E: QueryEngine> Conn<'_, E> {
                 send(stream, &self.shared.stats, &mut self.injector, &self.reply)?;
                 Ok(true)
             }
+            Some(opcode::MAP_GET) => {
+                if version < 6 {
+                    self.shared.stats.metrics.protocol_errors.inc();
+                    self.send_error(stream, "MAP_GET requires protocol version 6")?;
+                    return Ok(false);
+                }
+                if let Err(e) = parse_map_get(body) {
+                    self.shared.stats.metrics.protocol_errors.inc();
+                    self.send_error(stream, &e.to_string())?;
+                    return Ok(false);
+                }
+                let map = self.shared.engine.map_payload(&mut self.session);
+                let reply = encode_map_reply(map.as_deref());
+                send(stream, &self.shared.stats, &mut self.injector, &reply)?;
+                Ok(true)
+            }
+            Some(opcode::MAP_SET) => {
+                if version < 6 {
+                    self.shared.stats.metrics.protocol_errors.inc();
+                    self.send_error(stream, "MAP_SET requires protocol version 6")?;
+                    return Ok(false);
+                }
+                // A checksum-tampered or truncated map push dies here,
+                // before the engine ever sees it.
+                let req = match parse_map_set(body) {
+                    Ok(req) => req,
+                    Err(e) => {
+                        self.shared.stats.metrics.protocol_errors.inc();
+                        self.send_error(stream, &e.to_string())?;
+                        return Ok(false);
+                    }
+                };
+                let (status, epoch) = self.shared.engine.map_install(&mut self.session, &req);
+                let reply = encode_map_ok(status, epoch);
+                send(stream, &self.shared.stats, &mut self.injector, &reply)?;
+                Ok(true)
+            }
+            Some(opcode::LABELS) => {
+                if version < 6 {
+                    self.shared.stats.metrics.protocol_errors.inc();
+                    self.send_error(stream, "LABELS requires protocol version 6")?;
+                    return Ok(false);
+                }
+                let (epoch, entries) = match parse_labels(body) {
+                    Ok(parsed) => parsed,
+                    Err(e) => {
+                        self.shared.stats.metrics.protocol_errors.inc();
+                        self.send_error(stream, &e.to_string())?;
+                        return Ok(false);
+                    }
+                };
+                let (status, received) =
+                    self.shared
+                        .engine
+                        .labels_install(&mut self.session, epoch, &entries);
+                let reply = encode_labels_ok(status, received);
+                send(stream, &self.shared.stats, &mut self.injector, &reply)?;
+                Ok(true)
+            }
             Some(opcode::GOODBYE) => {
                 send(
                     stream,
@@ -697,8 +793,8 @@ fn send(
 mod tests {
     use super::*;
     use crate::protocol::{
-        encode_batch, encode_hello_version, parse_batch_reply, parse_hello_ok, read_frame,
-        write_frame,
+        encode_batch, encode_hello_version, encode_map_get, parse_batch_reply, parse_hello_ok,
+        parse_map_reply, read_frame, write_frame,
     };
 
     /// A constant-answer engine: NotAdjacent for everything.
@@ -764,5 +860,37 @@ mod tests {
         let snap = front.shutdown();
         assert_eq!(snap.batches, 1);
         assert!(snap.shed >= 1, "shed counter: {}", snap.shed);
+    }
+
+    #[test]
+    fn map_opcodes_are_gated_on_v6_and_default_to_unsupported() {
+        let front = bind(
+            Arc::new(EchoEngine),
+            "127.0.0.1:0",
+            FrontendOptions::default(),
+        )
+        .expect("bind");
+
+        // On a v5 session the v6 opcodes are refused with ERROR.
+        let mut old = TcpStream::connect(front.addr()).expect("connect");
+        write_frame(&mut old, &encode_hello_version(5)).expect("hello");
+        let _ = read_frame(&mut old).expect("hello_ok");
+        write_frame(&mut old, &encode_map_get()).expect("map_get");
+        let err = read_frame(&mut old).expect("error frame");
+        assert_eq!(err.first(), Some(&opcode::ERROR));
+        assert!(String::from_utf8_lossy(&err[1..]).contains("version 6"));
+
+        // On a v6 session a map-less engine answers an empty MAP_REPLY.
+        let mut new = TcpStream::connect(front.addr()).expect("connect");
+        write_frame(&mut new, &encode_hello_version(6)).expect("hello");
+        let ok = read_frame(&mut new).expect("hello_ok");
+        assert_eq!(parse_hello_ok(&ok), Ok((6, 7, 100)));
+        write_frame(&mut new, &encode_map_get()).expect("map_get");
+        let reply = read_frame(&mut new).expect("map_reply");
+        assert_eq!(parse_map_reply(&reply), Ok(None));
+
+        drop(old);
+        drop(new);
+        front.shutdown();
     }
 }

@@ -39,8 +39,16 @@ use crate::stats::Snapshot;
 /// and an optional flag byte on `TRACE_DUMP` selecting a non-consuming
 /// snapshot drain. Both are strictly optional — a v5 client talking to
 /// a v4 server negotiates down and silently drops the context; it is
-/// never a hard failure. Frame layouts are otherwise identical to v4.
-pub const VERSION: u8 = 5;
+/// never a hard failure. Version 6 adds live cluster reconfiguration:
+/// `MAP_GET`/`MAP_REPLY` to read a peer's current cluster map,
+/// `MAP_SET`/`MAP_OK` to stage, commit, abort, or shrink-apply an
+/// epoch-bumped map push (the blob is the self-checksummed `ClusterMap`
+/// serialization; a tampered or truncated push is rejected at this
+/// layer), and `LABELS`/`LABELS_OK` to stream re-owned vertices' full
+/// labels — FNV-checksummed per frame — into a gaining backend during a
+/// rebalance. All three opcodes are refused on pre-v6 sessions; query
+/// frames are byte-identical to v5, so old clients are unaffected.
+pub const VERSION: u8 = 6;
 
 /// Oldest protocol version this build still accepts. Version-1 sessions
 /// get the original twelve-field STATS reply.
@@ -90,6 +98,14 @@ pub mod opcode {
     pub const TRACE_DUMP: u8 = 0x04;
     /// Ask for shard liveness (v3+): reply is `HEALTH_REPLY`.
     pub const HEALTH: u8 = 0x05;
+    /// Read the peer's current cluster map (v6+): reply is `MAP_REPLY`.
+    pub const MAP_GET: u8 = 0x06;
+    /// Push an epoch-bumped cluster map (v6+): prepare, commit, abort,
+    /// or shrink-apply. Reply is `MAP_OK`.
+    pub const MAP_SET: u8 = 0x07;
+    /// Stream full labels for re-owned vertices into a gaining backend
+    /// during a rebalance (v6+): reply is `LABELS_OK`.
+    pub const LABELS: u8 = 0x08;
     /// Handshake accepted: version + scheme tag + vertex count.
     pub const HELLO_OK: u8 = 0x80;
     /// Answers, one per query, in order.
@@ -106,6 +122,12 @@ pub mod opcode {
     pub const OVERLOADED: u8 = 0x85;
     /// Shard-liveness report (v3): status byte + per-shard flags.
     pub const HEALTH_REPLY: u8 = 0x86;
+    /// The peer's current cluster map, if it has one (v6).
+    pub const MAP_REPLY: u8 = 0x87;
+    /// Outcome of a `MAP_SET`: status byte + the peer's epoch (v6).
+    pub const MAP_OK: u8 = 0x88;
+    /// Outcome of a `LABELS` push: status byte + labels received (v6).
+    pub const LABELS_OK: u8 = 0x89;
     /// Fatal per-connection error, body is a UTF-8 message.
     pub const ERROR: u8 = 0x8F;
 }
@@ -693,6 +715,359 @@ pub fn parse_health_reply(body: &[u8]) -> Result<HealthReport, ProtocolError> {
     Ok(HealthReport { healthy, shards })
 }
 
+/// The sentinel value of the `MAP_SET` backend-index field addressing a
+/// router rather than a backend: routers dual-route during the window,
+/// backends install partitions, and the index field tells the receiver
+/// which role (and which partition) the pushed map assigns it.
+pub const MAP_TARGET_ROUTER: u32 = u32::MAX;
+
+/// What a `MAP_SET` push asks the receiver to do with the map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum MapSetMode {
+    /// Stage the epoch-bumped map without serving from it yet. A
+    /// backend buffers it and starts accepting `LABELS` for its epoch;
+    /// a router opens the dual-routing window (try new owners first,
+    /// fall back to the old map on `ANS_NOT_OWNED`).
+    Prepare = 0,
+    /// Make the prepared map current. A backend swaps in the rebuilt
+    /// store (pushed labels merged); a router retires the old map.
+    Commit = 1,
+    /// Discard the prepared map and return to the current epoch.
+    Abort = 2,
+    /// Post-commit cleanup on a losing backend: shrink labels the
+    /// current map no longer assigns to it back to prelude stubs.
+    Shrink = 3,
+}
+
+impl MapSetMode {
+    fn from_byte(b: u8) -> Option<Self> {
+        Some(match b {
+            0 => Self::Prepare,
+            1 => Self::Commit,
+            2 => Self::Abort,
+            3 => Self::Shrink,
+            _ => return None,
+        })
+    }
+}
+
+/// The receiver's verdict on a `MAP_SET`, carried in `MAP_OK` together
+/// with the receiver's (possibly unchanged) current epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum MapSetStatus {
+    /// The map is staged; `LABELS` pushes for its epoch are accepted.
+    Prepared = 0,
+    /// The staged map is now current.
+    Committed = 1,
+    /// The staged map was discarded.
+    Aborted = 2,
+    /// Re-homed labels were shrunk back to prelude stubs.
+    Shrunk = 3,
+    /// The pushed epoch is not newer than the receiver's current epoch
+    /// (stale or equal) — the epoch field of the reply carries the
+    /// receiver's current epoch so the pusher can re-read and retry.
+    Stale = 4,
+    /// The receiving engine does not participate in reconfiguration.
+    Unsupported = 5,
+    /// The request was well-formed but could not be applied (no staged
+    /// map to commit, map parameters disagree with the serving store,
+    /// a pushed label failed verification, ...).
+    Failed = 6,
+}
+
+impl MapSetStatus {
+    fn from_byte(b: u8) -> Option<Self> {
+        Some(match b {
+            0 => Self::Prepared,
+            1 => Self::Committed,
+            2 => Self::Aborted,
+            3 => Self::Shrunk,
+            4 => Self::Stale,
+            5 => Self::Unsupported,
+            6 => Self::Failed,
+            _ => return None,
+        })
+    }
+}
+
+/// The receiver's verdict on a `LABELS` push, carried in `LABELS_OK`
+/// together with the count of labels accepted so far this epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum LabelsStatus {
+    /// All labels of this frame were verified and buffered.
+    Ok = 0,
+    /// The frame's epoch does not match the staged map's epoch.
+    WrongEpoch = 1,
+    /// A label failed verification (not byte-identical after a decode
+    /// round-trip, or out of range) — the whole frame is discarded.
+    Rejected = 2,
+    /// The receiving engine does not accept label pushes.
+    Unsupported = 3,
+}
+
+impl LabelsStatus {
+    fn from_byte(b: u8) -> Option<Self> {
+        Some(match b {
+            0 => Self::Ok,
+            1 => Self::WrongEpoch,
+            2 => Self::Rejected,
+            3 => Self::Unsupported,
+            _ => return None,
+        })
+    }
+}
+
+/// A parsed `MAP_SET` request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MapSetRequest {
+    /// What to do with the map.
+    pub mode: MapSetMode,
+    /// The receiver's index in the pushed map's backend list, or
+    /// [`MAP_TARGET_ROUTER`] when the receiver is a router.
+    pub backend: u32,
+    /// On a router `Commit`: the number of vertices whose ownership the
+    /// new map moved (feeds `plcluster_reconfig_vertices_moved_total`).
+    /// Zero otherwise.
+    pub moved: u64,
+    /// The serialized cluster map, already structurally validated
+    /// ([`validate_map_blob`]).
+    pub map: Vec<u8>,
+}
+
+/// Structural validation of a pushed map blob: the `"PLCM"` magic, the
+/// minimum fixed-layout size, and the trailing FNV-1a-32 self-checksum
+/// the `ClusterMap` serialization carries. The wire layer treats the
+/// blob as opaque beyond this — semantic parsing lives with the engine
+/// — but a bit-flipped or truncated push is rejected here, before any
+/// engine sees it.
+pub fn validate_map_blob(map: &[u8]) -> Result<(), ProtocolError> {
+    if map.len() < 36 || map[..4] != *b"PLCM" {
+        return Err(ProtocolError::Malformed("map blob"));
+    }
+    let (payload, sum) = map.split_at(map.len() - 4);
+    let declared = u32::from_le_bytes(sum.try_into().expect("4 bytes"));
+    if checksum(payload) != declared {
+        return Err(ProtocolError::ChecksumMismatch);
+    }
+    Ok(())
+}
+
+/// Builds a MAP_GET body (opcode only).
+#[must_use]
+pub fn encode_map_get() -> Vec<u8> {
+    vec![opcode::MAP_GET]
+}
+
+/// Parses a MAP_GET body.
+pub fn parse_map_get(body: &[u8]) -> Result<(), ProtocolError> {
+    if body != [opcode::MAP_GET] {
+        return Err(ProtocolError::Malformed("map get"));
+    }
+    Ok(())
+}
+
+/// Builds a MAP_REPLY body: a presence byte, then the map blob when the
+/// peer has one.
+#[must_use]
+pub fn encode_map_reply(map: Option<&[u8]>) -> Vec<u8> {
+    let mut b = Vec::with_capacity(2 + map.map_or(0, <[u8]>::len));
+    b.push(opcode::MAP_REPLY);
+    match map {
+        Some(bytes) => {
+            b.push(1);
+            b.extend_from_slice(bytes);
+        }
+        None => b.push(0),
+    }
+    b
+}
+
+/// Parses a MAP_REPLY body; a present map blob is structurally
+/// validated before it is returned.
+pub fn parse_map_reply(body: &[u8]) -> Result<Option<Vec<u8>>, ProtocolError> {
+    match body {
+        [op, 0] if *op == opcode::MAP_REPLY => Ok(None),
+        [op, 1, rest @ ..] if *op == opcode::MAP_REPLY => {
+            validate_map_blob(rest)?;
+            Ok(Some(rest.to_vec()))
+        }
+        _ => Err(ProtocolError::Malformed("map reply")),
+    }
+}
+
+/// Builds a MAP_SET body:
+///
+/// ```text
+/// 0x07 | mode u8 | backend u32 | moved u64 | map blob
+/// ```
+///
+/// # Errors
+///
+/// `Malformed`/`ChecksumMismatch` if the map blob fails
+/// [`validate_map_blob`] — a pusher cannot emit a push its receiver
+/// would reject — or if the frame would exceed [`MAX_FRAME`].
+pub fn encode_map_set(
+    mode: MapSetMode,
+    backend: u32,
+    moved: u64,
+    map: &[u8],
+) -> Result<Vec<u8>, ProtocolError> {
+    validate_map_blob(map)?;
+    if 14 + map.len() > MAX_FRAME {
+        return Err(ProtocolError::Malformed("map set too large"));
+    }
+    let mut b = Vec::with_capacity(14 + map.len());
+    b.push(opcode::MAP_SET);
+    b.push(mode as u8);
+    b.extend_from_slice(&backend.to_le_bytes());
+    b.extend_from_slice(&moved.to_le_bytes());
+    b.extend_from_slice(map);
+    Ok(b)
+}
+
+/// Parses a MAP_SET body, structurally validating the map blob (a
+/// checksum-tampered push fails here with
+/// [`ProtocolError::ChecksumMismatch`]).
+pub fn parse_map_set(body: &[u8]) -> Result<MapSetRequest, ProtocolError> {
+    if body.len() < 14 || body[0] != opcode::MAP_SET {
+        return Err(ProtocolError::Malformed("map set header"));
+    }
+    let mode = MapSetMode::from_byte(body[1]).ok_or(ProtocolError::Malformed("map set mode"))?;
+    let backend = u32::from_le_bytes(body[2..6].try_into().expect("4 bytes"));
+    let moved = u64::from_le_bytes(body[6..14].try_into().expect("8 bytes"));
+    let map = &body[14..];
+    validate_map_blob(map)?;
+    Ok(MapSetRequest {
+        mode,
+        backend,
+        moved,
+        map: map.to_vec(),
+    })
+}
+
+/// Builds a MAP_OK body: status byte + the receiver's current epoch
+/// (after the request took effect, or unchanged when it was refused).
+#[must_use]
+pub fn encode_map_ok(status: MapSetStatus, epoch: u64) -> Vec<u8> {
+    let mut b = Vec::with_capacity(10);
+    b.push(opcode::MAP_OK);
+    b.push(status as u8);
+    b.extend_from_slice(&epoch.to_le_bytes());
+    b
+}
+
+/// Parses a MAP_OK body into `(status, epoch)`.
+pub fn parse_map_ok(body: &[u8]) -> Result<(MapSetStatus, u64), ProtocolError> {
+    if body.len() != 10 || body[0] != opcode::MAP_OK {
+        return Err(ProtocolError::Malformed("map ok"));
+    }
+    let status = MapSetStatus::from_byte(body[1]).ok_or(ProtocolError::Malformed("map status"))?;
+    let epoch = u64::from_le_bytes(body[2..10].try_into().expect("8 bytes"));
+    Ok((status, epoch))
+}
+
+/// Builds a LABELS body:
+///
+/// ```text
+/// 0x08 | epoch u64 | count u16 | count × (vertex u32, len u32, bytes)
+///      | FNV-1a-32 u32 over every preceding body byte
+/// ```
+///
+/// Each entry's bytes are one serialized label record
+/// (`Label::to_bytes` form). The trailing checksum makes migration
+/// pushes tamper-evident end to end: a flipped label bit is caught on
+/// arrival, never merged into a store.
+///
+/// # Errors
+///
+/// `Malformed` if the entry count exceeds [`MAX_BATCH`] or the frame
+/// would exceed [`MAX_FRAME`].
+pub fn encode_labels(epoch: u64, entries: &[(u32, &[u8])]) -> Result<Vec<u8>, ProtocolError> {
+    if entries.len() > MAX_BATCH {
+        return Err(ProtocolError::Malformed("too many labels"));
+    }
+    let payload: usize = entries.iter().map(|(_, bytes)| 8 + bytes.len()).sum();
+    if 11 + payload + 4 > MAX_FRAME {
+        return Err(ProtocolError::Malformed("labels frame too large"));
+    }
+    let mut b = Vec::with_capacity(11 + payload + 4);
+    b.push(opcode::LABELS);
+    b.extend_from_slice(&epoch.to_le_bytes());
+    b.extend_from_slice(&(entries.len() as u16).to_le_bytes());
+    for (vertex, bytes) in entries {
+        b.extend_from_slice(&vertex.to_le_bytes());
+        b.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        b.extend_from_slice(bytes);
+    }
+    let sum = checksum(&b);
+    b.extend_from_slice(&sum.to_le_bytes());
+    Ok(b)
+}
+
+/// `(vertex, label bytes)` entries carried by one LABELS frame.
+pub type LabelEntries = Vec<(u32, Vec<u8>)>;
+
+/// Parses a LABELS body into `(epoch, entries)`, verifying the trailing
+/// checksum first — corruption anywhere in the frame surfaces as
+/// [`ProtocolError::ChecksumMismatch`] before a single label is
+/// extracted.
+pub fn parse_labels(body: &[u8]) -> Result<(u64, LabelEntries), ProtocolError> {
+    if body.len() < 15 || body[0] != opcode::LABELS {
+        return Err(ProtocolError::Malformed("labels header"));
+    }
+    let (payload, sum) = body.split_at(body.len() - 4);
+    let declared = u32::from_le_bytes(sum.try_into().expect("4 bytes"));
+    if checksum(payload) != declared {
+        return Err(ProtocolError::ChecksumMismatch);
+    }
+    let epoch = u64::from_le_bytes(payload[1..9].try_into().expect("8 bytes"));
+    let count = u16::from_le_bytes(payload[9..11].try_into().expect("2 bytes")) as usize;
+    let mut entries = Vec::with_capacity(count.min(MAX_BATCH));
+    let mut pos = 11;
+    for _ in 0..count {
+        let header = payload
+            .get(pos..pos + 8)
+            .ok_or(ProtocolError::Malformed("truncated label entry"))?;
+        let vertex = u32::from_le_bytes(header[..4].try_into().expect("4 bytes"));
+        let len = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) as usize;
+        pos += 8;
+        let bytes = payload
+            .get(pos..pos + len)
+            .ok_or(ProtocolError::Malformed("truncated label bytes"))?;
+        pos += len;
+        entries.push((vertex, bytes.to_vec()));
+    }
+    if pos != payload.len() {
+        return Err(ProtocolError::Malformed("trailing label bytes"));
+    }
+    Ok((epoch, entries))
+}
+
+/// Builds a LABELS_OK body: status byte + labels accepted so far this
+/// epoch (u32 LE).
+#[must_use]
+pub fn encode_labels_ok(status: LabelsStatus, received: u32) -> Vec<u8> {
+    let mut b = Vec::with_capacity(6);
+    b.push(opcode::LABELS_OK);
+    b.push(status as u8);
+    b.extend_from_slice(&received.to_le_bytes());
+    b
+}
+
+/// Parses a LABELS_OK body into `(status, received)`.
+pub fn parse_labels_ok(body: &[u8]) -> Result<(LabelsStatus, u32), ProtocolError> {
+    if body.len() != 6 || body[0] != opcode::LABELS_OK {
+        return Err(ProtocolError::Malformed("labels ok"));
+    }
+    let status =
+        LabelsStatus::from_byte(body[1]).ok_or(ProtocolError::Malformed("labels status"))?;
+    let received = u32::from_le_bytes(body[2..6].try_into().expect("4 bytes"));
+    Ok((status, received))
+}
+
 /// Builds a STATS_REPLY body in the layout of the session's negotiated
 /// `version`: v1 sessions get the original twelve-field reply, v2 the
 /// extended layout with quantiles, min/max, and per-shard counters, and
@@ -892,7 +1267,7 @@ mod tests {
         };
         // Pre-fill each buffer with junk: `_into` must clear first.
         let mut buf = vec![0xAA; 32];
-        for version in [1, 2, 3, 4, 5] {
+        for version in [1, 2, 3, 4, 5, 6] {
             encode_batch_reply_into(&answers, version, &mut buf);
             assert_eq!(buf, encode_batch_reply(&answers, version));
             encode_stats_reply_into(&snap, version, &mut buf);
@@ -925,7 +1300,7 @@ mod tests {
             Answer::OutOfRange,
             Answer::Unsupported,
         ];
-        for version in [1, 2, 3, 4, 5] {
+        for version in [1, 2, 3, 4, 5, 6] {
             assert_eq!(
                 parse_batch_reply(&encode_batch_reply(&answers, version), version).unwrap(),
                 answers,
@@ -1011,6 +1386,189 @@ mod tests {
         assert!(parse_health_reply(&lying).is_err());
     }
 
+    /// A minimal, structurally valid map blob: "PLCM" magic, arbitrary
+    /// body bytes up to the fixed-layout minimum, trailing FNV-1a-32
+    /// self-checksum.
+    fn fake_map_blob() -> Vec<u8> {
+        let mut b = Vec::new();
+        b.extend_from_slice(b"PLCM");
+        b.push(1); // map format version
+        b.extend_from_slice(&7u64.to_le_bytes()); // epoch
+        b.extend_from_slice(&0xDEAD_BEEFu64.to_le_bytes()); // seed
+        b.extend_from_slice(&2u32.to_le_bytes()); // replicas
+        b.extend_from_slice(&100u32.to_le_bytes()); // n
+        b.push(2); // scheme tag
+        b.extend_from_slice(&1u16.to_le_bytes()); // backend count
+        b.extend_from_slice(&4u16.to_le_bytes());
+        b.extend_from_slice(b"a:91");
+        let sum = checksum(&b);
+        b.extend_from_slice(&sum.to_le_bytes());
+        b
+    }
+
+    #[test]
+    fn map_get_round_trip() {
+        assert_eq!(parse_map_get(&encode_map_get()), Ok(()));
+        assert!(parse_map_get(&[]).is_err());
+        assert!(parse_map_get(&[opcode::MAP_GET, 0]).is_err());
+        assert!(parse_map_get(&[opcode::BATCH]).is_err());
+    }
+
+    #[test]
+    fn map_reply_round_trip() {
+        let blob = fake_map_blob();
+        assert_eq!(
+            parse_map_reply(&encode_map_reply(Some(&blob))).unwrap(),
+            Some(blob.clone())
+        );
+        assert_eq!(parse_map_reply(&encode_map_reply(None)).unwrap(), None);
+        // A tampered blob inside the reply is caught by the
+        // self-checksum, not passed through.
+        let mut tampered = encode_map_reply(Some(&blob));
+        tampered[10] ^= 0x01;
+        assert_eq!(
+            parse_map_reply(&tampered),
+            Err(ProtocolError::ChecksumMismatch)
+        );
+        assert!(parse_map_reply(&[opcode::MAP_REPLY]).is_err());
+        assert!(parse_map_reply(&[opcode::MAP_REPLY, 2]).is_err());
+    }
+
+    #[test]
+    fn map_set_round_trip() {
+        let blob = fake_map_blob();
+        for (mode, backend, moved) in [
+            (MapSetMode::Prepare, 0u32, 0u64),
+            (MapSetMode::Commit, MAP_TARGET_ROUTER, 1234),
+            (MapSetMode::Abort, 3, 0),
+            (MapSetMode::Shrink, 2, 0),
+        ] {
+            let body = encode_map_set(mode, backend, moved, &blob).unwrap();
+            let req = parse_map_set(&body).unwrap();
+            assert_eq!(req.mode, mode);
+            assert_eq!(req.backend, backend);
+            assert_eq!(req.moved, moved);
+            assert_eq!(req.map, blob);
+        }
+        // Unknown mode byte is malformed.
+        let mut bad_mode = encode_map_set(MapSetMode::Prepare, 0, 0, &blob).unwrap();
+        bad_mode[1] = 9;
+        assert!(parse_map_set(&bad_mode).is_err());
+    }
+
+    #[test]
+    fn checksum_tampered_map_push_is_rejected() {
+        let blob = fake_map_blob();
+        let body = encode_map_set(MapSetMode::Prepare, 1, 0, &blob).unwrap();
+        // Flip every bit of the embedded map blob in turn: each flip
+        // must surface as a checksum (or structural) error, never as a
+        // successfully parsed push.
+        for pos in 14..body.len() {
+            for bit in 0..8 {
+                let mut corrupted = body.clone();
+                corrupted[pos] ^= 1 << bit;
+                assert!(
+                    parse_map_set(&corrupted).is_err(),
+                    "map blob flip at byte {pos} bit {bit} went undetected"
+                );
+            }
+        }
+        // A truncated blob is structural, not a checksum coincidence.
+        let mut short = blob.clone();
+        short.truncate(20);
+        assert_eq!(
+            encode_map_set(MapSetMode::Prepare, 0, 0, &short),
+            Err(ProtocolError::Malformed("map blob"))
+        );
+        // The encoder refuses to emit a push its receiver would reject.
+        let mut bad = blob;
+        let last = bad.len() - 1;
+        bad[last] ^= 0xFF;
+        assert_eq!(
+            encode_map_set(MapSetMode::Prepare, 0, 0, &bad),
+            Err(ProtocolError::ChecksumMismatch)
+        );
+    }
+
+    #[test]
+    fn map_ok_round_trip() {
+        for (status, epoch) in [
+            (MapSetStatus::Prepared, 8u64),
+            (MapSetStatus::Committed, 8),
+            (MapSetStatus::Aborted, 7),
+            (MapSetStatus::Shrunk, 8),
+            (MapSetStatus::Stale, 7),
+            (MapSetStatus::Unsupported, 0),
+            (MapSetStatus::Failed, 7),
+        ] {
+            let body = encode_map_ok(status, epoch);
+            assert_eq!(parse_map_ok(&body), Ok((status, epoch)));
+        }
+        assert!(parse_map_ok(&[opcode::MAP_OK, 7]).is_err());
+        let mut bad = encode_map_ok(MapSetStatus::Prepared, 1);
+        bad[1] = 99;
+        assert!(parse_map_ok(&bad).is_err());
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        let entries: Vec<(u32, &[u8])> =
+            vec![(3, &[1, 2, 3][..]), (99, &[][..]), (7, &[0xFF; 40][..])];
+        let body = encode_labels(42, &entries).unwrap();
+        let (epoch, parsed) = parse_labels(&body).unwrap();
+        assert_eq!(epoch, 42);
+        let expected: Vec<(u32, Vec<u8>)> = entries
+            .iter()
+            .map(|&(v, bytes)| (v, bytes.to_vec()))
+            .collect();
+        assert_eq!(parsed, expected);
+        // An empty push is valid (a gaining backend may gain nothing).
+        let empty = encode_labels(42, &[]).unwrap();
+        assert_eq!(parse_labels(&empty).unwrap(), (42, vec![]));
+    }
+
+    #[test]
+    fn every_single_byte_flip_of_a_labels_push_is_detected() {
+        let entries: Vec<(u32, &[u8])> = vec![(1, &[0xAB, 0xCD][..]), (2, &[0x11][..])];
+        let body = encode_labels(9, &entries).unwrap();
+        for pos in 0..body.len() {
+            for bit in 0..8 {
+                let mut corrupted = body.clone();
+                corrupted[pos] ^= 1 << bit;
+                assert!(
+                    parse_labels(&corrupted).is_err(),
+                    "labels flip at byte {pos} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn labels_ok_round_trip() {
+        for (status, received) in [
+            (LabelsStatus::Ok, 17u32),
+            (LabelsStatus::WrongEpoch, 0),
+            (LabelsStatus::Rejected, 3),
+            (LabelsStatus::Unsupported, 0),
+        ] {
+            let body = encode_labels_ok(status, received);
+            assert_eq!(parse_labels_ok(&body), Ok((status, received)));
+        }
+        let mut bad = encode_labels_ok(LabelsStatus::Ok, 1);
+        bad[1] = 9;
+        assert!(parse_labels_ok(&bad).is_err());
+        assert!(parse_labels_ok(&[opcode::LABELS_OK, 0]).is_err());
+    }
+
+    #[test]
+    fn oversized_labels_push_is_a_wire_error_not_a_panic() {
+        let big = vec![0u8; MAX_FRAME];
+        assert_eq!(
+            encode_labels(1, &[(0, &big)]),
+            Err(ProtocolError::Malformed("labels frame too large"))
+        );
+    }
+
     #[test]
     fn checksum_changes_on_any_input_change() {
         assert_ne!(checksum(b"hello"), checksum(b"hellp"));
@@ -1061,6 +1619,13 @@ mod tests {
             let _ = parse_batch_reply(&body, 5);
             let _ = parse_stats_reply(&body);
             let _ = parse_health_reply(&body);
+            let _ = parse_map_get(&body);
+            let _ = parse_map_reply(&body);
+            let _ = parse_map_set(&body);
+            let _ = parse_map_ok(&body);
+            let _ = parse_labels(&body);
+            let _ = parse_labels_ok(&body);
+            let _ = validate_map_blob(&body);
         }
 
         #[test]

@@ -1,0 +1,195 @@
+//! Golden-bytes tests for the protocol v6 additions: the map-rollout
+//! opcodes (`MAP_GET`/`MAP_REPLY`/`MAP_SET`/`MAP_OK`) and the label
+//! migration stream (`LABELS`/`LABELS_OK`).
+//!
+//! As with `golden_v5.rs`: round-trip tests prove encode and parse
+//! agree with *each other*; only a byte-literal test proves they agree
+//! with the *protocol*. Every array below was written out by hand from
+//! the layouts documented in `protocol.rs` (the two trailing FNV-1a-32
+//! checksums were computed once, offline, from the preceding literal
+//! bytes). If an edit changes any of these bytes, it changes the
+//! protocol and must bump the version instead.
+
+use pl_wire::protocol::{
+    encode_labels, encode_labels_ok, encode_map_get, encode_map_ok, encode_map_reply,
+    encode_map_set, parse_labels, parse_labels_ok, parse_map_get, parse_map_ok, parse_map_reply,
+    parse_map_set, LabelsStatus, MapSetMode, MapSetRequest, MapSetStatus, ProtocolError,
+    MAP_TARGET_ROUTER,
+};
+
+/// A hand-written, checksummed `ClusterMap` blob: epoch 2, seed 3,
+/// 1 replica, n = 5, tag 2, one backend `"a:1"`. The wire layer only
+/// validates this structurally, but the bytes pin the `.plcm` layout
+/// the v6 opcodes carry.
+#[rustfmt::skip]
+const MAP_BLOB: &[u8] = &[
+    b'P', b'L', b'C', b'M',                         // magic
+    0x01,                                           // map version 1
+    0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // epoch = 2, u64 LE
+    0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // seed = 3, u64 LE
+    0x01, 0x00, 0x00, 0x00,                         // replicas = 1, u32 LE
+    0x05, 0x00, 0x00, 0x00,                         // n = 5, u32 LE
+    0x02,                                           // scheme tag
+    0x01, 0x00,                                     // 1 backend, u16 LE
+    0x03, 0x00,                                     // address length, u16 LE
+    b'a', b':', b'1',                               // "a:1"
+    0xEB, 0xCB, 0xFB, 0xE8,                         // FNV-1a-32 of the above, LE
+];
+
+#[test]
+fn map_get_golden_bytes() {
+    assert_eq!(encode_map_get(), [0x06]);
+    assert!(parse_map_get(&[0x06]).is_ok());
+    // Strictly opcode-only: a trailing byte is a malformed frame, not
+    // slack for a future field.
+    assert!(parse_map_get(&[0x06, 0x00]).is_err());
+}
+
+#[test]
+fn map_reply_golden_bytes() {
+    // No map: opcode + absent presence byte.
+    assert_eq!(encode_map_reply(None), [0x87, 0x00]);
+    assert_eq!(parse_map_reply(&[0x87, 0x00]).unwrap(), None);
+
+    // Present map: opcode, presence byte, then the blob verbatim.
+    let mut expected = vec![0x87, 0x01];
+    expected.extend_from_slice(MAP_BLOB);
+    assert_eq!(encode_map_reply(Some(MAP_BLOB)), expected);
+    assert_eq!(parse_map_reply(&expected).unwrap(), Some(MAP_BLOB.to_vec()));
+
+    // A flipped bit inside the blob fails the blob's own checksum.
+    let mut tampered = expected.clone();
+    tampered[10] ^= 0x40;
+    assert!(matches!(
+        parse_map_reply(&tampered),
+        Err(ProtocolError::ChecksumMismatch)
+    ));
+}
+
+/// MAP_SET: opcode, mode byte, backend u32, moved u64, then the blob.
+#[test]
+fn map_set_golden_bytes() {
+    #[rustfmt::skip]
+    let mut expected = vec![
+        0x07,                   // opcode MAP_SET
+        0x01,                   // mode Commit
+        0xFF, 0xFF, 0xFF, 0xFF, // backend = MAP_TARGET_ROUTER, u32 LE
+        0x02, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // moved = 0x0102, u64 LE
+    ];
+    expected.extend_from_slice(MAP_BLOB);
+    assert_eq!(
+        encode_map_set(MapSetMode::Commit, MAP_TARGET_ROUTER, 0x0102, MAP_BLOB).unwrap(),
+        expected,
+        "MAP_SET layout drifted"
+    );
+    assert_eq!(
+        parse_map_set(&expected).unwrap(),
+        MapSetRequest {
+            mode: MapSetMode::Commit,
+            backend: MAP_TARGET_ROUTER,
+            moved: 0x0102,
+            map: MAP_BLOB.to_vec(),
+        }
+    );
+
+    // The four mode bytes are pinned; byte 4 is not a mode.
+    for (mode, byte) in [
+        (MapSetMode::Prepare, 0x00),
+        (MapSetMode::Commit, 0x01),
+        (MapSetMode::Abort, 0x02),
+        (MapSetMode::Shrink, 0x03),
+    ] {
+        let body = encode_map_set(mode, 0, 0, MAP_BLOB).unwrap();
+        assert_eq!(body[1], byte, "{mode:?} mode byte");
+    }
+    let mut bad_mode = expected.clone();
+    bad_mode[1] = 0x04;
+    assert!(parse_map_set(&bad_mode).is_err());
+}
+
+/// MAP_OK: opcode, status byte, the receiver's current epoch.
+#[test]
+fn map_ok_golden_bytes() {
+    #[rustfmt::skip]
+    let expected: &[u8] = &[
+        0x88,                   // opcode MAP_OK
+        0x04,                   // status Stale
+        0x09, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // epoch = 9, u64 LE
+    ];
+    assert_eq!(encode_map_ok(MapSetStatus::Stale, 9), expected);
+    assert_eq!(parse_map_ok(expected).unwrap(), (MapSetStatus::Stale, 9));
+
+    // All seven status bytes are pinned; byte 7 is not a status.
+    for (status, byte) in [
+        (MapSetStatus::Prepared, 0x00),
+        (MapSetStatus::Committed, 0x01),
+        (MapSetStatus::Aborted, 0x02),
+        (MapSetStatus::Shrunk, 0x03),
+        (MapSetStatus::Stale, 0x04),
+        (MapSetStatus::Unsupported, 0x05),
+        (MapSetStatus::Failed, 0x06),
+    ] {
+        assert_eq!(encode_map_ok(status, 0)[1], byte, "{status:?} status byte");
+    }
+    assert!(parse_map_ok(&[0x88, 0x07, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
+}
+
+/// LABELS: opcode, epoch, count, `count ×` (vertex, length, bytes),
+/// then an FNV-1a-32 checksum of every preceding body byte.
+#[test]
+fn labels_golden_bytes() {
+    #[rustfmt::skip]
+    let expected: &[u8] = &[
+        0x08,                   // opcode LABELS
+        0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // epoch = 7, u64 LE
+        0x01, 0x00,             // 1 entry, u16 LE
+        0x04, 0x03, 0x02, 0x01, // vertex = 0x01020304, u32 LE
+        0x02, 0x00, 0x00, 0x00, // label length = 2, u32 LE
+        0xAA, 0xBB,             // label record bytes
+        0x30, 0xE5, 0x8C, 0x8E, // FNV-1a-32 of the above, LE
+    ];
+    assert_eq!(
+        encode_labels(7, &[(0x0102_0304, &[0xAA, 0xBB])]).unwrap(),
+        expected,
+        "LABELS layout drifted"
+    );
+    let (epoch, entries) = parse_labels(expected).unwrap();
+    assert_eq!(epoch, 7);
+    assert_eq!(entries, vec![(0x0102_0304, vec![0xAA, 0xBB])]);
+
+    // A single flipped label bit fails the trailing checksum — the
+    // tamper-evidence migration pushes rely on.
+    let mut tampered = expected.to_vec();
+    tampered[19] ^= 0x01; // 0xAA -> 0xAB
+    assert!(matches!(
+        parse_labels(&tampered),
+        Err(ProtocolError::ChecksumMismatch)
+    ));
+}
+
+/// LABELS_OK: opcode, status byte, labels buffered so far this epoch.
+#[test]
+fn labels_ok_golden_bytes() {
+    #[rustfmt::skip]
+    let expected: &[u8] = &[
+        0x89,                   // opcode LABELS_OK
+        0x00,                   // status Ok
+        0x03, 0x00, 0x00, 0x00, // received = 3, u32 LE
+    ];
+    assert_eq!(encode_labels_ok(LabelsStatus::Ok, 3), expected);
+    assert_eq!(parse_labels_ok(expected).unwrap(), (LabelsStatus::Ok, 3));
+
+    for (status, byte) in [
+        (LabelsStatus::Ok, 0x00),
+        (LabelsStatus::WrongEpoch, 0x01),
+        (LabelsStatus::Rejected, 0x02),
+        (LabelsStatus::Unsupported, 0x03),
+    ] {
+        assert_eq!(
+            encode_labels_ok(status, 0)[1],
+            byte,
+            "{status:?} status byte"
+        );
+    }
+    assert!(parse_labels_ok(&[0x89, 0x04, 0, 0, 0, 0]).is_err());
+}

@@ -57,7 +57,10 @@ use std::fs;
 use std::io::BufRead;
 use std::process::ExitCode;
 
-use pl_cluster::{split_all, ClusterMap, LaunchOptions, Partitioner, RouterConfig};
+use pl_cluster::{
+    rebalance, split_all, stub_all, ClusterMap, LaunchOptions, Partitioner, RebalanceAction,
+    RebalanceOptions, RouterConfig,
+};
 use pl_graph::Graph;
 use pl_labeling::baseline::{AdjListScheme, MoonScheme};
 use pl_labeling::codec::{decode_adjacent, SchemeTag, TaggedLabeling};
@@ -123,6 +126,9 @@ const USAGE: &str = "usage:
                [--duration SECS] [--fault-plan SPEC] [--trace]
                [--max-conns N] [--idle-ms MS] [--stall-ms MS]
   plab cluster stats  <HOST:PORT>
+  plab cluster stub   <labels.plab> --out <stub.plab>
+  plab cluster rebalance <labels.plab> --router HOST:PORT
+               (--add HOST:PORT | --remove N | --map FILE) [--chunk-bytes B]
   plab loadgen <HOST:PORT> [--connections N] [--requests R] [--batch B]
                [--skew uniform|zipf:S] [--seed X] [--retries N]
                [--deadline-ms MS] [--backoff-ms MS] [--verify graph.el]
@@ -639,17 +645,21 @@ fn cmd_serve(raw: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `plab cluster <split|launch|stats>`: the distributed serving front
-/// end (see `crates/cluster`). `split` cuts per-partition sub-stores,
-/// `launch` runs a local backends-plus-router process group, `stats`
-/// prints a router's merged snapshot.
+/// `plab cluster <split|launch|stats|stub|rebalance>`: the distributed
+/// serving front end (see `crates/cluster`). `split` cuts per-partition
+/// sub-stores, `launch` runs a local backends-plus-router process
+/// group, `stats` prints a router's merged snapshot, `stub` writes the
+/// all-stub sub-store a joining backend boots from, and `rebalance`
+/// drives a live epoch-bumped reconfiguration through a router.
 fn cmd_cluster(raw: &[String]) -> Result<(), String> {
     match raw.first().map(String::as_str) {
         Some("split") => cluster_split(&raw[1..]),
         Some("launch") => cluster_launch(&raw[1..]),
         Some("stats") => cluster_stats(&raw[1..]),
+        Some("stub") => cluster_stub(&raw[1..]),
+        Some("rebalance") => cluster_rebalance(&raw[1..]),
         _ => Err(format!(
-            "expected `plab cluster <split|launch|stats>`\n{USAGE}"
+            "expected `plab cluster <split|launch|stats|stub|rebalance>`\n{USAGE}"
         )),
     }
 }
@@ -786,6 +796,65 @@ fn cluster_launch(raw: &[String]) -> Result<(), String> {
     std::thread::sleep(std::time::Duration::from_secs(duration));
     let final_stats = handle.shutdown();
     eprintln!("--- final router stats ---\n{final_stats}");
+    Ok(())
+}
+
+/// `plab cluster stub`: the all-stub sub-store of a labeling — what a
+/// joining backend serves (with `--partial`) until a rebalance streams
+/// its share of full labels in.
+fn cluster_stub(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let path = args.positional.first().ok_or("missing labeling file")?;
+    let out = args.get("out").ok_or("missing --out")?;
+    let tagged = load_labeling(path)?;
+    let full_bits = tagged.labeling.total_bits() as u64;
+    let (stub, report) = stub_all(&tagged).map_err(|e| e.to_string())?;
+    stub.save(out).map_err(|e| format!("writing {out}: {e}"))?;
+    eprintln!(
+        "stubbed all {} vertices, {} bits ({:.1}% of full) -> {out}",
+        report.stubbed,
+        report.bits,
+        report.bits as f64 / full_bits.max(1) as f64 * 100.0,
+    );
+    Ok(())
+}
+
+/// `plab cluster rebalance`: live reconfiguration through a router —
+/// epoch-bump the cluster map (`--add`/`--remove`/`--map`), stream
+/// re-owned labels into gaining backends while the router dual-routes,
+/// commit, shrink the losers. Zero downtime; rolled back on failure.
+fn cluster_rebalance(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let path = args.positional.first().ok_or("missing labeling file")?;
+    let router = args.get("router").ok_or("missing --router")?;
+    let action = match (args.get("add"), args.get("remove"), args.get("map")) {
+        (Some(addr), None, None) => RebalanceAction::Add(addr.to_string()),
+        (None, Some(i), None) => {
+            RebalanceAction::Remove(i.parse().map_err(|_| format!("bad --remove index {i:?}"))?)
+        }
+        (None, None, Some(file)) => RebalanceAction::Map(
+            ClusterMap::load(file).map_err(|e| format!("reading {file}: {e}"))?,
+        ),
+        _ => return Err("need exactly one of --add, --remove, --map".into()),
+    };
+    let mut options = RebalanceOptions::default();
+    if let Some(chunk) = args.get("chunk-bytes") {
+        options.chunk_bytes = chunk
+            .parse()
+            .map_err(|_| format!("bad --chunk-bytes {chunk:?}"))?;
+    }
+    let tagged = load_labeling(path)?;
+    let report = rebalance(&tagged, router, action, &options).map_err(|e| e.to_string())?;
+    for (addr, count) in &report.gained {
+        eprintln!("backend {addr}: +{count} vertices");
+    }
+    for addr in &report.shrunk {
+        eprintln!("backend {addr}: shrunk to new partition");
+    }
+    println!(
+        "rebalanced epoch {} -> {} ({} vertices moved)",
+        report.old_epoch, report.new_epoch, report.moved
+    );
     Ok(())
 }
 
