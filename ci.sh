@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Tiered local CI gate. Run from the repo root.
 #
-#   ci.sh quick   fmt + clippy + shellcheck + offline-dep check + unit
-#                 tests (the fast pre-push loop; targets < 2 minutes warm)
+#   ci.sh quick   fmt + clippy + pl-lint (workspace static analysis:
+#                 wire invariants, panic paths, atomics orderings,
+#                 metric/experiment doc drift) + shellcheck +
+#                 offline-dep check + unit tests (the fast pre-push
+#                 loop; targets < 2 minutes warm)
 #   ci.sh full    quick tier + release build + workspace tests + the
 #                 encode/query, observability, chaos, cluster, router
 #                 front-end, distributed-tracing, and live-reconfiguration
@@ -533,6 +536,7 @@ case "$TIER" in
 quick|full)
     run_step "cargo fmt --check"      cargo fmt --all --check
     run_step "cargo clippy -D warnings" cargo clippy --workspace --all-targets -- -D warnings
+    run_step "pl-lint"                cargo run -q -p pl-lint --release -- --workspace
     run_step "shellcheck ci.sh"       shellcheck_self
     run_step "offline dep check"      offline_deps
     run_step "dep hygiene"            dep_hygiene

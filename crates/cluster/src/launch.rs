@@ -180,7 +180,7 @@ pub fn launch(tagged: &TaggedLabeling, opts: &LaunchOptions) -> Result<ClusterHa
         epoch: 1,
         seed: opts.seed,
         replicas: part.replicas() as u32,
-        n: u32::try_from(tagged.labeling.len()).expect("more than u32::MAX labels"),
+        n: u32::try_from(tagged.labeling.len()).expect("more than u32::MAX labels"), // lint: panic-ok(launch is operator tooling; vertex ids are u32 on the wire, so a larger graph cannot be served at all)
         tag: tagged.tag as u8,
         backends: children.iter().map(|(_, _, addr)| addr.clone()).collect(),
     };

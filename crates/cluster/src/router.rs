@@ -185,23 +185,23 @@ impl Shared {
     }
 
     fn backend(&self, slot: u32) -> Arc<BackendState> {
-        Arc::clone(&self.table.read().expect("table lock poisoned")[slot as usize])
+        Arc::clone(&pl_wire::sync::read_recover(&self.table)[slot as usize])
     }
 
     fn table_len(&self) -> usize {
-        self.table.read().expect("table lock poisoned").len()
+        pl_wire::sync::read_recover(&self.table).len()
     }
 
     /// The table slot serving `addr`, appending a fresh entry (with
     /// fresh counters) the first time an address is seen.
     fn slot_for(&self, addr: &str) -> u32 {
         {
-            let table = self.table.read().expect("table lock poisoned");
+            let table = pl_wire::sync::read_recover(&self.table);
             if let Some(slot) = table.iter().position(|s| s.addr == addr) {
                 return slot as u32;
             }
         }
-        let mut table = self.table.write().expect("table lock poisoned");
+        let mut table = pl_wire::sync::write_recover(&self.table);
         if let Some(slot) = table.iter().position(|s| s.addr == addr) {
             return slot as u32;
         }
@@ -219,7 +219,7 @@ impl Shared {
         if !state.quarantined.swap(true, Ordering::Relaxed) {
             state.quarantines.inc();
         }
-        let strikes = state.strikes.fetch_add(1, Ordering::Relaxed) + 1;
+        let strikes = state.strikes.fetch_add(1, Ordering::Relaxed) + 1; // lint: relaxed-ok(strike count only feeds jittered backoff; an approximate read is fine and the value is never a synchronization signal)
         let mut rng = StdRng::seed_from_u64(self.config.retry.seed ^ u64::from(b) ^ strikes);
         let delay = self
             .config
@@ -243,7 +243,7 @@ impl Shared {
     /// Per-backend liveness flags in current-map order, the upward
     /// HEALTH payload.
     fn liveness(&self) -> Vec<bool> {
-        let route = self.route.read().expect("route lock poisoned");
+        let route = pl_wire::sync::read_recover(&self.route);
         route
             .current
             .ids
@@ -254,12 +254,7 @@ impl Shared {
 
     /// The table slots of the current map's backends, in map order.
     fn current_slots(&self) -> Vec<u32> {
-        self.route
-            .read()
-            .expect("route lock poisoned")
-            .current
-            .ids
-            .clone()
+        pl_wire::sync::read_recover(&self.route).current.ids.clone()
     }
 
     /// One query's candidate slots. Outside a reconfiguration window
@@ -269,7 +264,7 @@ impl Shared {
     /// the current map's as fallback — `NOT_OWNED` failover walks from
     /// new owners to old owners automatically.
     fn candidate_slots(&self, u: u32, v: u32) -> Vec<u32> {
-        let route = self.route.read().expect("route lock poisoned");
+        let route = pl_wire::sync::read_recover(&self.route);
         let to_slots = |view: &RouteView| -> Vec<u32> {
             view.part
                 .candidates(u, v)
@@ -313,20 +308,14 @@ impl QueryEngine for RouterEngine {
     }
 
     fn scheme_tag(&self) -> u8 {
-        self.shared
-            .route
-            .read()
-            .expect("route lock poisoned")
+        pl_wire::sync::read_recover(&self.shared.route)
             .current
             .map
             .tag
     }
 
     fn n(&self) -> u32 {
-        self.shared
-            .route
-            .read()
-            .expect("route lock poisoned")
+        pl_wire::sync::read_recover(&self.shared.route)
             .current
             .map
             .n
@@ -342,10 +331,7 @@ impl QueryEngine for RouterEngine {
 
     fn map_payload(&self, _session: &mut Downstream) -> Option<Vec<u8>> {
         Some(
-            self.shared
-                .route
-                .read()
-                .expect("route lock poisoned")
+            pl_wire::sync::read_recover(&self.shared.route)
                 .current
                 .map_bytes
                 .clone(),
@@ -359,7 +345,7 @@ impl QueryEngine for RouterEngine {
     fn map_install(&self, _session: &mut Downstream, req: &MapSetRequest) -> (MapSetStatus, u64) {
         let shared = &self.shared;
         let Ok(map) = ClusterMap::from_bytes(&req.map) else {
-            let route = shared.route.read().expect("route lock poisoned");
+            let route = pl_wire::sync::read_recover(&shared.route);
             return (MapSetStatus::Failed, route.current.map.epoch);
         };
         match req.mode {
@@ -371,11 +357,11 @@ impl QueryEngine for RouterEngine {
                     || map.replicas == 0
                     || map.replicas as usize > map.backends.len()
                 {
-                    let route = shared.route.read().expect("route lock poisoned");
+                    let route = pl_wire::sync::read_recover(&shared.route);
                     return (MapSetStatus::Failed, route.current.map.epoch);
                 }
                 let ids: Vec<u32> = map.backends.iter().map(|a| shared.slot_for(a)).collect();
-                let mut route = shared.route.write().expect("route lock poisoned");
+                let mut route = pl_wire::sync::write_recover(&shared.route);
                 if map.n != route.current.map.n || map.tag != route.current.map.tag {
                     return (MapSetStatus::Failed, route.current.map.epoch);
                 }
@@ -395,7 +381,7 @@ impl QueryEngine for RouterEngine {
             }
             MapSetMode::Commit => {
                 let _span = pl_obs::span!("router.reconfig", map.epoch, 1u64);
-                let mut route = shared.route.write().expect("route lock poisoned");
+                let mut route = pl_wire::sync::write_recover(&shared.route);
                 if map.epoch <= route.current.map.epoch {
                     return (MapSetStatus::Stale, route.current.map.epoch);
                 }
@@ -415,7 +401,7 @@ impl QueryEngine for RouterEngine {
             }
             MapSetMode::Abort => {
                 let _span = pl_obs::span!("router.reconfig", map.epoch, 2u64);
-                let mut route = shared.route.write().expect("route lock poisoned");
+                let mut route = pl_wire::sync::write_recover(&shared.route);
                 if route.pending.take().is_some() {
                     shared.reconfig_rollbacks.inc();
                     pl_obs::event!("router.reconfig.abort", map.epoch);
@@ -423,7 +409,7 @@ impl QueryEngine for RouterEngine {
                 (MapSetStatus::Aborted, route.current.map.epoch)
             }
             MapSetMode::Shrink => {
-                let route = shared.route.read().expect("route lock poisoned");
+                let route = pl_wire::sync::read_recover(&shared.route);
                 (MapSetStatus::Unsupported, route.current.map.epoch)
             }
         }
@@ -508,10 +494,7 @@ impl RouterHandle {
     /// The committed cluster-map epoch the router is routing on.
     #[must_use]
     pub fn epoch(&self) -> u64 {
-        self.shared
-            .route
-            .read()
-            .expect("route lock poisoned")
+        pl_wire::sync::read_recover(&self.shared.route)
             .current
             .map
             .epoch
@@ -520,10 +503,7 @@ impl RouterHandle {
     /// Whether a prepared (dual-routing) reconfiguration window is open.
     #[must_use]
     pub fn reconfiguring(&self) -> bool {
-        self.shared
-            .route
-            .read()
-            .expect("route lock poisoned")
+        pl_wire::sync::read_recover(&self.shared.route)
             .pending
             .is_some()
     }
@@ -851,7 +831,7 @@ fn scatter_round(
             .collect();
         threads
             .into_iter()
-            .map(|t| t.join().expect("scatter thread panicked"))
+            .map(|t| t.join().expect("scatter thread panicked")) // lint: panic-ok(scatter workers catch per-backend errors into Results; a panic here is a router bug that must not be silently dropped)
             .collect()
     });
     results

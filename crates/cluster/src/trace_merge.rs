@@ -161,7 +161,7 @@ fn causal_order(mut lines: Vec<TraceLine>) -> Vec<TraceLine> {
     let mut by_index: Vec<Option<TraceLine>> = lines.drain(..).map(Some).collect();
     order
         .into_iter()
-        .map(|i| by_index[i].take().expect("each index emitted once"))
+        .map(|i| by_index[i].take().expect("each index emitted once")) // lint: panic-ok(order is a permutation of 0..lines.len() by construction — dedup plus the fill loop above)
         .collect()
 }
 

@@ -1,0 +1,130 @@
+//! The committed exception file, `lint.allow`.
+//!
+//! Format, one entry per line:
+//!
+//! ```text
+//! # comment
+//! <pass-id> <key> — <justification>
+//! ```
+//!
+//! Keys are the semantic keys diagnostics carry (constant names, metric
+//! names, `kind:subject` pairs) — never file/line positions, so entries
+//! survive refactors and silence exactly one invariant violation. The
+//! justification is mandatory; an entry without one is rejected at
+//! parse time and fails the run.
+
+use crate::Diagnostic;
+
+/// One parsed entry.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Pass id the entry applies to.
+    pub pass: String,
+    /// The diagnostic key it silences.
+    pub key: String,
+    /// Why the exception is intentional.
+    pub justification: String,
+    /// 1-based line in `lint.allow`, for stale-entry reporting.
+    pub line: usize,
+}
+
+/// The parsed allowlist.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    /// Display path for diagnostics about the file itself.
+    pub path: String,
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// An empty allowlist (no file on disk).
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            path: "lint.allow".to_string(),
+            ..Self::default()
+        }
+    }
+
+    /// Parses the file contents. Malformed lines are returned as
+    /// errors, each `(line, message)`.
+    pub fn parse(path: &str, text: &str) -> Result<Self, Vec<(usize, String)>> {
+        let mut entries = Vec::new();
+        let mut errors = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let mut parts = trimmed.splitn(3, char::is_whitespace);
+            let pass = parts.next().unwrap_or_default();
+            let key = parts.next().unwrap_or_default();
+            let rest = parts.next().unwrap_or_default().trim();
+            // Justification may open with an em-dash/double-dash
+            // separator; strip it but demand prose after.
+            let justification = rest.trim_start_matches(['—', '-', ' ']).trim().to_string();
+            if pass.is_empty() || key.is_empty() {
+                errors.push((line, "expected `<pass-id> <key> — <justification>`".into()));
+                continue;
+            }
+            if justification.is_empty() {
+                errors.push((line, format!("entry `{pass} {key}` has no justification")));
+                continue;
+            }
+            entries.push(AllowEntry {
+                pass: pass.to_string(),
+                key: key.to_string(),
+                justification,
+                line,
+            });
+        }
+        if errors.is_empty() {
+            Ok(Self {
+                path: path.to_string(),
+                entries,
+            })
+        } else {
+            Err(errors)
+        }
+    }
+
+    /// Index of the first entry silencing `d`, if any.
+    #[must_use]
+    pub fn matches(&self, d: &Diagnostic) -> Option<usize> {
+        self.entries
+            .iter()
+            .position(|e| e.pass == d.pass && e.key == d.key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_rejects_bare_ones() {
+        let text = "# header\n\nwire-invariants pair:ERROR — one-way fatal frame\n";
+        let a = Allowlist::parse("lint.allow", text).unwrap();
+        assert_eq!(a.entries.len(), 1);
+        assert_eq!(a.entries[0].pass, "wire-invariants");
+        assert_eq!(a.entries[0].key, "pair:ERROR");
+        assert_eq!(a.entries[0].justification, "one-way fatal frame");
+
+        let bad = Allowlist::parse("lint.allow", "wire-invariants pair:ERROR\n");
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn matching_is_pass_and_key_exact() {
+        let a = Allowlist::parse("lint.allow", "p k — why\n").unwrap();
+        let d = Diagnostic {
+            file: "f".into(),
+            line: 1,
+            pass: "panic-path",
+            key: "k".into(),
+            message: String::new(),
+        };
+        assert!(a.matches(&d).is_none());
+    }
+}

@@ -1,0 +1,163 @@
+//! The `pl-lint` binary: run the pass suite, print diagnostics and a
+//! per-pass timing table, exit nonzero on any non-allowlisted finding.
+//!
+//! ```text
+//! pl-lint --workspace                # discover root upward from cwd
+//! pl-lint --root PATH                # explicit root
+//! pl-lint --workspace --pass wire-invariants --pass panic-path
+//! pl-lint --list-passes
+//! ```
+//!
+//! The allowlist defaults to `<root>/lint.allow`; override with
+//! `--allow FILE`. Exit codes: 0 clean, 1 findings, 2 usage/config
+//! error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pl_lint::{all_passes, Allowlist, Workspace};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut allow_path: Option<PathBuf> = None;
+    let mut only: Vec<String> = Vec::new();
+    let mut workspace = false;
+    let mut quiet = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage("--root needs a path"),
+            },
+            "--allow" => match it.next() {
+                Some(p) => allow_path = Some(PathBuf::from(p)),
+                None => return usage("--allow needs a path"),
+            },
+            "--pass" => match it.next() {
+                Some(p) => only.push(p.clone()),
+                None => return usage("--pass needs a pass id"),
+            },
+            "--quiet" | "-q" => quiet = true,
+            "--list-passes" => {
+                for pass in all_passes() {
+                    println!("{:<20} {}", pass.id(), pass.describe());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "pl-lint: workspace static analysis\n\n  --workspace          discover the workspace root upward from cwd\n  --root PATH          explicit workspace root\n  --allow FILE         allowlist (default <root>/lint.allow)\n  --pass ID            run only this pass (repeatable)\n  --list-passes        list pass ids and exit\n  --quiet              print only diagnostics and the final summary"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None if workspace => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => return fail(&format!("cannot read cwd: {e}")),
+            };
+            match Workspace::discover_root(&cwd) {
+                Some(r) => r,
+                None => return fail("no [workspace] Cargo.toml found above cwd"),
+            }
+        }
+        None => return usage("pass --workspace or --root PATH"),
+    };
+
+    let known: Vec<&str> = all_passes().iter().map(|p| p.id()).collect();
+    for p in &only {
+        if !known.contains(&p.as_str()) {
+            return usage(&format!("unknown pass `{p}` (known: {})", known.join(", ")));
+        }
+    }
+
+    let ws = match Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => return fail(&format!("cannot load workspace at {}: {e}", root.display())),
+    };
+
+    let allow_file = allow_path.unwrap_or_else(|| root.join("lint.allow"));
+    let allow = if allow_file.is_file() {
+        let text = match std::fs::read_to_string(&allow_file) {
+            Ok(t) => t,
+            Err(e) => return fail(&format!("cannot read {}: {e}", allow_file.display())),
+        };
+        match Allowlist::parse(
+            &allow_file.file_name().map_or_else(
+                || allow_file.display().to_string(),
+                |n| n.to_string_lossy().into_owned(),
+            ),
+            &text,
+        ) {
+            Ok(a) => a,
+            Err(errors) => {
+                for (line, msg) in errors {
+                    eprintln!("{}:{line}: [allowlist] {msg}", allow_file.display());
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        Allowlist::empty()
+    };
+
+    let report = pl_lint::run(&ws, &allow, &only);
+
+    for d in &report.active {
+        println!("{d}");
+    }
+    if !quiet {
+        let total_us: u128 = report.timings.iter().map(|t| t.micros).sum();
+        eprintln!(
+            "\npl-lint: {} source files, {} passes",
+            ws.files.len(),
+            report.timings.len()
+        );
+        eprintln!("  {:<20} {:>12} {:>10}", "pass", "diagnostics", "time");
+        for t in &report.timings {
+            eprintln!(
+                "  {:<20} {:>12} {:>8}.{:01} ms",
+                t.id,
+                t.diagnostics,
+                t.micros / 1000,
+                (t.micros % 1000) / 100
+            );
+        }
+        eprintln!(
+            "  {:<20} {:>12} {:>8}.{:01} ms",
+            "total",
+            report.active.len() + report.allowed.len(),
+            total_us / 1000,
+            (total_us % 1000) / 100
+        );
+    }
+    eprintln!(
+        "pl-lint: {} finding(s), {} allowlisted",
+        report.active.len(),
+        report.allowed.len()
+    );
+    if report.active.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("pl-lint: {msg} (try --help)");
+    ExitCode::from(2)
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("pl-lint: {msg}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,154 @@
+//! `atomics-ordering` — `Relaxed` where it can lose an update or break
+//! a happens-before edge.
+//!
+//! Two shapes are flagged, workspace-wide (tests excluded):
+//!
+//! 1. **Relaxed read-modify-write** — `fetch_*` / `compare_exchange*`
+//!    with `Ordering::Relaxed`. RMWs are themselves atomic, so Relaxed
+//!    is *often* right for pure counters — but that is exactly the
+//!    claim the tag records: `// lint: relaxed-ok(<why no ordering is
+//!    needed>)`. An untagged site is an unreviewed one.
+//! 2. **store(Relaxed) paired with load(Acquire) on the same field** —
+//!    an Acquire load only synchronizes with a Release (or stronger)
+//!    store; pairing it with a Relaxed store is a silent no-op fence,
+//!    the classic misordered-atomics bug.
+//!
+//! The pass joins each line with its successor before matching, so a
+//! call split across two lines (`.fetch_add(n,` ␤ `Ordering::Relaxed)`)
+//! is still seen.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::{Diagnostic, Pass, Workspace};
+
+const ID: &str = "atomics-ordering";
+
+const RMW: [&str; 9] = [
+    "fetch_add(",
+    "fetch_sub(",
+    "fetch_or(",
+    "fetch_and(",
+    "fetch_xor(",
+    "fetch_max(",
+    "fetch_min(",
+    "fetch_update(",
+    "compare_exchange",
+];
+
+pub struct AtomicsOrdering;
+
+impl Pass for AtomicsOrdering {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn describe(&self) -> &'static str {
+        "no untagged Relaxed RMW; no store(Relaxed) feeding a load(Acquire) on the same field"
+    }
+
+    fn run(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for file in &ws.files {
+            // field → first line with store(..., Relaxed) / load(Acquire)
+            let mut relaxed_stores: BTreeMap<String, usize> = BTreeMap::new();
+            let mut acquire_loads: BTreeSet<String> = BTreeSet::new();
+            for (idx, line) in file.lines.iter().enumerate() {
+                if line.in_test {
+                    continue;
+                }
+                let joined = join_with_next(file, idx);
+                let has_relaxed = contains_word(&joined, "Relaxed");
+                if has_relaxed
+                    && RMW.iter().any(|t| line.code.contains(t))
+                    && !file.has_directive(idx, "relaxed-ok")
+                {
+                    let op = RMW
+                        .iter()
+                        .find(|t| line.code.contains(*t))
+                        .map_or("rmw", |t| t.trim_end_matches('('));
+                    out.push(Diagnostic {
+                        file: file.path.clone(),
+                        line: idx + 1,
+                        pass: ID,
+                        key: format!("{}:{op}", file.path),
+                        message: format!(
+                            "`{op}` with Ordering::Relaxed — justify with `// lint: relaxed-ok(reason)` or strengthen the ordering"
+                        ),
+                    });
+                }
+                if has_relaxed {
+                    if let Some(field) = field_before(&line.code, ".store(") {
+                        if !file.has_directive(idx, "relaxed-ok") {
+                            relaxed_stores.entry(field).or_insert(idx + 1);
+                        }
+                    }
+                }
+                if joined.contains("load(Ordering::Acquire)") {
+                    if let Some(field) = field_before(&line.code, ".load(") {
+                        acquire_loads.insert(field);
+                    }
+                }
+            }
+            for (field, line_no) in relaxed_stores {
+                if acquire_loads.contains(&field) {
+                    out.push(Diagnostic {
+                        file: file.path.clone(),
+                        line: line_no,
+                        pass: ID,
+                        key: format!("{}:store-acquire:{field}", file.path),
+                        message: format!(
+                            "`{field}` is stored with Relaxed but loaded with Acquire — the Acquire synchronizes with nothing; make the store Release or tag `// lint: relaxed-ok(reason)`"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// This line's code joined with the next non-test line's, so argument
+/// lists split across a line break still match ordering tokens.
+fn join_with_next(file: &crate::SourceFile, idx: usize) -> String {
+    let mut s = file.lines[idx].code.clone();
+    if let Some(next) = file.lines.get(idx + 1) {
+        if !next.in_test {
+            s.push(' ');
+            s.push_str(&next.code);
+        }
+    }
+    s
+}
+
+fn contains_word(hay: &str, word: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = hay[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !hay[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + word.len();
+        let after_ok = !hay[after..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = after;
+    }
+    false
+}
+
+/// The identifier immediately before `needle`, e.g.
+/// `self.head.store(` → `head`.
+fn field_before(code: &str, needle: &str) -> Option<String> {
+    let pos = code.find(needle)?;
+    let ident: String = code[..pos]
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    let ident: String = ident.chars().rev().collect();
+    (!ident.is_empty()).then_some(ident)
+}

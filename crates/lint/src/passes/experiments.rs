@@ -1,0 +1,93 @@
+//! `experiment-drift` — every `eNN_*` harness binary has an
+//! EXPERIMENTS.md section `## ENN — …`, and every such section has a
+//! binary. A harness nobody can find the methodology for is folklore;
+//! a section whose binary was deleted is a reproduction claim with no
+//! reproducer.
+
+use std::collections::BTreeMap;
+
+use crate::{Diagnostic, Pass, Workspace};
+
+const ID: &str = "experiment-drift";
+const BIN_DIR: &str = "crates/bench/src/bin/";
+
+pub struct ExperimentDrift;
+
+impl Pass for ExperimentDrift {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn describe(&self) -> &'static str {
+        "every eNN_* harness has an EXPERIMENTS.md section and vice versa"
+    }
+
+    fn run(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        // ENN → harness file path
+        let mut harnesses: BTreeMap<u32, String> = BTreeMap::new();
+        for file in ws.files_under(BIN_DIR) {
+            let name = file.path.rsplit('/').next().unwrap_or(&file.path);
+            if let Some(id) = harness_id(name) {
+                harnesses.insert(id, file.path.clone());
+            }
+        }
+        let doc = &ws.experiments;
+        if !doc.present {
+            out.push(Diagnostic {
+                file: doc.name.clone(),
+                line: 0,
+                pass: ID,
+                key: "doc:missing".into(),
+                message: "EXPERIMENTS.md not found — harness sections cannot be cross-checked"
+                    .into(),
+            });
+            return;
+        }
+        let mut sections: BTreeMap<u32, usize> = BTreeMap::new();
+        for (idx, line) in doc.text.lines().enumerate() {
+            if let Some(rest) = line.strip_prefix("## E") {
+                let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+                if let Ok(n) = digits.parse::<u32>() {
+                    sections.entry(n).or_insert(idx + 1);
+                }
+            }
+        }
+        for (id, path) in &harnesses {
+            if !sections.contains_key(id) {
+                out.push(Diagnostic {
+                    file: path.clone(),
+                    line: 0,
+                    pass: ID,
+                    key: format!("code:E{id}"),
+                    message: format!(
+                        "harness `{path}` has no `## E{id}` section in EXPERIMENTS.md"
+                    ),
+                });
+            }
+        }
+        for (id, line) in &sections {
+            if !harnesses.contains_key(id) {
+                out.push(Diagnostic {
+                    file: doc.name.clone(),
+                    line: *line,
+                    pass: ID,
+                    key: format!("doc:E{id}"),
+                    message: format!(
+                        "EXPERIMENTS.md §E{id} has no matching e{id}_* harness under {BIN_DIR}"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `e17_serving.rs` → `Some(17)`.
+fn harness_id(file_name: &str) -> Option<u32> {
+    let rest = file_name.strip_prefix('e')?;
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    let after = &rest[digits.len()..];
+    if digits.is_empty() || !after.starts_with('_') || !file_name.ends_with(".rs") {
+        return None;
+    }
+    digits.parse().ok()
+}

@@ -1,0 +1,117 @@
+//! `metrics-doc-drift` — the Prometheus surface and OBSERVABILITY.md
+//! must agree, both directions.
+//!
+//! Code side: every string literal in non-test code that *is* a metric
+//! name — full match of `^(plserve|plcluster|plab)_[a-z0-9_]*[a-z0-9]$`
+//! — whether it registers the instrument (`registry.counter("…")`) or
+//! emits it on a scrape (`p.gauge("…", …)`). Doc side: the same pattern
+//! anywhere in OBSERVABILITY.md. Prefix mentions like `plserve_…` or
+//! `plserve_cache_` never match (they end in `_`), so prose stays free.
+//!
+//! An undocumented metric is a dashboard nobody can build; a documented
+//! ghost is a dashboard that silently flatlines. Both fail.
+
+use std::collections::BTreeMap;
+
+use crate::{Diagnostic, Pass, Workspace};
+
+const ID: &str = "metrics-doc-drift";
+
+const PREFIXES: [&str; 3] = ["plserve", "plcluster", "plab"];
+
+pub struct MetricsDocDrift;
+
+impl Pass for MetricsDocDrift {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn describe(&self) -> &'static str {
+        "every plserve_/plcluster_/plab_ metric in code is in OBSERVABILITY.md, and vice versa"
+    }
+
+    fn run(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        // name → first (file, line) that mentions it
+        let mut in_code: BTreeMap<String, (String, usize)> = BTreeMap::new();
+        for file in &ws.files {
+            for (idx, line) in file.lines.iter().enumerate() {
+                if line.in_test {
+                    continue;
+                }
+                for s in &line.strings {
+                    if is_metric_name(s) {
+                        in_code
+                            .entry(s.clone())
+                            .or_insert_with(|| (file.path.clone(), idx + 1));
+                    }
+                }
+            }
+        }
+        let doc = &ws.observability;
+        if !doc.present {
+            out.push(Diagnostic {
+                file: doc.name.clone(),
+                line: 0,
+                pass: ID,
+                key: "doc:missing".into(),
+                message: "OBSERVABILITY.md not found — metric names cannot be cross-checked".into(),
+            });
+            return;
+        }
+        let mut in_doc: BTreeMap<String, usize> = BTreeMap::new();
+        for (idx, line) in doc.text.lines().enumerate() {
+            for name in metric_names_in(line) {
+                in_doc.entry(name).or_insert(idx + 1);
+            }
+        }
+        for (name, (file, line)) in &in_code {
+            if !in_doc.contains_key(name) {
+                out.push(Diagnostic {
+                    file: file.clone(),
+                    line: *line,
+                    pass: ID,
+                    key: format!("code:{name}"),
+                    message: format!(
+                        "metric `{name}` is emitted here but undocumented in OBSERVABILITY.md"
+                    ),
+                });
+            }
+        }
+        for (name, line) in &in_doc {
+            if !in_code.contains_key(name) {
+                out.push(Diagnostic {
+                    file: doc.name.clone(),
+                    line: *line,
+                    pass: ID,
+                    key: format!("doc:{name}"),
+                    message: format!(
+                        "OBSERVABILITY.md documents `{name}` but no non-test code emits it"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Full-string match of the metric-name shape.
+fn is_metric_name(s: &str) -> bool {
+    let Some(rest) = PREFIXES
+        .iter()
+        .find_map(|p| s.strip_prefix(p).and_then(|r| r.strip_prefix('_')))
+    else {
+        return false;
+    };
+    !rest.is_empty()
+        && rest
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        && !rest.ends_with('_')
+}
+
+/// Every metric-shaped token in a doc line (split on non-name chars).
+fn metric_names_in(line: &str) -> Vec<String> {
+    line.split(|c: char| !(c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'))
+        .filter(|t| is_metric_name(t))
+        .map(str::to_string)
+        .collect()
+}

@@ -1,0 +1,8 @@
+//! The pass suite. Each module is one pass; see the crate docs for the
+//! table of what each proves.
+
+pub mod atomics;
+pub mod experiments;
+pub mod metrics;
+pub mod panics;
+pub mod wire;

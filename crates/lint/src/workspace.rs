@@ -1,0 +1,155 @@
+//! Workspace discovery: which files each pass sees.
+//!
+//! The model is deliberately layout-based, not Cargo-metadata-based —
+//! no build, no registry, no JSON. Sources are every `.rs` under
+//! `src/` and `crates/*/src/`, with three exclusions:
+//!
+//! * `crates/compat/**` — vendored third-party stand-ins, not ours to
+//!   audit;
+//! * `crates/lint/tests/**` — the fixture corpus is known-bad on
+//!   purpose;
+//! * `tests/`, `benches/`, `examples/` directories — integration tests
+//!   and demos may unwrap freely.
+//!
+//! `#[cfg(test)]` regions *inside* the scanned files are excluded per
+//! line by the lexer, not here.
+
+use std::path::{Path, PathBuf};
+
+use crate::source::SourceFile;
+
+/// A doc file a pass cross-checks against.
+#[derive(Debug, Default)]
+pub struct DocFile {
+    /// Display name, e.g. `OBSERVABILITY.md`.
+    pub name: String,
+    /// Raw contents; empty when the file is missing (passes report
+    /// that).
+    pub text: String,
+    /// Whether the file existed on disk.
+    pub present: bool,
+}
+
+/// Everything the passes consume.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Workspace root on disk.
+    pub root: PathBuf,
+    /// Lexed sources, sorted by path.
+    pub files: Vec<SourceFile>,
+    /// `RELIABILITY.md`.
+    pub reliability: DocFile,
+    /// `OBSERVABILITY.md`.
+    pub observability: DocFile,
+    /// `EXPERIMENTS.md`.
+    pub experiments: DocFile,
+}
+
+impl Workspace {
+    /// Loads the workspace rooted at `root`.
+    pub fn load(root: &Path) -> std::io::Result<Self> {
+        let mut files = Vec::new();
+        let mut rel_dirs = vec![PathBuf::from("src")];
+        let crates_dir = root.join("crates");
+        if crates_dir.is_dir() {
+            let mut names: Vec<_> = std::fs::read_dir(&crates_dir)?
+                .filter_map(Result::ok)
+                .filter(|e| e.path().is_dir())
+                .map(|e| e.file_name().to_string_lossy().into_owned())
+                .collect();
+            names.sort();
+            for name in names {
+                if name == "compat" {
+                    continue;
+                }
+                rel_dirs.push(PathBuf::from("crates").join(&name).join("src"));
+            }
+        }
+        for rel in rel_dirs {
+            let full = root.join(&rel);
+            if full.is_dir() {
+                collect_rs(&full, &rel, &mut files)?;
+            }
+        }
+        let mut sources = Vec::with_capacity(files.len());
+        for (full, rel) in files {
+            sources.push(SourceFile::load(&full, &rel)?);
+        }
+        sources.sort_by(|a, b| a.path.cmp(&b.path));
+        Ok(Self {
+            root: root.to_path_buf(),
+            files: sources,
+            reliability: load_doc(root, "RELIABILITY.md"),
+            observability: load_doc(root, "OBSERVABILITY.md"),
+            experiments: load_doc(root, "EXPERIMENTS.md"),
+        })
+    }
+
+    /// Finds the workspace root by walking up from `start` to the first
+    /// directory whose `Cargo.toml` declares `[workspace]`.
+    #[must_use]
+    pub fn discover_root(start: &Path) -> Option<PathBuf> {
+        let mut dir = Some(start);
+        while let Some(d) = dir {
+            let manifest = d.join("Cargo.toml");
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(d.to_path_buf());
+                }
+            }
+            dir = d.parent();
+        }
+        None
+    }
+
+    /// The file at workspace-relative `path`, if scanned.
+    #[must_use]
+    pub fn file(&self, path: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.path == path)
+    }
+
+    /// Files whose path starts with `prefix`.
+    pub fn files_under<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a SourceFile> {
+        self.files
+            .iter()
+            .filter(move |f| f.path.starts_with(prefix))
+    }
+}
+
+fn load_doc(root: &Path, name: &str) -> DocFile {
+    match std::fs::read_to_string(root.join(name)) {
+        Ok(text) => DocFile {
+            name: name.to_string(),
+            text,
+            present: true,
+        },
+        Err(_) => DocFile {
+            name: name.to_string(),
+            ..DocFile::default()
+        },
+    }
+}
+
+fn collect_rs(full: &Path, rel: &Path, out: &mut Vec<(PathBuf, String)>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(full)?.filter_map(Result::ok).collect();
+    entries.sort_by_key(std::fs::DirEntry::file_name);
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if matches!(name.as_str(), "tests" | "benches" | "examples" | "fixtures") {
+                continue;
+            }
+            collect_rs(&path, &rel.join(&name), out)?;
+        } else if name.ends_with(".rs") {
+            let rel_str = rel
+                .join(&name)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push((path, rel_str));
+        }
+    }
+    Ok(())
+}

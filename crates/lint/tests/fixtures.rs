@@ -1,0 +1,109 @@
+//! Golden-file tests: each fixture is a known-bad mini-workspace, and
+//! `expected.txt` is the exact diagnostic stream its target pass must
+//! produce — additions, losses, renumbered lines, and message rewording
+//! all fail. Regenerate after an intentional change with
+//!
+//! ```text
+//! cargo run -q -p pl-lint -- --root crates/lint/tests/fixtures/<name> \
+//!     --pass <pass-id> --quiet > crates/lint/tests/fixtures/<name>/expected.txt
+//! ```
+
+use std::path::PathBuf;
+
+use pl_lint::{Allowlist, Workspace};
+
+fn fixture_root(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Runs `pass` over the named fixture and returns the rendered
+/// diagnostics, one per line, in the tool's sorted order.
+fn run_fixture(name: &str, pass: &str) -> String {
+    let root = fixture_root(name);
+    let ws = Workspace::load(&root).expect("fixture loads");
+    let report = pl_lint::run(&ws, &Allowlist::empty(), &[pass.to_string()]);
+    assert!(
+        report.allowed.is_empty(),
+        "fixtures run without an allowlist"
+    );
+    let mut out = String::new();
+    for d in &report.active {
+        out.push_str(&d.render());
+        out.push('\n');
+    }
+    out
+}
+
+fn assert_golden(name: &str, pass: &str) {
+    let got = run_fixture(name, pass);
+    let golden_path = fixture_root(name).join("expected.txt");
+    let want = std::fs::read_to_string(&golden_path).expect("expected.txt exists");
+    assert_eq!(
+        got,
+        want,
+        "fixture `{name}` drifted from {}",
+        golden_path.display()
+    );
+}
+
+#[test]
+fn wire_bad_matches_golden() {
+    assert_golden("wire_bad", "wire-invariants");
+}
+
+#[test]
+fn panic_path_matches_golden() {
+    assert_golden("panic_path", "panic-path");
+}
+
+#[test]
+fn atomics_matches_golden() {
+    assert_golden("atomics", "atomics-ordering");
+}
+
+#[test]
+fn metrics_matches_golden() {
+    assert_golden("metrics", "metrics-doc-drift");
+}
+
+#[test]
+fn experiments_matches_golden() {
+    assert_golden("experiments", "experiment-drift");
+}
+
+/// The allowlist machinery end-to-end on a fixture: a matching entry
+/// silences exactly its finding, and a stale entry surfaces as an
+/// `allowlist` diagnostic on a full (unfiltered) run.
+#[test]
+fn allowlist_silences_and_reports_stale() {
+    let root = fixture_root("wire_bad");
+    let ws = Workspace::load(&root).expect("fixture loads");
+    let allow = Allowlist::parse(
+        "lint.allow",
+        "wire-invariants dup:DUPL — fixture: known duplicate\n\
+         wire-invariants nonsuch:KEY — fixture: stale on purpose\n",
+    )
+    .expect("entries parse");
+
+    let filtered = pl_lint::run(&ws, &allow, &["wire-invariants".to_string()]);
+    assert_eq!(filtered.allowed.len(), 1, "dup:DUPL is silenced");
+    assert!(
+        filtered.active.iter().all(|d| d.key != "dup:DUPL"),
+        "silenced finding must not stay active"
+    );
+    assert!(
+        filtered.active.iter().all(|d| d.pass != "allowlist"),
+        "stale entries are not reported on filtered runs"
+    );
+
+    let full = pl_lint::run(&ws, &allow, &[]);
+    let stale: Vec<_> = full
+        .active
+        .iter()
+        .filter(|d| d.pass == "allowlist")
+        .collect();
+    assert_eq!(stale.len(), 1, "exactly the unused entry is stale");
+    assert!(stale[0].key.contains("nonsuch:KEY"));
+}

@@ -1,0 +1,27 @@
+//! Known-bad atomics for the atomics-ordering fixture.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[derive(Default)]
+pub struct Ring {
+    head: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Ring {
+    pub fn untagged_bump(&self) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn tagged_bump(&self) {
+        self.count.fetch_add(1, Ordering::Relaxed); // lint: relaxed-ok(fixture: stat counter)
+    }
+
+    pub fn publish(&self, v: u64) {
+        self.head.store(v, Ordering::Relaxed);
+    }
+
+    pub fn observe(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+}

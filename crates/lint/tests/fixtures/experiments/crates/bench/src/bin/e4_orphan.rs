@@ -1,0 +1,3 @@
+//! E4 harness with no EXPERIMENTS.md section (fixture).
+
+fn main() {}

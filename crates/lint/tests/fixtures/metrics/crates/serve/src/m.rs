@@ -1,0 +1,12 @@
+//! Known-bad metric names for the metrics-doc-drift fixture.
+
+pub fn register(reg: &Registry) {
+    reg.counter("plserve_documented_total");
+    reg.counter("plserve_ghost_total");
+}
+
+pub struct Registry;
+
+impl Registry {
+    pub fn counter(&self, _name: &str) {}
+}

@@ -1,0 +1,25 @@
+//! Known-bad panic sites for the panic-path fixture.
+
+pub fn bare_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn tagged_expect(x: Option<u32>) -> u32 {
+    x.expect("caller checked") // lint: panic-ok(fixture: the caller checked)
+}
+
+pub fn explicit_panic() {
+    panic!("boom");
+}
+
+pub fn string_mention() -> &'static str {
+    "call .unwrap() at your peril"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

@@ -1,0 +1,3 @@
+//! Re-declares a wire constant with a different value.
+
+pub const PING: u8 = 0x07;

@@ -57,10 +57,10 @@ impl Histogram {
 
     /// Records one observation.
     pub fn record(&self, v: u64) {
-        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(v, Ordering::Relaxed);
-        self.min.fetch_min(v, Ordering::Relaxed);
-        self.max.fetch_max(v, Ordering::Relaxed);
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed); // lint: relaxed-ok(per-bucket stat counter; snapshots tolerate torn cross-field reads by design)
+        self.sum.fetch_add(v, Ordering::Relaxed); // lint: relaxed-ok(stat accumulator; snapshots tolerate torn cross-field reads by design)
+        self.min.fetch_min(v, Ordering::Relaxed); // lint: relaxed-ok(monotone min tracker; no other memory is published through it)
+        self.max.fetch_max(v, Ordering::Relaxed); // lint: relaxed-ok(monotone max tracker; no other memory is published through it)
     }
 
     /// Total observations.

@@ -29,7 +29,7 @@ impl Counter {
 
     /// Adds `n`.
     pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
+        self.0.fetch_add(n, Ordering::Relaxed); // lint: relaxed-ok(counters are pure statistics; scrapes tolerate slightly stale values and publish no other memory)
     }
 
     /// Current value.
@@ -51,12 +51,12 @@ impl Gauge {
 
     /// Adjusts by `d` (may be negative).
     pub fn add(&self, d: i64) {
-        self.0.fetch_add(d, Ordering::Relaxed);
+        self.0.fetch_add(d, Ordering::Relaxed); // lint: relaxed-ok(gauge adjustments are pure statistics; no other memory is published through them)
     }
 
     /// Raises the gauge to `v` if `v` is larger (high-water mark).
     pub fn set_max(&self, v: i64) {
-        self.0.fetch_max(v, Ordering::Relaxed);
+        self.0.fetch_max(v, Ordering::Relaxed); // lint: relaxed-ok(high-water mark is a statistic; no other memory is published through it)
     }
 
     /// Current value.

@@ -120,8 +120,8 @@ pub fn seed_ids(seed: u64) {
 #[must_use]
 pub fn next_id() -> u64 {
     let s = id_state();
-    let c = s.1.fetch_add(1, Ordering::Relaxed);
-    // Odd multiplier keeps `seed + c*odd` a bijection of the counter.
+    let c = s.1.fetch_add(1, Ordering::Relaxed); // lint: relaxed-ok(id counter needs uniqueness only, not ordering; fetch_add is atomic under any Ordering)
+                                                 // Odd multiplier keeps `seed + c*odd` a bijection of the counter.
     let id = splitmix64(
         s.0.load(Ordering::Relaxed)
             .wrapping_add(c.wrapping_mul(0x2545_F491_4F6C_DD1D)),
@@ -283,7 +283,7 @@ impl Ring {
             slots: (0..CAP * WORDS).map(|_| AtomicU64::new(0)).collect(),
             head: AtomicU64::new(0),
             drained: AtomicU64::new(0),
-            tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+            tid: NEXT_TID.fetch_add(1, Ordering::Relaxed), // lint: relaxed-ok(tid allocation needs uniqueness only; the ring itself is published via the rings() mutex)
         });
         rings().lock().unwrap().push(ring.clone());
         ring

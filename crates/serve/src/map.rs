@@ -90,10 +90,10 @@ impl ClusterMap {
         b.extend_from_slice(&self.replicas.to_le_bytes());
         b.extend_from_slice(&self.n.to_le_bytes());
         b.push(self.tag);
-        let count = u16::try_from(self.backends.len()).expect("more than u16::MAX backends");
+        let count = u16::try_from(self.backends.len()).expect("more than u16::MAX backends"); // lint: panic-ok(map construction is operator-driven config, not a request path; 65k backends is a deployment error)
         b.extend_from_slice(&count.to_le_bytes());
         for addr in &self.backends {
-            let len = u16::try_from(addr.len()).expect("backend address over 64 KiB");
+            let len = u16::try_from(addr.len()).expect("backend address over 64 KiB"); // lint: panic-ok(addresses come from operator config validated at parse time; a 64 KiB host:port is a deployment error)
             b.extend_from_slice(&len.to_le_bytes());
             b.extend_from_slice(addr.as_bytes());
         }
@@ -110,7 +110,7 @@ impl ClusterMap {
             return Err(MapError::Malformed("too short"));
         }
         let (body, sum) = bytes.split_at(bytes.len() - 4);
-        let declared = u32::from_le_bytes(sum.try_into().expect("4 bytes"));
+        let declared = pl_wire::bytes::le_u32(sum);
         if checksum(body) != declared {
             return Err(MapError::Checksum);
         }
@@ -120,19 +120,19 @@ impl ClusterMap {
         if body[4] != MAP_VERSION {
             return Err(MapError::Malformed("unsupported map version"));
         }
-        let epoch = u64::from_le_bytes(body[5..13].try_into().expect("8 bytes"));
-        let seed = u64::from_le_bytes(body[13..21].try_into().expect("8 bytes"));
-        let replicas = u32::from_le_bytes(body[21..25].try_into().expect("4 bytes"));
-        let n = u32::from_le_bytes(body[25..29].try_into().expect("4 bytes"));
+        let epoch = pl_wire::bytes::le_u64(&body[5..13]);
+        let seed = pl_wire::bytes::le_u64(&body[13..21]);
+        let replicas = pl_wire::bytes::le_u32(&body[21..25]);
+        let n = pl_wire::bytes::le_u32(&body[25..29]);
         let tag = body[29];
-        let count = u16::from_le_bytes(body[30..32].try_into().expect("2 bytes")) as usize;
+        let count = pl_wire::bytes::le_u16(&body[30..32]) as usize;
         let mut backends = Vec::with_capacity(count.min(1024));
         let mut pos = 32;
         for _ in 0..count {
             let len_bytes = body
                 .get(pos..pos + 2)
                 .ok_or(MapError::Malformed("truncated address length"))?;
-            let len = u16::from_le_bytes(len_bytes.try_into().expect("2 bytes")) as usize;
+            let len = pl_wire::bytes::le_u16(len_bytes) as usize;
             pos += 2;
             let raw = body
                 .get(pos..pos + len)

@@ -183,13 +183,13 @@ impl StoreEngine {
     /// The store currently serving queries.
     #[must_use]
     pub fn store(&self) -> Arc<LabelStore> {
-        Arc::clone(&self.store.read().expect("store lock poisoned"))
+        Arc::clone(&pl_wire::sync::read_recover(&self.store))
     }
 
     /// The committed reconfiguration epoch (0 until the first map push).
     #[must_use]
     pub fn reconfig_epoch(&self) -> u64 {
-        self.reconfig.lock().expect("reconfig lock poisoned").epoch
+        pl_wire::sync::lock_recover(&self.reconfig).epoch
     }
 
     /// Stages an epoch-bumped map: semantic validation (parameters must
@@ -197,7 +197,7 @@ impl StoreEngine {
     /// committed epoch), then buffer it for `LABELS` pushes.
     fn prepare(&self, req: &MapSetRequest) -> (MapSetStatus, u64) {
         let store = self.store();
-        let mut state = self.reconfig.lock().expect("reconfig lock poisoned");
+        let mut state = pl_wire::sync::lock_recover(&self.reconfig);
         let Ok(map) = ClusterMap::from_bytes(&req.map) else {
             return (MapSetStatus::Failed, state.epoch);
         };
@@ -232,7 +232,7 @@ impl StoreEngine {
     fn commit(&self, req: &MapSetRequest) -> (MapSetStatus, u64) {
         let old = self.store();
         let pending = {
-            let mut state = self.reconfig.lock().expect("reconfig lock poisoned");
+            let mut state = pl_wire::sync::lock_recover(&self.reconfig);
             let Ok(map) = ClusterMap::from_bytes(&req.map) else {
                 return (MapSetStatus::Failed, state.epoch);
             };
@@ -251,10 +251,10 @@ impl StoreEngine {
         for v in 0..old.n() {
             if let Some(bytes) = pending.labels.get(&v) {
                 // Verified byte-identical on arrival; decode cannot fail.
-                let (label, _) = Label::from_bytes(bytes).expect("verified label");
+                let (label, _) = Label::from_bytes(bytes).expect("verified label"); // lint: panic-ok(bytes round-tripped Label::to_bytes on arrival in map_set; decode of our own encoding cannot fail)
                 builder.push_label(&label);
             } else {
-                let current = old.label(v).expect("v < n");
+                let current = old.label(v).expect("v < n"); // lint: panic-ok(v iterates 0..old.n(), the store's own bound)
                 builder.push_label(&current.to_label());
             }
         }
@@ -269,8 +269,8 @@ impl StoreEngine {
             )
             .with_partial(old.is_partial()),
         );
-        let mut state = self.reconfig.lock().expect("reconfig lock poisoned");
-        *self.store.write().expect("store lock poisoned") = rebuilt;
+        let mut state = pl_wire::sync::lock_recover(&self.reconfig);
+        *pl_wire::sync::write_recover(&self.store) = rebuilt;
         state.epoch = pending.epoch;
         state.map = Some(pending.map_bytes);
         state.index = pending.index;
@@ -284,7 +284,7 @@ impl StoreEngine {
     fn shrink(&self, req: &MapSetRequest) -> (MapSetStatus, u64) {
         let old = self.store();
         let (epoch, part, index) = {
-            let state = self.reconfig.lock().expect("reconfig lock poisoned");
+            let state = pl_wire::sync::lock_recover(&self.reconfig);
             let Ok(map) = ClusterMap::from_bytes(&req.map) else {
                 return (MapSetStatus::Failed, state.epoch);
             };
@@ -298,14 +298,14 @@ impl StoreEngine {
         };
         let mut builder = LabelingBuilder::new();
         for v in 0..old.n() {
-            let current = old.label(v).expect("v < n");
+            let current = old.label(v).expect("v < n"); // lint: panic-ok(v iterates 0..old.n(), the store's own bound)
             if part.owns(index, v) {
                 builder.push_label(&current.to_label());
             } else {
                 let Some(stub) = stub_label(current) else {
                     return (
                         MapSetStatus::Failed,
-                        self.reconfig.lock().expect("reconfig lock poisoned").epoch,
+                        pl_wire::sync::lock_recover(&self.reconfig).epoch,
                     );
                 };
                 builder.push_label(&stub);
@@ -322,7 +322,7 @@ impl StoreEngine {
             )
             .with_partial(true),
         );
-        *self.store.write().expect("store lock poisoned") = rebuilt;
+        *pl_wire::sync::write_recover(&self.store) = rebuilt;
         (MapSetStatus::Shrunk, epoch)
     }
 
@@ -332,7 +332,7 @@ impl StoreEngine {
     /// every pushed byte, and re-encode to exactly the pushed bytes.
     fn buffer_labels(&self, epoch: u64, entries: &[(u32, Vec<u8>)]) -> (LabelsStatus, u32) {
         let n = self.store().n();
-        let mut state = self.reconfig.lock().expect("reconfig lock poisoned");
+        let mut state = pl_wire::sync::lock_recover(&self.reconfig);
         let Some(pending) = state.pending.as_mut() else {
             return (LabelsStatus::WrongEpoch, 0);
         };
@@ -435,11 +435,7 @@ impl QueryEngine for StoreEngine {
     }
 
     fn map_payload(&self, _s: &mut StoreSession) -> Option<Vec<u8>> {
-        self.reconfig
-            .lock()
-            .expect("reconfig lock poisoned")
-            .map
-            .clone()
+        pl_wire::sync::lock_recover(&self.reconfig).map.clone()
     }
 
     fn map_install(&self, _s: &mut StoreSession, req: &MapSetRequest) -> (MapSetStatus, u64) {
@@ -447,7 +443,7 @@ impl QueryEngine for StoreEngine {
             MapSetMode::Prepare => self.prepare(req),
             MapSetMode::Commit => self.commit(req),
             MapSetMode::Abort => {
-                let mut state = self.reconfig.lock().expect("reconfig lock poisoned");
+                let mut state = pl_wire::sync::lock_recover(&self.reconfig);
                 state.pending = None;
                 (MapSetStatus::Aborted, state.epoch)
             }

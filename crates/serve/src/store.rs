@@ -257,7 +257,7 @@ impl LabelStore {
     ) -> Self {
         let shard_count = config.shards.max(1);
         let per_shard_cache = config.cache_capacity.div_ceil(shard_count);
-        let n = u32::try_from(tagged.labeling.len()).expect("more than u32::MAX labels");
+        let n = u32::try_from(tagged.labeling.len()).expect("more than u32::MAX labels"); // lint: panic-ok(store construction happens at startup/reconfig, not per-request; vertex ids are u32 on the wire)
         let caches = (0..shard_count)
             .map(|_| {
                 Mutex::new(LruCache::new(if config.cache_capacity == 0 {

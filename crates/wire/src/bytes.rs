@@ -1,0 +1,57 @@
+//! Little-endian integer reads from length-checked slices.
+//!
+//! Every wire parser in this workspace reads fixed-width integers out
+//! of slices whose bounds it has already verified (explicit length
+//! checks, `chunks_exact`, `get(pos..pos + N)?`). The
+//! `try_into().expect("N bytes")` idiom that conversion forces is
+//! provably unreachable at every such site — but it *reads* like a
+//! panic path, and the `panic-path` lint pass rightly refuses to
+//! certify two dozen scattered copies of it. These helpers concentrate
+//! the idiom into one audited place; callers stay panic-token-free.
+//!
+//! Contract: the caller passes a slice of exactly the advertised
+//! width. A wrong-width slice is a caller bug (the bounds check and
+//! the read disagree), and surfacing it loudly beats silently parsing
+//! garbage — so the panic stays, tagged and justified, here.
+
+/// Reads a `u16` from a 2-byte slice.
+#[must_use]
+pub fn le_u16(bytes: &[u8]) -> u16 {
+    // lint: panic-ok(width is bounds-checked at every call site; a mismatch is a caller bug worth a loud failure)
+    u16::from_le_bytes(bytes.try_into().expect("caller passed a 2-byte slice"))
+}
+
+/// Reads a `u32` from a 4-byte slice.
+#[must_use]
+pub fn le_u32(bytes: &[u8]) -> u32 {
+    // lint: panic-ok(width is bounds-checked at every call site; a mismatch is a caller bug worth a loud failure)
+    u32::from_le_bytes(bytes.try_into().expect("caller passed a 4-byte slice"))
+}
+
+/// Reads a `u64` from an 8-byte slice.
+#[must_use]
+pub fn le_u64(bytes: &[u8]) -> u64 {
+    // lint: panic-ok(width is bounds-checked at every call site; a mismatch is a caller bug worth a loud failure)
+    u64::from_le_bytes(bytes.try_into().expect("caller passed an 8-byte slice"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_match_from_le_bytes() {
+        assert_eq!(le_u16(&[0x34, 0x12]), 0x1234);
+        assert_eq!(le_u32(&[4, 3, 2, 1]), u32::from_le_bytes([4, 3, 2, 1]));
+        assert_eq!(
+            le_u64(&[8, 7, 6, 5, 4, 3, 2, 1]),
+            u64::from_le_bytes([8, 7, 6, 5, 4, 3, 2, 1])
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "4-byte slice")]
+    fn wrong_width_is_loud() {
+        let _ = le_u32(&[1, 2, 3]);
+    }
+}

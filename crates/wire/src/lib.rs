@@ -29,10 +29,12 @@
 //!  (LabelStore)       (Router)
 //! ```
 
+pub mod bytes;
 pub mod fault;
 pub mod frontend;
 pub mod protocol;
 pub mod stats;
+pub mod sync;
 
 pub use frontend::{bind, FrontStats, FrontendHandle, FrontendOptions, QueryEngine};
 pub use protocol::{Answer, HealthReport, ProtocolError, Query, QueryKind};

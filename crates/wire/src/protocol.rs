@@ -344,7 +344,7 @@ impl FrameBuffer {
         if self.buf.len() < 4 {
             return Ok(false);
         }
-        let len = u32::from_le_bytes(self.buf[..4].try_into().expect("4 bytes"));
+        let len = crate::bytes::le_u32(&self.buf[..4]);
         if len as usize > MAX_FRAME {
             return Err(ProtocolError::FrameTooLarge(len));
         }
@@ -417,7 +417,7 @@ pub fn parse_hello_ok(body: &[u8]) -> Result<(u8, u8, u32), ProtocolError> {
     if body.len() != 7 || body[0] != opcode::HELLO_OK {
         return Err(ProtocolError::Malformed("hello_ok"));
     }
-    let n = u32::from_le_bytes(body[3..7].try_into().expect("4 bytes"));
+    let n = crate::bytes::le_u32(&body[3..7]);
     Ok((body[1], body[2], n))
 }
 
@@ -448,7 +448,7 @@ pub fn parse_batch(body: &[u8]) -> Result<Vec<Query>, ProtocolError> {
     if body.len() < 3 || body[0] != opcode::BATCH {
         return Err(ProtocolError::Malformed("batch header"));
     }
-    let count = u16::from_le_bytes(body[1..3].try_into().expect("2 bytes")) as usize;
+    let count = crate::bytes::le_u16(&body[1..3]) as usize;
     let entries = &body[3..];
     if entries.len() != count * 9 {
         return Err(ProtocolError::Malformed("batch length"));
@@ -462,8 +462,8 @@ pub fn parse_batch(body: &[u8]) -> Result<Vec<Query>, ProtocolError> {
         };
         queries.push(Query {
             kind,
-            u: u32::from_le_bytes(e[1..5].try_into().expect("4 bytes")),
-            v: u32::from_le_bytes(e[5..9].try_into().expect("4 bytes")),
+            u: crate::bytes::le_u32(&e[1..5]),
+            v: crate::bytes::le_u32(&e[5..9]),
         });
     }
     Ok(queries)
@@ -510,7 +510,7 @@ pub fn parse_batch_ctx(
     if body.len() < 3 || body[0] != opcode::BATCH {
         return Err(ProtocolError::Malformed("batch header"));
     }
-    let count = u16::from_le_bytes(body[1..3].try_into().expect("2 bytes")) as usize;
+    let count = crate::bytes::le_u16(&body[1..3]) as usize;
     let entries_end = 3 + count * 9;
     let ctx = match body.len() {
         l if l == entries_end => None,
@@ -520,9 +520,9 @@ pub fn parse_batch_ctx(
                 return Err(ProtocolError::Malformed("batch extension tag"));
             }
             Some(TraceContext {
-                trace_hi: u64::from_le_bytes(ext[1..9].try_into().expect("8 bytes")),
-                trace_lo: u64::from_le_bytes(ext[9..17].try_into().expect("8 bytes")),
-                parent_span: u64::from_le_bytes(ext[17..25].try_into().expect("8 bytes")),
+                trace_hi: crate::bytes::le_u64(&ext[1..9]),
+                trace_lo: crate::bytes::le_u64(&ext[9..17]),
+                parent_span: crate::bytes::le_u64(&ext[17..25]),
             })
         }
         _ => return Err(ProtocolError::Malformed("batch length")),
@@ -626,7 +626,7 @@ pub fn parse_batch_reply(body: &[u8], version: u8) -> Result<Vec<Answer>, Protoc
             return Err(ProtocolError::Malformed("batch reply header"));
         }
         let (payload, sum) = body.split_at(body.len() - 4);
-        let declared = u32::from_le_bytes(sum.try_into().expect("4 bytes"));
+        let declared = crate::bytes::le_u32(sum);
         if checksum(payload) != declared {
             return Err(ProtocolError::ChecksumMismatch);
         }
@@ -637,7 +637,7 @@ pub fn parse_batch_reply(body: &[u8], version: u8) -> Result<Vec<Answer>, Protoc
     if body.len() < 3 || body[0] != opcode::BATCH_REPLY {
         return Err(ProtocolError::Malformed("batch reply header"));
     }
-    let count = u16::from_le_bytes(body[1..3].try_into().expect("2 bytes")) as usize;
+    let count = crate::bytes::le_u16(&body[1..3]) as usize;
     let mut answers = Vec::with_capacity(count.min(MAX_BATCH));
     let mut pos = 3;
     for _ in 0..count {
@@ -653,7 +653,7 @@ pub fn parse_batch_reply(body: &[u8], version: u8) -> Result<Vec<Answer>, Protoc
                     .get(pos..pos + 4)
                     .ok_or(ProtocolError::Malformed("truncated distance"))?;
                 pos += 4;
-                Answer::Distance(u32::from_le_bytes(d.try_into().expect("4 bytes")))
+                Answer::Distance(crate::bytes::le_u32(d))
             }
             ANS_UNREACHABLE => Answer::Unreachable,
             ANS_OUT_OF_RANGE => Answer::OutOfRange,
@@ -702,7 +702,7 @@ pub fn parse_health_reply(body: &[u8]) -> Result<HealthReport, ProtocolError> {
     if body.len() < 4 || body[0] != opcode::HEALTH_REPLY {
         return Err(ProtocolError::Malformed("health reply header"));
     }
-    let count = u16::from_le_bytes(body[2..4].try_into().expect("2 bytes")) as usize;
+    let count = crate::bytes::le_u16(&body[2..4]) as usize;
     let flags = &body[4..];
     if flags.len() != count || flags.iter().any(|&f| f > 1) {
         return Err(ProtocolError::Malformed("health reply body"));
@@ -848,7 +848,7 @@ pub fn validate_map_blob(map: &[u8]) -> Result<(), ProtocolError> {
         return Err(ProtocolError::Malformed("map blob"));
     }
     let (payload, sum) = map.split_at(map.len() - 4);
-    let declared = u32::from_le_bytes(sum.try_into().expect("4 bytes"));
+    let declared = crate::bytes::le_u32(sum);
     if checksum(payload) != declared {
         return Err(ProtocolError::ChecksumMismatch);
     }
@@ -936,8 +936,8 @@ pub fn parse_map_set(body: &[u8]) -> Result<MapSetRequest, ProtocolError> {
         return Err(ProtocolError::Malformed("map set header"));
     }
     let mode = MapSetMode::from_byte(body[1]).ok_or(ProtocolError::Malformed("map set mode"))?;
-    let backend = u32::from_le_bytes(body[2..6].try_into().expect("4 bytes"));
-    let moved = u64::from_le_bytes(body[6..14].try_into().expect("8 bytes"));
+    let backend = crate::bytes::le_u32(&body[2..6]);
+    let moved = crate::bytes::le_u64(&body[6..14]);
     let map = &body[14..];
     validate_map_blob(map)?;
     Ok(MapSetRequest {
@@ -965,7 +965,7 @@ pub fn parse_map_ok(body: &[u8]) -> Result<(MapSetStatus, u64), ProtocolError> {
         return Err(ProtocolError::Malformed("map ok"));
     }
     let status = MapSetStatus::from_byte(body[1]).ok_or(ProtocolError::Malformed("map status"))?;
-    let epoch = u64::from_le_bytes(body[2..10].try_into().expect("8 bytes"));
+    let epoch = crate::bytes::le_u64(&body[2..10]);
     Ok((status, epoch))
 }
 
@@ -1019,20 +1019,20 @@ pub fn parse_labels(body: &[u8]) -> Result<(u64, LabelEntries), ProtocolError> {
         return Err(ProtocolError::Malformed("labels header"));
     }
     let (payload, sum) = body.split_at(body.len() - 4);
-    let declared = u32::from_le_bytes(sum.try_into().expect("4 bytes"));
+    let declared = crate::bytes::le_u32(sum);
     if checksum(payload) != declared {
         return Err(ProtocolError::ChecksumMismatch);
     }
-    let epoch = u64::from_le_bytes(payload[1..9].try_into().expect("8 bytes"));
-    let count = u16::from_le_bytes(payload[9..11].try_into().expect("2 bytes")) as usize;
+    let epoch = crate::bytes::le_u64(&payload[1..9]);
+    let count = crate::bytes::le_u16(&payload[9..11]) as usize;
     let mut entries = Vec::with_capacity(count.min(MAX_BATCH));
     let mut pos = 11;
     for _ in 0..count {
         let header = payload
             .get(pos..pos + 8)
             .ok_or(ProtocolError::Malformed("truncated label entry"))?;
-        let vertex = u32::from_le_bytes(header[..4].try_into().expect("4 bytes"));
-        let len = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) as usize;
+        let vertex = crate::bytes::le_u32(&header[..4]);
+        let len = crate::bytes::le_u32(&header[4..8]) as usize;
         pos += 8;
         let bytes = payload
             .get(pos..pos + len)
@@ -1064,7 +1064,7 @@ pub fn parse_labels_ok(body: &[u8]) -> Result<(LabelsStatus, u32), ProtocolError
     }
     let status =
         LabelsStatus::from_byte(body[1]).ok_or(ProtocolError::Malformed("labels status"))?;
-    let received = u32::from_le_bytes(body[2..6].try_into().expect("4 bytes"));
+    let received = crate::bytes::le_u32(&body[2..6]);
     Ok((status, received))
 }
 

@@ -258,10 +258,7 @@ impl Snapshot {
         if !buf.len().is_multiple_of(8) {
             return None;
         }
-        let words: Vec<u64> = buf
-            .chunks_exact(8)
-            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
-            .collect();
+        let words: Vec<u64> = buf.chunks_exact(8).map(crate::bytes::le_u64).collect();
         if words.len() == V1_FIELDS {
             return Some(Self {
                 adj_queries: words[0],

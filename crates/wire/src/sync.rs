@@ -1,0 +1,63 @@
+//! Poison-recovering lock acquisition.
+//!
+//! A connection thread that panics while holding a `Mutex`/`RwLock`
+//! poisons it; the default `lock().unwrap()` idiom then cascades that
+//! one panic into every thread that touches the lock — a single bad
+//! query takes down the whole server. Every shared structure in the
+//! serving stack is written so its invariants hold at every await-free
+//! release point (stores are swapped whole, caches are never left
+//! torn), so the right response to poison is the one
+//! `pl_serve::store` already established: take the data anyway and
+//! keep serving, reporting degradation through `HEALTH` rather than
+//! through process death.
+//!
+//! These helpers make that recovery a one-word idiom, so the
+//! `panic-path` lint pass can hold server code to zero `unwrap`s on
+//! lock results.
+
+use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Locks `m`, recovering the guard if a previous holder panicked.
+pub fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Read-locks `l`, recovering the guard if a writer panicked.
+pub fn read_recover<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write-locks `l`, recovering the guard if a holder panicked.
+pub fn write_recover<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn poisoned_locks_still_yield_their_data() {
+        let m = Arc::new(Mutex::new(7));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        assert_eq!(*lock_recover(&m), 7);
+
+        let l = Arc::new(RwLock::new(9));
+        let l2 = Arc::clone(&l);
+        let _ = std::thread::spawn(move || {
+            let _g = l2.write().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert_eq!(*read_recover(&l), 9);
+        *write_recover(&l) = 10;
+        assert_eq!(*read_recover(&l), 10);
+    }
+}
